@@ -1,0 +1,86 @@
+"""Ablation: checkpoint interval vs exposure window (paper Section 4.3.1).
+
+The checkpoint interval is the knob behind every semantics discussion:
+a crash costs at most one interval of replayed events (at-least-once)
+or lost events (at-most-once), and checkpointing more often costs more
+synchronization. The ablation sweeps the interval, injects a crash at
+the vulnerable point, and reports the realized drift plus the modeled
+checkpoint overhead — making the tradeoff the paper reasons about
+concrete.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.scribe.store import ScribeStore
+from repro.stylus.checkpointing import CheckpointPolicy, CrashInjector, CrashPoint
+from repro.stylus.engine import StylusTask
+
+from benchmarks.conftest import print_table
+from tests.stylus.helpers import CountingProcessor
+
+TOTAL = 2_400
+INTERVALS = [20, 100, 400]
+SYNC_COST_PER_CHECKPOINT = 0.05  # modeled seconds per checkpoint
+
+
+def run_arm(semantics: SemanticsPolicy, every_n: int) -> tuple[int, int]:
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", 1)
+    injector = CrashInjector()
+    # Crash mid-stream, between the two checkpoint saves.
+    injector.arm(CrashPoint.AFTER_FIRST_SAVE, max(1, TOTAL // every_n // 2))
+    task = StylusTask("c", scribe, "in", 0, CountingProcessor(),
+                      semantics=semantics,
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=every_n),
+                      clock=clock, crash_injector=injector)
+    for i in range(TOTAL):
+        scribe.write_record("in", {"event_time": float(i), "seq": i})
+    while True:
+        task.pump()
+        if task.crashed:
+            task.restart()
+        elif task.lag_messages() == 0:
+            break
+    checkpoints = int(task.metrics.counter("stylus.c.checkpoints").value)
+    return task.state["count"], checkpoints
+
+
+def test_ablation_checkpoint_interval(benchmark):
+    def sweep():
+        results = {}
+        for every_n in INTERVALS:
+            alo_count, alo_cps = run_arm(SemanticsPolicy.at_least_once(),
+                                         every_n)
+            amo_count, _ = run_arm(SemanticsPolicy.at_most_once(), every_n)
+            results[every_n] = (alo_count, amo_count, alo_cps)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for every_n, (alo, amo, checkpoints) in results.items():
+        rows.append([
+            every_n,
+            f"+{alo - TOTAL}",
+            f"-{TOTAL - amo}",
+            checkpoints,
+            f"{checkpoints * SYNC_COST_PER_CHECKPOINT:.1f}s",
+        ])
+    print_table(
+        "Ablation (Section 4.3.1): checkpoint interval vs one-crash "
+        f"exposure ({TOTAL} events, crash between the two saves)",
+        ["interval (events)", "at-least-once duplicates",
+         "at-most-once losses", "checkpoints", "modeled sync overhead"],
+        rows,
+    )
+
+    for every_n, (alo, amo, _) in results.items():
+        # Exposure is exactly one interval on each side of ideal.
+        assert alo - TOTAL == every_n
+        assert TOTAL - amo == every_n
+    overheads = [results[n][2] for n in INTERVALS]
+    assert overheads == sorted(overheads, reverse=True)

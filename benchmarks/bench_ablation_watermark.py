@@ -1,0 +1,97 @@
+"""Ablation: the watermark confidence knob (paper Section 2.4).
+
+Stylus "provides a function to estimate the event time low watermark
+with a given confidence interval" — the design choice being that window
+finalization latency trades off against stragglers missed. The ablation
+sweeps the confidence level of the watermark-driven windowed aggregator
+over a stream with heavy-tailed disorder and reports, per level:
+
+- emission latency: how far behind the newest event the watermark sits;
+- late drops: events that arrived after their window had closed.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.runtime.rng import make_rng
+from repro.scribe.store import ScribeStore
+from repro.scribe.reader import CategoryReader
+from repro.storage.merge import CounterMergeOperator
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.stylus.windowed import WindowedAggregator
+
+from benchmarks.conftest import print_table
+
+EVENTS = 4_000
+CONFIDENCES = [0.5, 0.9, 0.99, 0.999]
+
+
+def disordered_times():
+    rng = make_rng(13, "wm-ablation")
+    times = []
+    for i in range(EVENTS):
+        arrival = i * 0.25
+        # Heavy-tailed lateness: mostly near-ordered, occasionally very late.
+        if rng.random() < 0.02:
+            lateness = rng.uniform(5.0, 25.0)
+        else:
+            lateness = rng.uniform(0.0, 2.0)
+        times.append(max(0.0, arrival - lateness))
+    return times
+
+
+def run_arm(confidence: float):
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", 1)
+    scribe.create_category("out", 1)
+    aggregator = WindowedAggregator(
+        window_seconds=10.0, operator=CounterMergeOperator(),
+        extract=lambda event: [("all", 1)], confidence=confidence,
+    )
+    task = StylusTask("win", scribe, "in", 0, aggregator,
+                      semantics=SemanticsPolicy.at_least_once(),
+                      checkpoint_policy=CheckpointPolicy(every_n_events=100),
+                      output_category="out", clock=clock)
+    for event_time in disordered_times():
+        scribe.write_record("in", {"event_time": event_time})
+    task.pump(EVENTS)
+    task.checkpoint_now()
+    rows = [m.decode() for m in CategoryReader(scribe, "out").read_all()]
+    max_seen = task.state["max_seen"]
+    newest_closed = (task.state["closed_before"]
+                     if task.state["closed_before"] is not None else 0.0)
+    emission_latency = max_seen - newest_closed
+    counted = sum(row["value"] for row in rows)
+    late = WindowedAggregator.late_events(task.state)
+    return emission_latency, late, counted, len(rows)
+
+
+def test_ablation_watermark_confidence(benchmark):
+    def sweep():
+        return {c: run_arm(c) for c in CONFIDENCES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [f"{c:.3f}", f"{latency:.1f}s", late, counted, windows]
+        for c, (latency, late, counted, windows) in results.items()
+    ]
+    print_table(
+        "Ablation (Section 2.4): watermark confidence vs emission latency "
+        "and late drops",
+        ["confidence", "emission latency", "late drops",
+         "events counted in closed windows", "windows closed"],
+        rows,
+    )
+
+    latencies = [results[c][0] for c in CONFIDENCES]
+    lates = [results[c][1] for c in CONFIDENCES]
+    # The tradeoff: higher confidence -> wait longer -> drop fewer.
+    assert latencies == sorted(latencies)
+    assert lates == sorted(lates, reverse=True)
+    benchmark.extra_info["latency_by_confidence"] = {
+        str(c): round(results[c][0], 1) for c in CONFIDENCES
+    }

@@ -1,0 +1,100 @@
+"""Figure 7: counter output under failure, per state semantics.
+
+The Counter Node (Figure 6) processes a fixed stream and emits its value
+at every checkpoint; one crash is injected at the vulnerable point
+between the two checkpoint saves. The reproduced series show the paper's
+four shapes:
+
+- (A) ideal: the uninterrupted trajectory;
+- (B) at-most-once: drops below ideal after the failure and stays low;
+- (C) at-least-once: jumps above ideal after the failure and stays high;
+- (D) exactly-once: indistinguishable from ideal.
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.scribe.reader import CategoryReader
+from repro.scribe.store import ScribeStore
+from repro.stylus.checkpointing import CheckpointPolicy, CrashInjector, CrashPoint
+from repro.stylus.engine import StylusTask
+
+from benchmarks.conftest import print_table
+from tests.stylus.helpers import CountingProcessor
+
+TOTAL_EVENTS = 500
+CHECKPOINT_EVERY = 50
+CRASH_AT_CHECKPOINT = 5  # the "Failure Time" in the figure
+
+
+def run_arm(semantics: SemanticsPolicy, crash_point: CrashPoint | None):
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", 1)
+    scribe.create_category("out", 1)
+    injector = CrashInjector()
+    if crash_point is not None:
+        injector.arm(crash_point, CRASH_AT_CHECKPOINT)
+    task = StylusTask("counter", scribe, "in", 0, CountingProcessor(),
+                      semantics=semantics,
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=CHECKPOINT_EVERY),
+                      output_category="out", clock=clock,
+                      crash_injector=injector)
+    for i in range(TOTAL_EVENTS):
+        scribe.write_record("in", {"event_time": float(i), "seq": i})
+    for _ in range(50):
+        task.pump()
+        if task.crashed:
+            task.restart()
+        elif task.lag_messages() == 0:
+            break
+    if semantics.output.value == "exactly-once":
+        return [o["count"] for o in task.state_backend.committed_outputs()]
+    return [m.decode()["count"]
+            for m in CategoryReader(scribe, "out").read_all()]
+
+
+def test_fig7_counter_semantics(benchmark):
+    def run_all():
+        return {
+            "ideal": run_arm(SemanticsPolicy.at_least_once(), None),
+            "at-most-once": run_arm(SemanticsPolicy.at_most_once(),
+                                    CrashPoint.AFTER_FIRST_SAVE),
+            "at-least-once": run_arm(SemanticsPolicy.at_least_once(),
+                                     CrashPoint.AFTER_FIRST_SAVE),
+            "exactly-once": run_arm(SemanticsPolicy.exactly_once(),
+                                    CrashPoint.BEFORE_CHECKPOINT),
+        }
+
+    series = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    length = max(len(s) for s in series.values())
+
+    def cell(name: str, index: int) -> object:
+        values = series[name]
+        return values[index] if index < len(values) else ""
+
+    rows = [
+        [f"t{i}", cell("ideal", i), cell("at-most-once", i),
+         cell("at-least-once", i), cell("exactly-once", i)]
+        for i in range(length)
+    ]
+    print_table(
+        "Figure 7: counter value over time "
+        f"(failure at checkpoint {CRASH_AT_CHECKPOINT})",
+        ["checkpoint", "(A) ideal", "(B) at-most-once",
+         "(C) at-least-once", "(D) exactly-once"],
+        rows,
+    )
+
+    finals = {name: values[-1] for name, values in series.items()}
+    assert finals["ideal"] == TOTAL_EVENTS
+    assert finals["at-most-once"] == TOTAL_EVENTS - CHECKPOINT_EVERY
+    assert finals["at-least-once"] == TOTAL_EVENTS + CHECKPOINT_EVERY
+    assert finals["exactly-once"] == TOTAL_EVENTS
+    # The paper's ordering: B < A = D < C after the failure.
+    assert (finals["at-most-once"] < finals["ideal"]
+            == finals["exactly-once"] < finals["at-least-once"])
+    benchmark.extra_info["final_counts"] = finals

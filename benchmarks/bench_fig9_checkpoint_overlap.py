@@ -1,0 +1,111 @@
+"""Figure 9: Stylus (overlapped) vs Swift (buffered) ingest throughput.
+
+The paper measured the Scuba data-ingestion processor, at-most-once
+output, checkpoints every ~2 seconds: the Stylus implementation overlaps
+side-effect-free work (deserialization — the bottleneck) with receiving
+and with the checkpoint wait; the Swift implementation buffers raw input
+between checkpoints, then processes in a burst while its CPU idled
+during buffering. The paper reports 135 vs 35 MB/s — nearly 4x.
+
+Our arms run the *same* processor under the two engine strategies over a
+modeled timeline (see DESIGN.md's substitution table). Calibration,
+recorded in EXPERIMENTS.md:
+
+- both arms: deserialize 6 us + process 1.4 us of CPU per 1 KiB event;
+- Stylus receive: 4 us/event; Swift receive: 12 us/event (the paper's
+  Swift clients speak through system-level pipes from Python —
+  Section 2.3 — which triples the per-event transport cost);
+- checkpoint interval 0.2 s with 0.15 s of checkpoint synchronization
+  (scaled 10:1 from the paper's ~2 s cadence to keep the run short; the
+  ratio is scale-invariant).
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import CostModel
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.scribe.store import ScribeStore
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import Strategy, StylusTask
+from repro.stylus.processor import Output, StatelessProcessor
+
+from benchmarks.conftest import print_table
+
+EVENTS = 60_000
+EVENT_BYTES = 1024
+CHECKPOINT_INTERVAL = 0.2
+CHECKPOINT_SYNC = 0.15
+
+STYLUS_COSTS = CostModel(receive_per_event=4e-6, deserialize_per_event=6e-6,
+                         process_per_event=1.4e-6,
+                         checkpoint_sync=CHECKPOINT_SYNC,
+                         event_bytes=EVENT_BYTES)
+SWIFT_COSTS = CostModel(receive_per_event=12e-6, deserialize_per_event=6e-6,
+                        process_per_event=1.4e-6,
+                        checkpoint_sync=CHECKPOINT_SYNC,
+                        event_bytes=EVENT_BYTES)
+
+
+class ScubaIngestProcessor(StatelessProcessor):
+    """Deserialize-and-forward: the Scuba ingestion shape."""
+
+    def process(self, event):
+        return [Output(event.to_record())]
+
+
+def run_arm(strategy: Strategy, costs: CostModel) -> tuple[float, float]:
+    """Returns (throughput MB/s, cpu utilization) on the modeled timeline."""
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", 1)
+    payload = {"event_time": 0.0, "data": "x" * 24}
+    for i in range(EVENTS):
+        payload["event_time"] = float(i)
+        scribe.write_record("in", payload)
+    task = StylusTask("ingest", scribe, "in", 0, ScubaIngestProcessor(),
+                      semantics=SemanticsPolicy.at_most_once(),
+                      checkpoint_policy=CheckpointPolicy(
+                          interval_seconds=CHECKPOINT_INTERVAL),
+                      clock=clock, cost_model=costs, strategy=strategy)
+    task.pump(EVENTS)
+    task.checkpoint_now()
+    elapsed = task.timeline.elapsed()
+    throughput = EVENTS * costs.event_bytes / elapsed / 1e6
+    return throughput, task.timeline.utilization("cpu")
+
+
+def test_fig9_overlapped_vs_buffered(benchmark):
+    def run_both():
+        stylus = run_arm(Strategy.OVERLAPPED, STYLUS_COSTS)
+        swift = run_arm(Strategy.BUFFERED, SWIFT_COSTS)
+        return stylus, swift
+
+    (stylus_mbps, stylus_util), (swift_mbps, swift_util) = \
+        benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    ratio = stylus_mbps / swift_mbps
+    print_table(
+        "Figure 9: Scuba-ingest throughput, overlapped vs buffered "
+        "(paper: 135 vs 35 MB/s, ~3.9x)",
+        ["implementation", "MB/s", "cpu utilization"],
+        [
+            ["Stylus (side-effect-free work between checkpoints)",
+             round(stylus_mbps, 1), round(stylus_util, 2)],
+            ["Swift (buffer, checkpoint, then process)",
+             round(swift_mbps, 1), round(swift_util, 2)],
+            ["ratio", round(ratio, 2), ""],
+        ],
+    )
+
+    # Shape assertions: Stylus wins by roughly the paper's factor, and the
+    # mechanism is CPU utilization during the buffering/sync dead time.
+    assert 3.0 <= ratio <= 5.0
+    assert stylus_util > swift_util
+    benchmark.extra_info.update({
+        "stylus_mbps": round(stylus_mbps, 1),
+        "swift_mbps": round(swift_mbps, 1),
+        "ratio": round(ratio, 2),
+        "paper_stylus_mbps": 135,
+        "paper_swift_mbps": 35,
+    })

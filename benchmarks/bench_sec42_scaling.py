@@ -1,0 +1,77 @@
+"""Section 4.2.2 scaling claim: "We can scale the number of partitions
+up or down easily by changing the number of buckets per Scribe category
+in a configuration file."
+
+A keyed counting job runs over the same stream at 1..16 buckets, one
+task per bucket. In a real deployment the tasks run on different
+machines; the modeled completion time is therefore the *maximum* task
+work (they run concurrently), and the speedup over one bucket should
+track the bucket count while key hashing stays balanced. The bench also
+reports how many keys a reshard 8 -> 16 actually moves.
+"""
+
+from __future__ import annotations
+
+from repro.core.sharding import Resharder
+from repro.runtime.clock import SimClock
+from repro.scribe.store import ScribeStore
+from repro.stylus.engine import StylusJob
+
+from benchmarks.conftest import print_table
+from tests.stylus.helpers import CountingProcessor
+
+EVENTS = 8_000
+PER_EVENT_SECONDS = 1e-4
+BUCKET_COUNTS = [1, 2, 4, 8, 16]
+
+
+def run_with_buckets(num_buckets: int) -> tuple[float, int]:
+    """Returns (modeled completion seconds, max per-task events)."""
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", num_buckets)
+    for i in range(EVENTS):
+        scribe.write_record("in", {"event_time": float(i)}, key=f"user{i % 997}")
+    job = StylusJob.create("count", scribe, "in", CountingProcessor,
+                           clock=clock)
+    per_task = []
+    for task in job.tasks:
+        per_task.append(task.pump(EVENTS))
+    assert sum(per_task) == EVENTS
+    # Tasks are parallel processes on disjoint buckets: completion is the
+    # straggler's work.
+    slowest = max(per_task)
+    return slowest * PER_EVENT_SECONDS, slowest
+
+
+def test_sec42_bucket_scaling(benchmark):
+    def sweep():
+        return {n: run_with_buckets(n) for n in BUCKET_COUNTS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    base_seconds = results[1][0]
+    rows = []
+    for buckets in BUCKET_COUNTS:
+        seconds, straggler = results[buckets]
+        speedup = base_seconds / seconds
+        rows.append([buckets, round(seconds, 3), straggler,
+                     f"{speedup:.2f}x"])
+    print_table(
+        "Section 4.2.2: scaling by changing the bucket count "
+        f"({EVENTS} events, keyed by 997 users)",
+        ["buckets", "completion (s)", "straggler events", "speedup"],
+        rows,
+    )
+
+    # Near-linear scaling while keys stay balanced.
+    for buckets in BUCKET_COUNTS:
+        speedup = base_seconds / results[buckets][0]
+        assert speedup > 0.7 * buckets
+
+    moved = Resharder(8, 16).moved_fraction([f"user{i}" for i in range(997)])
+    print(f"reshard 8 -> 16 buckets moves {moved:.1%} of keys")
+    assert 0.3 < moved < 0.7
+    benchmark.extra_info["speedups"] = {
+        str(n): round(base_seconds / results[n][0], 2) for n in BUCKET_COUNTS
+    }

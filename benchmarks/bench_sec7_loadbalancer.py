@@ -1,0 +1,120 @@
+"""Section 7 future work: dynamic load balancing for stream jobs.
+
+"The load balancer should coordinate hundreds of jobs on a single
+machine and minimize the recovery time for lagging jobs." The bench
+places 200 jobs of skewed load on a small cluster, overloads one
+machine, and compares the lag-aware balancer against a no-op baseline
+on: load imbalance, and the modeled catch-up time of the lagging jobs
+(a lagging job's catch-up rate is the spare capacity of its machine).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.loadbalancer import JobSpec, LoadBalancer
+from repro.runtime.rng import make_rng
+
+from benchmarks.conftest import print_table
+
+MACHINES = 5
+JOBS = 200
+MACHINE_CAPACITY = 60.0
+
+
+def build(seed=21):
+    cluster = Cluster()
+    for index in range(MACHINES):
+        cluster.add_machine(f"m{index}")
+    balancer = LoadBalancer(cluster)
+    rng = make_rng(seed, "lb-bench")
+    jobs = []
+    for index in range(JOBS):
+        lag = rng.randrange(50_000) if rng.random() < 0.1 else 0
+        job = JobSpec(f"job{index}", load=rng.uniform(0.5, 2.0), lag=lag)
+        jobs.append(job)
+        balancer.place(job)
+    # Overload one machine: pile a burst of hot jobs onto m0 directly
+    # (the situation a balancer must dig out of).
+    for index in range(30):
+        job = JobSpec(f"hot{index}", load=1.5,
+                      lag=rng.randrange(100_000))
+        jobs.append(job)
+        balancer._jobs[job.name] = job
+        balancer._placement[job.name] = "m0"
+    return cluster, balancer, jobs
+
+
+def catchup_seconds(balancer: LoadBalancer, jobs: list[JobSpec]) -> float:
+    """Modeled catch-up time of lagging jobs: lag / machine spare rate."""
+    total = 0.0
+    loads = balancer.loads()
+    for job in jobs:
+        if job.lag == 0:
+            continue
+        machine_load = loads[balancer.placement_of(job.name)]
+        spare = max(1.0, MACHINE_CAPACITY - machine_load)
+        total += job.lag / (spare * 1000.0)  # 1k msgs per unit spare rate
+    return total
+
+
+def test_sec7_load_balancer(benchmark):
+    def run():
+        _, baseline, jobs_a = build()
+        before_imbalance = baseline.imbalance()
+        before_catchup = catchup_seconds(baseline, jobs_a)
+
+        _, balanced, jobs_b = build()
+        moves = balanced.rebalance(max_moves=50)
+        after_imbalance = balanced.imbalance()
+        after_catchup = catchup_seconds(balanced, jobs_b)
+        return (before_imbalance, before_catchup, after_imbalance,
+                after_catchup, len(moves))
+
+    (before_imb, before_catchup, after_imb, after_catchup,
+     move_count) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_table(
+        f"Section 7: lag-aware rebalancing of {JOBS + 30} jobs on "
+        f"{MACHINES} machines",
+        ["metric", "no balancer", "with balancer"],
+        [
+            ["load imbalance (max/mean)", f"{before_imb:.2f}",
+             f"{after_imb:.2f}"],
+            ["lagging jobs' catch-up time", f"{before_catchup:.1f}s",
+             f"{after_catchup:.1f}s"],
+            ["job moves", 0, move_count],
+        ],
+    )
+
+    assert after_imb < before_imb
+    assert after_catchup < before_catchup
+    benchmark.extra_info["catchup_improvement"] = round(
+        before_catchup / after_catchup, 2)
+
+
+def test_sec7_failure_replacement(benchmark):
+    """Machine failure: orphans re-placed, most-lagging first."""
+
+    def run():
+        cluster, balancer, jobs = build()
+        cluster.fail_machine("m0")
+        moves = balancer.handle_machine_failure("m0")
+        return balancer, moves
+
+    balancer, moves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    loads = balancer.loads()
+    print_table(
+        "Section 7: job re-placement after a machine failure",
+        ["metric", "value"],
+        [
+            ["orphaned jobs re-placed", len(moves)],
+            ["surviving machines", len(loads)],
+            ["post-failure imbalance", f"{balancer.imbalance():.2f}"],
+        ],
+    )
+    assert len(loads) == MACHINES - 1
+    assert balancer.imbalance() < 1.3
+    # The most-lagging orphan was handled first (fastest back to work).
+    lags = [balancer._jobs[m.job].lag for m in moves]
+    assert lags[0] == max(lags)

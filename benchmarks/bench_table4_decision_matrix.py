@@ -1,0 +1,38 @@
+"""Table 4 (the paper's Figure 4): design decision x quality matrix."""
+
+from __future__ import annotations
+
+from repro.core.decisions import Quality, decision_matrix_rows
+
+from benchmarks.conftest import print_table
+
+QUALITY_ORDER = [Quality.EASE_OF_USE, Quality.PERFORMANCE,
+                 Quality.FAULT_TOLERANCE, Quality.SCALABILITY,
+                 Quality.CORRECTNESS]
+
+
+def test_table4_decision_matrix(benchmark):
+    rows = benchmark(decision_matrix_rows)
+
+    rendered = []
+    for decision, affected in rows:
+        rendered.append(
+            [decision] + ["X" if q.value in affected else ""
+                          for q in QUALITY_ORDER]
+        )
+    print_table(
+        "Table 4: each design decision affects some quality attributes",
+        ["Design decision"] + [q.value for q in QUALITY_ORDER],
+        rendered,
+    )
+
+    # Verify the exact X pattern of the paper's figure.
+    expected = {
+        "Language paradigm": ["X", "X", "", "", ""],
+        "Data transfer": ["X", "X", "X", "X", ""],
+        "Processing semantics": ["", "", "X", "", "X"],
+        "State-saving mechanism": ["X", "X", "X", "X", "X"],
+        "Reprocessing": ["X", "", "", "X", "X"],
+    }
+    for row in rendered:
+        assert row[1:] == expected[row[0]], row[0]

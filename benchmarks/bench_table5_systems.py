@@ -1,0 +1,28 @@
+"""Table 5 (the paper's Figure 5): decisions made by nine systems."""
+
+from __future__ import annotations
+
+from repro.core.decisions import system_decision_rows, systems_using
+
+from benchmarks.conftest import print_table
+
+
+def test_table5_system_decisions(benchmark):
+    rows = benchmark(system_decision_rows)
+
+    print_table(
+        "Table 5: the design decisions made by different streaming systems",
+        ["System", "Language", "Data transfer", "Semantics",
+         "State-saving", "Reprocessing"],
+        [list(row) for row in rows],
+    )
+
+    assert len(rows) == 9
+    # Spot checks straight out of the paper's table.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["Puma"][1:] == ("SQL", "Scribe", "at least",
+                                   "remote DB", "same code")
+    assert by_name["Samza"][2] == "Kafka"
+    assert by_name["Flink"][4] == "global snapshot"
+    assert "exactly" in by_name["Stylus"][3]
+    assert systems_using("Scribe") == ["Puma", "Stylus", "Swift"]

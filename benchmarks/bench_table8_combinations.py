@@ -1,0 +1,57 @@
+"""Table 8 (the paper's Figure 8): common state x output semantics.
+
+Beyond rendering the grid, the bench verifies the engine enforces it:
+each of the nine combinations either constructs a working policy (the
+five X cells) or is rejected (the four empty cells).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantics import (
+    OutputSemantics,
+    SemanticsPolicy,
+    StateSemantics,
+    is_common_combination,
+)
+from repro.errors import SemanticsError
+
+from benchmarks.conftest import print_table
+
+STATE_ORDER = [StateSemantics.AT_LEAST_ONCE, StateSemantics.AT_MOST_ONCE,
+               StateSemantics.EXACTLY_ONCE]
+OUTPUT_ORDER = [OutputSemantics.AT_LEAST_ONCE, OutputSemantics.AT_MOST_ONCE,
+                OutputSemantics.EXACTLY_ONCE]
+
+
+def enumerate_grid():
+    grid = {}
+    for output in OUTPUT_ORDER:
+        for state in STATE_ORDER:
+            try:
+                SemanticsPolicy(state, output)
+                grid[(state, output)] = True
+            except SemanticsError:
+                grid[(state, output)] = False
+    return grid
+
+
+def test_table8_semantics_combinations(benchmark):
+    grid = benchmark(enumerate_grid)
+
+    rows = [
+        [output.value] + ["X" if grid[(state, output)] else ""
+                          for state in STATE_ORDER]
+        for output in OUTPUT_ORDER
+    ]
+    print_table(
+        "Table 8: common combinations of state and output semantics "
+        "(rows: output, columns: state)",
+        ["Output \\ State"] + [s.value for s in STATE_ORDER],
+        rows,
+    )
+
+    for (state, output), accepted in grid.items():
+        assert accepted == is_common_combination(state, output)
+    assert sum(grid.values()) == 5

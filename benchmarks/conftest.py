@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints the same rows/series the paper reports (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them). Reproduced
+numbers also land in each benchmark's ``extra_info`` so they appear in
+``--benchmark-json`` output. EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[object]]) -> None:
+    """Render an aligned text table to stdout."""
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in text_rows))
+        if text_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

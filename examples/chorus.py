@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The Chorus pipeline (paper Section 5.1): anonymized realtime voice.
+
+Streams a post workload with a scripted "TV-ad moment" (the paper's
+Superbowl "#likeagirl" spike) through the mixed Puma + Stylus pipeline
+with its Laser lookup join, then asks the two questions the paper leads
+with: what are the top topics right now, and what are the (k-anonymous)
+demographic breakdowns?
+
+Run: ``python examples/chorus.py``
+"""
+
+from repro import ScribeStore, ScribeWriter, SimClock
+from repro.apps.chorus import ChorusPipeline
+from repro.workloads.posts import AdMoment, PostsWorkload
+
+DURATION = 600.0
+SPIKE = AdMoment("#likeagirl", start=300.0, duration=120.0, multiplier=40.0)
+
+
+def main() -> None:
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    pipeline = ChorusPipeline(scribe, clock=clock, k_anonymity=20,
+                              window_seconds=300.0)
+
+    workload = PostsWorkload(rate_per_second=50.0, ad_moment=SPIKE)
+    writer = ScribeWriter(scribe, "chorus_posts")
+    for record in workload.generate(DURATION):
+        writer.write(record, key=record["post_id"])
+    clock.advance_to(DURATION)
+
+    pipeline.run_until_quiescent()
+    pipeline.checkpoint_all()
+    pipeline.run_until_quiescent()
+
+    for window_start in pipeline.windows():
+        label = " <-- the TV ad airs in this window" \
+            if SPIKE.start >= window_start and \
+            SPIKE.start < window_start + 300.0 else ""
+        print(f"\ntop topics, window t={window_start:.0f}s{label}:")
+        for hashtag, count in pipeline.top_topics(window_start, 5):
+            print(f"  {hashtag:<14} ~{count:.0f} posts")
+
+    print(f"\ndemographics for {SPIKE.hashtag} during the spike "
+          f"(cells below k={pipeline.k_anonymity} suppressed):")
+    breakdown = pipeline.demographic_breakdown(300.0, SPIKE.hashtag)
+    for cell, count in sorted(breakdown.items(), key=lambda kv: -kv[1])[:8]:
+        age, gender, region = cell.split("|")
+        print(f"  {age:<6} {gender:<8} {region:<5} {count:>5}")
+    print(f"  ({len(breakdown)} revealable cells in total)")
+
+    print(f"\nsummaries also flowed to Scuba: "
+          f"{pipeline.scuba_table.row_count()} rows for ad-hoc queries")
+
+
+if __name__ == "__main__":
+    main()

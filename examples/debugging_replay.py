@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Ease of debugging (paper Section 6.2): replay the exact same input.
+
+"When a problem is observed with a particular processing node, we can
+reproduce the problem by reading the same input stream from a new node"
+and "with persistent Scribe streams, we can replay a stream from a given
+(recent) time period, which makes debugging much easier."
+
+The scenario: a deployed scorer has a bug (it drops negative deltas).
+We notice its totals look wrong, replay the same stream from the same
+time period through a fixed build on a *new* node, and diff the outputs
+— without touching the production node or the producers.
+
+Run: ``python examples/debugging_replay.py``
+"""
+
+from repro import ScribeStore, SimClock
+from repro.core.event import Event
+from repro.runtime.rng import make_rng
+from repro.scribe.reader import ScribeReader
+from repro.stylus.engine import StylusTask
+from repro.stylus.processor import Output, StatefulProcessor
+
+
+class BuggyScorer(StatefulProcessor):
+    """v1, in production: silently ignores negative deltas."""
+
+    def initial_state(self):
+        return {"total": 0}
+
+    def process(self, event: Event, state) -> list[Output]:
+        delta = event["delta"]
+        if delta >= 0:  # the bug
+            state["total"] += delta
+        return []
+
+
+class FixedScorer(BuggyScorer):
+    """v2, the candidate fix."""
+
+    def process(self, event: Event, state) -> list[Output]:
+        state["total"] += event["delta"]
+        return []
+
+
+def main() -> None:
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("deltas", 1, retention_seconds=3 * 24 * 3600.0)
+
+    rng = make_rng(55, "debug")
+    for i in range(2_000):
+        clock.advance_to(i * 0.5)
+        scribe.write_record("deltas", {
+            "event_time": i * 0.5,
+            "delta": rng.randrange(-5, 10),
+        })
+
+    # Production: the buggy node has been consuming all along.
+    production = StylusTask("scorer-v1", scribe, "deltas", 0, BuggyScorer(),
+                            clock=clock)
+    production.pump(10_000)
+    print(f"production (v1) total: {production.state['total']}")
+    print("...an analyst reports the total looks too high vs the ledger\n")
+
+    # Debugging: replay the last 10 minutes into a brand-new node running
+    # the candidate fix. The production node, its offsets, and the
+    # producers are untouched — readers are independent.
+    replay_from = clock.now() - 600.0
+    print(f"replaying the stream from t={replay_from:.0f}s "
+          "into a new node (production untouched):")
+    for name, processor in [("v1-replay", BuggyScorer()),
+                            ("v2-replay", FixedScorer())]:
+        task = StylusTask(name, scribe, "deltas", 0, processor, clock=clock)
+        task._reader.seek_to_time(replay_from)
+        task._next_offset = task._reader.position
+        task.pump(10_000)
+        print(f"  {name:<10} total over the window: {task.state['total']}")
+
+    # The ground truth over the same window, straight from the bus.
+    reader = ScribeReader(scribe, "deltas", 0)
+    reader.seek_to_time(replay_from)
+    truth = sum(m.decode()["delta"] for m in reader.read_batch(10_000))
+    print(f"  {'ledger':<10} true sum over the window: {truth}")
+    print("\nv2 matches the ledger; v1 reproduces the discrepancy -> "
+          "the fix is validated against real traffic before deploying.")
+    print(f"production node still at its own position "
+          f"(offset {production.position}), unaffected by the replay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Section 5.3: converting a daily batch pipeline to hybrid streaming.
+
+Models a daily Hive pipeline that completes around 2 pm, converts its
+convertible prefix to realtime streaming apps one stage at a time (the
+paper's incremental migration story), and prints how the completion time
+improves with each conversion — landing at the paper's "13 hours sooner".
+
+Run: ``python examples/hybrid_pipeline.py``
+"""
+
+from repro.backfill.hybrid import HybridPipeline, PipelineStage
+
+
+def clock_text(hours: float) -> str:
+    minutes = round(hours * 60)
+    return f"{minutes // 60:02d}:{minutes % 60:02d}"
+
+
+def main() -> None:
+    pipeline = HybridPipeline([
+        PipelineStage("clean_raw_events", batch_hours=3.0),
+        PipelineStage("sessionize", batch_hours=3.5,
+                      depends_on=("clean_raw_events",)),
+        PipelineStage("join_dimensions", batch_hours=3.0,
+                      depends_on=("sessionize",)),
+        PipelineStage("daily_rollups", batch_hours=3.75,
+                      depends_on=("join_dimensions",)),
+        PipelineStage("exec_report", batch_hours=0.75,
+                      depends_on=("daily_rollups",), convertible=False),
+    ])
+
+    print("all-batch landing times (hours after midnight):")
+    for name, hours in pipeline.completion_times().items():
+        print(f"  {name:<18} {clock_text(hours)}")
+    print(f"  pipeline completes around {clock_text(pipeline.pipeline_completion())} "
+          "— the paper's '2pm' shape\n")
+
+    # Convert one stage at a time, front to back (the paper: "converting
+    # some of the earlier queries in these pipelines").
+    conversion_order = ["clean_raw_events", "sessionize", "join_dimensions",
+                        "daily_rollups"]
+    converted: set[str] = set()
+    print("incremental conversion:")
+    for stage in conversion_order:
+        converted.add(stage)
+        done = pipeline.pipeline_completion(converted)
+        print(f"  + {stage:<18} -> completes {clock_text(done)}")
+
+    speedup = pipeline.speedup_hours(converted)
+    print(f"\nfinal: {clock_text(pipeline.pipeline_completion())} -> "
+          f"{clock_text(pipeline.pipeline_completion(converted))}, "
+          f"{speedup:.0f} hours sooner (paper: 13 hours; "
+          "'10 to 24 hours' across cases)")
+
+
+if __name__ == "__main__":
+    main()

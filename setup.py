@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs cannot build. Keeping an explicit ``setup.py``
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Realtime Data Processing at Facebook' "
+        "(SIGMOD 2016): Scribe, Puma, Swift, Stylus, Laser, Scuba, and "
+        "Hive on a deterministic simulated cluster."
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,78 @@
+"""repro: a reproduction of "Realtime Data Processing at Facebook"
+(SIGMOD 2016).
+
+The package rebuilds the paper's whole ecosystem in Python on a
+deterministic simulated cluster:
+
+- :mod:`repro.scribe` — the persistent, replayable message bus;
+- :mod:`repro.puma` — SQL (PQL) stream apps with windowed aggregation;
+- :mod:`repro.swift` — checkpointed at-least-once delivery to clients;
+- :mod:`repro.stylus` — the procedural framework: every Table 8
+  semantics combination, local- and remote-DB state, monoid processors;
+- :mod:`repro.laser`, :mod:`repro.scuba`, :mod:`repro.hive` — the
+  serving / analytics / warehouse stores;
+- :mod:`repro.storage` — the LSM (RocksDB), HDFS, ZippyDB, and HBase
+  substrates;
+- :mod:`repro.core` — events, windows, watermarks, sharding, semantics,
+  DAG composition, and the design-decision registries (Tables 4 & 5);
+- :mod:`repro.backfill` — the same app code run over Hive via MapReduce;
+- :mod:`repro.apps` — the assembled trending (Figure 3) and Chorus
+  (Section 5.1) pipelines.
+
+Quickstart::
+
+    from repro import SimClock, ScribeStore, PumaService
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("events_stream", num_buckets=4)
+    service = PumaService(scribe, clock=clock)
+    app = service.deploy(PQL_SOURCE)
+    ...
+"""
+
+from repro.core.dag import Dag
+from repro.core.event import Event
+from repro.core.semantics import (
+    OutputSemantics,
+    SemanticsPolicy,
+    StateSemantics,
+)
+from repro.errors import ReproError
+from repro.laser.service import LaserService, LaserTable
+from repro.puma.service import PumaService
+from repro.runtime.clock import SimClock, WallClock
+from repro.runtime.cluster import Cluster
+from repro.runtime.scheduler import Scheduler
+from repro.scribe.reader import CategoryReader, ScribeReader
+from repro.scribe.store import ScribeStore
+from repro.scribe.writer import ScribeWriter
+from repro.scuba.table import ScubaTable
+from repro.stylus.engine import StylusJob, StylusTask
+from repro.swift.engine import SwiftApp
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CategoryReader",
+    "Cluster",
+    "Dag",
+    "Event",
+    "LaserService",
+    "LaserTable",
+    "OutputSemantics",
+    "PumaService",
+    "ReproError",
+    "Scheduler",
+    "ScribeReader",
+    "ScribeStore",
+    "ScribeWriter",
+    "ScubaTable",
+    "SemanticsPolicy",
+    "SimClock",
+    "StateSemantics",
+    "StylusJob",
+    "StylusTask",
+    "SwiftApp",
+    "WallClock",
+    "__version__",
+]

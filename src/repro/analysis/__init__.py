@@ -1,0 +1,15 @@
+"""Approximate analytics sketches.
+
+"Good approximate unique counts (computed with HyperLogLog) are often as
+actionable as exact numbers" (Section 6.5). Puma's ``approx_distinct``
+aggregation uses :class:`~repro.analysis.hll.HyperLogLog`; the Chorus
+example tracks trending topics with
+:class:`~repro.analysis.topk.SpaceSaving`. Both sketches are mergeable
+(monoids), so they compose with Puma/Stylus checkpointing and with
+map-side partial aggregation in backfill.
+"""
+
+from repro.analysis.hll import HyperLogLog
+from repro.analysis.topk import SpaceSaving
+
+__all__ = ["HyperLogLog", "SpaceSaving"]

@@ -1,0 +1,92 @@
+"""SpaceSaving: mergeable top-K / heavy-hitters sketch.
+
+Metwally et al.'s SpaceSaving algorithm with the standard merge: sum
+counters for shared keys, carry over the others, and re-truncate to
+capacity. Counts are upper bounds; ``error`` tracks the possible
+overestimate per key. Used by the Chorus trending pipeline to keep the
+top topics without holding every topic's counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+class SpaceSaving:
+    """Fixed-capacity counter set with guaranteed heavy-hitter coverage."""
+
+    def __init__(self, capacity: int = 100) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: dict[Hashable, float] = {}
+        self._errors: dict[Hashable, float] = {}
+        self.total = 0.0
+
+    def add(self, key: Hashable, weight: float = 1.0) -> None:
+        """Count ``key``; evict the current minimum when at capacity."""
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self.total += weight
+        if key in self._counts:
+            self._counts[key] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = weight
+            self._errors[key] = 0.0
+            return
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[key] = floor + weight
+        self._errors[key] = floor
+
+    def top(self, k: int) -> list[tuple[Hashable, float]]:
+        """The top-``k`` (key, estimated count) pairs, descending."""
+        ranked = sorted(self._counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        return ranked[:k]
+
+    def count(self, key: Hashable) -> float:
+        """The (upper-bound) count estimate for ``key``; 0 if untracked."""
+        return self._counts.get(key, 0.0)
+
+    def guaranteed(self, key: Hashable) -> float:
+        """A lower bound on the true count of ``key``."""
+        return self._counts.get(key, 0.0) - self._errors.get(key, 0.0)
+
+    # -- monoid structure -------------------------------------------------------
+
+    def merge(self, other: "SpaceSaving") -> "SpaceSaving":
+        """Combine two sketches (capacity = max of the two)."""
+        merged = SpaceSaving(max(self.capacity, other.capacity))
+        merged.total = self.total + other.total
+        counts: dict[Hashable, float] = dict(self._counts)
+        errors: dict[Hashable, float] = dict(self._errors)
+        for key, count in other._counts.items():
+            counts[key] = counts.get(key, 0.0) + count
+            errors[key] = errors.get(key, 0.0) + other._errors[key]
+        survivors = sorted(counts, key=lambda k: -counts[k])[:merged.capacity]
+        merged._counts = {key: counts[key] for key in survivors}
+        merged._errors = {key: errors[key] for key in survivors}
+        return merged
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "counts": {str(k): v for k, v in self._counts.items()},
+            "errors": {str(k): v for k, v in self._errors.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "SpaceSaving":
+        sketch = cls(state["capacity"])
+        sketch.total = state["total"]
+        sketch._counts = dict(state["counts"])
+        sketch._errors = dict(state["errors"])
+        return sketch
+
+    def __len__(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,30 @@
+"""Complete applications assembled from the platform components.
+
+These are the paper's worked examples as importable, testable code:
+the Figure 3 trending-events pipeline (:mod:`repro.apps.trending`) and
+the Section 5.1 Chorus pipeline (:mod:`repro.apps.chorus`). The example
+scripts under ``examples/`` and several benchmarks drive these.
+"""
+
+from repro.apps.chorus import ChorusPipeline
+from repro.apps.insights import MobileAnalyticsPipeline, PageInsightsPipeline
+from repro.apps.trending import (
+    ClassifierService,
+    FiltererProcessor,
+    JoinerProcessor,
+    RankerApp,
+    ScorerProcessor,
+    TrendingPipeline,
+)
+
+__all__ = [
+    "ChorusPipeline",
+    "ClassifierService",
+    "FiltererProcessor",
+    "JoinerProcessor",
+    "MobileAnalyticsPipeline",
+    "PageInsightsPipeline",
+    "RankerApp",
+    "ScorerProcessor",
+    "TrendingPipeline",
+]

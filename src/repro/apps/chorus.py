@@ -1,0 +1,225 @@
+"""The Chorus pipeline (paper Section 5.1).
+
+Chorus "transforms a stream of individual Facebook posts into
+aggregated, anonymized, and annotated visual summaries". The pipeline
+here mirrors the paper's structure — "a mix of Puma and Stylus apps,
+with lookup joins in Laser and both Hive and Scuba as sink data stores,
+all data transport via Scribe":
+
+1. a Puma filter app keeps posts with hashtags (the original pipeline
+   "had only one Puma app to filter posts");
+2. a Stylus monoid app aggregates per-window hashtag counts broken down
+   by demographic (age, gender, country), using a Laser lookup join for
+   country normalization;
+3. results flow to Scuba (realtime dashboards) and Hive (long-term);
+4. the query surface applies **k-anonymity suppression**: demographic
+   cells with fewer than ``k_anonymity`` posts are never revealed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analysis.topk import SpaceSaving
+from repro.core.dag import Dag
+from repro.core.event import Event
+from repro.core.windows import TumblingWindow
+from repro.laser.service import LaserTable
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.puma.app import PumaApp
+from repro.runtime.clock import Clock
+from repro.scribe.store import ScribeStore
+from repro.scuba.ingest import ScubaIngester
+from repro.scuba.table import ScubaTable
+from repro.storage.hbase import HBaseTable
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusJob
+from repro.stylus.processor import Output, StatefulProcessor
+
+FILTER_PQL = """
+CREATE APPLICATION chorus_filter;
+
+CREATE INPUT TABLE posts(
+    event_time,
+    post_id,
+    hashtag,
+    text,
+    age_bucket,
+    gender,
+    country
+)
+FROM SCRIBE("chorus_posts")
+TIME event_time;
+
+CREATE TABLE chorus_tagged AS
+SELECT event_time, post_id, hashtag, age_bucket, gender, country
+FROM posts
+WHERE contains(hashtag, '#');
+"""
+
+REGION_BY_COUNTRY = {
+    "US": "amer", "BR": "amer", "MX": "amer",
+    "GB": "emea", "DE": "emea",
+    "IN": "apac", "ID": "apac", "JP": "apac",
+}
+
+
+class ChorusAggregator(StatefulProcessor):
+    """Per-window hashtag counts with demographic breakdowns.
+
+    State: window_start -> {"topics": SpaceSaving-state,
+    "demo": {(hashtag, age, gender, region): count}}. The Laser lookup
+    join resolves country -> region (the paper's "identifying the topic
+    for a given hashtag" style of join).
+    """
+
+    def __init__(self, regions: LaserTable,
+                 window_seconds: float = 300.0,
+                 sketch_capacity: int = 50) -> None:
+        self.regions = regions
+        self.window = TumblingWindow(window_seconds)
+        self.sketch_capacity = sketch_capacity
+
+    def initial_state(self) -> dict[float, dict[str, Any]]:
+        return {}
+
+    def _window_state(self, state: dict, start: float) -> dict[str, Any]:
+        if start not in state:
+            state[start] = {
+                "topics": SpaceSaving(self.sketch_capacity).to_state(),
+                "demo": {},
+            }
+        return state[start]
+
+    def process(self, event: Event, state: dict) -> list[Output]:
+        start = self.window.window_containing(event.event_time).start
+        window_state = self._window_state(state, start)
+        hashtag = str(event["hashtag"])
+
+        sketch = SpaceSaving.from_state(window_state["topics"])
+        sketch.add(hashtag)
+        window_state["topics"] = sketch.to_state()
+
+        looked_up = self.regions.get(str(event.get("country")))
+        region = looked_up["region"] if looked_up else "unknown"
+        cell = "|".join((hashtag, str(event.get("age_bucket")),
+                         str(event.get("gender")), region))
+        window_state["demo"][cell] = window_state["demo"].get(cell, 0) + 1
+        return []
+
+    def on_checkpoint(self, state: dict, now: float) -> list[Output]:
+        """Emit the per-window top topics downstream (to Scuba/Hive)."""
+        outputs = []
+        for start, window_state in state.items():
+            sketch = SpaceSaving.from_state(window_state["topics"])
+            for rank, (hashtag, count) in enumerate(sketch.top(5)):
+                outputs.append(Output(
+                    {"event_time": now, "window_start": start,
+                     "hashtag": hashtag, "count": count, "rank": rank},
+                    key=hashtag,
+                ))
+        return outputs
+
+
+class ChorusPipeline:
+    """The assembled pipeline plus its anonymized query surface."""
+
+    def __init__(self, scribe: ScribeStore, clock: Clock | None = None,
+                 window_seconds: float = 300.0, k_anonymity: int = 10,
+                 num_buckets: int = 4) -> None:
+        self.scribe = scribe
+        self.k_anonymity = k_anonymity
+        self.window_seconds = window_seconds
+
+        scribe.ensure_category("chorus_posts", num_buckets)
+        scribe.ensure_category("chorus_summaries", 1)
+
+        # The Laser lookup-join table (country -> region).
+        self.regions = LaserTable("regions", ["country"], ["region"],
+                                  clock=clock)
+        for country, region in REGION_BY_COUNTRY.items():
+            self.regions.put_row({"country": country, "region": region})
+
+        # Stage 1: Puma filter.
+        self.filter_app = PumaApp(plan(parse(FILTER_PQL)), scribe,
+                                  HBaseTable("chorus_filter_state"),
+                                  clock=clock)
+
+        # Stage 2: Stylus aggregation (replacing "custom Python code",
+        # as the pipeline's evolution in the paper did).
+        self.aggregator = StylusJob.create(
+            "chorus_agg", scribe, "chorus_tagged",
+            lambda: ChorusAggregator(self.regions, window_seconds),
+            output_category="chorus_summaries", clock=clock,
+            checkpoint_policy=CheckpointPolicy(interval_seconds=60.0),
+        )
+
+        # Sinks: Scuba for realtime inspection of the summaries.
+        self.scuba_table = ScubaTable("chorus_summaries")
+        self.scuba_ingest = ScubaIngester(scribe, "chorus_summaries",
+                                          self.scuba_table)
+
+        self.dag = Dag("chorus")
+        self.dag.add(self.filter_app, reads=["chorus_posts"],
+                     writes=["chorus_tagged"])
+        self.dag.add(self.aggregator, reads=["chorus_tagged"],
+                     writes=["chorus_summaries"])
+        self.dag.add(self.scuba_ingest, reads=["chorus_summaries"])
+
+    def pump(self, max_messages: int = 10_000) -> int:
+        return self.dag.pump_once(max_messages)
+
+    def run_until_quiescent(self) -> int:
+        return self.dag.run_until_quiescent()
+
+    def checkpoint_all(self) -> None:
+        self.aggregator.checkpoint_now()
+
+    # -- the public, anonymized query surface ------------------------------------
+
+    def _merged_state(self) -> dict[float, dict[str, Any]]:
+        merged: dict[float, dict[str, Any]] = {}
+        for task in self.aggregator.tasks:
+            for start, window_state in (task.state or {}).items():
+                if start not in merged:
+                    merged[start] = {
+                        "topics": SpaceSaving(1).to_state(), "demo": {},
+                    }
+                merged[start]["topics"] = (
+                    SpaceSaving.from_state(merged[start]["topics"])
+                    .merge(SpaceSaving.from_state(window_state["topics"]))
+                    .to_state()
+                )
+                for cell, count in window_state["demo"].items():
+                    merged[start]["demo"][cell] = (
+                        merged[start]["demo"].get(cell, 0) + count
+                    )
+        return merged
+
+    def top_topics(self, window_start: float, k: int = 5
+                   ) -> list[tuple[str, float]]:
+        """'What are the top K topics being discussed right now?'"""
+        state = self._merged_state().get(window_start)
+        if state is None:
+            return []
+        return SpaceSaving.from_state(state["topics"]).top(k)
+
+    def demographic_breakdown(self, window_start: float, hashtag: str
+                              ) -> dict[str, int]:
+        """Anonymized demographics for one hashtag in one window.
+
+        Cells below the k-anonymity threshold are suppressed — the
+        aggregates must "not reveal any private information".
+        """
+        state = self._merged_state().get(window_start)
+        if state is None:
+            return {}
+        return {
+            cell.split("|", 1)[1]: count
+            for cell, count in state["demo"].items()
+            if cell.startswith(hashtag + "|") and count >= self.k_anonymity
+        }
+
+    def windows(self) -> list[float]:
+        return sorted(self._merged_state())

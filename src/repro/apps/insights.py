@@ -1,0 +1,183 @@
+"""The remaining Section 1 production use cases: page insights and
+mobile analytics.
+
+- **Page insights** "provide Facebook Page owners realtime information
+  about the likes, reach and engagement for each page post". Reach is a
+  distinct-viewer count — the HyperLogLog use the paper endorses
+  ("good approximate unique counts are often as actionable as exact
+  numbers", Section 6.5).
+- **Mobile analytics** pipelines give app developers realtime feedback
+  "to diagnose performance and correctness issues, such as the cold
+  start time and crash rate".
+
+Both are ordinary Puma apps; serving goes through the app's query API
+(thousands of queries per second) with optional publication to Laser
+(millions, Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.laser.service import LaserTable
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.runtime.clock import Clock
+from repro.scribe.store import ScribeStore
+from repro.storage.hbase import HBaseTable
+
+Row = dict[str, Any]
+
+PAGE_INSIGHTS_PQL = """
+CREATE APPLICATION page_insights;
+
+CREATE INPUT TABLE page_actions(
+    event_time, page, post, action, viewer
+)
+FROM SCRIBE("page_actions")
+TIME event_time;
+
+CREATE TABLE post_likes AS
+SELECT page, post, count(*) AS likes
+FROM page_actions [5 minutes]
+WHERE action = 'like';
+
+CREATE TABLE post_reach AS
+SELECT page, post, approx_distinct(viewer) AS reach
+FROM page_actions [5 minutes]
+WHERE action = 'view';
+
+CREATE TABLE post_engagement AS
+SELECT page, post, count(*) AS engagements
+FROM page_actions [5 minutes]
+WHERE action IN ('like', 'comment', 'share');
+"""
+
+MOBILE_ANALYTICS_PQL = """
+CREATE APPLICATION mobile_analytics;
+
+CREATE INPUT TABLE app_events(
+    event_time, app_version, kind, cold_start_ms
+)
+FROM SCRIBE("app_events")
+TIME event_time;
+
+CREATE TABLE cold_start AS
+SELECT app_version,
+       approx_percentile(cold_start_ms, 95, 25) AS p95_ms,
+       avg(cold_start_ms) AS mean_ms,
+       count(*) AS starts
+FROM app_events [5 minutes]
+WHERE kind = 'cold_start';
+
+CREATE TABLE crashes AS
+SELECT app_version, count(*) AS crashes
+FROM app_events [5 minutes]
+WHERE kind = 'crash';
+
+CREATE TABLE sessions AS
+SELECT app_version, count(*) AS sessions
+FROM app_events [5 minutes]
+WHERE kind = 'session_start';
+"""
+
+
+class PageInsightsPipeline:
+    """Realtime likes / reach / engagement per page post."""
+
+    def __init__(self, scribe: ScribeStore, clock: Clock | None = None,
+                 num_buckets: int = 4) -> None:
+        scribe.ensure_category("page_actions", num_buckets)
+        self.app = PumaApp(plan(parse(PAGE_INSIGHTS_PQL)), scribe,
+                           HBaseTable("page_insights_state"), clock=clock)
+
+    def pump(self, max_messages: int = 10_000) -> int:
+        return self.app.pump(max_messages)
+
+    def post_summary(self, page: str, post: str,
+                     window_start: float) -> Row:
+        """What the page owner's dashboard shows for one post."""
+        def value(table: str, metric: str) -> Any:
+            for row in self.app.query(table, window_start):
+                if row["page"] == page and row["post"] == post:
+                    return row[metric]
+            return 0
+
+        return {
+            "page": page,
+            "post": post,
+            "window_start": window_start,
+            "likes": value("post_likes", "likes"),
+            "reach": value("post_reach", "reach"),
+            "engagements": value("post_engagement", "engagements"),
+        }
+
+    def publish_to_laser(self, laser: LaserTable,
+                         window_start: float) -> int:
+        """Push the window's summaries to Laser for product queries."""
+        published = 0
+        posts = {
+            (row["page"], row["post"])
+            for table in ("post_likes", "post_reach", "post_engagement")
+            for row in self.app.query(table, window_start)
+        }
+        for page, post in sorted(posts):
+            laser.put_row(self.post_summary(page, post, window_start))
+            published += 1
+        return published
+
+
+class MobileAnalyticsPipeline:
+    """Cold-start percentiles and crash rates per app version."""
+
+    def __init__(self, scribe: ScribeStore, clock: Clock | None = None,
+                 num_buckets: int = 4) -> None:
+        scribe.ensure_category("app_events", num_buckets)
+        self.app = PumaApp(plan(parse(MOBILE_ANALYTICS_PQL)), scribe,
+                           HBaseTable("mobile_analytics_state"), clock=clock)
+
+    def pump(self, max_messages: int = 10_000) -> int:
+        return self.app.pump(max_messages)
+
+    def version_health(self, app_version: str, window_start: float) -> Row:
+        """The developer-facing health card for one app version."""
+        def row_for(table: str) -> Row | None:
+            for row in self.app.query(table, window_start):
+                if row["app_version"] == app_version:
+                    return row
+            return None
+
+        cold = row_for("cold_start")
+        crash_row = row_for("crashes")
+        session_row = row_for("sessions")
+        sessions = session_row["sessions"] if session_row else 0
+        crashes = crash_row["crashes"] if crash_row else 0
+        return {
+            "app_version": app_version,
+            "window_start": window_start,
+            "cold_start_p95_ms": cold["p95_ms"] if cold else None,
+            "cold_start_mean_ms": cold["mean_ms"] if cold else None,
+            "crash_rate": crashes / sessions if sessions else None,
+            "sessions": sessions,
+        }
+
+    def regressed_versions(self, window_start: float,
+                           p95_budget_ms: float = 800.0,
+                           crash_budget: float = 0.02) -> list[str]:
+        """Versions out of budget in the window — the paging signal."""
+        versions = {
+            row["app_version"]
+            for table in ("cold_start", "sessions")
+            for row in self.app.query(table, window_start)
+        }
+        bad = []
+        for version in sorted(versions):
+            health = self.version_health(version, window_start)
+            p95 = health["cold_start_p95_ms"]
+            crash_rate = health["crash_rate"]
+            if ((p95 is not None and p95 > p95_budget_ms)
+                    or (crash_rate is not None
+                        and crash_rate > crash_budget)):
+                bad.append(version)
+        return bad

@@ -1,0 +1,271 @@
+"""The Figure 3 trending-events pipeline.
+
+Four nodes connected by Scribe streams, exactly as in the paper:
+
+1. **Filterer** (stateless, could be Puma or Stylus): keeps events of
+   the interesting type and *shards its output on the dimension id* so
+   the Joiner's cache works well.
+2. **Joiner** (stateless Stylus; "Puma cannot do" the arbitrary-service
+   call): looks the dimension id up in Laser, classifies the event topic
+   by querying an external classifier service (with a local cache), and
+   *re-shards by (event, topic)*.
+3. **Scorer** (stateful Stylus): sliding-window counts per topic plus a
+   long-term trend (an exponentially weighted moving average); emits a
+   score per (event, topic) each checkpoint, re-sharded by topic.
+4. **Ranker** (Puma — the Figure 2 app): top-K scores per topic per
+   5-minute bucket, queryable; optionally published to Laser so products
+   query Laser at millisecond latency instead (Section 3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any
+
+from repro.core.dag import Dag
+from repro.core.event import Event
+from repro.laser.service import LaserTable
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.runtime.clock import Clock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.store import ScribeStore
+from repro.storage.hbase import HBaseTable
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusJob
+from repro.stylus.processor import Output, StatefulProcessor, StatelessProcessor
+from repro.workloads.events import TOPICS
+
+
+class ClassifierService:
+    """The external classification service the Joiner queries by RPC.
+
+    Real classification is out of scope; topic extraction is keyword
+    matching over a fixed topic list, but every call is counted so the
+    cache-effectiveness story (Section 3: sharded input -> better cache
+    hit rate -> fewer network calls) is measurable.
+    """
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def classify(self, text: str) -> str:
+        self.calls += 1
+        lowered = text.lower()
+        for topic in TOPICS:
+            if topic in lowered:
+                return topic
+        return "other"
+
+
+class FiltererProcessor(StatelessProcessor):
+    """Node 1: filter by event type, shard output by dimension id."""
+
+    def __init__(self, keep_type: str = "post") -> None:
+        self.keep_type = keep_type
+
+    def process(self, event: Event) -> list[Output]:
+        if event.get("event_type") != self.keep_type:
+            return []
+        record = event.to_record()
+        return [Output(record, key=str(event["dim_id"]))]
+
+
+class JoinerProcessor(StatelessProcessor):
+    """Node 2: Laser lookup join + classifier call, re-shard by topic.
+
+    ``cache_capacity`` bounds the local dimension cache (LRU). Because
+    the input is sharded by dim_id, each Joiner instance sees a small
+    slice of the dimension space and the cache hit rate is high.
+    """
+
+    def __init__(self, dimensions: LaserTable, classifier: ClassifierService,
+                 cache_capacity: int = 128) -> None:
+        self.dimensions = dimensions
+        self.classifier = classifier
+        self.cache_capacity = cache_capacity
+        self._cache: OrderedDict[str, dict[str, Any] | None] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _lookup(self, dim_id: str) -> dict[str, Any] | None:
+        if dim_id in self._cache:
+            self.cache_hits += 1
+            self._cache.move_to_end(dim_id)
+            return self._cache[dim_id]
+        self.cache_misses += 1
+        row = self.dimensions.get(dim_id)
+        self._cache[dim_id] = row
+        if len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+        return row
+
+    def process(self, event: Event) -> list[Output]:
+        dim = self._lookup(str(event["dim_id"]))
+        topic = self.classifier.classify(str(event.get("text", "")))
+        record = event.to_record()
+        record["language"] = dim.get("language") if dim else None
+        record["country"] = dim.get("country") if dim else None
+        record["topic"] = topic
+        # Re-shard by the (event, topic) pair for parallel scoring.
+        key = f"{record.get('event_type')}:{topic}"
+        return [Output(record, key=key)]
+
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+class ScorerProcessor(StatefulProcessor):
+    """Node 3: short-term window counts vs. a long-term trend.
+
+    State per topic: a deque of (event_time, count) minute sub-buckets
+    for the sliding window, plus an EWMA of per-window counts as the
+    long-term trend. The emitted score is the ratio of current activity
+    to trend — high when a topic is unusually busy, i.e. *trending*.
+    """
+
+    def __init__(self, window_seconds: float = 300.0,
+                 trend_decay: float = 0.8) -> None:
+        self.window_seconds = window_seconds
+        self.trend_decay = trend_decay
+
+    def initial_state(self) -> dict[str, Any]:
+        return {"windows": {}, "trend": {}, "last_emit": 0.0}
+
+    def process(self, event: Event, state: dict[str, Any]) -> list[Output]:
+        topic = str(event.get("topic", "other"))
+        buckets = state["windows"].setdefault(topic, deque())
+        minute = int(event.event_time // 60)
+        if buckets and buckets[-1][0] == minute:
+            buckets[-1][1] += 1
+        else:
+            buckets.append([minute, 1])
+        return []
+
+    def _window_count(self, buckets: deque, now: float) -> int:
+        horizon = (now - self.window_seconds) / 60.0
+        while buckets and buckets[0][0] < horizon:
+            buckets.popleft()
+        return sum(count for _, count in buckets)
+
+    def on_checkpoint(self, state: dict[str, Any], now: float) -> list[Output]:
+        outputs = []
+        for topic, buckets in state["windows"].items():
+            current = self._window_count(buckets, now)
+            trend = state["trend"].get(topic, 0.0)
+            score = current / (trend + 1.0)
+            state["trend"][topic] = (self.trend_decay * trend
+                                     + (1 - self.trend_decay) * current)
+            outputs.append(Output(
+                {"event_time": now, "event": topic, "category": "topics",
+                 "score": round(score, 4)},
+                key=topic,
+            ))
+        state["last_emit"] = now
+        return outputs
+
+
+#: The Figure 2 Puma app, verbatim, acting as the Ranker (Section 3:
+#: "The example Puma app in Figure 2 contains code for the Ranker").
+RANKER_PQL = """
+CREATE APPLICATION top_events;
+
+CREATE INPUT TABLE events_score(
+    event_time,
+    event,
+    category,
+    score
+)
+FROM SCRIBE("events_stream")
+TIME event_time;
+
+CREATE TABLE top_events_5min AS
+SELECT
+    category,
+    event,
+    topk(score) AS score
+FROM
+    events_score [5 minutes];
+"""
+
+
+class RankerApp(PumaApp):
+    """Node 4: the Figure 2 app bound to the scorer's output category."""
+
+    def __init__(self, scribe: ScribeStore, input_category: str,
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        source = RANKER_PQL.replace("events_stream", input_category)
+        super().__init__(plan(parse(source)), scribe,
+                         HBaseTable("ranker_state"), clock=clock,
+                         metrics=metrics)
+
+    def top_events(self, k: int = 5,
+                   window_start: float | None = None) -> list[dict[str, Any]]:
+        """The consumer-service query: top K events per topic bucket."""
+        return self.query_top_k("top_events_5min", "score", k, window_start)
+
+
+class TrendingPipeline:
+    """The assembled four-node DAG over Scribe."""
+
+    def __init__(self, scribe: ScribeStore, dimensions: LaserTable,
+                 clock: Clock | None = None, num_buckets: int = 4,
+                 checkpoint_interval: float = 10.0) -> None:
+        self.scribe = scribe
+        self.classifier = ClassifierService()
+
+        scribe.ensure_category("trend_input", num_buckets)
+        scribe.ensure_category("trend_filtered", num_buckets)
+        scribe.ensure_category("trend_joined", num_buckets)
+        scribe.ensure_category("trend_scored", num_buckets)
+
+        policy = CheckpointPolicy(interval_seconds=checkpoint_interval)
+        self.filterer = StylusJob.create(
+            "filterer", scribe, "trend_input",
+            FiltererProcessor,
+            output_category="trend_filtered", clock=clock,
+            checkpoint_policy=policy,
+        )
+        self.joiner = StylusJob.create(
+            "joiner", scribe, "trend_filtered",
+            lambda: JoinerProcessor(dimensions, self.classifier),
+            output_category="trend_joined", clock=clock,
+            checkpoint_policy=policy,
+        )
+        self.scorer = StylusJob.create(
+            "scorer", scribe, "trend_joined",
+            ScorerProcessor,
+            output_category="trend_scored", clock=clock,
+            checkpoint_policy=policy,
+        )
+        self.ranker = RankerApp(scribe, "trend_scored", clock=clock)
+
+        self.dag = Dag("trending")
+        self.dag.add(self.filterer, reads=["trend_input"],
+                     writes=["trend_filtered"])
+        self.dag.add(self.joiner, reads=["trend_filtered"],
+                     writes=["trend_joined"])
+        self.dag.add(self.scorer, reads=["trend_joined"],
+                     writes=["trend_scored"])
+        self.dag.add(self.ranker, reads=["trend_scored"])
+
+    def pump(self, max_messages: int = 10_000) -> int:
+        return self.dag.pump_once(max_messages)
+
+    def run_until_quiescent(self) -> int:
+        return self.dag.run_until_quiescent()
+
+    def checkpoint_all(self) -> None:
+        """Force every Stylus node to checkpoint (flushes scorer output)."""
+        self.filterer.checkpoint_now()
+        self.joiner.checkpoint_now()
+        self.scorer.checkpoint_now()
+
+    def joiner_cache_hit_rate(self) -> float:
+        processors = [task.processor for task in self.joiner.tasks]
+        hits = sum(p.cache_hits for p in processors)
+        misses = sum(p.cache_misses for p in processors)
+        return hits / (hits + misses) if hits + misses else 0.0

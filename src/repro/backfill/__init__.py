@@ -1,0 +1,25 @@
+"""Backfill: run stream-application code in the batch environment.
+
+The paper's reprocessing decision (Section 4.5) is "develop stream
+processing systems that can also run in a batch environment" — the same
+application code, two runtimes. This package runs Stylus processors
+(:mod:`repro.backfill.runner`) and Puma apps
+(:mod:`repro.puma.hive_udf`) over Hive partitions via the MapReduce
+framework, and provides the hybrid realtime/batch pipeline scheduler of
+Section 5.3.
+"""
+
+from repro.backfill.hybrid import HybridPipeline, PipelineStage
+from repro.backfill.runner import (
+    run_monoid_backfill,
+    run_stateful_backfill,
+    run_stateless_backfill,
+)
+
+__all__ = [
+    "HybridPipeline",
+    "PipelineStage",
+    "run_monoid_backfill",
+    "run_stateful_backfill",
+    "run_stateless_backfill",
+]

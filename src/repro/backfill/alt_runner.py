@@ -1,0 +1,111 @@
+"""Backfill on the alternative (Spark-style) batch runtime.
+
+The same three Stylus processor shapes as :mod:`repro.backfill.runner`,
+executed on :class:`repro.batch.dataset.Dataset` instead of MapReduce.
+Results must be identical (and the equivalence tests assert they are);
+what differs is the execution profile — stages, shuffled records — which
+:func:`compare_runtimes` reports, standing in for the paper's planned
+Spark/Flink evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.batch.dataset import DatasetContext
+from repro.core.event import Event
+from repro.stylus.processor import (
+    MonoidProcessor,
+    StatefulProcessor,
+    StatelessProcessor,
+)
+
+Row = dict[str, Any]
+
+
+def run_stateless_backfill_dataset(processor: StatelessProcessor,
+                                   rows: Iterable[Row],
+                                   context: DatasetContext | None = None,
+                                   time_field: str = "event_time"
+                                   ) -> list[Row]:
+    """Stateless processors are a pure flat_map — one narrow stage."""
+    context = context or DatasetContext()
+    return (
+        context.parallelize(rows)
+        .flat_map(lambda row: [
+            output.record
+            for output in processor.process(Event.from_record(row,
+                                                              time_field))
+        ])
+        .collect()
+    )
+
+
+def run_monoid_backfill_dataset(processor: MonoidProcessor,
+                                rows: Iterable[Row],
+                                context: DatasetContext | None = None,
+                                time_field: str = "event_time"
+                                ) -> dict[str, Any]:
+    """Monoid processors are flat_map + reduce_by_key with map-side
+    combining — exactly the partial-aggregation optimization."""
+    context = context or DatasetContext()
+    operator = processor.merge_operator()
+    return (
+        context.parallelize(rows)
+        .flat_map(lambda row: processor.extract(
+            Event.from_record(row, time_field)))
+        .reduce_by_key(operator.merge)
+        .collect_as_map()
+    )
+
+
+def run_stateful_backfill_dataset(
+        processor_factory: Callable[[], StatefulProcessor],
+        rows: Iterable[Row],
+        key_fn: Callable[[Row], Any],
+        context: DatasetContext | None = None,
+        time_field: str = "event_time") -> dict[Any, Any]:
+    """General stateful processors group by key, sort by event time, and
+    fold — a shuffle stage followed by a narrow fold."""
+    context = context or DatasetContext()
+
+    def fold(item: tuple[Any, list[Row]]) -> tuple[Any, Any]:
+        key, group = item
+        processor = processor_factory()
+        state = processor.initial_state()
+        for row in sorted(group, key=lambda r: r[time_field]):
+            processor.process(Event.from_record(row, time_field), state)
+        return key, state
+
+    return (
+        context.parallelize(rows)
+        .key_by(key_fn)
+        .group_by_key()
+        .map(fold)
+        .collect_as_map()
+    )
+
+
+@dataclass(frozen=True)
+class RuntimeComparison:
+    """Execution profile of one backfill on the dataset runtime."""
+
+    results_equal: bool
+    dataset_stages: int
+    dataset_shuffled_records: int
+    dataset_tasks: int
+
+
+def compare_runtimes(processor: MonoidProcessor, rows: list[Row],
+                     mapreduce_result: dict[str, Any]) -> RuntimeComparison:
+    """Run the monoid backfill on the dataset engine and compare."""
+    context = DatasetContext()
+    context.stats.reset()
+    dataset_result = run_monoid_backfill_dataset(processor, rows, context)
+    return RuntimeComparison(
+        results_equal=(dataset_result == mapreduce_result),
+        dataset_stages=context.stats.stages,
+        dataset_shuffled_records=context.stats.shuffled_records,
+        dataset_tasks=context.stats.tasks,
+    )

@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against.
+
+The data-transfer decision (Section 4.2) contrasts Scribe's persistent
+message bus with direct (RPC) transfer as used by MillWheel, Flink,
+Spark Streaming, and Storm: "In a tightly coupled system, back pressure
+is propagated upstream and the peak processing throughput is determined
+by the slowest node in the DAG." :mod:`repro.baselines.rpc_engine`
+implements that tightly-coupled model so the claim is measurable.
+"""
+
+from repro.baselines.rpc_engine import (
+    DecoupledPipelineModel,
+    PipelineResult,
+    RpcPipelineModel,
+    StageSpec,
+)
+
+__all__ = [
+    "DecoupledPipelineModel",
+    "PipelineResult",
+    "RpcPipelineModel",
+    "StageSpec",
+]

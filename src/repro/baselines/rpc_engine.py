@@ -1,0 +1,176 @@
+"""Tightly-coupled (RPC) versus decoupled (persistent bus) pipelines.
+
+Both models run the same stage chain over the same event arrivals and
+report per-stage completion times, so the Section 4.2.2 claims become
+measurements:
+
+- **RPC** (:class:`RpcPipelineModel`): stages hand events directly to
+  the next stage through a bounded in-memory queue. A full queue blocks
+  the upstream stage (back pressure), so the whole chain runs at the
+  slowest stage's rate; a stage outage stalls everything.
+- **Decoupled** (:class:`DecoupledPipelineModel`): stages read from and
+  write to a persistent bus. A slow or dead stage lags on its own; every
+  other stage keeps its full throughput, and a restarted stage catches
+  up from where it left off.
+
+The simulation is the standard tandem-queue recurrence with
+blocking-after-service: event ``i`` departs stage ``j`` at
+
+    d[j][i] = max(d[j-1][i], d[j][i-1], d[j+1][i - capacity]) + service_j
+
+(the third term is the back-pressure coupling; it is dropped in the
+decoupled model). Stage outages add a hold: a stage does no work inside
+its outage window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One processing stage.
+
+    ``service_seconds`` is the per-event processing time; ``outages`` are
+    [start, end) windows during which the stage does no work (a crashed
+    process before its replacement picks up).
+    """
+
+    name: str
+    service_seconds: float
+    outages: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.service_seconds <= 0:
+            raise ConfigError(f"stage {self.name!r} needs positive service time")
+        for start, end in self.outages:
+            if end <= start:
+                raise ConfigError(f"stage {self.name!r} has an empty outage")
+
+    def next_available(self, when: float) -> float:
+        """The earliest time >= ``when`` the stage can start work."""
+        current = when
+        for start, end in sorted(self.outages):
+            if start <= current < end:
+                current = end
+        return current
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one simulated run."""
+
+    stage_names: list[str]
+    events: int
+    #: per-stage departure time of the last event
+    stage_finish: dict[str, float] = field(default_factory=dict)
+    #: per-stage achieved throughput (events / its own busy span)
+    stage_throughput: dict[str, float] = field(default_factory=dict)
+    #: departure time of every event from the final stage
+    final_departures: list[float] = field(default_factory=list)
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.final_departures[-1] if self.final_departures else 0.0
+
+    @property
+    def pipeline_throughput(self) -> float:
+        """Events per second through the full chain."""
+        elapsed = self.end_to_end_seconds
+        return self.events / elapsed if elapsed > 0 else 0.0
+
+    def source_drain_seconds(self) -> float:
+        """When the *first* stage finished — how long the source was held."""
+        return self.stage_finish[self.stage_names[0]]
+
+
+def _arrivals(events: int, rate: float) -> list[float]:
+    if rate <= 0:
+        raise ConfigError("arrival rate must be positive")
+    return [i / rate for i in range(events)]
+
+
+class RpcPipelineModel:
+    """Direct transfer with bounded queues and back pressure."""
+
+    def __init__(self, stages: list[StageSpec],
+                 queue_capacity: int = 100) -> None:
+        if not stages:
+            raise ConfigError("need at least one stage")
+        if queue_capacity < 1:
+            raise ConfigError("queue capacity must be >= 1")
+        self.stages = stages
+        self.queue_capacity = queue_capacity
+
+    def run(self, events: int, arrival_rate: float) -> PipelineResult:
+        arrivals = _arrivals(events, arrival_rate)
+        num_stages = len(self.stages)
+        capacity = self.queue_capacity
+        # depart[j][i]: when event i leaves stage j. Two rolling rows per
+        # stage would do, but the full matrix keeps the blocking term easy.
+        depart = [[0.0] * events for _ in range(num_stages)]
+        for i in range(events):
+            for j, stage in enumerate(self.stages):
+                ready = arrivals[i] if j == 0 else depart[j - 1][i]
+                if i > 0:
+                    ready = max(ready, depart[j][i - 1])
+                start = stage.next_available(ready)
+                finish = start + stage.service_seconds
+                depart[j][i] = finish
+            # Back pressure: event i cannot leave stage j while stage j+1
+            # still holds event i - capacity. Propagate right to left.
+            for j in range(num_stages - 2, -1, -1):
+                if i >= capacity:
+                    blocked_until = depart[j + 1][i - capacity]
+                    if depart[j][i] < blocked_until:
+                        depart[j][i] = blocked_until
+        return _summarize(self.stages, arrivals, depart)
+
+
+class DecoupledPipelineModel:
+    """Persistent-bus transfer: stages never block each other.
+
+    ``bus_delay`` models Scribe's per-hop delivery latency ("a minimum
+    latency of about a second per stream").
+    """
+
+    def __init__(self, stages: list[StageSpec], bus_delay: float = 1.0) -> None:
+        if not stages:
+            raise ConfigError("need at least one stage")
+        if bus_delay < 0:
+            raise ConfigError("bus delay must be >= 0")
+        self.stages = stages
+        self.bus_delay = bus_delay
+
+    def run(self, events: int, arrival_rate: float) -> PipelineResult:
+        arrivals = _arrivals(events, arrival_rate)
+        num_stages = len(self.stages)
+        depart = [[0.0] * events for _ in range(num_stages)]
+        for j, stage in enumerate(self.stages):
+            previous_finish = 0.0
+            for i in range(events):
+                ready = (arrivals[i] if j == 0
+                         else depart[j - 1][i]) + self.bus_delay
+                ready = max(ready, previous_finish)
+                start = stage.next_available(ready)
+                finish = start + stage.service_seconds
+                depart[j][i] = finish
+                previous_finish = finish
+        return _summarize(self.stages, arrivals, depart)
+
+
+def _summarize(stages: list[StageSpec], arrivals: list[float],
+               depart: list[list[float]]) -> PipelineResult:
+    events = len(arrivals)
+    result = PipelineResult([s.name for s in stages], events)
+    for j, stage in enumerate(stages):
+        finish = depart[j][-1]
+        result.stage_finish[stage.name] = finish
+        first_start = depart[j][0] - stage.service_seconds
+        span = finish - min(first_start, arrivals[0])
+        result.stage_throughput[stage.name] = events / span if span > 0 else 0.0
+    result.final_departures = list(depart[-1])
+    return result

@@ -1,0 +1,15 @@
+"""An alternative batch runtime for backfill (paper Section 7).
+
+"We are also considering alternate runtime environments for running
+stream processing backfill jobs. Today, they run in Hive. We plan to
+evaluate Spark and Flink." This package is that evaluation substrate: a
+Spark-style **dataset engine** — lazy, lineage-based, partitioned
+transformations with narrow/wide dependencies and shuffle stages — plus
+backfill runners that execute the *same* Stylus processors on it, so the
+two batch runtimes can be compared like-for-like
+(:mod:`repro.backfill.alt_runner`).
+"""
+
+from repro.batch.dataset import Dataset, DatasetContext
+
+__all__ = ["Dataset", "DatasetContext"]

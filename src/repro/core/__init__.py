@@ -1,0 +1,56 @@
+"""Core stream-processing abstractions shared by Puma, Swift, and Stylus.
+
+This package is the paper's primary contribution in library form: the
+event model, windowing, watermark estimation, sharding, the state/output
+semantics lattice (Section 4.3), the design-decision registries behind
+Tables 4 and 5, the resource cost model used by the throughput
+experiments, and DAG composition of heterogeneous processors over Scribe.
+"""
+
+from repro.core.costs import CostModel, ResourceTimeline
+from repro.core.dag import Dag, DagNode
+from repro.core.decisions import (
+    DECISION_MATRIX,
+    SYSTEM_DECISIONS,
+    DesignDecision,
+    Quality,
+    decision_matrix_rows,
+    system_decision_rows,
+)
+from repro.core.event import Event
+from repro.core.semantics import (
+    OutputSemantics,
+    SemanticsPolicy,
+    StateSemantics,
+    common_combinations,
+    is_common_combination,
+)
+from repro.core.sharding import Resharder, ShardAssignment, shard_for_key
+from repro.core.watermark import WatermarkEstimator
+from repro.core.windows import SlidingWindow, TumblingWindow, WindowAssigner
+
+__all__ = [
+    "CostModel",
+    "DECISION_MATRIX",
+    "Dag",
+    "DagNode",
+    "DesignDecision",
+    "Event",
+    "OutputSemantics",
+    "Quality",
+    "Resharder",
+    "ResourceTimeline",
+    "SemanticsPolicy",
+    "ShardAssignment",
+    "SlidingWindow",
+    "StateSemantics",
+    "SYSTEM_DECISIONS",
+    "TumblingWindow",
+    "WatermarkEstimator",
+    "WindowAssigner",
+    "common_combinations",
+    "decision_matrix_rows",
+    "is_common_combination",
+    "shard_for_key",
+    "system_decision_rows",
+]

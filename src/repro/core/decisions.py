@@ -1,0 +1,134 @@
+"""The design-decision registries behind the paper's Tables 4 and 5.
+
+Table 4 ("Figure 4") maps each of the five design decisions to the data
+quality attributes it affects. Table 5 ("Figure 5") records the choice
+each surveyed system made for each decision. Both are reproduced as
+queryable data, and the table benchmarks render them row-for-row.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DesignDecision(enum.Enum):
+    """The five decisions of Section 4."""
+
+    LANGUAGE_PARADIGM = "Language paradigm"
+    DATA_TRANSFER = "Data transfer"
+    PROCESSING_SEMANTICS = "Processing semantics"
+    STATE_SAVING_MECHANISM = "State-saving mechanism"
+    REPROCESSING = "Reprocessing"
+
+
+class Quality(enum.Enum):
+    """The quality attributes of the introduction."""
+
+    EASE_OF_USE = "Ease of use"
+    PERFORMANCE = "Performance"
+    FAULT_TOLERANCE = "Fault tolerance"
+    SCALABILITY = "Scalability"
+    CORRECTNESS = "Correctness"
+
+
+# Figure 4: which decision affects which qualities.
+DECISION_MATRIX: dict[DesignDecision, frozenset[Quality]] = {
+    DesignDecision.LANGUAGE_PARADIGM: frozenset({
+        Quality.EASE_OF_USE, Quality.PERFORMANCE,
+    }),
+    DesignDecision.DATA_TRANSFER: frozenset({
+        Quality.EASE_OF_USE, Quality.PERFORMANCE,
+        Quality.FAULT_TOLERANCE, Quality.SCALABILITY,
+    }),
+    DesignDecision.PROCESSING_SEMANTICS: frozenset({
+        Quality.FAULT_TOLERANCE, Quality.CORRECTNESS,
+    }),
+    DesignDecision.STATE_SAVING_MECHANISM: frozenset({
+        Quality.EASE_OF_USE, Quality.PERFORMANCE,
+        Quality.FAULT_TOLERANCE, Quality.SCALABILITY, Quality.CORRECTNESS,
+    }),
+    DesignDecision.REPROCESSING: frozenset({
+        Quality.EASE_OF_USE, Quality.SCALABILITY, Quality.CORRECTNESS,
+    }),
+}
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One column of Figure 5: the choices a system made."""
+
+    name: str
+    language: str
+    data_transfer: str
+    processing_semantics: tuple[str, ...]
+    state_saving: str
+    reprocessing: str
+
+
+# Figure 5, column by column.
+SYSTEM_DECISIONS: dict[str, SystemProfile] = {
+    profile.name: profile
+    for profile in (
+        SystemProfile("Puma", "SQL", "Scribe",
+                      ("at least",), "remote DB", "same code"),
+        SystemProfile("Stylus", "C++", "Scribe",
+                      ("at least", "at most", "exactly"),
+                      "local DB, remote DB", "same code"),
+        SystemProfile("Swift", "Python", "Scribe",
+                      ("at least",), "limited", "no batch"),
+        SystemProfile("Storm", "Java", "RPC",
+                      ("at least", "at most"), "", "same DSL"),
+        SystemProfile("Heron", "Java", "Stream Manager",
+                      ("at least", "at most"), "", "same DSL"),
+        SystemProfile("Spark Streaming", "Functional", "RPC",
+                      ("best effort", "exactly"), "remote DB", "same code"),
+        SystemProfile("Millwheel", "C++", "RPC",
+                      ("at least", "exactly"), "remote DB", "same code"),
+        SystemProfile("Flink", "Functional", "RPC",
+                      ("at least", "exactly"), "global snapshot", "same code"),
+        SystemProfile("Samza", "Java", "Kafka",
+                      ("at least",), "local DB", "no batch"),
+    )
+}
+
+
+def decision_matrix_rows() -> list[tuple[str, list[str]]]:
+    """Figure 4 as printable rows: (decision, affected qualities in order)."""
+    quality_order = [Quality.EASE_OF_USE, Quality.PERFORMANCE,
+                     Quality.FAULT_TOLERANCE, Quality.SCALABILITY,
+                     Quality.CORRECTNESS]
+    rows = []
+    for decision in DesignDecision:
+        affected = DECISION_MATRIX[decision]
+        rows.append((
+            decision.value,
+            [quality.value for quality in quality_order if quality in affected],
+        ))
+    return rows
+
+
+def system_decision_rows() -> list[tuple[str, str, str, str, str, str]]:
+    """Figure 5 as printable rows, one per system, in paper column order."""
+    column_order = ["Puma", "Stylus", "Swift", "Storm", "Heron",
+                    "Spark Streaming", "Millwheel", "Flink", "Samza"]
+    rows = []
+    for name in column_order:
+        profile = SYSTEM_DECISIONS[name]
+        rows.append((
+            profile.name,
+            profile.language,
+            profile.data_transfer,
+            ", ".join(profile.processing_semantics),
+            profile.state_saving,
+            profile.reprocessing,
+        ))
+    return rows
+
+
+def systems_using(data_transfer: str) -> list[str]:
+    """Which surveyed systems chose a given data-transfer mechanism."""
+    return sorted(
+        profile.name for profile in SYSTEM_DECISIONS.values()
+        if profile.data_transfer == data_transfer
+    )

@@ -1,0 +1,64 @@
+"""The event model.
+
+Processors handle :class:`Event` objects: a required **event time** (when
+the thing happened, as opposed to when the bus delivered it — the paper's
+Section 2.4 requires the application writer to identify this field) plus
+arbitrary named fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ProcessingError
+from repro.scribe.message import Message
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable event: ``event_time`` plus named fields."""
+
+    event_time: float
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise ProcessingError(f"event has no field {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def with_fields(self, **updates: Any) -> "Event":
+        """Return a copy with fields added or replaced."""
+        merged = dict(self.fields)
+        merged.update(updates)
+        return Event(self.event_time, merged)
+
+    def to_record(self) -> dict[str, Any]:
+        """Flatten into a serializable record for Scribe."""
+        record = dict(self.fields)
+        record["event_time"] = self.event_time
+        return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any],
+                    time_field: str = "event_time") -> "Event":
+        """Build an event from a decoded record; ``time_field`` is required."""
+        if time_field not in record:
+            raise ProcessingError(
+                f"record is missing the event-time field {time_field!r}"
+            )
+        fields = {k: v for k, v in record.items() if k != time_field}
+        return cls(float(record[time_field]), fields)
+
+    @classmethod
+    def from_message(cls, message: Message,
+                     time_field: str = "event_time") -> "Event":
+        """Deserialize a Scribe message into an event."""
+        return cls.from_record(message.decode(), time_field)

@@ -1,0 +1,130 @@
+"""Processing semantics: the state x output lattice of Section 4.3.
+
+A stream processor does three activities — process input, generate
+output, save checkpoints — and *the order in which the offset, the
+in-memory state, and the output are saved* determines its semantics:
+
+====================  =========================================
+State semantics       Checkpoint ordering
+====================  =========================================
+at-least-once         save state, then save offset
+at-most-once          save offset, then save state
+exactly-once          save state and offset atomically
+====================  =========================================
+
+====================  =========================================
+Output semantics      Output ordering relative to the checkpoint
+====================  =========================================
+at-least-once         emit output, then checkpoint
+at-most-once          checkpoint, then emit output
+exactly-once          emit atomically with the checkpoint
+====================  =========================================
+
+Table 8 of the paper lists which combinations occur in practice;
+:func:`common_combinations` reproduces it, and the Stylus engine accepts
+exactly those policies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SemanticsError
+
+
+class StateSemantics(enum.Enum):
+    """How many times each input event may count in the state."""
+
+    AT_LEAST_ONCE = "at-least-once"
+    AT_MOST_ONCE = "at-most-once"
+    EXACTLY_ONCE = "exactly-once"
+
+
+class OutputSemantics(enum.Enum):
+    """How many times a given output value may appear downstream."""
+
+    AT_LEAST_ONCE = "at-least-once"
+    AT_MOST_ONCE = "at-most-once"
+    EXACTLY_ONCE = "exactly-once"
+
+
+# Table 8: the combinations marked with an X in the paper.
+_COMMON: frozenset[tuple[StateSemantics, OutputSemantics]] = frozenset({
+    (StateSemantics.AT_LEAST_ONCE, OutputSemantics.AT_LEAST_ONCE),
+    (StateSemantics.AT_MOST_ONCE, OutputSemantics.AT_LEAST_ONCE),
+    (StateSemantics.AT_LEAST_ONCE, OutputSemantics.AT_MOST_ONCE),
+    (StateSemantics.AT_MOST_ONCE, OutputSemantics.AT_MOST_ONCE),
+    (StateSemantics.EXACTLY_ONCE, OutputSemantics.EXACTLY_ONCE),
+})
+
+
+def common_combinations() -> list[tuple[StateSemantics, OutputSemantics]]:
+    """The Table 8 combinations, in a stable display order."""
+    order_state = [StateSemantics.AT_LEAST_ONCE, StateSemantics.AT_MOST_ONCE,
+                   StateSemantics.EXACTLY_ONCE]
+    order_output = [OutputSemantics.AT_LEAST_ONCE,
+                    OutputSemantics.AT_MOST_ONCE,
+                    OutputSemantics.EXACTLY_ONCE]
+    return [
+        (state, output)
+        for output in order_output
+        for state in order_state
+        if (state, output) in _COMMON
+    ]
+
+
+def is_common_combination(state: StateSemantics,
+                          output: OutputSemantics) -> bool:
+    return (state, output) in _COMMON
+
+
+@dataclass(frozen=True)
+class SemanticsPolicy:
+    """A validated (state, output) semantics pair for a stateful processor.
+
+    Exactly-once on either axis requires the other to match: mixing
+    exactly-once with weaker semantics is not one of the paper's
+    supported combinations (Table 8), and the engine rejects it.
+    """
+
+    state: StateSemantics
+    output: OutputSemantics
+
+    def __post_init__(self) -> None:
+        if not is_common_combination(self.state, self.output):
+            raise SemanticsError(
+                f"unsupported combination: state={self.state.value}, "
+                f"output={self.output.value} (see paper Table 8)"
+            )
+
+    @property
+    def transactional(self) -> bool:
+        """True if the checkpoint must be a distributed transaction."""
+        return self.state == StateSemantics.EXACTLY_ONCE
+
+    @property
+    def emits_before_checkpoint(self) -> bool:
+        return self.output == OutputSemantics.AT_LEAST_ONCE
+
+    @property
+    def emits_after_checkpoint(self) -> bool:
+        return self.output == OutputSemantics.AT_MOST_ONCE
+
+    @classmethod
+    def at_least_once(cls) -> "SemanticsPolicy":
+        """Low latency, duplicates possible (Puma's guarantee)."""
+        return cls(StateSemantics.AT_LEAST_ONCE, OutputSemantics.AT_LEAST_ONCE)
+
+    @classmethod
+    def at_most_once(cls) -> "SemanticsPolicy":
+        """Loss preferred over duplication (the Scuba ingest choice)."""
+        return cls(StateSemantics.AT_MOST_ONCE, OutputSemantics.AT_MOST_ONCE)
+
+    @classmethod
+    def exactly_once(cls) -> "SemanticsPolicy":
+        """Transactional: requires a data-store receiver, extra latency."""
+        return cls(StateSemantics.EXACTLY_ONCE, OutputSemantics.EXACTLY_ONCE)
+
+    def describe(self) -> str:
+        return f"state={self.state.value}/output={self.output.value}"

@@ -1,0 +1,98 @@
+"""Sharding and resharding.
+
+Applications parallelize by sending different Scribe buckets to different
+processes (Section 2.1), and re-shard between DAG nodes by writing their
+output with a different shard key (Figure 3: the Filterer shards by
+dimension id, the Joiner re-shards by (event, topic) pair).
+
+This module centralizes the key -> bucket mapping, the process -> bucket
+assignment, and the planning of a reshard when the bucket count changes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def shard_for_key(key: str, num_shards: int) -> int:
+    """Stable hash partitioning (crc32, not PYTHONHASHSEED-sensitive)."""
+    if num_shards < 1:
+        raise ConfigError("num_shards must be >= 1")
+    return zlib.crc32(key.encode("utf-8")) % num_shards
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """Which buckets each of ``num_processes`` processes consumes.
+
+    Buckets are dealt round-robin, so the assignment is balanced to
+    within one bucket and stable for a given (buckets, processes) pair.
+    """
+
+    num_buckets: int
+    num_processes: int
+
+    def __post_init__(self) -> None:
+        if self.num_buckets < 1 or self.num_processes < 1:
+            raise ConfigError("buckets and processes must be >= 1")
+
+    def buckets_for(self, process_index: int) -> list[int]:
+        if not 0 <= process_index < self.num_processes:
+            raise ConfigError(
+                f"process index {process_index} out of range "
+                f"[0, {self.num_processes})"
+            )
+        return [
+            bucket for bucket in range(self.num_buckets)
+            if bucket % self.num_processes == process_index
+        ]
+
+    def process_for(self, bucket: int) -> int:
+        if not 0 <= bucket < self.num_buckets:
+            raise ConfigError(f"bucket {bucket} out of range")
+        return bucket % self.num_processes
+
+    def balance(self) -> tuple[int, int]:
+        """(min, max) buckets per process."""
+        counts = [len(self.buckets_for(p)) for p in range(self.num_processes)]
+        return min(counts), max(counts)
+
+
+class Resharder:
+    """Plans key movement when a category's bucket count changes.
+
+    The paper scales by "changing the number of buckets per Scribe
+    category in a configuration file" (Section 4.2.2). Because bucketing
+    is modular hashing, growing the count moves a predictable fraction of
+    keys; :meth:`moved_fraction` quantifies it and :meth:`plan` reports,
+    for a sample of keys, which moved where — used by the scaling
+    experiment and by tests.
+    """
+
+    def __init__(self, old_buckets: int, new_buckets: int) -> None:
+        if old_buckets < 1 or new_buckets < 1:
+            raise ConfigError("bucket counts must be >= 1")
+        self.old_buckets = old_buckets
+        self.new_buckets = new_buckets
+
+    def moved(self, key: str) -> bool:
+        return (shard_for_key(key, self.old_buckets)
+                != shard_for_key(key, self.new_buckets))
+
+    def plan(self, keys: list[str]) -> dict[str, tuple[int, int]]:
+        """Map each moved key to its (old bucket, new bucket)."""
+        moves: dict[str, tuple[int, int]] = {}
+        for key in keys:
+            old = shard_for_key(key, self.old_buckets)
+            new = shard_for_key(key, self.new_buckets)
+            if old != new:
+                moves[key] = (old, new)
+        return moves
+
+    def moved_fraction(self, keys: list[str]) -> float:
+        if not keys:
+            return 0.0
+        return sum(1 for key in keys if self.moved(key)) / len(keys)

@@ -1,0 +1,135 @@
+"""Event-time low-watermark estimation.
+
+Stylus "requires the application writer to identify the event time data
+in the stream. In return, Stylus provides a function to estimate the
+event time low watermark with a given confidence interval" (Section 2.4).
+
+The estimator tracks the recent distribution of event times as they are
+observed in (imperfectly ordered) arrival order. The low watermark at
+confidence ``c`` is the event time ``W`` such that an estimated fraction
+``c`` of events still in flight have event time at least ``W`` — i.e. a
+window ending at ``W`` can be closed with roughly ``1 - c`` expected
+stragglers. We compute it as the ``(1 - c)``-quantile of a sliding sample
+of observed event times, clamped to be monotonically non-decreasing so
+downstream window-closing logic never regresses.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+
+from repro.errors import ConfigError
+
+
+class WatermarkEstimator:
+    """Quantile-based low watermark over a sliding sample of event times."""
+
+    def __init__(self, sample_size: int = 1000) -> None:
+        if sample_size < 1:
+            raise ConfigError("sample_size must be >= 1")
+        self.sample_size = sample_size
+        self._window: deque[float] = deque()
+        self._sorted: list[float] = []
+        self._observed = 0
+        self._last_emitted: dict[float, float] = {}
+
+    def observe(self, event_time: float) -> None:
+        """Record one event's event time, in arrival order."""
+        self._window.append(event_time)
+        insort(self._sorted, event_time)
+        self._observed += 1
+        if len(self._window) > self.sample_size:
+            oldest = self._window.popleft()
+            # Remove one occurrence from the sorted mirror.
+            index = _index_of(self._sorted, oldest)
+            del self._sorted[index]
+
+    @property
+    def observed(self) -> int:
+        return self._observed
+
+    def low_watermark(self, confidence: float = 0.99) -> float | None:
+        """Monotone low-watermark estimate at the given confidence.
+
+        Returns None until at least one event has been observed.
+        """
+        if not 0.0 < confidence <= 1.0:
+            raise ConfigError("confidence must be in (0, 1]")
+        if not self._sorted:
+            return None
+        rank = int((1.0 - confidence) * (len(self._sorted) - 1))
+        estimate = self._sorted[rank]
+        previous = self._last_emitted.get(confidence)
+        if previous is not None and estimate < previous:
+            estimate = previous
+        self._last_emitted[confidence] = estimate
+        return estimate
+
+    def max_event_time(self) -> float | None:
+        return self._sorted[-1] if self._sorted else None
+
+
+class LatenessWatermarkEstimator:
+    """Low watermark from the observed out-of-orderness distribution.
+
+    Tracks, per arrival, how far the event time lags the maximum event
+    time seen so far ("lateness"). The low watermark at confidence ``c``
+    is ``max_seen - q_c(lateness)``: with probability ~``c`` a future
+    event's lateness will not exceed the ``c``-quantile, so events below
+    the mark are (at that confidence) done arriving. For a perfectly
+    ordered stream the mark equals the newest event time — windows close
+    immediately — which the quantile-of-event-times estimator above
+    cannot do on short streams.
+    """
+
+    def __init__(self, sample_size: int = 1000) -> None:
+        if sample_size < 1:
+            raise ConfigError("sample_size must be >= 1")
+        self.sample_size = sample_size
+        self._window: deque[float] = deque()
+        self._sorted: list[float] = []
+        self._max_seen: float | None = None
+        self._last_emitted: dict[float, float] = {}
+
+    def observe(self, event_time: float) -> None:
+        if self._max_seen is None or event_time > self._max_seen:
+            self._max_seen = event_time
+        lateness = self._max_seen - event_time
+        self._window.append(lateness)
+        insort(self._sorted, lateness)
+        if len(self._window) > self.sample_size:
+            oldest = self._window.popleft()
+            del self._sorted[_index_of(self._sorted, oldest)]
+
+    @property
+    def max_event_time(self) -> float | None:
+        return self._max_seen
+
+    def lateness_quantile(self, confidence: float) -> float:
+        if not 0.0 < confidence <= 1.0:
+            raise ConfigError("confidence must be in (0, 1]")
+        if not self._sorted:
+            return 0.0
+        rank = min(len(self._sorted) - 1,
+                   int(confidence * (len(self._sorted) - 1) + 0.9999))
+        return self._sorted[rank]
+
+    def low_watermark(self, confidence: float = 0.99) -> float | None:
+        if self._max_seen is None:
+            return None
+        estimate = self._max_seen - self.lateness_quantile(confidence)
+        previous = self._last_emitted.get(confidence)
+        if previous is not None and estimate < previous:
+            estimate = previous
+        self._last_emitted[confidence] = estimate
+        return estimate
+
+
+def _index_of(sorted_list: list[float], value: float) -> int:
+    from bisect import bisect_left
+
+    index = bisect_left(sorted_list, value)
+    if index >= len(sorted_list) or sorted_list[index] != value:
+        raise ValueError(f"{value} not present in sample")
+    return index

@@ -1,0 +1,112 @@
+"""Event-time windowing.
+
+Puma's ``events_score [5 minutes]`` clause (Figure 2) and the Scorer's
+"sliding window of the event counts per topic for recent history"
+(Figure 3) both reduce to assigning events to time windows by their
+event time.
+
+Windows are identified by their start time; a :class:`WindowAssigner`
+maps an event time to the (one or more) windows it belongs to.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def _aligned_start(event_time: float, step: float) -> float:
+    """The greatest multiple of ``step`` at or before ``event_time``.
+
+    Plain ``(t // step) * step`` mis-rounds near grid boundaries (e.g.
+    ``1.0 // 0.1 == 9.0``), which would assign an event to a window that
+    does not contain it; nudge onto the correct grid point explicitly.
+    """
+    start = math.floor(event_time / step) * step
+    if start + step <= event_time:
+        start += step
+    elif start > event_time:
+        start -= step
+    return start
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open event-time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def contains(self, event_time: float) -> bool:
+        return self.start <= event_time < self.end
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+class WindowAssigner(ABC):
+    """Maps an event time to the windows it falls into."""
+
+    @abstractmethod
+    def assign(self, event_time: float) -> list[Window]:
+        """All windows containing ``event_time``."""
+
+    @abstractmethod
+    def window_containing(self, event_time: float) -> Window:
+        """The single aligned window whose start is the bucket key."""
+
+
+class TumblingWindow(WindowAssigner):
+    """Fixed, non-overlapping windows of ``size`` seconds.
+
+    This is Puma's ``[5 minutes]``: each event belongs to exactly one
+    window, aligned to multiples of the size.
+    """
+
+    def __init__(self, size: float) -> None:
+        if size <= 0:
+            raise ConfigError("window size must be positive")
+        self.size = size
+
+    def assign(self, event_time: float) -> list[Window]:
+        return [self.window_containing(event_time)]
+
+    def window_containing(self, event_time: float) -> Window:
+        start = _aligned_start(event_time, self.size)
+        return Window(start, start + self.size)
+
+
+class SlidingWindow(WindowAssigner):
+    """Overlapping windows of ``size`` seconds sliding every ``slide``.
+
+    Each event belongs to ``ceil(size / slide)`` windows. ``slide`` must
+    divide into the window grid (windows start at multiples of slide).
+    """
+
+    def __init__(self, size: float, slide: float) -> None:
+        if size <= 0 or slide <= 0:
+            raise ConfigError("window size and slide must be positive")
+        if slide > size:
+            raise ConfigError("slide larger than size leaves gaps")
+        self.size = size
+        self.slide = slide
+
+    def assign(self, event_time: float) -> list[Window]:
+        # The newest window starting at or before the event.
+        newest_start = _aligned_start(event_time, self.slide)
+        windows = []
+        start = newest_start
+        while start + self.size > event_time:
+            windows.append(Window(start, start + self.size))
+            start -= self.slide
+            if start <= newest_start - self.size:
+                break
+        return list(reversed(windows))
+
+    def window_containing(self, event_time: float) -> Window:
+        start = _aligned_start(event_time, self.slide)
+        return Window(start, start + self.size)

@@ -1,0 +1,157 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure. Subsystems define
+narrower classes here rather than in their own modules so that the hierarchy
+is visible in one place.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+# --------------------------------------------------------------------------
+# Runtime / simulation
+# --------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class ProcessCrashed(ReproError):
+    """A simulated process crashed (normally injected by a failure plan)."""
+
+    def __init__(self, process_name: str, at_time: float) -> None:
+        super().__init__(f"process {process_name!r} crashed at t={at_time:.3f}")
+        self.process_name = process_name
+        self.at_time = at_time
+
+
+# --------------------------------------------------------------------------
+# Scribe message bus
+# --------------------------------------------------------------------------
+
+
+class ScribeError(ReproError):
+    """Base class for Scribe bus failures."""
+
+
+class UnknownCategory(ScribeError):
+    """A reader or writer referenced a category that was never created."""
+
+
+class OffsetOutOfRange(ScribeError):
+    """A read targeted an offset that fell outside the retained window."""
+
+    def __init__(self, category: str, bucket: int, offset: int,
+                 first_retained: int, end: int) -> None:
+        super().__init__(
+            f"offset {offset} out of range for {category}[{bucket}]: "
+            f"retained window is [{first_retained}, {end})"
+        )
+        self.category = category
+        self.bucket = bucket
+        self.offset = offset
+        self.first_retained = first_retained
+        self.end = end
+
+
+# --------------------------------------------------------------------------
+# Storage engines
+# --------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class StoreClosed(StorageError):
+    """An operation was attempted on a closed store."""
+
+
+class BackupNotFound(StorageError):
+    """A restore referenced a backup id that does not exist."""
+
+
+class StoreUnavailable(StorageError):
+    """A (simulated) remote store is temporarily unavailable."""
+
+
+class TransactionAborted(StorageError):
+    """A transactional commit could not be applied atomically."""
+
+
+# --------------------------------------------------------------------------
+# Stream processing
+# --------------------------------------------------------------------------
+
+
+class ProcessingError(ReproError):
+    """Base class for stream-processor failures."""
+
+
+class CheckpointError(ProcessingError):
+    """A checkpoint could not be saved or restored."""
+
+
+class SemanticsError(ProcessingError):
+    """An invalid combination of state/output semantics was requested."""
+
+
+class DagError(ProcessingError):
+    """A processing DAG was mis-assembled (cycle, missing edge, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Puma query language
+# --------------------------------------------------------------------------
+
+
+class PumaError(ReproError):
+    """Base class for Puma (PQL) failures."""
+
+
+class PqlSyntaxError(PumaError):
+    """The PQL source text could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PlanningError(PumaError):
+    """A parsed PQL application could not be compiled into a plan."""
+
+
+class UnknownFunction(PumaError):
+    """A PQL query referenced an aggregation or UDF that is not registered."""
+
+
+# --------------------------------------------------------------------------
+# Data stores built on the bus
+# --------------------------------------------------------------------------
+
+
+class LaserError(ReproError):
+    """Base class for Laser key-value serving failures."""
+
+
+class ScubaError(ReproError):
+    """Base class for Scuba analytics-store failures."""
+
+
+class HiveError(ReproError):
+    """Base class for Hive warehouse failures."""
+
+
+class PartitionNotReady(HiveError):
+    """A query referenced a day partition that has not landed yet."""

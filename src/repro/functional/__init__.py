@@ -1,0 +1,18 @@
+"""A functional stream-processing paradigm on top of Stylus.
+
+Section 4.1 lays out three language paradigms — declarative (Puma's
+SQL), procedural (Stylus), and **functional** ("a sequence of predefined
+operators", the Spark Streaming / Flink style the paper says Facebook
+was exploring). This package provides that third paradigm: a chain of
+``map`` / ``filter`` / ``flat_map`` / ``key_by`` / windowed-aggregate
+operators that *compiles onto the Stylus engine* over Scribe.
+
+Consecutive narrow operators fuse into a single Stylus node (the paper's
+Section 4.2.1: narrow one-to-one connections "can be collapsed");
+``key_by`` introduces a stage boundary — a re-sharded intermediate
+Scribe category — exactly like a wide dependency.
+"""
+
+from repro.functional.streams import FunctionalPipeline, StreamBuilder
+
+__all__ = ["FunctionalPipeline", "StreamBuilder"]

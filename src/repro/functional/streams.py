@@ -1,0 +1,284 @@
+"""The functional operator chain and its compilation to Stylus.
+
+Example::
+
+    pipeline = (StreamBuilder(scribe, clock=clock)
+                .source("events")
+                .filter(lambda r: r["event_type"] == "post")
+                .map(lambda r: {**r, "topic": classify(r["text"])})
+                .key_by(lambda r: r["topic"])
+                .window_aggregate(300.0, CounterMergeOperator(),
+                                  lambda r: 1)
+                .to("topic_counts")
+                .build("trending"))
+    pipeline.run_until_quiescent()
+
+Operators before a ``key_by`` fuse into one stateless Stylus node; each
+``key_by`` starts a new stage fed by an intermediate Scribe category
+sharded on the key; ``window_aggregate`` terminates a keyed stage with a
+watermark-closed :class:`~repro.stylus.windowed.WindowedAggregator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.dag import Dag
+from repro.core.event import Event
+from repro.errors import ConfigError
+from repro.runtime.clock import Clock
+from repro.scribe.store import ScribeStore
+from repro.storage.merge import MergeOperator
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusJob
+from repro.stylus.processor import Output, StatelessProcessor
+from repro.stylus.windowed import WindowedAggregator
+
+Record = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class _Op:
+    kind: str  # "map" | "filter" | "flat_map"
+    fn: Callable
+
+
+class _FusedStateless(StatelessProcessor):
+    """A chain of narrow operators executed in one process."""
+
+    def __init__(self, ops: list[_Op],
+                 key_fn: Callable[[Record], str] | None) -> None:
+        self.ops = ops
+        self.key_fn = key_fn
+
+    def process(self, event: Event) -> list[Output]:
+        records: list[Record] = [event.to_record()]
+        for op in self.ops:
+            if op.kind == "map":
+                records = [self._keep_time(op.fn(r), r) for r in records]
+            elif op.kind == "filter":
+                records = [r for r in records if op.fn(r)]
+            else:  # flat_map
+                records = [self._keep_time(out, r)
+                           for r in records for out in op.fn(r)]
+        key_fn = self.key_fn
+        return [
+            Output(record,
+                   key=str(key_fn(record)) if key_fn is not None else None)
+            for record in records
+        ]
+
+    @staticmethod
+    def _keep_time(record: Record, source: Record) -> Record:
+        if "event_time" not in record:
+            record = dict(record)
+            record["event_time"] = source["event_time"]
+        return record
+
+
+@dataclass
+class _Stage:
+    """One compiled stage: fused narrow ops, then an optional terminal."""
+
+    ops: list[_Op] = field(default_factory=list)
+    key_fn: Callable[[Record], str] | None = None
+    # (window_seconds, operator, value_fn, confidence)
+    window: tuple[float, MergeOperator, Callable[[Record], Any],
+                  float] | None = None
+
+
+class FunctionalPipeline:
+    """The built artifact: a DAG of Stylus jobs over Scribe."""
+
+    def __init__(self, name: str, dag: Dag, jobs: list[StylusJob],
+                 output_category: str | None) -> None:
+        self.name = name
+        self.dag = dag
+        self.jobs = jobs
+        self.output_category = output_category
+
+    def pump(self, max_messages: int = 10_000) -> int:
+        return self.dag.pump_once(max_messages)
+
+    def run_until_quiescent(self) -> int:
+        return self.dag.run_until_quiescent()
+
+    def checkpoint_all(self) -> None:
+        for job in self.jobs:
+            job.checkpoint_now()
+
+    def lag_messages(self) -> int:
+        return sum(job.lag_messages() for job in self.jobs)
+
+
+class StreamBuilder:
+    """Entry point: binds a Scribe deployment and builds streams."""
+
+    def __init__(self, scribe: ScribeStore, clock: Clock | None = None,
+                 num_buckets: int = 4,
+                 checkpoint_every_events: int = 200) -> None:
+        self.scribe = scribe
+        self.clock = clock
+        self.num_buckets = num_buckets
+        self.checkpoint_policy = CheckpointPolicy(
+            every_n_events=checkpoint_every_events)
+
+    def source(self, category: str) -> "FStream":
+        self.scribe.ensure_category(category, self.num_buckets)
+        return FStream(self, category)
+
+
+class FStream:
+    """An immutable operator chain; every method returns a new stream."""
+
+    def __init__(self, builder: StreamBuilder, source: str,
+                 stages: tuple[_Stage, ...] = (),
+                 sink: str | None = None) -> None:
+        self._builder = builder
+        self._source = source
+        self._stages = stages if stages else (_Stage(),)
+        self._sink = sink
+
+    def _extend(self, mutate: Callable[[list[_Stage]], None]) -> "FStream":
+        stages = [_Stage(list(s.ops), s.key_fn, s.window)
+                  for s in self._stages]
+        mutate(stages)
+        return FStream(self._builder, self._source, tuple(stages),
+                       self._sink)
+
+    def _check_open(self, stages: list[_Stage]) -> _Stage:
+        last = stages[-1]
+        if last.window is not None:
+            raise ConfigError(
+                "a windowed aggregate terminates its stage; key_by again "
+                "to continue"
+            )
+        return last
+
+    # -- narrow operators ---------------------------------------------------
+
+    def map(self, fn: Callable[[Record], Record]) -> "FStream":
+        return self._extend(
+            lambda stages: self._check_open(stages).ops.append(
+                _Op("map", fn))
+        )
+
+    def filter(self, predicate: Callable[[Record], bool]) -> "FStream":
+        return self._extend(
+            lambda stages: self._check_open(stages).ops.append(
+                _Op("filter", predicate))
+        )
+
+    def flat_map(self, fn: Callable[[Record], list[Record]]) -> "FStream":
+        return self._extend(
+            lambda stages: self._check_open(stages).ops.append(
+                _Op("flat_map", fn))
+        )
+
+    # -- wide / terminal operators ----------------------------------------------
+
+    def key_by(self, key_fn: Callable[[Record], str]) -> "FStream":
+        """Re-shard by a key: ends the current stage."""
+        def mutate(stages: list[_Stage]) -> None:
+            self._check_open(stages).key_fn = key_fn
+            stages.append(_Stage())
+
+        return self._extend(mutate)
+
+    def window_aggregate(self, window_seconds: float,
+                         operator: MergeOperator,
+                         value_fn: Callable[[Record], Any],
+                         confidence: float = 0.99) -> "FStream":
+        """Keyed tumbling-window fold; requires a preceding key_by."""
+        def mutate(stages: list[_Stage]) -> None:
+            if len(stages) < 2 or stages[-2].key_fn is None:
+                raise ConfigError("window_aggregate requires key_by first")
+            last = self._check_open(stages)
+            last.window = (window_seconds, operator, value_fn, confidence)
+
+        return self._extend(mutate)
+
+    def window_count(self, window_seconds: float) -> "FStream":
+        """Count per key per window (the common case)."""
+        from repro.storage.merge import CounterMergeOperator
+
+        return self.window_aggregate(window_seconds, CounterMergeOperator(),
+                                     lambda record: 1)
+
+    def to(self, category: str) -> "FStream":
+        """Name the output category (defaults to ``<name>.out``)."""
+        stream = self._extend(lambda stages: None)
+        stream._sink = category
+        return stream
+
+    # -- compilation ----------------------------------------------------------------
+
+    def build(self, name: str) -> FunctionalPipeline:
+        builder = self._builder
+        scribe = builder.scribe
+        dag = Dag(name)
+        jobs: list[StylusJob] = []
+        stages = list(self._stages)
+        # Drop a trailing empty stage left by a final key_by.
+        if stages and not stages[-1].ops and stages[-1].window is None \
+                and stages[-1].key_fn is None and len(stages) > 1:
+            stages.pop()
+
+        input_category = self._source
+        output_category = self._sink or f"{name}.out"
+        scribe.ensure_category(output_category, builder.num_buckets)
+
+        for index, stage in enumerate(stages):
+            is_last = index == len(stages) - 1
+            stage_output = (output_category if is_last
+                            else f"{name}.stage{index}")
+            if not is_last:
+                scribe.ensure_category(stage_output, builder.num_buckets)
+
+            previous_key = stages[index - 1].key_fn if index > 0 else None
+            if stage.window is not None:
+                window_seconds, operator, value_fn, confidence = stage.window
+                job = StylusJob.create(
+                    f"{name}.win{index}", scribe, input_category,
+                    _windowed_factory(stage, previous_key, window_seconds,
+                                      operator, value_fn, confidence),
+                    output_category=stage_output, clock=builder.clock,
+                    checkpoint_policy=builder.checkpoint_policy,
+                )
+            else:
+                job = StylusJob.create(
+                    f"{name}.op{index}", scribe, input_category,
+                    _fused_factory(stage),
+                    output_category=stage_output, clock=builder.clock,
+                    checkpoint_policy=builder.checkpoint_policy,
+                )
+            dag.add(job, reads=[input_category], writes=[stage_output])
+            jobs.append(job)
+            input_category = stage_output
+
+        return FunctionalPipeline(name, dag, jobs, output_category)
+
+
+def _fused_factory(stage: _Stage):
+    return lambda: _FusedStateless(list(stage.ops), stage.key_fn)
+
+
+def _windowed_factory(stage: _Stage, previous_key, window_seconds: float,
+                      operator: MergeOperator, value_fn, confidence: float):
+    ops = list(stage.ops)
+
+    def extract(event: Event) -> list[tuple[str, Any]]:
+        records: list[Record] = [event.to_record()]
+        for op in ops:
+            if op.kind == "map":
+                records = [op.fn(r) for r in records]
+            elif op.kind == "filter":
+                records = [r for r in records if op.fn(r)]
+            else:
+                records = [out for r in records for out in op.fn(r)]
+        key_fn = previous_key if previous_key is not None else (lambda r: "all")
+        return [(str(key_fn(r)), value_fn(r)) for r in records]
+
+    return lambda: WindowedAggregator(window_seconds, operator, extract,
+                                      confidence=confidence)

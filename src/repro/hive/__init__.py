@@ -1,0 +1,19 @@
+"""Hive: the day-partitioned batch warehouse (paper Section 2.7).
+
+"Most event tables in Hive are partitioned by day: each partition
+becomes available after the day ends at midnight." The warehouse ingests
+from Scribe (so streams have long-term retention, Section 4.5.2) and
+serves as the substrate for backfill: the MapReduce mini-framework here
+runs the *same* Puma and Stylus application code over old partitions.
+"""
+
+from repro.hive.mapreduce import MapReduceJob, run_map_reduce
+from repro.hive.warehouse import HivePartition, HiveTable, HiveWarehouse
+
+__all__ = [
+    "HivePartition",
+    "HiveTable",
+    "HiveWarehouse",
+    "MapReduceJob",
+    "run_map_reduce",
+]

@@ -1,0 +1,5 @@
+"""Laser: the key-value serving layer (paper Section 2.5)."""
+
+from repro.laser.service import LaserService, LaserTable
+
+__all__ = ["LaserService", "LaserTable"]

@@ -1,0 +1,248 @@
+"""Laser: high-query-throughput, low-latency key-value serving.
+
+"Laser can read from any Scribe category in realtime or from any Hive
+table once a day. The key and value can each be any combination of
+columns in the (serialized) input stream" (Section 2.5). A
+:class:`LaserTable` is configured exactly like the paper's UI describes
+(Section 6.3): an ordered set of key columns, an ordered set of value
+columns, and a lifetime per key-value pair. Tables are backed by the
+RocksDB-style LSM store, matching "built on top of RocksDB".
+
+Its two paper use cases are both supported:
+
+- make a Puma/Stylus output stream available to products (ingest from
+  Scribe, serve point lookups);
+- make a Hive query result available for lookup joins (bulk load from a
+  Hive table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError, LaserError
+from repro.hive.warehouse import HiveTable
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.reader import CategoryReader
+from repro.scribe.store import ScribeStore
+from repro.storage.lsm import LsmStore
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class _Stamped:
+    """A stored value plus its expiry time (lifetime support)."""
+
+    value: Any
+    expires_at: float
+
+
+class LaserTable:
+    """One Laser app: key columns, value columns, lifetime, source."""
+
+    def __init__(self, name: str, key_columns: list[str],
+                 value_columns: list[str],
+                 lifetime_seconds: float = float("inf"),
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if not key_columns:
+            raise ConfigError("at least one key column is required")
+        if not value_columns:
+            raise ConfigError("at least one value column is required")
+        if lifetime_seconds <= 0:
+            raise ConfigError("lifetime must be positive")
+        self.name = name
+        self.key_columns = list(key_columns)
+        self.value_columns = list(value_columns)
+        self.lifetime_seconds = lifetime_seconds
+        self.clock = clock if clock is not None else WallClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._store = LsmStore(name=f"laser:{name}")
+        self._readers: list[CategoryReader] = []
+
+    # -- ingestion --------------------------------------------------------------
+
+    def _composite_key(self, row: Row) -> str:
+        try:
+            return "\x1f".join(str(row[c]) for c in self.key_columns)
+        except KeyError as exc:
+            raise LaserError(
+                f"row missing key column {exc.args[0]!r} for table "
+                f"{self.name!r}"
+            ) from None
+
+    def put_row(self, row: Row) -> None:
+        """Store one row under its composite key."""
+        value = {c: row.get(c) for c in self.value_columns}
+        expires = self.clock.now() + self.lifetime_seconds
+        self._store.put(self._composite_key(row), _Stamped(value, expires))
+        self.metrics.counter(f"laser.{self.name}.writes").increment()
+
+    def tail_scribe(self, scribe: ScribeStore, category: str) -> None:
+        """Continuously ingest a category (realtime source)."""
+        self._readers.append(CategoryReader(scribe, category))
+
+    def pump(self, max_messages: int = 1000) -> int:
+        """Advance the Scribe tails; returns rows ingested."""
+        ingested = 0
+        for reader in self._readers:
+            for message in reader.read_batch(max_messages):
+                self.put_row(message.decode())
+                ingested += 1
+        return ingested
+
+    def load_from_hive(self, table: HiveTable,
+                       days: list[int] | None = None) -> int:
+        """Bulk-load a Hive table (the once-a-day source); returns rows."""
+        loaded = 0
+        for row in table.scan(days):
+            self.put_row(row)
+            loaded += 1
+        return loaded
+
+    # -- serving -------------------------------------------------------------------
+
+    def get(self, *key_values: Any) -> Row | None:
+        """Point lookup by key column values, in declared order."""
+        if len(key_values) != len(self.key_columns):
+            raise LaserError(
+                f"table {self.name!r} key has {len(self.key_columns)} "
+                f"columns; got {len(key_values)} values"
+            )
+        composite = "\x1f".join(str(v) for v in key_values)
+        stamped = self._store.get(composite)
+        self.metrics.counter(f"laser.{self.name}.reads").increment()
+        if stamped is None or stamped.expires_at <= self.clock.now():
+            return None
+        return dict(stamped.value)
+
+    def multi_get(self, keys: list[tuple]) -> dict[tuple, Row | None]:
+        return {key: self.get(*key) for key in keys}
+
+
+class ReplicatedLaserTable:
+    """One logical Laser app running in several data centers.
+
+    The paper's Laser UI asks for "a set of data centers to run the
+    service" (Section 6.3), and the bus design means "we can run
+    multiple Scuba or Laser tiers that each read all of their input
+    streams' data, so that we have redundancy for disaster recovery"
+    (Section 4.2.2): each tier tails the category independently — no
+    cross-tier replication protocol is needed because the bus *is* the
+    replication. Reads hit the preferred (local) tier and fail over.
+    """
+
+    def __init__(self, name: str, tiers: dict[str, LaserTable]) -> None:
+        if not tiers:
+            raise ConfigError("need at least one data center")
+        self.name = name
+        self.tiers = tiers
+        self._down: set[str] = set()
+
+    def pump(self, max_messages: int = 1000) -> int:
+        """Every tier ingests independently (automatic multiplexing)."""
+        return sum(tier.pump(max_messages) for tier in self.tiers.values())
+
+    def _serving_tier(self, preferred: str | None) -> LaserTable:
+        if (preferred is not None and preferred in self.tiers
+                and preferred not in self._down):
+            return self.tiers[preferred]
+        for name in sorted(self.tiers):
+            if name not in self._down:
+                return self.tiers[name]
+        raise LaserError(f"table {self.name!r}: every data center is down")
+
+    def get(self, *key_values: Any, datacenter: str | None = None
+            ) -> Row | None:
+        return self._serving_tier(datacenter).get(*key_values)
+
+    def fail_datacenter(self, datacenter: str) -> None:
+        if datacenter not in self.tiers:
+            raise ConfigError(f"no tier in {datacenter!r}")
+        self._down.add(datacenter)
+
+    def restore_datacenter(self, datacenter: str) -> None:
+        self._down.discard(datacenter)
+
+    def lag_messages(self) -> int:
+        return sum(
+            sum(reader.lag_messages() for reader in tier._readers)
+            for tier in self.tiers.values()
+        )
+
+
+class LaserService:
+    """The Laser deployment: named tables, one-command create/delete."""
+
+    def __init__(self, scribe: ScribeStore, clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.scribe = scribe
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tables: dict[str, LaserTable] = {}
+        self._replicated: dict[str, ReplicatedLaserTable] = {}
+        self.name = "laser"
+
+    def create_table(self, name: str, key_columns: list[str],
+                     value_columns: list[str],
+                     lifetime_seconds: float = float("inf"),
+                     scribe_category: str | None = None) -> LaserTable:
+        """The one-command deploy of Section 6.3."""
+        if name in self._tables:
+            raise ConfigError(f"Laser table {name!r} already exists")
+        table = LaserTable(name, key_columns, value_columns,
+                           lifetime_seconds, clock=self.clock,
+                           metrics=self.metrics)
+        if scribe_category is not None:
+            table.tail_scribe(self.scribe, scribe_category)
+        self._tables[name] = table
+        return table
+
+    def delete_table(self, name: str) -> None:
+        """The one-command delete of Section 6.3."""
+        if name not in self._tables:
+            raise ConfigError(f"no Laser table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> LaserTable:
+        if name not in self._tables:
+            raise ConfigError(f"no Laser table named {name!r}")
+        return self._tables[name]
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def pump(self, max_messages: int = 1000) -> int:
+        return (sum(t.pump(max_messages) for t in self._tables.values())
+                + sum(t.pump(max_messages)
+                      for t in self._replicated.values()))
+
+    # -- multi-datacenter deployment (Sections 4.2.2 and 6.3) ------------------
+
+    def create_replicated_table(self, name: str, key_columns: list[str],
+                                value_columns: list[str],
+                                data_centers: list[str],
+                                scribe_category: str,
+                                lifetime_seconds: float = float("inf")
+                                ) -> ReplicatedLaserTable:
+        """Deploy one app to several data centers, each tailing the bus."""
+        if name in self._replicated or name in self._tables:
+            raise ConfigError(f"Laser table {name!r} already exists")
+        tiers = {}
+        for datacenter in data_centers:
+            tier = LaserTable(f"{name}@{datacenter}", key_columns,
+                              value_columns, lifetime_seconds,
+                              clock=self.clock, metrics=self.metrics)
+            tier.tail_scribe(self.scribe, scribe_category)
+            tiers[datacenter] = tier
+        table = ReplicatedLaserTable(name, tiers)
+        self._replicated[name] = table
+        return table
+
+    def replicated_table(self, name: str) -> ReplicatedLaserTable:
+        if name not in self._replicated:
+            raise ConfigError(f"no replicated Laser table named {name!r}")
+        return self._replicated[name]

@@ -1,0 +1,13 @@
+"""Operational monitoring (paper Sections 6.3 and 6.4).
+
+"It is sufficient to set up monitoring and alerts for delays in
+processing streams from the persistent store" — because every consumer's
+primary responsibility is draining its input, *processing lag* is the
+one signal that matters. This package provides the lag monitor/alerting
+used by all engines and the dashboard-query framework of Section 5.2.
+"""
+
+from repro.monitoring.dashboards import Dashboard, DashboardPanel
+from repro.monitoring.lag import LagAlert, LagMonitor
+
+__all__ = ["Dashboard", "DashboardPanel", "LagAlert", "LagMonitor"]

@@ -1,0 +1,45 @@
+"""Auto-configured monitoring for deployed apps.
+
+Section 6.4: "In the future, we would like to provide dashboards and
+alerts that are automatically configured to monitor both Puma and Stylus
+apps for the teams that use them." Given any set of lag sources (Puma
+apps, Stylus jobs, Swift apps, ingestion tiers — anything with a
+``name`` and ``lag_messages()``), :func:`auto_monitor` wires up the lag
+monitor with per-app alerts and a dashboard with one lag-history panel
+per app, in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.monitoring.dashboards import Dashboard, DashboardPanel
+from repro.monitoring.lag import LagMonitor, LagSource
+from repro.runtime.clock import Clock
+
+
+def auto_monitor(sources: Iterable[LagSource], clock: Clock,
+                 lag_threshold: int = 10_000,
+                 dashboard_window_seconds: float = 3_600.0
+                 ) -> tuple[LagMonitor, Dashboard]:
+    """Build a fully wired (monitor, dashboard) pair for ``sources``."""
+    monitor = LagMonitor(clock=clock, default_threshold=lag_threshold)
+    dashboard = Dashboard("stream-apps", dashboard_window_seconds,
+                          clock=clock)
+    for source in sources:
+        monitor.watch(source)
+        dashboard.add_panel(_lag_panel(monitor, source.name))
+    return monitor, dashboard
+
+
+def _lag_panel(monitor: LagMonitor, app_name: str) -> DashboardPanel:
+    def run(start: float, end: float) -> list[dict]:
+        # Inclusive of ``end``: a sample taken at the refresh instant
+        # belongs on the chart being refreshed.
+        return [
+            {"t": at, "lag": lag}
+            for at, lag in monitor.lag_history(app_name)
+            if start <= at <= end
+        ]
+
+    return DashboardPanel(f"lag:{app_name}", run, backend="monitor")

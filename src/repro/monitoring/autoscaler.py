@@ -1,0 +1,141 @@
+"""Automatic scaling of stream apps from their processing lag.
+
+Two of the paper's wishes, combined (Section 6.4): "guessing the right
+amount of parallelism before deployment is a black art. We save both
+time and machine resources by being able to change it easily; we can get
+started with some initial level and then adapt quickly" and "We would
+also like to scale the apps automatically."
+
+The autoscaler samples each watched app's processing lag. Sustained lag
+above the high-water mark doubles the app's Scribe bucket count (the
+paper's scaling lever) and asks the job to grow into the new buckets;
+sustained zero lag records a scale-down recommendation (bucket counts
+cannot shrink in place — as in Scribe, shrinking means redeploying — so
+the recommendation is surfaced rather than applied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import ConfigError
+from repro.runtime.clock import Clock, WallClock
+from repro.scribe.store import ScribeStore
+
+
+class ScalableJob(Protocol):
+    """A job the autoscaler can manage."""
+
+    name: str
+
+    def lag_messages(self) -> int: ...
+
+    def input_category(self) -> str: ...
+
+    def grow_to_buckets(self) -> int:
+        """Create tasks for any new buckets; return the task count."""
+        ...
+
+
+@dataclass(frozen=True)
+class ScalingAction:
+    """One decision the autoscaler took (or recommends)."""
+
+    job: str
+    kind: str  # "scale_up" | "recommend_scale_down"
+    at: float
+    old_buckets: int
+    new_buckets: int
+
+
+@dataclass
+class _Watch:
+    job: ScalableJob
+    high_lag_samples: int = 0
+    idle_samples: int = 0
+    last_action_at: float = float("-inf")
+
+
+class AutoScaler:
+    """Lag-driven bucket scaling with hysteresis and a cooldown."""
+
+    def __init__(self, scribe: ScribeStore,
+                 clock: Clock | None = None,
+                 high_lag: int = 10_000,
+                 sustain_samples: int = 3,
+                 idle_samples_for_downscale: int = 10,
+                 cooldown_seconds: float = 300.0,
+                 max_buckets: int = 64) -> None:
+        if high_lag < 1 or sustain_samples < 1 or max_buckets < 1:
+            raise ConfigError("invalid autoscaler thresholds")
+        self.scribe = scribe
+        self.clock = clock if clock is not None else WallClock()
+        self.high_lag = high_lag
+        self.sustain_samples = sustain_samples
+        self.idle_samples_for_downscale = idle_samples_for_downscale
+        self.cooldown_seconds = cooldown_seconds
+        self.max_buckets = max_buckets
+        self._watches: dict[str, _Watch] = {}
+        self.actions: list[ScalingAction] = []
+
+    def watch(self, job: ScalableJob) -> None:
+        self._watches[job.name] = _Watch(job)
+
+    def sample(self) -> list[ScalingAction]:
+        """Take one lag sample of every watched job; apply scale-ups."""
+        now = self.clock.now()
+        taken: list[ScalingAction] = []
+        for watch in self._watches.values():
+            lag = watch.job.lag_messages()
+            if lag > self.high_lag:
+                watch.high_lag_samples += 1
+                watch.idle_samples = 0
+            elif lag == 0:
+                watch.idle_samples += 1
+                watch.high_lag_samples = 0
+            else:
+                watch.high_lag_samples = 0
+                watch.idle_samples = 0
+
+            if now - watch.last_action_at < self.cooldown_seconds:
+                continue
+
+            if watch.high_lag_samples >= self.sustain_samples:
+                action = self._scale_up(watch, now)
+                if action is not None:
+                    taken.append(action)
+            elif watch.idle_samples >= self.idle_samples_for_downscale:
+                action = self._recommend_down(watch, now)
+                if action is not None:
+                    taken.append(action)
+        return taken
+
+    def _scale_up(self, watch: _Watch, now: float) -> ScalingAction | None:
+        category = self.scribe.category(watch.job.input_category())
+        old = category.num_buckets
+        if old >= self.max_buckets:
+            return None
+        new = min(old * 2, self.max_buckets)
+        category.resize(new)
+        watch.job.grow_to_buckets()
+        watch.high_lag_samples = 0
+        watch.last_action_at = now
+        action = ScalingAction(watch.job.name, "scale_up", now, old, new)
+        self.actions.append(action)
+        return action
+
+    def _recommend_down(self, watch: _Watch, now: float) -> ScalingAction | None:
+        category = self.scribe.category(watch.job.input_category())
+        old = category.num_buckets
+        if old <= 1:
+            return None
+        watch.idle_samples = 0
+        watch.last_action_at = now
+        action = ScalingAction(watch.job.name, "recommend_scale_down", now,
+                               old, max(1, old // 2))
+        self.actions.append(action)
+        return action
+
+    def recommendations(self) -> list[ScalingAction]:
+        return [a for a in self.actions if a.kind == "recommend_scale_down"]

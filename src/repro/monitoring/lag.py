@@ -1,0 +1,111 @@
+"""Processing-lag monitoring and alerting (paper Section 6.4).
+
+Anything exposing ``lag_messages()`` (every engine and ingestion tier in
+this library) can be registered. The monitor samples lag on a schedule,
+keeps a short history, and raises/clears alerts with hysteresis so a
+briefly bursty stream does not flap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ConfigError
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.scheduler import EventHandle, Scheduler
+
+
+class LagSource(Protocol):
+    """Any consumer that can report how far behind its input it is."""
+
+    name: str
+
+    def lag_messages(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class LagAlert:
+    """One raised alert: which consumer, how far behind, when."""
+
+    consumer: str
+    lag: int
+    at: float
+
+
+@dataclass
+class _Watch:
+    source: LagSource
+    threshold: int
+    alerting: bool = False
+    history: list[tuple[float, int]] = field(default_factory=list)
+
+
+class LagMonitor:
+    """Samples registered consumers and manages alert state."""
+
+    #: Alerts clear only once lag falls below threshold * this factor.
+    CLEAR_FRACTION = 0.5
+    HISTORY_LIMIT = 1000
+
+    def __init__(self, clock: Clock | None = None,
+                 default_threshold: int = 1000) -> None:
+        if default_threshold < 1:
+            raise ConfigError("threshold must be >= 1")
+        self.clock = clock if clock is not None else WallClock()
+        self.default_threshold = default_threshold
+        self._watches: dict[str, _Watch] = {}
+        self.alerts_raised: list[LagAlert] = []
+
+    def watch(self, source: LagSource, threshold: int | None = None) -> None:
+        self._watches[source.name] = _Watch(
+            source, threshold if threshold is not None
+            else self.default_threshold,
+        )
+
+    def unwatch(self, name: str) -> None:
+        self._watches.pop(name, None)
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample(self) -> list[LagAlert]:
+        """Take one lag sample of every watch; return newly raised alerts."""
+        now = self.clock.now()
+        new_alerts: list[LagAlert] = []
+        for watch in self._watches.values():
+            lag = watch.source.lag_messages()
+            watch.history.append((now, lag))
+            if len(watch.history) > self.HISTORY_LIMIT:
+                del watch.history[:-self.HISTORY_LIMIT]
+            if not watch.alerting and lag > watch.threshold:
+                watch.alerting = True
+                alert = LagAlert(watch.source.name, lag, now)
+                self.alerts_raised.append(alert)
+                new_alerts.append(alert)
+            elif (watch.alerting
+                  and lag < watch.threshold * self.CLEAR_FRACTION):
+                watch.alerting = False
+        return new_alerts
+
+    def schedule_on(self, scheduler: Scheduler,
+                    interval: float = 60.0) -> EventHandle:
+        """Sample periodically from a simulation scheduler."""
+        return scheduler.every(interval, self.sample)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def active_alerts(self) -> list[str]:
+        return sorted(
+            name for name, watch in self._watches.items() if watch.alerting
+        )
+
+    def current_lags(self) -> dict[str, int]:
+        return {
+            name: watch.history[-1][1] if watch.history else 0
+            for name, watch in self._watches.items()
+        }
+
+    def lag_history(self, name: str) -> list[tuple[float, int]]:
+        if name not in self._watches:
+            raise ConfigError(f"not watching {name!r}")
+        return list(self._watches[name].history)

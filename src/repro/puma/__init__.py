@@ -1,0 +1,66 @@
+"""Puma: the SQL stream-processing system (paper Section 2.2).
+
+Puma apps are written in a SQL dialect (PQL) with UDFs. An app is
+either:
+
+- a **stateful aggregation app** (the Figure 2 "top K events" app):
+  windowed GROUP BY aggregation whose pre-computed results are served
+  through a query API ("Thrift API" in the paper), with at-least-once
+  state checkpointed to an HBase-style table store; or
+- a **stateless filtering app**: a SELECT without aggregation functions
+  whose output is another Scribe stream, feeding further processors.
+
+The same app code also runs in the batch environment as Hive UDFs /
+UDAFs for backfill (Section 4.5.2) — see :mod:`repro.puma.hive_udf`.
+"""
+
+from repro.puma.app import PumaApp
+from repro.puma.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    CreateApplication,
+    CreateInputTable,
+    CreateTable,
+    FunctionCall,
+    Literal,
+    PqlProgram,
+    Select,
+)
+from repro.puma.functions import (
+    AGGREGATE_FUNCTIONS,
+    SCALAR_FUNCTIONS,
+    AggregateFunction,
+    register_aggregate,
+    register_udf,
+)
+from repro.puma.lexer import Token, TokenType, tokenize
+from repro.puma.parser import parse
+from repro.puma.planner import AppPlan, plan
+from repro.puma.service import PumaService
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "Aggregate",
+    "AggregateFunction",
+    "AppPlan",
+    "BinaryOp",
+    "Column",
+    "CreateApplication",
+    "CreateInputTable",
+    "CreateTable",
+    "FunctionCall",
+    "Literal",
+    "PqlProgram",
+    "PumaApp",
+    "PumaService",
+    "SCALAR_FUNCTIONS",
+    "Select",
+    "Token",
+    "TokenType",
+    "parse",
+    "plan",
+    "register_aggregate",
+    "register_udf",
+    "tokenize",
+]

@@ -1,0 +1,378 @@
+"""The Puma app runtime.
+
+A :class:`PumaApp` executes a compiled :class:`~repro.puma.planner.AppPlan`
+against its input Scribe category:
+
+- **aggregation tables** maintain per-(window, group) monoid states in
+  memory, checkpoint them to an HBase-style store with at-least-once
+  semantics (state rows first, then offsets — Section 4.3.2: "Puma
+  guarantees at-least-once state and output semantics with checkpoints
+  to HBase"), and serve pre-computed results through :meth:`query`
+  (the paper's Thrift API);
+- **filter tables** (no aggregates) write each passing, projected event
+  to the output Scribe category named after the table, so the result
+  "can then be the input to another Puma app, any other realtime stream
+  processor, or a data store" (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.windows import TumblingWindow
+from repro.errors import PlanningError, ProcessCrashed
+from repro.serde import SerdeError
+from repro.puma.planner import AppPlan, TablePlan
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.reader import ScribeReader
+from repro.scribe.store import ScribeStore
+from repro.scribe.writer import ScribeWriter
+from repro.storage.hbase import HBaseTable
+
+Row = dict[str, Any]
+
+#: Window key used for tables without a window clause (all-time totals).
+GLOBAL_WINDOW = 0.0
+
+
+class PumaApp:
+    """One Puma app process, consuming an assigned set of buckets.
+
+    Running several instances with disjoint ``buckets`` parallelizes the
+    app; their HBase row spaces are disjoint because the group key is in
+    the row key, except for the Section 5.2 dashboard case — for that,
+    use :meth:`partial_states` plus :func:`combine_partial_states`.
+    """
+
+    def __init__(self, plan: AppPlan, scribe: ScribeStore, hbase: HBaseTable,
+                 buckets: list[int] | None = None,
+                 checkpoint_every_events: int = 500,
+                 retain_windows: int | None = None,
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.plan = plan
+        self.name = plan.name
+        self.scribe = scribe
+        self.hbase = hbase
+        self.clock = clock if clock is not None else WallClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.checkpoint_every_events = checkpoint_every_events
+        # Memory bound for long-running apps: keep only the newest N
+        # windows per table in memory; evicted windows live in HBase and
+        # are still served by query() (apps "run for months or years",
+        # Section 2.2 — unbounded window state would not).
+        self.retain_windows = retain_windows
+        self.crashed = False
+
+        category = scribe.category(plan.scribe_category)
+        if buckets is None:
+            buckets = list(range(category.num_buckets))
+        self.buckets = buckets
+        self._readers = {
+            bucket: ScribeReader(scribe, plan.scribe_category, bucket)
+            for bucket in buckets
+        }
+        self._writers: dict[str, ScribeWriter] = {}
+        for table in plan.tables:
+            if table.kind == "filter":
+                scribe.ensure_category(table.name)
+                self._writers[table.name] = ScribeWriter(scribe, table.name)
+
+        # (table, window_start, group_key) -> {alias: aggregate state}
+        self._state: dict[tuple[str, float, tuple], dict[str, Any]] = {}
+        self._dirty: set[tuple[str, float, tuple]] = set()
+        self._events_since_checkpoint = 0
+        self._recover()
+
+    # -- recovery / checkpointing (at-least-once, Section 4.3.2) ----------------
+
+    def _offset_row(self, bucket: int) -> str:
+        return f"__offset__|{self.name}|{bucket:06d}"
+
+    def _state_row(self, table: str, window_start: float,
+                   group_key: tuple) -> str:
+        return (f"{self.name}|{table}|{window_start:020.6f}|"
+                f"{json.dumps(list(group_key), sort_keys=True)}")
+
+    def _recover(self) -> None:
+        """Load saved offsets and state rows from HBase."""
+        for bucket, reader in self._readers.items():
+            saved = self.hbase.get_column(self._offset_row(bucket), "offset")
+            if saved is not None:
+                reader.seek(saved)
+        prefix = f"{self.name}|"
+        for row_key, columns in self.hbase.scan(prefix, prefix + "￿"):
+            _, table, window_text, key_json = row_key.split("|", 3)
+            group_key = tuple(json.loads(key_json))
+            self._state[(table, float(window_text), group_key)] = dict(columns)
+
+    def checkpoint(self) -> None:
+        """At-least-once order: dirty state rows first, then offsets."""
+        for state_key in sorted(self._dirty):
+            table, window_start, group_key = state_key
+            self.hbase.put(
+                self._state_row(table, window_start, group_key),
+                dict(self._state[state_key]),
+            )
+        self._dirty.clear()
+        for bucket, reader in self._readers.items():
+            self.hbase.put(self._offset_row(bucket),
+                           {"offset": reader.position})
+        self._events_since_checkpoint = 0
+        self.metrics.counter(f"puma.{self.name}.checkpoints").increment()
+
+    def crash(self) -> None:
+        """Lose the process: in-memory state and positions are gone."""
+        self.crashed = True
+        self._state = {}
+        self._dirty = set()
+
+    def restart(self) -> None:
+        """Recover from HBase (replays uncheckpointed input: at-least-once)."""
+        self._readers = {
+            bucket: ScribeReader(self.scribe, self.plan.scribe_category, bucket)
+            for bucket in self.buckets
+        }
+        self._state = {}
+        self._dirty = set()
+        self._events_since_checkpoint = 0
+        self._recover()
+        self.crashed = False
+
+    # -- processing ----------------------------------------------------------------
+
+    def pump(self, max_messages: int = 1000) -> int:
+        """Process up to ``max_messages`` across this app's buckets."""
+        if self.crashed:
+            return 0
+        processed = 0
+        try:
+            for reader in self._readers.values():
+                while processed < max_messages:
+                    batch = reader.read_batch(
+                        min(100, max_messages - processed)
+                    )
+                    if not batch:
+                        break
+                    for message in batch:
+                        try:
+                            row = message.decode()
+                        except SerdeError:
+                            self.metrics.counter(
+                                f"puma.{self.name}.poison").increment()
+                            processed += 1
+                            self._events_since_checkpoint += 1
+                            continue
+                        self._process_row(row)
+                        processed += 1
+                        self._events_since_checkpoint += 1
+                        if (self._events_since_checkpoint
+                                >= self.checkpoint_every_events):
+                            self.checkpoint()
+        except ProcessCrashed:
+            self.crash()
+        self.metrics.gauge(f"puma.{self.name}.lag").set(self.lag_messages())
+        return processed
+
+    def _process_row(self, row: Row) -> None:
+        self.metrics.counter(f"puma.{self.name}.events").increment()
+        for table in self.plan.tables:
+            if table.predicate is not None and not table.predicate(row):
+                continue
+            if table.kind == "filter":
+                self._emit_filtered(table, row)
+            else:
+                self._aggregate_row(table, row)
+
+    def _emit_filtered(self, table: TablePlan, row: Row) -> None:
+        record = {alias: evaluator(row)
+                  for alias, evaluator in table.projections}
+        time_column = self.plan.time_column
+        record.setdefault(time_column, row.get(time_column))
+        key = str(record.get(table.projections[0][0], ""))
+        self._writers[table.name].write(record, key=key)
+        self.metrics.counter(f"puma.{self.name}.{table.name}.out").increment()
+
+    def _aggregate_row(self, table: TablePlan, row: Row) -> None:
+        event_time = row.get(self.plan.time_column)
+        if event_time is None:
+            return  # rows without an event time cannot be windowed
+        window_start = self._window_start(table, float(event_time))
+        group_key = table.group_key(row)
+        state_key = (table.name, window_start, group_key)
+        group_state = self._state.get(state_key)
+        if group_state is None:
+            # A previously evicted (or checkpointed-then-restarted) cell
+            # must continue from its durable base, not restart from the
+            # identity — otherwise late traffic into an old window would
+            # erase the evicted counts.
+            saved = self.hbase.get(
+                self._state_row(table.name, window_start, group_key)
+            )
+            group_state = saved if saved is not None else {
+                bound.alias: bound.function.create(bound.extra_args)
+                for bound in table.aggregates
+            }
+            self._state[state_key] = group_state
+        for bound in table.aggregates:
+            value = bound.arg(row) if bound.arg is not None else 1
+            group_state[bound.alias] = bound.function.update(
+                group_state[bound.alias], value, bound.extra_args
+            )
+        self._dirty.add(state_key)
+        if self.retain_windows is not None:
+            self._evict_old_windows(table.name)
+
+    def _evict_old_windows(self, table_name: str) -> None:
+        """Flush and drop in-memory windows beyond the retention count."""
+        starts = sorted({
+            start for (name, start, _) in self._state if name == table_name
+        })
+        while len(starts) > self.retain_windows:
+            victim_start = starts.pop(0)
+            victims = [key for key in self._state
+                       if key[0] == table_name and key[1] == victim_start]
+            for state_key in victims:
+                _, window_start, group_key = state_key
+                # Durable first, then drop: eviction must never lose data.
+                self.hbase.put(
+                    self._state_row(table_name, window_start, group_key),
+                    dict(self._state[state_key]),
+                )
+                self._dirty.discard(state_key)
+                del self._state[state_key]
+            self.metrics.counter(
+                f"puma.{self.name}.windows_evicted").increment()
+
+    @staticmethod
+    def _window_start(table: TablePlan, event_time: float) -> float:
+        if table.window_seconds is None:
+            return GLOBAL_WINDOW
+        return TumblingWindow(table.window_seconds).window_containing(
+            event_time
+        ).start
+
+    # -- the query API (the paper's "Thrift API") ---------------------------------------
+
+    def query(self, table_name: str,
+              window_start: float | None = None) -> list[Row]:
+        """Pre-computed results for one table (optionally one window).
+
+        Each row carries the group columns, the finalized aggregate
+        values, and ``window_start``.
+        """
+        table = self.plan.table(table_name)
+        if table.kind != "aggregation":
+            raise PlanningError(f"table {table_name!r} is not an aggregation")
+        cells: dict[tuple[float, tuple], dict[str, Any]] = {}
+        # Evicted windows are served from HBase ...
+        prefix = f"{self.name}|{table_name}|"
+        for row_key, columns in self.hbase.scan(prefix, prefix + "￿"):
+            _, _, window_text, key_json = row_key.split("|", 3)
+            cells[(float(window_text), tuple(json.loads(key_json)))] = columns
+        # ... and in-memory state (strictly newer) overrides them.
+        for (name, start, group_key), state in self._state.items():
+            if name == table_name:
+                cells[(start, group_key)] = state
+        rows: list[Row] = []
+        for (start, group_key), state in cells.items():
+            if window_start is not None and start != window_start:
+                continue
+            row: Row = {"window_start": start}
+            for (column, _), value in zip(table.group_keys, group_key):
+                row[column] = value
+            for bound in table.aggregates:
+                row[bound.alias] = bound.function.result(
+                    state[bound.alias], bound.extra_args
+                )
+            rows.append(row)
+        rows.sort(key=lambda r: (r["window_start"],
+                                 json.dumps([r[c] for c, _ in table.group_keys])))
+        return rows
+
+    def query_top_k(self, table_name: str, metric: str, k: int,
+                    window_start: float | None = None) -> list[Row]:
+        """The K groups with the largest ``metric`` (dashboard helper)."""
+        rows = self.query(table_name, window_start)
+
+        def sort_value(row: Row) -> float:
+            value = row.get(metric)
+            if isinstance(value, list):  # topk() results sort by their head
+                return value[0] if value else float("-inf")
+            return value if value is not None else float("-inf")
+
+        rows.sort(key=sort_value, reverse=True)
+        return rows[:k]
+
+    def windows(self, table_name: str) -> list[float]:
+        """All window start times with any data (in memory or HBase)."""
+        starts = {
+            start for (name, start, _) in self._state if name == table_name
+        }
+        prefix = f"{self.name}|{table_name}|"
+        for row_key, _ in self.hbase.scan(prefix, prefix + "￿"):
+            starts.add(float(row_key.split("|", 3)[2]))
+        return sorted(starts)
+
+    # -- parallel-process support (Section 5.2) ---------------------------------------------
+
+    def partial_states(self, table_name: str) -> dict[tuple, dict[str, Any]]:
+        """Raw (window, group) -> aggregate-state map for this process."""
+        return {
+            (start, group_key): dict(state)
+            for (name, start, group_key), state in self._state.items()
+            if name == table_name
+        }
+
+    def lag_messages(self) -> int:
+        return sum(reader.lag_messages() for reader in self._readers.values())
+
+    # -- the autoscaler contract (Section 6.4) --------------------------------
+
+    def input_category(self) -> str:
+        return self.plan.scribe_category
+
+    def grow_to_buckets(self) -> int:
+        """Attach readers for buckets added by a category resize.
+
+        Only whole-category apps auto-grow; an instance pinned to an
+        explicit bucket subset is one shard of a manually parallelized
+        deployment and must not steal its siblings' buckets.
+        """
+        category = self.scribe.category(self.plan.scribe_category)
+        for bucket in range(len(self._readers), category.num_buckets):
+            self.buckets.append(bucket)
+            self._readers[bucket] = ScribeReader(
+                self.scribe, self.plan.scribe_category, bucket
+            )
+            saved = self.hbase.get_column(self._offset_row(bucket), "offset")
+            if saved is not None:
+                self._readers[bucket].seek(saved)
+        return len(self._readers)
+
+
+def combine_partial_states(table: TablePlan,
+                           partials: list[dict[tuple, dict[str, Any]]]
+                           ) -> dict[tuple, dict[str, Any]]:
+    """Merge per-process partial aggregates into totals (Section 5.2).
+
+    "The processes must use a different sharding key and compute partial
+    aggregates. One process then combines the partial aggregates." Since
+    all Puma aggregation functions are monoids, the merge is exact.
+    """
+    combined: dict[tuple, dict[str, Any]] = {}
+    for partial in partials:
+        for key, state in partial.items():
+            if key not in combined:
+                combined[key] = {
+                    bound.alias: bound.function.create(bound.extra_args)
+                    for bound in table.aggregates
+                }
+            for bound in table.aggregates:
+                combined[key][bound.alias] = bound.function.merge(
+                    combined[key][bound.alias], state[bound.alias],
+                    bound.extra_args,
+                )
+    return combined

@@ -1,0 +1,157 @@
+"""Abstract syntax tree for PQL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number, string, boolean, or null."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Column:
+    """A reference to an input column."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Infix operation: comparison, arithmetic, or boolean connective."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """NOT or unary minus."""
+
+    op: str
+    operand: "Expression"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr IN (v1, v2, ...)`` membership test."""
+
+    needle: "Expression"
+    values: tuple["Expression", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A scalar function / UDF call in an expression."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+
+Expression = Literal | Column | BinaryOp | UnaryOp | InList | FunctionCall
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregation call in a projection (count, sum, topk, ...).
+
+    ``star`` marks ``count(*)``. Extra literal arguments (e.g. the K of
+    ``topk(score, 5)``) are carried in ``extra_args``.
+    """
+
+    name: str
+    arg: Expression | None
+    star: bool = False
+    extra_args: tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One SELECT item with its output name."""
+
+    expression: Expression | Aggregate
+    alias: str
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateApplication:
+    """``CREATE APPLICATION name;``"""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateInputTable:
+    """``CREATE INPUT TABLE t (cols) FROM SCRIBE("cat") TIME col;``"""
+
+    name: str
+    columns: tuple[str, ...]
+    scribe_category: str
+    time_column: str
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """``[5 minutes]`` on a FROM clause, normalized to seconds."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Select:
+    """The SELECT inside a CREATE TABLE ... AS."""
+
+    projections: tuple[Projection, ...]
+    from_table: str
+    window: WindowSpec | None = None
+    where: Expression | None = None
+    group_by: tuple[str, ...] = ()
+
+    def aggregates(self) -> list[tuple[str, Aggregate]]:
+        """(alias, aggregate) pairs among the projections."""
+        return [
+            (projection.alias, projection.expression)
+            for projection in self.projections
+            if isinstance(projection.expression, Aggregate)
+        ]
+
+    def is_aggregation(self) -> bool:
+        return bool(self.aggregates())
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """``CREATE TABLE name AS SELECT ...``"""
+
+    name: str
+    select: Select
+
+
+Statement = CreateApplication | CreateInputTable | CreateTable
+
+
+@dataclass
+class PqlProgram:
+    """A parsed PQL source: one application plus its tables."""
+
+    application: CreateApplication | None = None
+    input_tables: list[CreateInputTable] = field(default_factory=list)
+    tables: list[CreateTable] = field(default_factory=list)
+
+    def input_table(self, name: str) -> CreateInputTable | None:
+        for table in self.input_tables:
+            if table.name == name:
+                return table
+        return None

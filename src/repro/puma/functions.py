@@ -1,0 +1,421 @@
+"""Puma aggregation functions and scalar UDFs.
+
+"The aggregation functions in Puma are all monoid" (Section 4.4.2):
+every :class:`AggregateFunction` defines an identity state, a per-value
+update, and an associative merge, so Puma can checkpoint partial states,
+combine partial aggregates across shard processes (the Section 5.2
+dashboard pattern), and run map-side partial aggregation in backfill.
+
+States are plain JSON-serializable values so they round-trip through the
+HBase checkpoint rows and through Scribe.
+
+UDFs ("user-defined functions written in Java" in the paper; Python
+callables here) are registered with :func:`register_udf` and usable
+anywhere a scalar expression is.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.analysis.hll import HyperLogLog
+from repro.errors import UnknownFunction
+
+
+class AggregateFunction(ABC):
+    """A monoid aggregation: identity, update, merge, finalize."""
+
+    name: str = ""
+
+    @abstractmethod
+    def create(self, extra_args: tuple = ()) -> Any:
+        """The identity state."""
+
+    @abstractmethod
+    def update(self, state: Any, value: Any, extra_args: tuple = ()) -> Any:
+        """Fold one input value into the state; returns the new state."""
+
+    @abstractmethod
+    def merge(self, left: Any, right: Any, extra_args: tuple = ()) -> Any:
+        """Associative combination of two states."""
+
+    @abstractmethod
+    def result(self, state: Any, extra_args: tuple = ()) -> Any:
+        """The user-visible result for a finished state."""
+
+
+class CountAggregate(AggregateFunction):
+    """``count(*)`` / ``count(col)`` (null column values are skipped)."""
+
+    name = "count"
+
+    def create(self, extra_args: tuple = ()) -> int:
+        return 0
+
+    def update(self, state: int, value: Any, extra_args: tuple = ()) -> int:
+        return state + (0 if value is None else 1)
+
+    def merge(self, left: int, right: int, extra_args: tuple = ()) -> int:
+        return left + right
+
+    def result(self, state: int, extra_args: tuple = ()) -> int:
+        return state
+
+
+class SumAggregate(AggregateFunction):
+    name = "sum"
+
+    def create(self, extra_args: tuple = ()) -> float:
+        return 0
+
+    def update(self, state: float, value: Any,
+               extra_args: tuple = ()) -> float:
+        return state if value is None else state + value
+
+    def merge(self, left: float, right: float,
+              extra_args: tuple = ()) -> float:
+        return left + right
+
+    def result(self, state: float, extra_args: tuple = ()) -> float:
+        return state
+
+
+class AvgAggregate(AggregateFunction):
+    """Average; state is ``[sum, count]`` so it merges exactly."""
+
+    name = "avg"
+
+    def create(self, extra_args: tuple = ()) -> list:
+        return [0.0, 0]
+
+    def update(self, state: list, value: Any, extra_args: tuple = ()) -> list:
+        if value is None:
+            return state
+        return [state[0] + value, state[1] + 1]
+
+    def merge(self, left: list, right: list, extra_args: tuple = ()) -> list:
+        return [left[0] + right[0], left[1] + right[1]]
+
+    def result(self, state: list, extra_args: tuple = ()) -> float | None:
+        return state[0] / state[1] if state[1] else None
+
+
+class MinAggregate(AggregateFunction):
+    name = "min"
+
+    def create(self, extra_args: tuple = ()) -> Any:
+        return None
+
+    def update(self, state: Any, value: Any, extra_args: tuple = ()) -> Any:
+        if value is None:
+            return state
+        return value if state is None or value < state else state
+
+    def merge(self, left: Any, right: Any, extra_args: tuple = ()) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+    def result(self, state: Any, extra_args: tuple = ()) -> Any:
+        return state
+
+
+class MaxAggregate(AggregateFunction):
+    name = "max"
+
+    def create(self, extra_args: tuple = ()) -> Any:
+        return None
+
+    def update(self, state: Any, value: Any, extra_args: tuple = ()) -> Any:
+        if value is None:
+            return state
+        return value if state is None or value > state else state
+
+    def merge(self, left: Any, right: Any, extra_args: tuple = ()) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+    def result(self, state: Any, extra_args: tuple = ()) -> Any:
+        return state
+
+
+class TopKAggregate(AggregateFunction):
+    """``topk(expr [, k])``: the K largest values seen (default K=10).
+
+    This is the aggregation in the paper's Figure 2. The state — a
+    descending list capped at K — is a monoid: merge concatenates,
+    re-sorts, and truncates.
+    """
+
+    name = "topk"
+    DEFAULT_K = 10
+
+    def _k(self, extra_args: tuple) -> int:
+        return int(extra_args[0]) if extra_args else self.DEFAULT_K
+
+    def create(self, extra_args: tuple = ()) -> list:
+        return []
+
+    def update(self, state: list, value: Any, extra_args: tuple = ()) -> list:
+        if value is None:
+            return state
+        merged = sorted(state + [value], reverse=True)
+        return merged[:self._k(extra_args)]
+
+    def merge(self, left: list, right: list, extra_args: tuple = ()) -> list:
+        merged = sorted(left + right, reverse=True)
+        return merged[:self._k(extra_args)]
+
+    def result(self, state: list, extra_args: tuple = ()) -> list:
+        return list(state)
+
+
+class ApproxDistinctAggregate(AggregateFunction):
+    """``approx_distinct(expr)``: HyperLogLog distinct-count estimate."""
+
+    name = "approx_distinct"
+
+    def create(self, extra_args: tuple = ()) -> dict:
+        return HyperLogLog().to_state()
+
+    def update(self, state: dict, value: Any, extra_args: tuple = ()) -> dict:
+        if value is None:
+            return state
+        sketch = HyperLogLog.from_state(state)
+        sketch.add(value)
+        return sketch.to_state()
+
+    def merge(self, left: dict, right: dict, extra_args: tuple = ()) -> dict:
+        return (HyperLogLog.from_state(left)
+                .merge(HyperLogLog.from_state(right)).to_state())
+
+    def result(self, state: dict, extra_args: tuple = ()) -> int:
+        return round(HyperLogLog.from_state(state).cardinality())
+
+
+class StddevAggregate(AggregateFunction):
+    """Population standard deviation; state ``[n, mean, M2]`` (Chan et al.)."""
+
+    name = "stddev"
+
+    def create(self, extra_args: tuple = ()) -> list:
+        return [0, 0.0, 0.0]
+
+    def update(self, state: list, value: Any, extra_args: tuple = ()) -> list:
+        if value is None:
+            return state
+        n, mean, m2 = state
+        n += 1
+        delta = value - mean
+        mean += delta / n
+        m2 += delta * (value - mean)
+        return [n, mean, m2]
+
+    def merge(self, left: list, right: list, extra_args: tuple = ()) -> list:
+        n1, mean1, m21 = left
+        n2, mean2, m22 = right
+        if n1 == 0:
+            return list(right)
+        if n2 == 0:
+            return list(left)
+        n = n1 + n2
+        delta = mean2 - mean1
+        mean = mean1 + delta * n2 / n
+        m2 = m21 + m22 + delta * delta * n1 * n2 / n
+        return [n, mean, m2]
+
+    def result(self, state: list, extra_args: tuple = ()) -> float | None:
+        n, _, m2 = state
+        return math.sqrt(m2 / n) if n else None
+
+
+class ApproxPercentileAggregate(AggregateFunction):
+    """``approx_percentile(expr, p [, bucket_width])``: histogram quantile.
+
+    The state is a fixed-width histogram (value-bucket -> count), which
+    is a plain dict-sum monoid — so it checkpoints, shards, and
+    backfills like every other Puma aggregate. The result is the linear
+    interpolation of the ``p``-quantile within its bucket; the error is
+    bounded by the bucket width. The mobile-analytics pipelines of the
+    paper's introduction (cold start time percentiles, Section 1) are
+    the motivating use.
+    """
+
+    name = "approx_percentile"
+    DEFAULT_BUCKET_WIDTH = 1.0
+
+    def _width(self, extra_args: tuple) -> float:
+        return float(extra_args[1]) if len(extra_args) > 1 \
+            else self.DEFAULT_BUCKET_WIDTH
+
+    @staticmethod
+    def _fraction(extra_args: tuple) -> float:
+        if not extra_args:
+            raise UnknownFunction(
+                "approx_percentile needs a percentile argument, e.g. "
+                "approx_percentile(latency, 95)"
+            )
+        p = float(extra_args[0])
+        return p / 100.0 if p > 1.0 else p
+
+    def create(self, extra_args: tuple = ()) -> dict:
+        return {}
+
+    def update(self, state: dict, value: Any, extra_args: tuple = ()) -> dict:
+        if value is None:
+            return state
+        width = self._width(extra_args)
+        bucket = str(int(math.floor(value / width)))
+        state = dict(state)
+        state[bucket] = state.get(bucket, 0) + 1
+        return state
+
+    def merge(self, left: dict, right: dict, extra_args: tuple = ()) -> dict:
+        merged = dict(left)
+        for bucket, count in right.items():
+            merged[bucket] = merged.get(bucket, 0) + count
+        return merged
+
+    def result(self, state: dict, extra_args: tuple = ()) -> float | None:
+        if not state:
+            return None
+        width = self._width(extra_args)
+        fraction = self._fraction(extra_args)
+        total = sum(state.values())
+        target = fraction * total
+        running = 0.0
+        for bucket in sorted(state, key=int):
+            count = state[bucket]
+            if running + count >= target:
+                # Interpolate inside the bucket.
+                into = (target - running) / count if count else 0.0
+                return (int(bucket) + into) * width
+            running += count
+        last = max(state, key=int)
+        return (int(last) + 1) * width
+
+
+AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
+    agg.name: agg
+    for agg in (
+        CountAggregate(), SumAggregate(), AvgAggregate(), MinAggregate(),
+        MaxAggregate(), TopKAggregate(), ApproxDistinctAggregate(),
+        StddevAggregate(), ApproxPercentileAggregate(),
+    )
+}
+
+
+def register_aggregate(aggregate: AggregateFunction) -> None:
+    """Add a user-defined aggregation (Hive-UDAF-style)."""
+    if not aggregate.name:
+        raise UnknownFunction("aggregate has no name")
+    AGGREGATE_FUNCTIONS[aggregate.name.lower()] = aggregate
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    try:
+        return AGGREGATE_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise UnknownFunction(f"unknown aggregate {name!r}") from None
+
+
+# -- scalar UDFs ------------------------------------------------------------------
+#
+# The builtin library mirrors "common Hive UDFs" — Section 5.3 lists
+# "adding enough common Hive UDFs to Puma and Stylus to support most
+# queries" as a prerequisite for converting batch pipelines. All of them
+# propagate null (None in, None out), as Hive's do.
+
+
+def _contains(haystack: Any, needle: Any) -> bool:
+    return needle in haystack if haystack is not None else False
+
+
+def _substr(s: Any, start: Any, length: Any = None) -> Any:
+    """1-based substring, Hive-style."""
+    if s is None:
+        return None
+    begin = int(start) - 1
+    if length is None:
+        return s[begin:]
+    return s[begin:begin + int(length)]
+
+
+def _split_part(s: Any, sep: Any, index: Any) -> Any:
+    """1-based field extraction after splitting on ``sep``."""
+    if s is None:
+        return None
+    parts = s.split(sep)
+    position = int(index) - 1
+    return parts[position] if 0 <= position < len(parts) else None
+
+
+def _regexp_like(s: Any, pattern: Any) -> bool:
+    import re
+
+    return bool(re.search(pattern, s)) if s is not None else False
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    # strings
+    "lower": lambda s: s.lower() if s is not None else None,
+    "upper": lambda s: s.upper() if s is not None else None,
+    "length": lambda s: len(s) if s is not None else None,
+    "trim": lambda s: s.strip() if s is not None else None,
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "contains": _contains,
+    "starts_with": lambda s, p: s.startswith(p) if s is not None else False,
+    "ends_with": lambda s, p: s.endswith(p) if s is not None else False,
+    "substr": _substr,
+    "split_part": _split_part,
+    "replace": lambda s, old, new: (s.replace(old, new)
+                                    if s is not None else None),
+    "regexp_like": _regexp_like,
+    # numbers
+    "abs": lambda x: abs(x) if x is not None else None,
+    "round": lambda x, digits=0: round(x, int(digits)) if x is not None else None,
+    "floor": lambda x: math.floor(x) if x is not None else None,
+    "ceil": lambda x: math.ceil(x) if x is not None else None,
+    "sqrt": lambda x: math.sqrt(x) if x is not None else None,
+    "pow": lambda x, y: x ** y if x is not None and y is not None else None,
+    "ln": lambda x: math.log(x) if x is not None else None,
+    "log10": lambda x: math.log10(x) if x is not None else None,
+    "mod": lambda x, y: x % y if x is not None and y is not None else None,
+    "greatest": lambda *xs: max(x for x in xs if x is not None)
+    if any(x is not None for x in xs) else None,
+    "least": lambda *xs: min(x for x in xs if x is not None)
+    if any(x is not None for x in xs) else None,
+    # conditionals / null handling
+    "coalesce": lambda *values: next(
+        (v for v in values if v is not None), None
+    ),
+    "if": lambda cond, then, otherwise: then if cond else otherwise,
+    "nullif": lambda a, b: None if a == b else a,
+    "is_null": lambda x: x is None,
+    # event-time helpers (event times are seconds since the epoch of the
+    # simulated world; day boundaries match Hive's midnight partitions)
+    "hour_of_day": lambda t: (int(t // 3600) % 24) if t is not None else None,
+    "minute_of_hour": lambda t: (int(t // 60) % 60) if t is not None else None,
+    "day_bucket": lambda t: int(t // 86400) if t is not None else None,
+    "time_bucket": lambda t, size: (math.floor(t / size) * size
+                                    if t is not None else None),
+}
+
+
+def register_udf(name: str, func: Callable[..., Any]) -> None:
+    """Register a scalar UDF usable in any PQL expression."""
+    SCALAR_FUNCTIONS[name.lower()] = func
+
+
+def get_udf(name: str) -> Callable[..., Any]:
+    try:
+        return SCALAR_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise UnknownFunction(f"unknown function {name!r}") from None

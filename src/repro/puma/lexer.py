@@ -1,0 +1,147 @@
+"""Tokenizer for PQL, Puma's SQL dialect.
+
+The dialect is the one visible in the paper's Figure 2: CREATE
+APPLICATION / CREATE INPUT TABLE ... FROM SCRIBE(...) TIME col /
+CREATE TABLE ... AS SELECT ... FROM table [N minutes], plus WHERE,
+GROUP BY, and function calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PqlSyntaxError
+
+KEYWORDS = {
+    "CREATE", "APPLICATION", "INPUT", "TABLE", "FROM", "SCRIBE", "TIME",
+    "AS", "SELECT", "WHERE", "GROUP", "BY", "AND", "OR", "NOT", "IN",
+    "SECONDS", "SECOND", "MINUTES", "MINUTE", "HOURS", "HOUR",
+    "DAYS", "DAY", "TRUE", "FALSE", "NULL",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"     # = != < <= > >= + - * / %
+    PUNCTUATION = "punct"     # ( ) , ; [ ] .
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source position (1-based line and column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value == word.upper()
+
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = "(),;[]."
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize PQL source; raises :class:`PqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> PqlSyntaxError:
+        return PqlSyntaxError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("--", index):  # line comment
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        start_column = column
+
+        if char == "'" or char == '"':
+            quote = char
+            end = index + 1
+            while end < length and source[end] != quote:
+                if source[end] == "\n":
+                    raise error("unterminated string literal")
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            value = source[index + 1:end]
+            tokens.append(Token(TokenType.STRING, value, line, start_column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+
+        if char.isdigit() or (char == "." and index + 1 < length
+                              and source[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (source[end].isdigit()
+                                    or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    seen_dot = True
+                end += 1
+            value = source[index:end]
+            tokens.append(Token(TokenType.NUMBER, value, line, start_column))
+            column += end - index
+            index = end
+            continue
+
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, line,
+                                    start_column))
+            column += end - index
+            index = end
+            continue
+
+        matched_op = next(
+            (op for op in _OPERATORS if source.startswith(op, index)), None
+        )
+        if matched_op is not None:
+            value = "!=" if matched_op == "<>" else matched_op
+            tokens.append(Token(TokenType.OPERATOR, value, line, start_column))
+            column += len(matched_op)
+            index += len(matched_op)
+            continue
+
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, line, start_column))
+            column += 1
+            index += 1
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenType.END, "", line, column))
+    return tokens

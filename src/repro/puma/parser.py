@@ -1,0 +1,380 @@
+"""Recursive-descent parser for PQL.
+
+Grammar (statements end with ``;``):
+
+    program        := statement* ;
+    statement      := create_application | create_input_table | create_table
+    create_application := CREATE APPLICATION ident
+    create_input_table := CREATE INPUT TABLE ident "(" ident ("," ident)* ")"
+                          FROM SCRIBE "(" string ")" TIME ident
+    create_table   := CREATE TABLE ident AS select
+    select         := SELECT projection ("," projection)* FROM ident window?
+                      (WHERE expr)? (GROUP BY ident ("," ident)*)?
+    window         := "[" number time_unit "]"
+    projection     := expr (AS ident)?
+    expr           := or_expr
+    or_expr        := and_expr (OR and_expr)*
+    and_expr       := not_expr (AND not_expr)*
+    not_expr       := NOT not_expr | comparison
+    comparison     := additive ((= | != | < | <= | > | >=) additive
+                      | (NOT)? IN "(" literal ("," literal)* ")")?
+    additive       := term ((+|-) term)*
+    term           := factor ((*|/|%) factor)*
+    factor         := "-" factor | literal | column | call | "(" expr ")"
+    call           := ident "(" ("*" | expr ("," expr)*)? ")"
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import PqlSyntaxError
+from repro.puma.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    CreateApplication,
+    CreateInputTable,
+    CreateTable,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    PqlProgram,
+    Projection,
+    Select,
+    UnaryOp,
+    WindowSpec,
+)
+from repro.puma.functions import AGGREGATE_FUNCTIONS
+from repro.puma.lexer import Token, TokenType, tokenize
+
+_TIME_UNITS = {
+    "SECOND": 1.0, "SECONDS": 1.0,
+    "MINUTE": 60.0, "MINUTES": 60.0,
+    "HOUR": 3600.0, "HOURS": 3600.0,
+    "DAY": 86400.0, "DAYS": 86400.0,
+}
+
+
+def parse(source: str) -> PqlProgram:
+    """Parse PQL source into a :class:`PqlProgram`."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type != TokenType.END:
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> PqlSyntaxError:
+        token = self._peek()
+        return PqlSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word}, got {token.value!r}")
+        return self._advance()
+
+    def _expect_punct(self, char: str) -> Token:
+        token = self._peek()
+        if token.type != TokenType.PUNCTUATION or token.value != char:
+            raise self._error(f"expected {char!r}, got {token.value!r}")
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type == TokenType.IDENTIFIER:
+            return self._advance().value
+        # Time units are *soft* keywords: outside a window spec they are
+        # perfectly good names ("... AS hour").
+        if token.type == TokenType.KEYWORD and token.value in _TIME_UNITS:
+            return self._advance().value.lower()
+        raise self._error(f"expected identifier, got {token.value!r}")
+
+    def _match_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.type == TokenType.PUNCTUATION and token.value == char:
+            self._advance()
+            return True
+        return False
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_program(self) -> PqlProgram:
+        program = PqlProgram()
+        while self._peek().type != TokenType.END:
+            self._expect_keyword("CREATE")
+            token = self._peek()
+            if token.is_keyword("APPLICATION"):
+                self._advance()
+                name = self._expect_identifier()
+                if program.application is not None:
+                    raise self._error("duplicate CREATE APPLICATION")
+                program.application = CreateApplication(name)
+            elif token.is_keyword("INPUT"):
+                self._advance()
+                program.input_tables.append(self._parse_input_table())
+            elif token.is_keyword("TABLE"):
+                program.tables.append(self._parse_create_table())
+            else:
+                raise self._error(
+                    "expected APPLICATION, INPUT TABLE, or TABLE after CREATE"
+                )
+            self._expect_punct(";")
+        return program
+
+    def _parse_input_table(self) -> CreateInputTable:
+        self._expect_keyword("TABLE")
+        name = self._expect_identifier()
+        self._expect_punct("(")
+        columns = [self._expect_identifier()]
+        while self._match_punct(","):
+            columns.append(self._expect_identifier())
+        self._expect_punct(")")
+        self._expect_keyword("FROM")
+        self._expect_keyword("SCRIBE")
+        self._expect_punct("(")
+        category_token = self._peek()
+        if category_token.type != TokenType.STRING:
+            raise self._error("SCRIBE() takes a quoted category name")
+        self._advance()
+        self._expect_punct(")")
+        self._expect_keyword("TIME")
+        time_column = self._expect_identifier()
+        if time_column not in columns:
+            raise self._error(
+                f"TIME column {time_column!r} is not a declared column"
+            )
+        return CreateInputTable(name, tuple(columns), category_token.value,
+                                time_column)
+
+    def _parse_create_table(self) -> CreateTable:
+        self._expect_keyword("TABLE")
+        name = self._expect_identifier()
+        self._expect_keyword("AS")
+        select = self._parse_select()
+        return CreateTable(name, select)
+
+    # -- SELECT --------------------------------------------------------------------
+
+    def _parse_select(self) -> Select:
+        self._expect_keyword("SELECT")
+        projections = [self._parse_projection()]
+        while self._match_punct(","):
+            projections.append(self._parse_projection())
+        self._expect_keyword("FROM")
+        from_table = self._expect_identifier()
+        window = None
+        if self._match_punct("["):
+            window = self._parse_window()
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self._parse_expression()
+        group_by: list[str] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expect_identifier())
+            while self._match_punct(","):
+                group_by.append(self._expect_identifier())
+        return Select(tuple(projections), from_table, window, where,
+                      tuple(group_by))
+
+    def _parse_window(self) -> WindowSpec:
+        token = self._peek()
+        if token.type != TokenType.NUMBER:
+            raise self._error("expected a number in the window spec")
+        self._advance()
+        amount = float(token.value)
+        unit_token = self._peek()
+        unit = _TIME_UNITS.get(unit_token.value)
+        if unit_token.type != TokenType.KEYWORD or unit is None:
+            raise self._error(
+                f"expected a time unit, got {unit_token.value!r}"
+            )
+        self._advance()
+        self._expect_punct("]")
+        return WindowSpec(amount * unit)
+
+    def _parse_projection(self) -> Projection:
+        expression = self._parse_projection_expression()
+        if self._match_keyword("AS"):
+            alias = self._expect_identifier()
+        else:
+            alias = _default_alias(expression)
+        return Projection(expression, alias)
+
+    def _parse_projection_expression(self) -> Expression | Aggregate:
+        """A projection may be an aggregate call; nested aggregates are not."""
+        token = self._peek()
+        next_token = self._tokens[self._index + 1] \
+            if self._index + 1 < len(self._tokens) else None
+        is_call = (token.type == TokenType.IDENTIFIER
+                   and next_token is not None
+                   and next_token.type == TokenType.PUNCTUATION
+                   and next_token.value == "(")
+        if is_call and token.value.lower() in AGGREGATE_FUNCTIONS:
+            return self._parse_aggregate()
+        return self._parse_expression()
+
+    def _parse_aggregate(self) -> Aggregate:
+        name = self._advance().value.lower()
+        self._expect_punct("(")
+        if self._peek().type == TokenType.OPERATOR and self._peek().value == "*":
+            self._advance()
+            self._expect_punct(")")
+            return Aggregate(name, None, star=True)
+        if self._match_punct(")"):
+            return Aggregate(name, None, star=True)
+        arg = self._parse_expression()
+        extra: list[Any] = []
+        while self._match_punct(","):
+            literal = self._parse_expression()
+            if not isinstance(literal, Literal):
+                raise self._error(
+                    f"extra arguments to {name}() must be literals"
+                )
+            extra.append(literal.value)
+        self._expect_punct(")")
+        return Aggregate(name, arg, extra_args=tuple(extra))
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._match_keyword("NOT"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value in (
+                "=", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            return BinaryOp(token.value, left, self._parse_additive())
+        negated = False
+        if token.is_keyword("NOT"):
+            lookahead = self._tokens[self._index + 1]
+            if lookahead.is_keyword("IN"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_punct("(")
+            values = [self._parse_expression()]
+            while self._match_punct(","):
+                values.append(self._parse_expression())
+            self._expect_punct(")")
+            return InList(left, tuple(values), negated)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.value in ("+", "-"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_term())
+            else:
+                return left
+
+    def _parse_term(self) -> Expression:
+        left = self._parse_factor()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._parse_factor())
+            else:
+                return left
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            return UnaryOp("-", self._parse_factor())
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            value = float(token.value)
+            if value.is_integer() and "." not in token.value:
+                return Literal(int(value))
+            return Literal(value)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if self._match_punct("("):
+            inner = self._parse_expression()
+            self._expect_punct(")")
+            return inner
+        if token.type == TokenType.IDENTIFIER:
+            next_token = self._tokens[self._index + 1]
+            if (next_token.type == TokenType.PUNCTUATION
+                    and next_token.value == "("):
+                return self._parse_function_call()
+            self._advance()
+            return Column(token.value)
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_function_call(self) -> FunctionCall:
+        name = self._advance().value
+        self._expect_punct("(")
+        args: list[Expression] = []
+        if not self._match_punct(")"):
+            args.append(self._parse_expression())
+            while self._match_punct(","):
+                args.append(self._parse_expression())
+            self._expect_punct(")")
+        return FunctionCall(name.lower(), tuple(args))
+
+
+def _default_alias(expression: Expression | Aggregate) -> str:
+    if isinstance(expression, Column):
+        return expression.name
+    if isinstance(expression, Aggregate):
+        return expression.name
+    if isinstance(expression, FunctionCall):
+        return expression.name
+    return "expr"

@@ -1,0 +1,261 @@
+"""Compilation of parsed PQL into an executable plan.
+
+"Unlike traditional relational databases, Puma is optimized for compiled
+queries, not for ad-hoc analysis" (Section 2.2): an app is planned once
+at deploy time — expressions compile to Python closures, aggregates bind
+to their function objects, column references are validated against the
+input table — and then runs for months.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import PlanningError
+from repro.puma.ast import (
+    Aggregate,
+    BinaryOp,
+    Column,
+    CreateInputTable,
+    CreateTable,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    PqlProgram,
+    Select,
+    UnaryOp,
+)
+from repro.puma.functions import AggregateFunction, get_aggregate, get_udf
+
+Row = dict[str, Any]
+Evaluator = Callable[[Row], Any]
+
+
+# -- expression compilation ------------------------------------------------------
+
+
+def compile_expression(expression: Expression,
+                       columns: tuple[str, ...]) -> Evaluator:
+    """Compile an expression into a row -> value closure.
+
+    Column references are checked against ``columns`` at compile time, so
+    a typo fails at deploy, not at the first event.
+    """
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda row: value
+    if isinstance(expression, Column):
+        name = expression.name
+        if name not in columns:
+            raise PlanningError(
+                f"unknown column {name!r}; input columns are {list(columns)}"
+            )
+        return lambda row: row.get(name)
+    if isinstance(expression, UnaryOp):
+        inner = compile_expression(expression.operand, columns)
+        if expression.op == "NOT":
+            return lambda row: not inner(row)
+        return lambda row: -inner(row)
+    if isinstance(expression, InList):
+        needle = compile_expression(expression.needle, columns)
+        member_evals = [compile_expression(v, columns)
+                        for v in expression.values]
+        negated = expression.negated
+        if all(isinstance(v, Literal) for v in expression.values):
+            constants = frozenset(v.value for v in expression.values)  # type: ignore[union-attr]
+            if negated:
+                return lambda row: needle(row) not in constants
+            return lambda row: needle(row) in constants
+        if negated:
+            return lambda row: needle(row) not in {e(row) for e in member_evals}
+        return lambda row: needle(row) in {e(row) for e in member_evals}
+    if isinstance(expression, FunctionCall):
+        func = get_udf(expression.name)
+        arg_evals = [compile_expression(a, columns) for a in expression.args]
+        return lambda row: func(*(e(row) for e in arg_evals))
+    if isinstance(expression, BinaryOp):
+        return _compile_binary(expression, columns)
+    raise PlanningError(f"cannot compile expression {expression!r}")
+
+
+def _compile_binary(expression: BinaryOp,
+                    columns: tuple[str, ...]) -> Evaluator:
+    left = compile_expression(expression.left, columns)
+    right = compile_expression(expression.right, columns)
+    op = expression.op
+    table: dict[str, Callable[[Any, Any], Any]] = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        "%": lambda a, b: a % b,
+        "AND": lambda a, b: bool(a) and bool(b),
+        "OR": lambda a, b: bool(a) or bool(b),
+    }
+    if op not in table:
+        raise PlanningError(f"unknown operator {op!r}")
+    func = table[op]
+    return lambda row: func(left(row), right(row))
+
+
+# -- plans ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundAggregate:
+    """One aggregate projection, bound to its function object."""
+
+    alias: str
+    function: AggregateFunction
+    arg: Evaluator | None  # None for count(*)
+    extra_args: tuple
+
+
+@dataclass(frozen=True)
+class TablePlan:
+    """Executable form of one CREATE TABLE statement."""
+
+    name: str
+    kind: str  # "aggregation" | "filter"
+    predicate: Evaluator | None
+    window_seconds: float | None
+    group_keys: tuple[tuple[str, Evaluator], ...]
+    aggregates: tuple[BoundAggregate, ...]
+    projections: tuple[tuple[str, Evaluator], ...]  # filter mode only
+
+    def group_key(self, row: Row) -> tuple:
+        return tuple(evaluator(row) for _, evaluator in self.group_keys)
+
+
+@dataclass(frozen=True)
+class AppPlan:
+    """Executable form of a whole PQL application."""
+
+    name: str
+    input_table: CreateInputTable
+    tables: tuple[TablePlan, ...]
+
+    @property
+    def scribe_category(self) -> str:
+        return self.input_table.scribe_category
+
+    @property
+    def time_column(self) -> str:
+        return self.input_table.time_column
+
+    def table(self, name: str) -> TablePlan:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise PlanningError(f"app {self.name!r} has no table {name!r}")
+
+
+def plan(program: PqlProgram) -> AppPlan:
+    """Validate and compile a parsed program into an :class:`AppPlan`."""
+    if program.application is None:
+        raise PlanningError("program has no CREATE APPLICATION")
+    if len(program.input_tables) != 1:
+        raise PlanningError(
+            "exactly one CREATE INPUT TABLE is required "
+            f"(got {len(program.input_tables)})"
+        )
+    if not program.tables:
+        raise PlanningError("program defines no output tables")
+    input_table = program.input_tables[0]
+    table_plans = tuple(
+        _plan_table(create, input_table) for create in program.tables
+    )
+    names = [table.name for table in table_plans]
+    if len(set(names)) != len(names):
+        raise PlanningError(f"duplicate table names: {names}")
+    return AppPlan(program.application.name, input_table, table_plans)
+
+
+def _plan_table(create: CreateTable,
+                input_table: CreateInputTable) -> TablePlan:
+    select = create.select
+    if select.from_table != input_table.name:
+        raise PlanningError(
+            f"table {create.name!r} reads {select.from_table!r}, but the "
+            f"app's input table is {input_table.name!r}"
+        )
+    columns = input_table.columns
+    predicate = (compile_expression(select.where, columns)
+                 if select.where is not None else None)
+
+    if select.is_aggregation():
+        return _plan_aggregation(create.name, select, columns, predicate)
+    return _plan_filter(create.name, select, columns, predicate)
+
+
+def _plan_aggregation(name: str, select: Select, columns: tuple[str, ...],
+                      predicate: Evaluator | None) -> TablePlan:
+    aggregates = []
+    plain: list[tuple[str, Evaluator]] = []
+    for projection in select.projections:
+        expr = projection.expression
+        if isinstance(expr, Aggregate):
+            arg = (compile_expression(expr.arg, columns)
+                   if expr.arg is not None else None)
+            aggregates.append(BoundAggregate(
+                projection.alias, get_aggregate(expr.name), arg,
+                expr.extra_args,
+            ))
+        else:
+            plain.append((projection.alias, compile_expression(expr, columns)))
+
+    if select.group_by:
+        group_keys = tuple(
+            (column, compile_expression(Column(column), columns))
+            for column in select.group_by
+        )
+        declared = {alias for alias, _ in plain}
+        missing = [c for c in select.group_by if c not in declared]
+        if missing and plain:
+            raise PlanningError(
+                f"GROUP BY columns {missing} are not projected"
+            )
+    else:
+        # Puma convention: non-aggregate projections are the group key.
+        group_keys = tuple(plain)
+
+    return TablePlan(
+        name=name,
+        kind="aggregation",
+        predicate=predicate,
+        window_seconds=(select.window.seconds
+                        if select.window is not None else None),
+        group_keys=group_keys,
+        aggregates=tuple(aggregates),
+        projections=(),
+    )
+
+
+def _plan_filter(name: str, select: Select, columns: tuple[str, ...],
+                 predicate: Evaluator | None) -> TablePlan:
+    if select.group_by:
+        raise PlanningError(
+            f"table {name!r}: GROUP BY without aggregates is meaningless"
+        )
+    projections = tuple(
+        (projection.alias,
+         compile_expression(projection.expression, columns))
+        for projection in select.projections
+    )
+    return TablePlan(
+        name=name,
+        kind="filter",
+        predicate=predicate,
+        window_seconds=None,
+        group_keys=(),
+        aggregates=(),
+        projections=projections,
+    )

@@ -1,0 +1,156 @@
+"""The Puma deployment service.
+
+"A Puma app is almost as easy to deploy and delete as a Laser app, but
+requires a second engineer: the UI generates a code diff that must be
+reviewed. The app is deployed or deleted automatically after the diff is
+accepted and committed." (Section 6.3). The service owns the full deploy
+path — parse, plan (compile-time validation), the diff-review workflow,
+instantiate — plus listing and deletion, and runs the fleet-wide
+processing-lag alerts that "the Puma team runs ... for all Puma apps"
+(Section 6.4). :meth:`PumaService.deploy` is the direct path used by
+tests and internal tools; :meth:`PumaService.propose` /
+:meth:`PumaService.approve` is the reviewed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import AppPlan, plan
+from repro.runtime.clock import Clock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.store import ScribeStore
+from repro.storage.hbase import HBaseTable
+
+
+@dataclass(frozen=True)
+class PendingDiff:
+    """A proposed app change awaiting a second engineer's review."""
+
+    diff_id: int
+    author: str
+    app_name: str
+    source: str
+    action: str  # "deploy" | "delete"
+
+
+class PumaService:
+    """Registry and lifecycle manager for Puma apps."""
+
+    def __init__(self, scribe: ScribeStore,
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 lag_alert_threshold: int = 10_000) -> None:
+        self.scribe = scribe
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.lag_alert_threshold = lag_alert_threshold
+        self._apps: dict[str, PumaApp] = {}
+        self._pending: dict[int, PendingDiff] = {}
+        self._next_diff_id = 1
+        # The shared HBase cluster Puma aggregation apps store state in.
+        self.hbase = HBaseTable("puma_shared_state")
+
+    # -- deployment ---------------------------------------------------------------
+
+    def compile(self, source: str) -> AppPlan:
+        """Parse and plan without deploying (the code-review step)."""
+        return plan(parse(source))
+
+    def deploy(self, source: str, checkpoint_every_events: int = 500) -> PumaApp:
+        """Deploy a PQL app; it starts consuming on the next pump."""
+        app_plan = self.compile(source)
+        if app_plan.name in self._apps:
+            raise ConfigError(f"app {app_plan.name!r} is already deployed")
+        if not self.scribe.has_category(app_plan.scribe_category):
+            raise ConfigError(
+                f"input category {app_plan.scribe_category!r} does not exist"
+            )
+        app = PumaApp(app_plan, self.scribe, self.hbase,
+                      checkpoint_every_events=checkpoint_every_events,
+                      clock=self.clock, metrics=self.metrics)
+        self._apps[app_plan.name] = app
+        return app
+
+    def delete(self, name: str) -> None:
+        if name not in self._apps:
+            raise ConfigError(f"no deployed app named {name!r}")
+        del self._apps[name]
+
+    # -- the reviewed path (Section 6.3) -------------------------------------
+
+    def propose(self, source: str, author: str) -> PendingDiff:
+        """Generate the code diff for a new app; validation runs now.
+
+        Compilation happens at proposal time so reviewers only ever see
+        diffs that would deploy cleanly.
+        """
+        app_plan = self.compile(source)
+        if app_plan.name in self._apps:
+            raise ConfigError(f"app {app_plan.name!r} is already deployed")
+        diff = PendingDiff(self._next_diff_id, author, app_plan.name,
+                           source, "deploy")
+        self._pending[diff.diff_id] = diff
+        self._next_diff_id += 1
+        return diff
+
+    def propose_delete(self, name: str, author: str) -> PendingDiff:
+        if name not in self._apps:
+            raise ConfigError(f"no deployed app named {name!r}")
+        diff = PendingDiff(self._next_diff_id, author, name, "", "delete")
+        self._pending[diff.diff_id] = diff
+        self._next_diff_id += 1
+        return diff
+
+    def approve(self, diff_id: int, reviewer: str) -> PumaApp | None:
+        """Accept a diff; the change applies automatically.
+
+        The reviewer must be a *second* engineer — self-approval is
+        rejected, which is the whole point of the workflow.
+        """
+        if diff_id not in self._pending:
+            raise ConfigError(f"no pending diff {diff_id}")
+        diff = self._pending[diff_id]
+        if reviewer == diff.author:
+            raise ConfigError("a diff requires a second engineer's review")
+        del self._pending[diff_id]
+        if diff.action == "delete":
+            self.delete(diff.app_name)
+            return None
+        return self.deploy(diff.source)
+
+    def reject(self, diff_id: int) -> None:
+        if diff_id not in self._pending:
+            raise ConfigError(f"no pending diff {diff_id}")
+        del self._pending[diff_id]
+
+    def pending_diffs(self) -> list[PendingDiff]:
+        return [self._pending[diff_id] for diff_id in sorted(self._pending)]
+
+    def app(self, name: str) -> PumaApp:
+        if name not in self._apps:
+            raise ConfigError(f"no deployed app named {name!r}")
+        return self._apps[name]
+
+    def apps(self) -> list[str]:
+        return sorted(self._apps)
+
+    # -- operation ------------------------------------------------------------------
+
+    def pump_all(self, max_messages: int = 1000) -> int:
+        """Drive every deployed app once; return total events processed."""
+        return sum(app.pump(max_messages) for app in self._apps.values())
+
+    def lag_report(self) -> dict[str, int]:
+        """Processing lag per app (Section 6.4's fleet-wide alerts)."""
+        return {name: app.lag_messages() for name, app in self._apps.items()}
+
+    def lag_alerts(self) -> list[str]:
+        """Apps whose lag exceeds the alert threshold."""
+        return sorted(
+            name for name, lag in self.lag_report().items()
+            if lag > self.lag_alert_threshold
+        )

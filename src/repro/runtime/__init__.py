@@ -1,0 +1,39 @@
+"""Deterministic simulated-cluster runtime.
+
+The paper's evaluation depends on behaviours — crashes at known points,
+checkpoint intervals, recovery, processing lag — that are only reproducible
+on a controlled clock. This package provides:
+
+- :class:`~repro.runtime.clock.SimClock`: virtual time, advanced explicitly.
+- :class:`~repro.runtime.scheduler.Scheduler`: a discrete-event loop.
+- :class:`~repro.runtime.cluster.Cluster` and
+  :class:`~repro.runtime.cluster.Machine`: where simulated processes live.
+- :class:`~repro.runtime.failures.FailurePlan`: scripted crash injection.
+- :class:`~repro.runtime.metrics.MetricsRegistry`: counters / gauges / timers.
+- :func:`~repro.runtime.rng.make_rng`: seeded random streams per component.
+"""
+
+from repro.runtime.clock import Clock, SimClock, WallClock
+from repro.runtime.cluster import Cluster, Machine, Process, ProcessState
+from repro.runtime.failures import FailureEvent, FailurePlan
+from repro.runtime.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.runtime.rng import make_rng
+from repro.runtime.scheduler import Scheduler
+
+__all__ = [
+    "Clock",
+    "Cluster",
+    "Counter",
+    "FailureEvent",
+    "FailurePlan",
+    "Gauge",
+    "Machine",
+    "MetricsRegistry",
+    "Process",
+    "ProcessState",
+    "Scheduler",
+    "SimClock",
+    "Timer",
+    "WallClock",
+    "make_rng",
+]

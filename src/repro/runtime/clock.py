@@ -1,0 +1,62 @@
+"""Clock abstractions: simulated and wall-clock time.
+
+All components in the library take a :class:`Clock` rather than calling
+``time.time()`` directly. Experiments run on :class:`SimClock` so that
+checkpoint intervals, failures, and latency measurements are deterministic;
+the benchmarks that measure raw Python throughput use :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.errors import SimulationError
+
+
+class Clock(ABC):
+    """Read-only time source; subclasses define how time advances."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+
+class WallClock(Clock):
+    """Real time, from ``time.monotonic`` (stable under system clock jumps)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class SimClock(Clock):
+    """Virtual time advanced explicitly by the simulation scheduler.
+
+    Time never moves backwards; :meth:`advance_to` enforces monotonicity so a
+    mis-ordered event queue fails loudly instead of silently reordering
+    history.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now}, target={timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now

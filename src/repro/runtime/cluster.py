@@ -1,0 +1,178 @@
+"""Simulated machines and processes.
+
+The distinction that matters for the paper's fault-tolerance story
+(Section 4.4.2, Figure 10) is *what survives which failure*:
+
+- a **process crash** loses in-memory state but keeps the machine's local
+  disk, so a restart on the same machine can recover from the local DB;
+- a **machine failure** loses the local disk too, so recovery must come
+  from a remote copy (HDFS backup or a remote database).
+
+:class:`Machine` therefore owns a ``disk`` namespace that local stores
+attach to; :meth:`Cluster.fail_machine` wipes it, while
+:meth:`Cluster.crash_process` does not.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    RUNNING = "running"
+    CRASHED = "crashed"
+    STOPPED = "stopped"
+
+
+class Process:
+    """A named unit of execution pinned to a machine.
+
+    Stream-processing engines register their in-memory state reset and
+    recovery logic as callbacks; the cluster invokes them when it injects
+    failures or restarts.
+    """
+
+    def __init__(self, name: str, machine: "Machine") -> None:
+        self.name = name
+        self.machine = machine
+        self.state = ProcessState.RUNNING
+        self._on_crash: list[Callable[[], None]] = []
+        self._on_restart: list[Callable[[], None]] = []
+
+    def on_crash(self, callback: Callable[[], None]) -> None:
+        """Register a callback run when this process crashes."""
+        self._on_crash.append(callback)
+
+    def on_restart(self, callback: Callable[[], None]) -> None:
+        """Register a callback run when this process restarts."""
+        self._on_restart.append(callback)
+
+    @property
+    def running(self) -> bool:
+        return self.state == ProcessState.RUNNING
+
+    def _crash(self) -> None:
+        if self.state != ProcessState.RUNNING:
+            return
+        self.state = ProcessState.CRASHED
+        for callback in self._on_crash:
+            callback()
+
+    def _restart(self) -> None:
+        if self.state == ProcessState.RUNNING:
+            return
+        self.state = ProcessState.RUNNING
+        for callback in self._on_restart:
+            callback()
+
+
+class Machine:
+    """A host with a local disk namespace and a set of processes."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.alive = True
+        self.processes: dict[str, Process] = {}
+        # Local stores (e.g. the LSM engine) keep their persistent
+        # structures under a key in this dict; losing the machine loses it.
+        self.disk: dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"Machine({self.name!r}, {status}, {len(self.processes)} procs)"
+
+
+class Cluster:
+    """A set of machines plus failure-injection operations."""
+
+    def __init__(self) -> None:
+        self.machines: dict[str, Machine] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    def add_machine(self, name: str) -> Machine:
+        if name in self.machines:
+            raise SimulationError(f"machine {name!r} already exists")
+        machine = Machine(name)
+        self.machines[name] = machine
+        return machine
+
+    def machine(self, name: str) -> Machine:
+        if name not in self.machines:
+            raise SimulationError(f"unknown machine {name!r}")
+        return self.machines[name]
+
+    def spawn(self, process_name: str, machine_name: str) -> Process:
+        """Start a process on a machine; names are cluster-unique."""
+        machine = self.machine(machine_name)
+        if not machine.alive:
+            raise SimulationError(f"machine {machine_name!r} is down")
+        if self.find_process(process_name) is not None:
+            raise SimulationError(f"process {process_name!r} already exists")
+        process = Process(process_name, machine)
+        machine.processes[process_name] = process
+        return process
+
+    def find_process(self, name: str) -> Process | None:
+        for machine in self.machines.values():
+            if name in machine.processes:
+                return machine.processes[name]
+        return None
+
+    def process(self, name: str) -> Process:
+        found = self.find_process(name)
+        if found is None:
+            raise SimulationError(f"unknown process {name!r}")
+        return found
+
+    # -- failure injection ---------------------------------------------------
+
+    def crash_process(self, name: str) -> None:
+        """Kill a process; the machine's disk survives."""
+        self.process(name)._crash()
+
+    def restart_process(self, name: str) -> None:
+        """Restart a crashed process on the same machine."""
+        process = self.process(name)
+        if not process.machine.alive:
+            raise SimulationError(
+                f"cannot restart {name!r}: machine {process.machine.name!r} is down"
+            )
+        process._restart()
+
+    def fail_machine(self, name: str) -> None:
+        """Take a machine down: crash its processes and wipe its disk."""
+        machine = self.machine(name)
+        machine.alive = False
+        machine.disk.clear()
+        for process in machine.processes.values():
+            process._crash()
+
+    def revive_machine(self, name: str) -> Machine:
+        """Bring a machine back up with an empty disk; processes stay crashed."""
+        machine = self.machine(name)
+        machine.alive = True
+        return machine
+
+    def move_process(self, process_name: str, machine_name: str) -> Process:
+        """Re-home a crashed process onto another (live) machine.
+
+        Models the paper's "if a machine is overloaded, we simply move
+        some jobs to a new machine and they pick up processing the input
+        stream from where they left off" (Section 4.2.2).
+        """
+        process = self.process(process_name)
+        if process.running:
+            raise SimulationError(f"stop or crash {process_name!r} before moving it")
+        target = self.machine(machine_name)
+        if not target.alive:
+            raise SimulationError(f"machine {machine_name!r} is down")
+        del process.machine.processes[process_name]
+        process.machine = target
+        target.processes[process_name] = process
+        return process

@@ -1,0 +1,113 @@
+"""Scripted and randomized failure injection.
+
+A :class:`FailurePlan` binds crash/restart/machine-failure events to a
+:class:`~repro.runtime.scheduler.Scheduler`, so experiments like Figure 7
+("a failure happens at time T, what does the counter output look like
+afterwards?") are reproducible, and hypothesis tests can generate random
+crash schedules and assert semantics invariants under all of them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.runtime.cluster import Cluster
+from repro.runtime.scheduler import Scheduler
+
+
+class FailureKind(enum.Enum):
+    """What the injected event does."""
+
+    CRASH_PROCESS = "crash_process"
+    RESTART_PROCESS = "restart_process"
+    FAIL_MACHINE = "fail_machine"
+    REVIVE_MACHINE = "revive_machine"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scripted event: do ``kind`` to ``target`` at time ``at``."""
+
+    at: float
+    kind: FailureKind
+    target: str
+
+    def apply(self, cluster: Cluster) -> None:
+        if self.kind == FailureKind.CRASH_PROCESS:
+            cluster.crash_process(self.target)
+        elif self.kind == FailureKind.RESTART_PROCESS:
+            cluster.restart_process(self.target)
+        elif self.kind == FailureKind.FAIL_MACHINE:
+            cluster.fail_machine(self.target)
+        elif self.kind == FailureKind.REVIVE_MACHINE:
+            cluster.revive_machine(self.target)
+
+
+class FailurePlan:
+    """An ordered script of failure events, installable on a scheduler."""
+
+    def __init__(self, events: list[FailureEvent] | None = None) -> None:
+        self.events: list[FailureEvent] = sorted(
+            events or [], key=lambda event: event.at
+        )
+
+    # -- builders ----------------------------------------------------------
+
+    def crash(self, process: str, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, FailureKind.CRASH_PROCESS, process))
+        return self
+
+    def restart(self, process: str, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, FailureKind.RESTART_PROCESS, process))
+        return self
+
+    def crash_and_restart(self, process: str, at: float,
+                          downtime: float) -> "FailurePlan":
+        """Crash at ``at`` and restart ``downtime`` seconds later."""
+        return self.crash(process, at).restart(process, at + downtime)
+
+    def fail_machine(self, machine: str, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, FailureKind.FAIL_MACHINE, machine))
+        return self
+
+    def revive_machine(self, machine: str, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, FailureKind.REVIVE_MACHINE, machine))
+        return self
+
+    @classmethod
+    def random_crashes(cls, process: str, horizon: float, rate: float,
+                       downtime: float, rng: random.Random) -> "FailurePlan":
+        """Poisson crash arrivals over ``[0, horizon]`` with fixed downtime.
+
+        Used by property tests to check semantics invariants under arbitrary
+        crash schedules.
+        """
+        plan = cls()
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate)
+            if t >= horizon:
+                break
+            plan.crash_and_restart(process, t, downtime)
+            t += downtime
+        return plan
+
+    # -- installation ------------------------------------------------------
+
+    def install(self, scheduler: Scheduler, cluster: Cluster) -> None:
+        """Schedule every event onto ``scheduler`` against ``cluster``."""
+        for event in sorted(self.events, key=lambda e: e.at):
+            scheduler.at(event.at, _Applier(event, cluster))
+
+
+class _Applier:
+    """Callable wrapper so each event closes over its own binding."""
+
+    def __init__(self, event: FailureEvent, cluster: Cluster) -> None:
+        self._event = event
+        self._cluster = cluster
+
+    def __call__(self) -> None:
+        self._event.apply(self._cluster)

@@ -1,0 +1,122 @@
+"""Lightweight metrics: counters, gauges, and timers.
+
+The paper stresses that operating hundreds of pipelines requires built-in
+monitoring (Section 6.4). Every engine in this library reports through a
+:class:`MetricsRegistry`; the monitoring package (processing-lag alerts)
+and the benchmark harnesses read from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.clock import Clock, WallClock
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events processed, bytes read, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value (queue depth, lag seconds, memory bytes, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Timer:
+    """Accumulates durations; reports count / total / mean."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"timer {self.name!r} got negative duration")
+        self.count += 1
+        self.total_seconds += seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class _TimerContext:
+    clock: Clock
+    timer: Timer
+    _start: float = field(default=0.0, init=False)
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.timer.record(self.clock.now() - self._start)
+
+
+class MetricsRegistry:
+    """Namespace of metrics, created on first use.
+
+    Names are conventionally dotted: ``"stylus.scorer.events_processed"``.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else WallClock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def time(self, name: str) -> _TimerContext:
+        """Context manager recording the elapsed time into ``timer(name)``."""
+        return _TimerContext(self._clock, self.timer(name))
+
+    def snapshot(self) -> dict[str, float]:
+        """Flatten every metric into a name -> value mapping."""
+        flat: dict[str, float] = {}
+        for counter in self._counters.values():
+            flat[counter.name] = counter.value
+        for gauge in self._gauges.values():
+            flat[gauge.name] = gauge.value
+        for timer in self._timers.values():
+            flat[f"{timer.name}.count"] = float(timer.count)
+            flat[f"{timer.name}.total_seconds"] = timer.total_seconds
+        return flat
+
+    def find(self, prefix: str) -> dict[str, float]:
+        """Return the snapshot entries whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self.snapshot().items()
+            if name.startswith(prefix)
+        }

@@ -1,0 +1,170 @@
+"""Discrete-event simulation scheduler.
+
+A minimal but complete event loop: callbacks are scheduled at absolute or
+relative virtual times and executed in timestamp order (FIFO among equal
+timestamps). The scheduler owns a :class:`~repro.runtime.clock.SimClock`
+and advances it as events fire.
+
+Recurring work (checkpoint timers, flush timers, lag monitors) is expressed
+with :meth:`Scheduler.every`, which reschedules itself until cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.runtime.clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    timestamp: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by ``at``/``after``/``every``; supports cancellation."""
+
+    def __init__(self) -> None:
+        self._events: list[_ScheduledEvent] = []
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent any pending (and, for ``every``, future) firings."""
+        self._cancelled = True
+        for event in self._events:
+            event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _track(self, event: _ScheduledEvent) -> None:
+        # Old events are never un-cancelled, so only the live tail matters.
+        self._events = [e for e in self._events if not e.cancelled]
+        self._events.append(event)
+
+
+class Scheduler:
+    """Runs callbacks in virtual-time order on a shared :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    def now(self) -> float:
+        return self.clock.now()
+
+    # -- scheduling -------------------------------------------------------
+
+    def at(self, timestamp: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``timestamp``."""
+        if timestamp < self.clock.now():
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now()}, at={timestamp}"
+            )
+        handle = EventHandle()
+        event = _ScheduledEvent(timestamp, next(self._sequence), callback)
+        handle._track(event)
+        heapq.heappush(self._queue, event)
+        return handle
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.clock.now() + delay, callback)
+
+    def every(self, interval: float, callback: Callable[[], None],
+              start_after: float | None = None) -> EventHandle:
+        """Schedule ``callback`` every ``interval`` seconds until cancelled.
+
+        The first firing happens after ``start_after`` seconds (defaults to
+        one full ``interval``).
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        handle = EventHandle()
+        first_delay = interval if start_after is None else start_after
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if not handle.cancelled:
+                event = _ScheduledEvent(
+                    self.clock.now() + interval, next(self._sequence), fire
+                )
+                handle._track(event)
+                heapq.heappush(self._queue, event)
+
+        event = _ScheduledEvent(
+            self.clock.now() + first_delay, next(self._sequence), fire
+        )
+        handle._track(event)
+        heapq.heappush(self._queue, event)
+        return handle
+
+    # -- execution --------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Run the single next event; return False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.timestamp)
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, timestamp: float) -> None:
+        """Run every event scheduled at or before ``timestamp``.
+
+        The clock always lands exactly on ``timestamp`` afterwards, even if
+        the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.timestamp > timestamp:
+                    break
+                heapq.heappop(self._queue)
+                self.clock.advance_to(head.timestamp)
+                head.callback()
+            if timestamp > self.clock.now():
+                self.clock.advance_to(timestamp)
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely; return the number of events run.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise SimulationError(
+                    f"scheduler exceeded {max_events} events; runaway loop?"
+                )
+        return count

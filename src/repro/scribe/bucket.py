@@ -1,0 +1,151 @@
+"""A Scribe bucket: the append-only log that backs one partition.
+
+A bucket is "the basic processing unit for stream processing systems"
+(Section 2.1). It stores messages densely by offset, supports reading any
+retained range, and trims data older than the retention window. Offsets
+are never reused: after trimming, the first retained offset moves forward
+but the numbering is stable, so checkpointed offsets stay meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OffsetOutOfRange
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """A message at rest in a bucket."""
+
+    offset: int
+    write_time: float
+    visible_at: float
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.payload)
+
+
+class Bucket:
+    """Append-only message log with retention trimming."""
+
+    def __init__(self, category: str, index: int) -> None:
+        self.category = category
+        self.index = index
+        self._messages: list[StoredMessage] = []
+        self._base_offset = 0  # offset of _messages[0]
+        self._bytes_appended = 0
+
+    # -- writes -------------------------------------------------------------
+
+    def append(self, payload: bytes, write_time: float,
+               visible_at: float) -> int:
+        """Store a message; return its offset."""
+        offset = self._base_offset + len(self._messages)
+        self._messages.append(
+            StoredMessage(offset, write_time, visible_at, payload)
+        )
+        self._bytes_appended += len(payload)
+        return offset
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last stored offset (the next offset to be written)."""
+        return self._base_offset + len(self._messages)
+
+    @property
+    def first_retained_offset(self) -> int:
+        return self._base_offset
+
+    @property
+    def retained_count(self) -> int:
+        return len(self._messages)
+
+    @property
+    def bytes_appended(self) -> int:
+        """Total payload bytes ever appended (not reduced by trimming)."""
+        return self._bytes_appended
+
+    def read(self, offset: int, max_messages: int, now: float,
+             max_bytes: int | None = None) -> list[StoredMessage]:
+        """Read up to ``max_messages`` starting at ``offset``.
+
+        Only messages whose ``visible_at`` is at or before ``now`` are
+        returned (modeling Scribe's delivery latency). Reading exactly at
+        ``end_offset`` returns an empty list — that is a caught-up tailer,
+        not an error. Reading below the retained window raises
+        :class:`OffsetOutOfRange` so the caller can decide whether to skip
+        forward (data loss) or fail.
+        """
+        if offset < self._base_offset or offset > self.end_offset:
+            raise OffsetOutOfRange(
+                self.category, self.index, offset,
+                self._base_offset, self.end_offset,
+            )
+        if max_messages <= 0:
+            return []
+        result: list[StoredMessage] = []
+        budget = max_bytes if max_bytes is not None else float("inf")
+        position = offset - self._base_offset
+        while position < len(self._messages) and len(result) < max_messages:
+            message = self._messages[position]
+            if message.visible_at > now:
+                break  # later messages are even less visible
+            if result and message.size > budget:
+                break
+            result.append(message)
+            budget -= message.size
+            position += 1
+        return result
+
+    def first_offset_at_or_after(self, write_time: float) -> int:
+        """The first retained offset written at or after ``write_time``.
+
+        Write times are non-decreasing within a bucket (the bus stamps
+        them from its clock), so this is a binary search — the primitive
+        behind "we can replay a stream from a given (recent) time
+        period" (Section 6.2). Returns ``end_offset`` if everything
+        retained is older.
+        """
+        lo, hi = 0, len(self._messages)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._messages[mid].write_time < write_time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._base_offset + lo
+
+    def visible_end_offset(self, now: float) -> int:
+        """One past the last offset visible to readers at time ``now``."""
+        # Visibility is monotone in offset, so scan back from the end.
+        position = len(self._messages)
+        while position > 0 and self._messages[position - 1].visible_at > now:
+            position -= 1
+        return self._base_offset + position
+
+    # -- retention ------------------------------------------------------------
+
+    def trim_older_than(self, cutoff_time: float) -> int:
+        """Drop messages written before ``cutoff_time``; return count dropped."""
+        keep = 0
+        while (keep < len(self._messages)
+               and self._messages[keep].write_time < cutoff_time):
+            keep += 1
+        if keep:
+            del self._messages[:keep]
+            self._base_offset += keep
+        return keep
+
+    def trim_to_offset(self, offset: int) -> int:
+        """Drop messages below ``offset``; return count dropped."""
+        if offset <= self._base_offset:
+            return 0
+        drop = min(offset, self.end_offset) - self._base_offset
+        del self._messages[:drop]
+        self._base_offset += drop
+        return drop

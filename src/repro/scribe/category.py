@@ -1,0 +1,64 @@
+"""A Scribe category: a named stream partitioned into buckets."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError, ScribeError
+from repro.scribe.bucket import Bucket
+
+
+class Category:
+    """A distinct stream of data with a fixed-at-a-time bucket count.
+
+    Parallelism is controlled by the bucket count; the paper notes that
+    scaling is "changing the number of buckets per Scribe category in a
+    configuration file" (Section 4.2.2). :meth:`resize` models exactly
+    that: new buckets start empty, existing buckets keep their data, and
+    writers immediately spread keys across the new count.
+    """
+
+    def __init__(self, name: str, num_buckets: int = 1,
+                 retention_seconds: float = 3 * 24 * 3600.0) -> None:
+        if not name:
+            raise ConfigError("category name must be non-empty")
+        if num_buckets < 1:
+            raise ConfigError(f"category {name!r} needs >= 1 bucket")
+        if retention_seconds <= 0:
+            raise ConfigError(f"category {name!r} needs positive retention")
+        self.name = name
+        self.retention_seconds = retention_seconds
+        self.buckets: list[Bucket] = [
+            Bucket(name, index) for index in range(num_buckets)
+        ]
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    def bucket(self, index: int) -> Bucket:
+        if not 0 <= index < len(self.buckets):
+            raise ScribeError(
+                f"category {self.name!r} has {len(self.buckets)} buckets; "
+                f"bucket {index} does not exist"
+            )
+        return self.buckets[index]
+
+    def resize(self, num_buckets: int) -> None:
+        """Change the bucket count (grow only, as a config push would)."""
+        if num_buckets < len(self.buckets):
+            raise ConfigError(
+                f"cannot shrink category {self.name!r} from "
+                f"{len(self.buckets)} to {num_buckets} buckets"
+            )
+        for index in range(len(self.buckets), num_buckets):
+            self.buckets.append(Bucket(self.name, index))
+
+    def total_messages_retained(self) -> int:
+        return sum(bucket.retained_count for bucket in self.buckets)
+
+    def total_bytes_appended(self) -> int:
+        return sum(bucket.bytes_appended for bucket in self.buckets)
+
+    def trim(self, now: float) -> int:
+        """Apply retention; return the number of messages dropped."""
+        cutoff = now - self.retention_seconds
+        return sum(bucket.trim_older_than(cutoff) for bucket in self.buckets)

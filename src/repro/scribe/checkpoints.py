@@ -1,0 +1,50 @@
+"""Durable offset/state checkpoints for bus consumers.
+
+Swift checkpoints plain offsets here; Stylus checkpoints offsets together
+with serialized state and (for at-most-once output) pending output. The
+store survives process crashes — it stands in for the reliable system
+(HBase / local RocksDB) real consumers write checkpoints to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One saved consumer position, with optional state and output blobs."""
+
+    offset: int
+    state: Any = None
+    pending_output: tuple = ()
+    saved_at: float = 0.0
+
+
+@dataclass
+class CheckpointStore:
+    """Maps (consumer, category, bucket) -> latest :class:`Checkpoint`.
+
+    Writes replace the previous checkpoint atomically (a dict assignment
+    is atomic at our level of abstraction — the simulated failure points
+    are between calls, never inside one).
+    """
+
+    _checkpoints: dict[tuple[str, str, int], Checkpoint] = field(
+        default_factory=dict
+    )
+
+    def save(self, consumer: str, category: str, bucket: int,
+             checkpoint: Checkpoint) -> None:
+        self._checkpoints[(consumer, category, bucket)] = checkpoint
+
+    def load(self, consumer: str, category: str,
+             bucket: int) -> Checkpoint | None:
+        return self._checkpoints.get((consumer, category, bucket))
+
+    def delete(self, consumer: str, category: str, bucket: int) -> None:
+        self._checkpoints.pop((consumer, category, bucket), None)
+
+    def consumers(self) -> list[str]:
+        return sorted({key[0] for key in self._checkpoints})

@@ -1,0 +1,35 @@
+"""The message type returned to Scribe readers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import serde
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message as seen by a reader.
+
+    ``offset`` is the position within the bucket (dense, starting at 0 for
+    the life of the bucket, even after older messages are trimmed).
+    ``write_time`` is the bus-side arrival time — distinct from any event
+    time carried *inside* the payload, which is the processing systems'
+    concern (Section 2.4).
+    """
+
+    category: str
+    bucket: int
+    offset: int
+    write_time: float
+    payload: bytes
+
+    def decode(self) -> dict[str, Any]:
+        """Deserialize the payload as a record (see :mod:`repro.serde`)."""
+        return serde.decode(self.payload)
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (used for byte-based checkpoints)."""
+        return len(self.payload)

@@ -1,0 +1,138 @@
+"""Reader clients: per-bucket tailer and whole-category fan-in.
+
+Readers are completely independent of writers and of each other — the
+decoupling that the paper's data-transfer decision buys (Section 4.2.2).
+A reader owns only a position; seeking it backwards replays history
+(debugging, recovery), and two readers at different positions never
+interfere.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OffsetOutOfRange
+from repro.scribe.message import Message
+from repro.scribe.store import ScribeStore
+
+
+class ScribeReader:
+    """A tailer over one (category, bucket) pair."""
+
+    def __init__(self, store: ScribeStore, category: str, bucket: int,
+                 start_offset: int | None = None) -> None:
+        self.store = store
+        self.category = category
+        self.bucket = bucket
+        if start_offset is None:
+            start_offset = store.first_retained_offset(category, bucket)
+        self.position = start_offset
+
+    # -- reading ---------------------------------------------------------------
+
+    def read_batch(self, max_messages: int = 100,
+                   max_bytes: int | None = None) -> list[Message]:
+        """Read the next batch and advance the position past it.
+
+        If the position has fallen below the retained window (the reader
+        lagged past retention), it skips forward to the first retained
+        offset — matching a real tailer, which loses that data.
+        """
+        try:
+            batch = self.store.read(self.category, self.bucket, self.position,
+                                    max_messages, max_bytes)
+        except OffsetOutOfRange:
+            first = self.store.first_retained_offset(self.category, self.bucket)
+            if self.position >= first:
+                raise  # position beyond the end: a real bug, don't mask it
+            self.position = first
+            batch = self.store.read(self.category, self.bucket, self.position,
+                                    max_messages, max_bytes)
+        if batch:
+            self.position = batch[-1].offset + 1
+        return batch
+
+    def peek(self, max_messages: int = 100) -> list[Message]:
+        """Read without advancing the position."""
+        return self.store.read(self.category, self.bucket, self.position,
+                               max_messages)
+
+    # -- positioning ---------------------------------------------------------
+
+    def seek(self, offset: int) -> None:
+        self.position = offset
+
+    def seek_to_end(self) -> None:
+        self.position = self.store.end_offset(self.category, self.bucket)
+
+    def seek_to_start(self) -> None:
+        self.position = self.store.first_retained_offset(self.category, self.bucket)
+
+    def seek_to_time(self, write_time: float) -> None:
+        """Replay from a given (recent) time period (Section 6.2)."""
+        bucket = self.store.category(self.category).bucket(self.bucket)
+        self.position = bucket.first_offset_at_or_after(write_time)
+
+    # -- lag (Section 6.4: "processing lag" alerts) -----------------------------
+
+    def lag_messages(self) -> int:
+        """How many visible messages are waiting to be read."""
+        end = self.store.visible_end_offset(self.category, self.bucket)
+        return max(0, end - self.position)
+
+    def caught_up(self) -> bool:
+        return self.lag_messages() == 0
+
+
+class CategoryReader:
+    """Fan-in reader across every bucket of a category.
+
+    Convenient for single-process consumers (data-store ingestion tiers,
+    tests). Round-robins across buckets so no bucket starves.
+    """
+
+    def __init__(self, store: ScribeStore, category: str,
+                 from_start: bool = True) -> None:
+        self.store = store
+        self.category = category
+        num_buckets = store.category(category).num_buckets
+        self.readers = [
+            ScribeReader(store, category, bucket,
+                         start_offset=None if from_start else
+                         store.end_offset(category, bucket))
+            for bucket in range(num_buckets)
+        ]
+        self._next_bucket = 0
+
+    def _refresh_buckets(self) -> None:
+        # The category may have been resized since we attached.
+        num_buckets = self.store.category(self.category).num_buckets
+        for bucket in range(len(self.readers), num_buckets):
+            self.readers.append(ScribeReader(self.store, self.category, bucket))
+
+    def read_batch(self, max_messages: int = 100) -> list[Message]:
+        """Read up to ``max_messages`` total, round-robin over buckets."""
+        self._refresh_buckets()
+        result: list[Message] = []
+        attempts = 0
+        while len(result) < max_messages and attempts < len(self.readers):
+            reader = self.readers[self._next_bucket]
+            self._next_bucket = (self._next_bucket + 1) % len(self.readers)
+            batch = reader.read_batch(max_messages - len(result))
+            if batch:
+                attempts = 0
+                result.extend(batch)
+            else:
+                attempts += 1
+        return result
+
+    def read_all(self, batch_size: int = 1000) -> list[Message]:
+        """Drain everything currently visible."""
+        result: list[Message] = []
+        while True:
+            batch = self.read_batch(batch_size)
+            if not batch:
+                return result
+            result.extend(batch)
+
+    def lag_messages(self) -> int:
+        self._refresh_buckets()
+        return sum(reader.lag_messages() for reader in self.readers)

@@ -1,0 +1,192 @@
+"""The Scribe service: category registry plus write/read entry points."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Mapping
+
+from repro import serde
+from repro.errors import ConfigError, UnknownCategory
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.bucket import StoredMessage
+from repro.scribe.category import Category
+from repro.scribe.message import Message
+
+
+def default_bucketer(key: str, num_buckets: int) -> int:
+    """Stable hash partitioning of a shard key onto a bucket index.
+
+    Uses crc32 rather than ``hash()`` so results are stable across
+    processes and Python releases (``PYTHONHASHSEED`` does not apply).
+    """
+    return zlib.crc32(key.encode("utf-8")) % num_buckets
+
+
+class ScribeStore:
+    """An in-process Scribe deployment.
+
+    One store instance plays the role of the whole Scribe tier: it owns
+    every category, applies retention, and models the bus's delivery
+    latency (messages become visible ``delivery_delay`` seconds after they
+    are written — the paper's "minimum latency of about a second per
+    stream", Section 4.2.2).
+    """
+
+    def __init__(self, clock: Clock | None = None,
+                 delivery_delay: float = 0.0,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if delivery_delay < 0:
+            raise ConfigError("delivery_delay must be >= 0")
+        self.clock = clock if clock is not None else WallClock()
+        self.delivery_delay = delivery_delay
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._categories: dict[str, Category] = {}
+
+    # -- category management -------------------------------------------------
+
+    def create_category(self, name: str, num_buckets: int = 1,
+                        retention_seconds: float = 3 * 24 * 3600.0) -> Category:
+        if name in self._categories:
+            raise ConfigError(f"category {name!r} already exists")
+        category = Category(name, num_buckets, retention_seconds)
+        self._categories[name] = category
+        return category
+
+    def ensure_category(self, name: str, num_buckets: int = 1) -> Category:
+        """Create the category if missing, else return the existing one."""
+        if name in self._categories:
+            return self._categories[name]
+        return self.create_category(name, num_buckets)
+
+    def category(self, name: str) -> Category:
+        if name not in self._categories:
+            raise UnknownCategory(f"category {name!r} does not exist")
+        return self._categories[name]
+
+    def has_category(self, name: str) -> bool:
+        return name in self._categories
+
+    def categories(self) -> list[str]:
+        return sorted(self._categories)
+
+    # -- writes ---------------------------------------------------------------
+
+    def write(self, category_name: str, payload: bytes,
+              key: str | None = None, bucket: int | None = None) -> int:
+        """Append raw bytes; return the assigned offset.
+
+        The bucket is chosen by, in priority order: the explicit ``bucket``
+        argument, hashing ``key``, or bucket 0.
+        """
+        category = self.category(category_name)
+        if bucket is None:
+            if key is not None:
+                bucket = default_bucketer(key, category.num_buckets)
+            else:
+                bucket = 0
+        now = self.clock.now()
+        offset = category.bucket(bucket).append(
+            payload, write_time=now, visible_at=now + self.delivery_delay
+        )
+        self.metrics.counter(f"scribe.{category_name}.messages").increment()
+        self.metrics.counter(f"scribe.{category_name}.bytes").increment(len(payload))
+        return offset
+
+    def write_record(self, category_name: str, record: Mapping[str, Any],
+                     key: str | None = None, bucket: int | None = None) -> int:
+        """Serialize a record (see :mod:`repro.serde`) and append it."""
+        return self.write(category_name, serde.encode(record), key, bucket)
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(self, category_name: str, bucket: int, offset: int,
+             max_messages: int = 100,
+             max_bytes: int | None = None) -> list[Message]:
+        """Read visible messages from one bucket starting at ``offset``."""
+        category = self.category(category_name)
+        stored = category.bucket(bucket).read(
+            offset, max_messages, now=self.clock.now(), max_bytes=max_bytes
+        )
+        return [self._to_message(category_name, bucket, item) for item in stored]
+
+    def end_offset(self, category_name: str, bucket: int) -> int:
+        return self.category(category_name).bucket(bucket).end_offset
+
+    def visible_end_offset(self, category_name: str, bucket: int) -> int:
+        return self.category(category_name).bucket(bucket).visible_end_offset(
+            self.clock.now()
+        )
+
+    def first_retained_offset(self, category_name: str, bucket: int) -> int:
+        return self.category(category_name).bucket(bucket).first_retained_offset
+
+    # -- maintenance ---------------------------------------------------------
+
+    def run_retention(self) -> int:
+        """Trim every category to its retention window; return drops."""
+        return sum(
+            category.trim(self.clock.now())
+            for category in self._categories.values()
+        )
+
+    # -- durability ("Scribe provides data durability by storing it in
+    # HDFS", Section 2.1) -------------------------------------------------------
+
+    def snapshot_to(self, hdfs, name: str = "scribe") -> int:
+        """Persist every category's retained messages to the blob store.
+
+        Returns the number of messages persisted. Raises
+        :class:`~repro.errors.StoreUnavailable` if HDFS is down — callers
+        retry on the next cycle, as the backup engine does.
+        """
+        blob: dict[str, Any] = {"categories": {}}
+        count = 0
+        for category_name, category in self._categories.items():
+            buckets = []
+            for bucket in category.buckets:
+                messages = [
+                    (m.offset, m.write_time, m.visible_at, m.payload)
+                    for m in bucket.read(bucket.first_retained_offset,
+                                         bucket.retained_count,
+                                         now=float("inf"))
+                ]
+                buckets.append({
+                    "base": bucket.first_retained_offset,
+                    "end": bucket.end_offset,
+                    "messages": messages,
+                })
+                count += len(messages)
+            blob["categories"][category_name] = {
+                "retention": category.retention_seconds,
+                "buckets": buckets,
+            }
+        hdfs.put(f"{name}/state", blob)
+        return count
+
+    @classmethod
+    def restore_from(cls, hdfs, name: str = "scribe",
+                     clock: Clock | None = None,
+                     delivery_delay: float = 0.0) -> "ScribeStore":
+        """Rebuild a store (offsets included) from a snapshot."""
+        blob = hdfs.get(f"{name}/state")
+        store = cls(clock=clock, delivery_delay=delivery_delay)
+        for category_name, data in blob["categories"].items():
+            category = store.create_category(
+                category_name, num_buckets=len(data["buckets"]),
+                retention_seconds=data["retention"],
+            )
+            for index, bucket_data in enumerate(data["buckets"]):
+                bucket = category.bucket(index)
+                # Re-establish the offset numbering, then the messages.
+                bucket._base_offset = bucket_data["base"]
+                for offset, write_time, visible_at, payload in \
+                        bucket_data["messages"]:
+                    bucket.append(payload, write_time, visible_at)
+                assert bucket.end_offset == bucket_data["end"]
+        return store
+
+    @staticmethod
+    def _to_message(category: str, bucket: int, stored: StoredMessage) -> Message:
+        return Message(category, bucket, stored.offset, stored.write_time,
+                       stored.payload)

@@ -1,0 +1,40 @@
+"""Writer client bound to one category."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro import serde
+from repro.scribe.store import ScribeStore, default_bucketer
+
+
+class ScribeWriter:
+    """Appends records to a category, sharding by an optional key.
+
+    Processors re-shard their output by writing with a different shard key
+    than the one their input was sharded by (e.g. the Filterer in Figure 3
+    shards its output by dimension id).
+    """
+
+    def __init__(self, store: ScribeStore, category: str) -> None:
+        self.store = store
+        self.category = category
+        # Fail fast on typos rather than on the first write.
+        store.category(category)
+
+    def write(self, record: Mapping[str, Any], key: str | None = None) -> int:
+        """Serialize and append ``record``; return the assigned offset."""
+        return self.store.write_record(self.category, record, key=key)
+
+    def write_bytes(self, payload: bytes, key: str | None = None) -> int:
+        return self.store.write(self.category, payload, key=key)
+
+    def write_to_bucket(self, record: Mapping[str, Any], bucket: int) -> int:
+        return self.store.write_record(self.category, record, bucket=bucket)
+
+    def bucket_for_key(self, key: str) -> int:
+        """Which bucket a key currently lands in (after any resize)."""
+        return default_bucketer(key, self.store.category(self.category).num_buckets)
+
+    def encoded_size(self, record: Mapping[str, Any]) -> int:
+        return serde.encoded_size(record)

@@ -1,0 +1,14 @@
+"""Scuba: the slice-and-dice analytics store (paper Section 2.6).
+
+Scuba ingests raw event rows (optionally sampled) and aggregates **at
+query time** by scanning them — flexible but CPU-intensive, which is the
+tradeoff behind the Section 5.2 dashboard migration to Puma. Queries
+charge their scanned-row work to a metrics registry so the migration
+experiment can compare read-time versus write-time CPU directly.
+"""
+
+from repro.scuba.ingest import ScubaIngester
+from repro.scuba.query import ScubaQuery, TimeSeriesPoint
+from repro.scuba.table import ScubaTable
+
+__all__ = ["ScubaIngester", "ScubaQuery", "ScubaTable", "TimeSeriesPoint"]

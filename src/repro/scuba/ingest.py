@@ -1,0 +1,52 @@
+"""Scuba's Scribe ingestion tier.
+
+"Most data sent to Scuba is sampled and Scuba is a best-effort query
+system ... a small amount of data loss is preferred to any data
+duplication. Exactly-once semantics are not possible because Scuba does
+not support transactions, so at-most-once output semantics are the best
+choice" (Section 4.3.2). The ingester therefore samples rows and never
+re-delivers: its position always moves forward, even across restarts.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.rng import make_rng
+from repro.scribe.reader import CategoryReader
+from repro.scribe.store import ScribeStore
+from repro.scuba.table import ScubaTable
+
+
+class ScubaIngester:
+    """Samples a Scribe category into a Scuba table, at-most-once."""
+
+    def __init__(self, scribe: ScribeStore, category: str, table: ScubaTable,
+                 sample_rate: float = 1.0, seed: int = 0,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if not 0.0 < sample_rate <= 1.0:
+            raise ConfigError("sample_rate must be in (0, 1]")
+        self.name = f"scuba-ingest:{table.name}"
+        self.table = table
+        self.sample_rate = sample_rate
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._reader = CategoryReader(scribe, category)
+        self._rng: random.Random = make_rng(seed, f"scuba:{category}")
+
+    def pump(self, max_messages: int = 1000) -> int:
+        """Ingest up to ``max_messages``; returns rows actually stored."""
+        stored = 0
+        for message in self._reader.read_batch(max_messages):
+            if (self.sample_rate < 1.0
+                    and self._rng.random() >= self.sample_rate):
+                self.metrics.counter(f"{self.name}.sampled_out").increment()
+                continue
+            self.table.add(message.decode())
+            stored += 1
+        self.metrics.counter(f"{self.name}.rows").increment(stored)
+        return stored
+
+    def lag_messages(self) -> int:
+        return self._reader.lag_messages()

@@ -1,0 +1,124 @@
+"""Scuba's read-time slice-and-dice query engine.
+
+"Scuba was designed for interactive, slice-and-dice queries. It does
+aggregation at query time by reading all of the raw event data"
+(Section 5.2). A :class:`ScubaQuery` is a time range, optional filters,
+optional group-by columns, and aggregations; every run scans the raw
+rows in range and charges one CPU unit per row examined to the metrics
+registry — the currency the dashboard-migration experiment compares
+against Puma's write-time cost.
+
+Queries carry a ``limit`` defaulting to 7: "Most Scuba queries have a
+limit of 7: it only makes sense to visualize up to 7 lines in a chart."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ScubaError
+from repro.puma.functions import get_aggregate
+from repro.runtime.metrics import MetricsRegistry
+from repro.scuba.table import Row, ScubaTable
+
+
+@dataclass(frozen=True)
+class TimeSeriesPoint:
+    """One bucket of a time-series query result."""
+
+    bucket_start: float
+    group: tuple
+    value: Any
+
+
+@dataclass
+class ScubaQuery:
+    """A compiled dashboard-style query, runnable repeatedly."""
+
+    table: ScubaTable
+    start: float
+    end: float
+    aggregation: str = "count"
+    value_column: str | None = None
+    group_by: tuple[str, ...] = ()
+    where: Callable[[Row], bool] | None = None
+    limit: int = 7
+    bucket_seconds: float | None = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def shifted(self, delta: float) -> "ScubaQuery":
+        """The same query over a slid time window (dashboard refresh)."""
+        return ScubaQuery(self.table, self.start + delta, self.end + delta,
+                          self.aggregation, self.value_column, self.group_by,
+                          self.where, self.limit, self.bucket_seconds,
+                          self.metrics)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> list[Row]:
+        """Aggregate over the range; returns up to ``limit`` group rows."""
+        if self.end <= self.start:
+            raise ScubaError("query range is empty")
+        function = get_aggregate(self.aggregation)
+        states: dict[tuple, Any] = {}
+        scanned = 0
+        for row in self.table.rows_between(self.start, self.end):
+            scanned += 1
+            if self.where is not None and not self.where(row):
+                continue
+            group = tuple(row.get(c) for c in self.group_by)
+            state = states.get(group)
+            if state is None:
+                state = function.create()
+            value = (row.get(self.value_column)
+                     if self.value_column is not None else 1)
+            states[group] = function.update(state, value)
+        self._charge(scanned)
+        results = [
+            {**{c: g for c, g in zip(self.group_by, group)},
+             "value": function.result(state)}
+            for group, state in states.items()
+        ]
+        results.sort(key=lambda r: (_sortable(r["value"]),), reverse=True)
+        return results[:self.limit]
+
+    def run_time_series(self) -> list[TimeSeriesPoint]:
+        """The same aggregation bucketed by ``bucket_seconds``."""
+        if self.bucket_seconds is None or self.bucket_seconds <= 0:
+            raise ScubaError("time-series queries need bucket_seconds")
+        function = get_aggregate(self.aggregation)
+        states: dict[tuple[float, tuple], Any] = {}
+        scanned = 0
+        for row in self.table.rows_between(self.start, self.end):
+            scanned += 1
+            if self.where is not None and not self.where(row):
+                continue
+            time_value = float(row[self.table.time_column])
+            bucket = (time_value // self.bucket_seconds) * self.bucket_seconds
+            group = tuple(row.get(c) for c in self.group_by)
+            key = (bucket, group)
+            state = states.get(key)
+            if state is None:
+                state = function.create()
+            value = (row.get(self.value_column)
+                     if self.value_column is not None else 1)
+            states[key] = function.update(state, value)
+        self._charge(scanned)
+        return sorted(
+            (TimeSeriesPoint(bucket, group, function.result(state))
+             for (bucket, group), state in states.items()),
+            key=lambda p: (p.bucket_start, repr(p.group)),
+        )
+
+    def _charge(self, scanned: int) -> None:
+        self.metrics.counter(f"scuba.{self.table.name}.rows_scanned").increment(
+            scanned
+        )
+        self.metrics.counter(f"scuba.{self.table.name}.queries").increment()
+
+
+def _sortable(value: Any) -> Any:
+    if isinstance(value, list):
+        return value[0] if value else float("-inf")
+    return value if value is not None else float("-inf")

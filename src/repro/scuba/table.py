@@ -1,0 +1,69 @@
+"""Scuba's row store: time-ordered raw events, kept for a bounded window."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any
+
+from repro.errors import ScubaError
+
+Row = dict[str, Any]
+
+
+class ScubaTable:
+    """Raw rows indexed by ingest-assigned timestamp.
+
+    Scuba keeps recent raw data only (it is a trouble-shooting store);
+    ``retention_seconds`` bounds the window and :meth:`trim` enforces it.
+    Rows are kept sorted by their time column so time-range scans are
+    binary-search slices.
+    """
+
+    def __init__(self, name: str, time_column: str = "event_time",
+                 retention_seconds: float = 7 * 24 * 3600.0) -> None:
+        if retention_seconds <= 0:
+            raise ScubaError("retention must be positive")
+        self.name = name
+        self.time_column = time_column
+        self.retention_seconds = retention_seconds
+        self._times: list[float] = []
+        self._rows: list[Row] = []
+
+    def add(self, row: Row) -> None:
+        time_value = row.get(self.time_column)
+        if time_value is None:
+            raise ScubaError(
+                f"row lacks time column {self.time_column!r}"
+            )
+        time_value = float(time_value)
+        if self._times and time_value >= self._times[-1]:
+            self._times.append(time_value)
+            self._rows.append(row)
+        else:
+            index = bisect_right(self._times, time_value)
+            self._times.insert(index, time_value)
+            self._rows.insert(index, row)
+
+    def rows_between(self, start: float, end: float) -> list[Row]:
+        """Rows with time in ``[start, end)``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return self._rows[lo:hi]
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def trim(self, now: float) -> int:
+        """Drop rows older than the retention window; return count."""
+        cutoff = now - self.retention_seconds
+        drop = bisect_left(self._times, cutoff)
+        if drop:
+            del self._times[:drop]
+            del self._rows[:drop]
+        return drop
+
+    def min_time(self) -> float | None:
+        return self._times[0] if self._times else None
+
+    def max_time(self) -> float | None:
+        return self._times[-1] if self._times else None

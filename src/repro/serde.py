@@ -1,0 +1,53 @@
+"""Serialization of events to and from Scribe payload bytes.
+
+Scribe carries opaque byte payloads; the processing systems serialize
+events into them and deserialize on read. The paper's Figure 9 experiment
+hinges on deserialization being the CPU bottleneck of the Scuba ingestion
+processor, so the encoding here is deliberately a real (JSON-based) codec
+whose cost scales with payload size, not a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["SerdeError", "encode", "decode", "encoded_size"]
+
+
+class SerdeError(ReproError):
+    """A payload could not be encoded or decoded."""
+
+
+def encode(record: Mapping[str, Any]) -> bytes:
+    """Serialize a flat record (a mapping of field name to value) to bytes."""
+    try:
+        return json.dumps(record, separators=(",", ":"), sort_keys=True,
+                          default=_encode_fallback).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerdeError(f"cannot encode record: {exc}") from exc
+
+
+def decode(payload: bytes) -> dict[str, Any]:
+    """Deserialize bytes produced by :func:`encode` back into a dict."""
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerdeError(f"cannot decode payload: {exc}") from exc
+    if not isinstance(record, dict):
+        raise SerdeError(f"payload is not a record: {type(record).__name__}")
+    return record
+
+
+def encoded_size(record: Mapping[str, Any]) -> int:
+    """Size in bytes of the encoded record."""
+    return len(encode(record))
+
+
+def _encode_fallback(value: Any) -> Any:
+    # Tuples arrive here only inside nested structures; keep them as lists.
+    if isinstance(value, tuple):
+        return list(value)
+    raise TypeError(f"unsupported type {type(value).__name__}")

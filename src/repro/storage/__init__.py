@@ -1,0 +1,55 @@
+"""Storage substrates.
+
+The paper's state-saving story (Section 4.4) rests on three stores, all
+rebuilt here:
+
+- **RocksDB** -> :class:`~repro.storage.lsm.LsmStore`: an embedded
+  log-structured merge tree with a write-ahead log, memtable, sorted
+  immutable runs, compaction, custom merge operators, and a backup engine.
+- **HDFS** -> :class:`~repro.storage.hdfs.HdfsBlobStore`: a remote blob
+  store used as the asynchronous backup target; its availability can lapse
+  (the paper: "if HDFS is not available for writes, processing continues
+  without remote backup copies").
+- **ZippyDB** -> :class:`~repro.storage.zippydb.ZippyDb`: a sharded,
+  replicated key-value service with custom merge operators (enabling the
+  Figure 12 append-only optimization) and multi-key transactions (enabling
+  exactly-once semantics).
+- **HBase** -> :class:`~repro.storage.hbase.HBaseTable`: the ordered table
+  store Puma checkpoints its aggregation state to.
+"""
+
+from repro.storage.backup import BackupEngine
+from repro.storage.hbase import HBaseTable
+from repro.storage.hdfs import HdfsBlobStore
+from repro.storage.lsm import LsmStore
+from repro.storage.memtable import Memtable
+from repro.storage.merge import (
+    CounterMergeOperator,
+    DictSumMergeOperator,
+    ListAppendMergeOperator,
+    MaxMergeOperator,
+    MergeOperator,
+    MinMergeOperator,
+)
+from repro.storage.sstable import SSTable
+from repro.storage.wal import WalRecord, WriteAheadLog
+from repro.storage.zippydb import ZippyDb, ZippyDbLatencyModel
+
+__all__ = [
+    "BackupEngine",
+    "CounterMergeOperator",
+    "DictSumMergeOperator",
+    "HBaseTable",
+    "HdfsBlobStore",
+    "ListAppendMergeOperator",
+    "LsmStore",
+    "MaxMergeOperator",
+    "Memtable",
+    "MergeOperator",
+    "MinMergeOperator",
+    "SSTable",
+    "WalRecord",
+    "WriteAheadLog",
+    "ZippyDb",
+    "ZippyDbLatencyModel",
+]

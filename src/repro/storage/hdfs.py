@@ -1,0 +1,65 @@
+"""HDFS stand-in: a remote blob store with injectable unavailability.
+
+The paper (Section 4.4.2): "HDFS is designed for batch workloads and is
+not intended to be an always-available system. If HDFS is not available
+for writes, processing continues without remote backup copies. If there
+is a failure, then recovery uses an older snapshot." This store models
+exactly that: writes raise :class:`~repro.errors.StoreUnavailable` during
+outage windows, and the backup engine tolerates it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import BackupNotFound, StoreUnavailable
+from repro.runtime.clock import Clock, WallClock
+
+
+class HdfsBlobStore:
+    """Named-blob storage with scheduled outage windows."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else WallClock()
+        self._blobs: dict[str, Any] = {}
+        self._outages: list[tuple[float, float]] = []
+
+    # -- availability -----------------------------------------------------------
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Mark ``[start, end)`` as an unavailability window."""
+        if end <= start:
+            raise ValueError("outage end must be after start")
+        self._outages.append((start, end))
+
+    def available(self) -> bool:
+        now = self.clock.now()
+        return not any(start <= now < end for start, end in self._outages)
+
+    def _check_available(self, operation: str) -> None:
+        if not self.available():
+            raise StoreUnavailable(
+                f"HDFS unavailable at t={self.clock.now():.3f} during {operation}"
+            )
+
+    # -- blob operations -----------------------------------------------------------
+
+    def put(self, name: str, blob: Any) -> None:
+        self._check_available("put")
+        self._blobs[name] = blob
+
+    def get(self, name: str) -> Any:
+        self._check_available("get")
+        if name not in self._blobs:
+            raise BackupNotFound(f"no blob named {name!r}")
+        return self._blobs[name]
+
+    def exists(self, name: str) -> bool:
+        return name in self._blobs
+
+    def delete(self, name: str) -> None:
+        self._check_available("delete")
+        self._blobs.pop(name, None)
+
+    def list(self, prefix: str = "") -> list[str]:
+        return sorted(name for name in self._blobs if name.startswith(prefix))

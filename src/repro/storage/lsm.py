@@ -1,0 +1,297 @@
+"""LsmStore: the embedded key-value engine standing in for RocksDB.
+
+Architecture (a faithful miniature of RocksDB's write path):
+
+- mutations append to a :class:`~repro.storage.wal.WriteAheadLog`, then
+  apply to the :class:`~repro.storage.memtable.Memtable`;
+- when the memtable exceeds ``memtable_flush_bytes`` it flushes to an
+  immutable :class:`~repro.storage.sstable.SSTable`;
+- when the run count exceeds ``compaction_trigger`` the runs compact into
+  one, folding merge-operand chains and dropping dead tombstones;
+- reads consult memtable then runs newest-to-oldest, resolving merge
+  chains with the configured :class:`~repro.storage.merge.MergeOperator`.
+
+Durability model: the WAL and SSTables live in a *disk namespace* — by
+default a private dict, but a Stylus processor passes its machine's
+``disk`` dict so that a **process crash** (in-memory memtable lost)
+recovers from local disk via :meth:`recover`, while a **machine failure**
+(disk wiped) must restore from an HDFS backup — the exact recovery ladder
+of the paper's Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import StoreClosed
+from repro.storage.memtable import Entry, EntryKind, Memtable
+from repro.storage.merge import MergeOperator
+from repro.storage.sstable import SSTable
+from repro.storage.wal import WalOp, WriteAheadLog
+
+_DISK_KEY = "lsm"
+
+
+class LsmStore:
+    """Embedded LSM-tree key-value store with merge-operator support."""
+
+    def __init__(self, disk: dict[str, Any] | None = None,
+                 name: str = "lsm",
+                 merge_operator: MergeOperator | None = None,
+                 memtable_flush_bytes: int = 64 * 1024,
+                 compaction_trigger: int = 4) -> None:
+        self.name = name
+        self.merge_operator = merge_operator
+        self.memtable_flush_bytes = memtable_flush_bytes
+        self.compaction_trigger = compaction_trigger
+        self._disk = disk if disk is not None else {}
+        self._memtable = Memtable()
+        self._closed = False
+        self._disk_state()  # initialize the namespace eagerly
+
+    # -- disk namespace -------------------------------------------------------
+
+    def _disk_state(self) -> dict[str, Any]:
+        """The persistent structures, keyed under this store's name."""
+        key = f"{_DISK_KEY}:{self.name}"
+        if key not in self._disk:
+            self._disk[key] = {
+                "wal": WriteAheadLog(),
+                "sstables": [],       # list[SSTable], oldest first
+                "flushed_seq": 0,      # WAL records below this are flushed
+            }
+        return self._disk[key]
+
+    @property
+    def _wal(self) -> WriteAheadLog:
+        return self._disk_state()["wal"]
+
+    @property
+    def _sstables(self) -> list[SSTable]:
+        return self._disk_state()["sstables"]
+
+    # -- mutations -------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (``None`` values are reserved)."""
+        self._check_open()
+        if value is None:
+            raise ValueError("None values are reserved; use delete()")
+        self._wal.append(WalOp.PUT, key, value)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: str) -> None:
+        self._check_open()
+        self._wal.append(WalOp.DELETE, key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def merge(self, key: str, operand: Any) -> None:
+        """Append a merge operand (requires a merge operator)."""
+        self._check_open()
+        if self.merge_operator is None:
+            raise ValueError(f"store {self.name!r} has no merge operator")
+        self._wal.append(WalOp.MERGE, key, operand)
+        self._memtable.merge(key, operand)
+        self._maybe_flush()
+
+    def write_batch(self, puts: dict[str, Any] | None = None,
+                    deletes: list[str] | None = None,
+                    merges: list[tuple[str, Any]] | None = None) -> None:
+        """Apply a group of mutations.
+
+        Atomic at our failure granularity: simulated crashes happen between
+        public calls, never inside one, so a batch is all-or-nothing.
+        """
+        self._check_open()
+        for key, value in (puts or {}).items():
+            if value is None:
+                raise ValueError("None values are reserved; use deletes")
+            self._wal.append(WalOp.PUT, key, value)
+            self._memtable.put(key, value)
+        for key in deletes or []:
+            self._wal.append(WalOp.DELETE, key)
+            self._memtable.delete(key)
+        for key, operand in merges or []:
+            if self.merge_operator is None:
+                raise ValueError(f"store {self.name!r} has no merge operator")
+            self._wal.append(WalOp.MERGE, key, operand)
+            self._memtable.merge(key, operand)
+        self._maybe_flush()
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Return the value for ``key``, or None if absent/deleted."""
+        self._check_open()
+        pending: list[Any] = []  # newer-first merge operands awaiting a base
+
+        entry = self._memtable.get(key)
+        if entry is not None:
+            resolved, done = self._absorb(entry, pending)
+            if done:
+                return resolved
+
+        for sstable in reversed(self._sstables):  # newest first
+            entry = sstable.get(key)
+            if entry is None:
+                continue
+            resolved, done = self._absorb(entry, pending)
+            if done:
+                return resolved
+
+        if pending:
+            # Chain bottomed out: fold onto the operator's identity.
+            return self.merge_operator.full_merge(None, reversed(pending))
+        return None
+
+    def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        return {key: self.get(key) for key in keys}
+
+    def scan(self, start: str | None = None,
+             end: str | None = None) -> Iterator[tuple[str, Any]]:
+        """Yield (key, value) in key order over ``[start, end)``."""
+        self._check_open()
+        keys: set[str] = set()
+        for key in self._memtable.keys():
+            if _in_range(key, start, end):
+                keys.add(key)
+        for sstable in self._sstables:
+            for key, _ in sstable.scan(start, end):
+                keys.add(key)
+        for key in sorted(keys):
+            value = self.get(key)
+            if value is not None:
+                yield key, value
+
+    def _absorb(self, entry: Entry, pending: list[Any]) -> tuple[Any, bool]:
+        """Fold ``entry`` under the pending newer operands.
+
+        Returns (value, done): done is False when the entry was merely a
+        merge chain and the search must continue into older runs.
+        """
+        if entry.kind == EntryKind.MERGE:
+            pending.extend(reversed(entry.operands))  # keep newest first
+            return None, False
+        if entry.kind == EntryKind.TOMBSTONE:
+            if pending:
+                return (self.merge_operator.full_merge(None, reversed(pending)),
+                        True)
+            return None, True
+        # PUT: fold the entry's own trailing operands, then the newer ones.
+        value = entry.value
+        if entry.operands or pending:
+            operands = list(entry.operands) + list(reversed(pending))
+            value = self.merge_operator.full_merge(value, operands)
+        return value, True
+
+    # -- flush & compaction -----------------------------------------------------
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approximate_bytes >= self.memtable_flush_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush the memtable to a new SSTable and truncate the WAL."""
+        self._check_open()
+        if len(self._memtable) == 0:
+            return
+        state = self._disk_state()
+        entries = list(self._memtable.items())
+        state["sstables"].append(SSTable(entries))
+        state["flushed_seq"] = state["wal"].next_sequence
+        state["wal"].truncate_before(state["flushed_seq"])
+        self._memtable = Memtable()
+        if len(state["sstables"]) > self.compaction_trigger:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every run into one, folding operands and dropping garbage."""
+        self._check_open()
+        state = self._disk_state()
+        runs: list[SSTable] = state["sstables"]
+        if len(runs) <= 1:
+            return
+        merged: dict[str, Entry] = {}
+        for run in runs:  # oldest first, so newer entries overwrite/fold
+            for key, entry in run.items():
+                merged[key] = _fold(merged.get(key), entry, self.merge_operator)
+        survivors = [
+            (key, entry) for key, entry in sorted(merged.items())
+            if entry.kind != EntryKind.TOMBSTONE  # bottom level: drop dead keys
+        ]
+        state["sstables"] = [SSTable(survivors, level=1)] if survivors else []
+
+    # -- lifecycle & recovery ----------------------------------------------------
+
+    def drop_memory(self) -> None:
+        """Simulate a process crash: lose the memtable, keep the disk."""
+        self._memtable = Memtable()
+
+    def recover(self) -> int:
+        """Rebuild the memtable from unflushed WAL records; return count."""
+        self._memtable = Memtable()
+        state = self._disk_state()
+        count = 0
+        for record in state["wal"].records_since(state["flushed_seq"]):
+            if record.op == WalOp.PUT:
+                self._memtable.put(record.key, record.value)
+            elif record.op == WalOp.DELETE:
+                self._memtable.delete(record.key)
+            else:
+                self._memtable.merge(record.key, record.value)
+            count += 1
+        return count
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosed(f"store {self.name!r} is closed")
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_sstables(self) -> int:
+        return len(self._sstables)
+
+    @property
+    def memtable_size(self) -> int:
+        return len(self._memtable)
+
+    def approximate_key_count(self) -> int:
+        """Upper bound on live keys (duplicates across runs counted once)."""
+        keys: set[str] = set(self._memtable.keys())
+        for sstable in self._sstables:
+            for key, _ in sstable.items():
+                keys.add(key)
+        return len(keys)
+
+
+def _fold(older: Entry | None, newer: Entry,
+          operator: MergeOperator | None) -> Entry:
+    """Combine an older entry with a newer one during compaction."""
+    if newer.kind != EntryKind.MERGE:
+        return newer  # put/tombstone shadows everything older
+    if older is None:
+        return Entry(EntryKind.MERGE, operands=list(newer.operands))
+    if older.kind == EntryKind.MERGE:
+        return Entry(EntryKind.MERGE,
+                     operands=list(older.operands) + list(newer.operands))
+    if older.kind == EntryKind.TOMBSTONE:
+        value = operator.full_merge(None, newer.operands)
+        return Entry(EntryKind.PUT, value=value)
+    # older is PUT: fold its trailing operands plus the newer chain now.
+    value = operator.full_merge(older.value,
+                                list(older.operands) + list(newer.operands))
+    return Entry(EntryKind.PUT, value=value)
+
+
+def _in_range(key: str, start: str | None, end: str | None) -> bool:
+    if start is not None and key < start:
+        return False
+    if end is not None and key >= end:
+        return False
+    return True

@@ -1,0 +1,108 @@
+"""Custom merge operators (the RocksDB / ZippyDB feature of Section 4.4.2).
+
+A merge operator turns a read-modify-write into an append: the client
+writes *operands* (deltas) and the store folds them into the full value
+lazily, either on read or during compaction. The paper's Figure 12 shows
+25–200% higher throughput from this optimization.
+
+Every operator here is associative — the defining requirement, since the
+store may fold operands in any grouping — and most are full monoids
+(associative with an identity), which is what the Stylus monoid processor
+API (Section 4.4.2) relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+
+class MergeOperator(ABC):
+    """Folds a base value with a sequence of operands into a new value."""
+
+    @abstractmethod
+    def identity(self) -> Any:
+        """The empty state that operands are applied to on a miss."""
+
+    @abstractmethod
+    def merge(self, left: Any, right: Any) -> Any:
+        """Associative combination of two values/operands."""
+
+    def full_merge(self, base: Any, operands: Iterable[Any]) -> Any:
+        """Fold ``operands`` into ``base`` (``identity()`` if base is None)."""
+        value = self.identity() if base is None else base
+        for operand in operands:
+            value = self.merge(value, operand)
+        return value
+
+    def partial_merge(self, operands: Iterable[Any]) -> Any:
+        """Collapse a run of operands without the base (used by compaction)."""
+        return self.full_merge(None, operands)
+
+
+class CounterMergeOperator(MergeOperator):
+    """Numeric addition: the canonical counter merge."""
+
+    def identity(self) -> float:
+        return 0
+
+    def merge(self, left: float, right: float) -> float:
+        return left + right
+
+
+class MaxMergeOperator(MergeOperator):
+    """Keep the maximum (identity is -infinity)."""
+
+    def identity(self) -> float:
+        return float("-inf")
+
+    def merge(self, left: float, right: float) -> float:
+        return left if left >= right else right
+
+
+class MinMergeOperator(MergeOperator):
+    """Keep the minimum (identity is +infinity)."""
+
+    def identity(self) -> float:
+        return float("inf")
+
+    def merge(self, left: float, right: float) -> float:
+        return left if left <= right else right
+
+
+class ListAppendMergeOperator(MergeOperator):
+    """Concatenate lists (identity is the empty list)."""
+
+    def identity(self) -> list:
+        return []
+
+    def merge(self, left: list, right: list) -> list:
+        return list(left) + list(right)
+
+
+class DictSumMergeOperator(MergeOperator):
+    """Pointwise-sum dictionaries of numbers.
+
+    This is the operator behind "one input event changes many different
+    values in the application state" (Figure 12's workload): an event's
+    per-dimension deltas are a small dict merged into the stored dict.
+    """
+
+    def identity(self) -> dict:
+        return {}
+
+    def merge(self, left: dict, right: dict) -> dict:
+        result = dict(left)
+        for key, value in right.items():
+            result[key] = result.get(key, 0) + value
+        return result
+
+
+class SetUnionMergeOperator(MergeOperator):
+    """Union sets (identity is the empty set)."""
+
+    def identity(self) -> set:
+        return set()
+
+    def merge(self, left: set, right: set) -> set:
+        return set(left) | set(right)

@@ -1,0 +1,54 @@
+"""Immutable sorted runs (SSTables) for the LSM store."""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+from repro.storage.memtable import Entry
+
+
+class SSTable:
+    """An immutable, key-sorted sequence of entries.
+
+    Built either by flushing a memtable or by compacting older runs.
+    Lookups are binary searches; range scans are slices.
+    """
+
+    def __init__(self, entries: list[tuple[str, Entry]], level: int = 0) -> None:
+        keys = [key for key, _ in entries]
+        if keys != sorted(keys):
+            raise ValueError("SSTable entries must be in sorted key order")
+        if len(set(keys)) != len(keys):
+            raise ValueError("SSTable entries must have unique keys")
+        self._keys = keys
+        self._entries = [entry for _, entry in entries]
+        self.level = level
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def min_key(self) -> str | None:
+        return self._keys[0] if self._keys else None
+
+    @property
+    def max_key(self) -> str | None:
+        return self._keys[-1] if self._keys else None
+
+    def get(self, key: str) -> Entry | None:
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._entries[index]
+        return None
+
+    def scan(self, start: str | None = None,
+             end: str | None = None) -> Iterator[tuple[str, Entry]]:
+        """Yield (key, entry) for keys in ``[start, end)``."""
+        lo = 0 if start is None else bisect_left(self._keys, start)
+        hi = len(self._keys) if end is None else bisect_left(self._keys, end)
+        for index in range(lo, hi):
+            yield self._keys[index], self._entries[index]
+
+    def items(self) -> Iterator[tuple[str, Entry]]:
+        yield from zip(self._keys, self._entries)

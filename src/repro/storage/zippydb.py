@@ -1,0 +1,283 @@
+"""ZippyDB stand-in: a sharded, replicated key-value service.
+
+The paper describes ZippyDB as "Facebook's distributed key-value store
+with Paxos-style replication, built on top of RocksDB". The behaviours
+the evaluation depends on are reproduced:
+
+- **sharding**: keys hash onto ``num_shards`` shards; state that does not
+  fit one machine spreads out (Section 4.4.2, remote database model);
+- **replication with quorum**: each shard has ``replication_factor``
+  replicas; writes require a majority alive, reads are served by any live
+  replica (we apply writes to every live replica, so replicas never
+  diverge — a simplification of Paxos that preserves its client-visible
+  contract);
+- **custom merge operators**: the append-only optimization of Figure 12 —
+  clients write operand deltas, the store folds them server-side;
+- **multi-key transactions**: the high-latency distributed commit that
+  exactly-once state semantics require (Section 4.3.2);
+- **latency accounting**: every operation charges a simulated cost to a
+  :class:`~repro.runtime.clock.SimClock`, so benchmarks measure the
+  throughput effect of eliminating reads without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError, StoreUnavailable, TransactionAborted
+from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.storage.merge import MergeOperator
+
+
+@dataclass(frozen=True)
+class ZippyDbLatencyModel:
+    """Simulated cost, in seconds, of client-visible operations.
+
+    Defaults are loosely calibrated to a same-region deployment: ~1 ms
+    round trips, with distributed transactions paying two rounds
+    (prepare + commit) per participating shard group.
+    """
+
+    read: float = 0.001
+    write: float = 0.001
+    batch_overhead: float = 0.0005   # per round trip, amortized over a batch
+    per_item: float = 0.00002        # marginal server cost per batched item
+    transaction_round: float = 0.002  # one 2PC phase across the shard group
+
+
+class _Shard:
+    """One shard: a set of replica dicts kept write-synchronized."""
+
+    def __init__(self, index: int, replication_factor: int) -> None:
+        self.index = index
+        self.replicas: list[dict[str, Any]] = [
+            {} for _ in range(replication_factor)
+        ]
+        self.alive: list[bool] = [True] * replication_factor
+
+    @property
+    def quorum(self) -> int:
+        return len(self.replicas) // 2 + 1
+
+    def live_count(self) -> int:
+        return sum(self.alive)
+
+    def check_writable(self) -> None:
+        if self.live_count() < self.quorum:
+            raise StoreUnavailable(
+                f"shard {self.index}: {self.live_count()} of "
+                f"{len(self.replicas)} replicas alive; quorum is {self.quorum}"
+            )
+
+    def live_replica(self) -> dict[str, Any]:
+        for replica, alive in zip(self.replicas, self.alive):
+            if alive:
+                return replica
+        raise StoreUnavailable(f"shard {self.index}: no live replicas")
+
+    def apply(self, key: str, value: Any) -> None:
+        for replica, alive in zip(self.replicas, self.alive):
+            if alive:
+                if value is _DELETED:
+                    replica.pop(key, None)
+                else:
+                    replica[key] = value
+
+
+_DELETED = object()
+
+
+class ZippyDb:
+    """Sharded replicated KV store with merge operators and transactions."""
+
+    def __init__(self, num_shards: int = 3, replication_factor: int = 3,
+                 merge_operator: MergeOperator | None = None,
+                 clock: SimClock | None = None,
+                 latency: ZippyDbLatencyModel | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 name: str = "zippydb") -> None:
+        if num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if replication_factor < 1:
+            raise ConfigError("replication_factor must be >= 1")
+        self.name = name
+        self.merge_operator = merge_operator
+        self.clock = clock
+        self.latency = latency if latency is not None else ZippyDbLatencyModel()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._shards = [_Shard(i, replication_factor) for i in range(num_shards)]
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, key: str) -> int:
+        return zlib.crc32(key.encode("utf-8")) % len(self._shards)
+
+    def _charge(self, seconds: float, metric: str, count: int = 1) -> None:
+        if self.clock is not None:
+            self.clock.advance(seconds)
+        self.metrics.counter(f"{self.name}.{metric}").increment(count)
+        self.metrics.counter(f"{self.name}.simulated_seconds").increment(seconds)
+
+    # -- single-key operations ---------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        self._charge(self.latency.read, "reads")
+        shard = self._shards[self.shard_for(key)]
+        value = shard.live_replica().get(key)
+        return self._resolve(value)
+
+    def put(self, key: str, value: Any) -> None:
+        self._charge(self.latency.write, "writes")
+        shard = self._shards[self.shard_for(key)]
+        shard.check_writable()
+        shard.apply(key, _Stored(value, ()))
+
+    def delete(self, key: str) -> None:
+        self._charge(self.latency.write, "writes")
+        shard = self._shards[self.shard_for(key)]
+        shard.check_writable()
+        shard.apply(key, _DELETED)
+
+    def merge(self, key: str, operand: Any) -> None:
+        """Append a merge operand server-side (no read round trip)."""
+        if self.merge_operator is None:
+            raise ConfigError(f"{self.name!r} has no merge operator")
+        self._charge(self.latency.write, "merge_writes")
+        shard = self._shards[self.shard_for(key)]
+        shard.check_writable()
+        existing = shard.live_replica().get(key)
+        if isinstance(existing, _Stored):
+            stored = _Stored(existing.base, existing.operands + (operand,))
+        else:
+            stored = _Stored(None, (operand,))
+        shard.apply(key, stored)
+
+    # -- batched operations (one round trip per shard touched) ---------------------
+
+    def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        by_shard = self._group(keys)
+        self._charge(
+            self.latency.batch_overhead * len(by_shard)
+            + self.latency.per_item * len(keys),
+            "batch_reads", count=len(keys),
+        )
+        result: dict[str, Any] = {}
+        for shard_index, shard_keys in by_shard.items():
+            replica = self._shards[shard_index].live_replica()
+            for key in shard_keys:
+                result[key] = self._resolve(replica.get(key))
+        return result
+
+    def multi_put(self, items: dict[str, Any]) -> None:
+        by_shard = self._group(list(items))
+        self._charge(
+            self.latency.batch_overhead * len(by_shard)
+            + self.latency.per_item * len(items),
+            "batch_writes", count=len(items),
+        )
+        for shard_index, shard_keys in by_shard.items():
+            shard = self._shards[shard_index]
+            shard.check_writable()
+            for key in shard_keys:
+                shard.apply(key, _Stored(items[key], ()))
+
+    def multi_merge(self, items: list[tuple[str, Any]]) -> None:
+        """Batched append-only merges: the Figure 12 fast path."""
+        if self.merge_operator is None:
+            raise ConfigError(f"{self.name!r} has no merge operator")
+        by_shard: dict[int, list[tuple[str, Any]]] = {}
+        for key, operand in items:
+            by_shard.setdefault(self.shard_for(key), []).append((key, operand))
+        self._charge(
+            self.latency.batch_overhead * len(by_shard)
+            + self.latency.per_item * len(items),
+            "batch_merge_writes", count=len(items),
+        )
+        for shard_index, pairs in by_shard.items():
+            shard = self._shards[shard_index]
+            shard.check_writable()
+            replica = shard.live_replica()
+            for key, operand in pairs:
+                existing = replica.get(key)
+                if isinstance(existing, _Stored):
+                    stored = _Stored(existing.base,
+                                     existing.operands + (operand,))
+                else:
+                    stored = _Stored(None, (operand,))
+                shard.apply(key, stored)
+
+    # -- transactions -----------------------------------------------------------
+
+    def commit_transaction(self, puts: dict[str, Any] | None = None,
+                           deletes: list[str] | None = None) -> None:
+        """Atomically apply writes across shards (2PC-priced).
+
+        This is the "high-latency distributed transaction" that
+        exactly-once state semantics pay for (Section 4.3.2).
+        """
+        puts = puts or {}
+        deletes = deletes or []
+        keys = list(puts) + list(deletes)
+        if not keys:
+            return
+        shards_touched = {self.shard_for(key) for key in keys}
+        for shard_index in shards_touched:
+            try:
+                self._shards[shard_index].check_writable()
+            except StoreUnavailable as exc:
+                raise TransactionAborted(str(exc)) from exc
+        # prepare + commit rounds across the participant group
+        self._charge(
+            2 * self.latency.transaction_round
+            + self.latency.per_item * len(keys),
+            "transactions",
+        )
+        for key, value in puts.items():
+            self._shards[self.shard_for(key)].apply(key, _Stored(value, ()))
+        for key in deletes:
+            self._shards[self.shard_for(key)].apply(key, _DELETED)
+
+    # -- replica failure injection ---------------------------------------------------
+
+    def kill_replica(self, shard_index: int, replica_index: int) -> None:
+        shard = self._shards[shard_index]
+        shard.alive[replica_index] = False
+
+    def revive_replica(self, shard_index: int, replica_index: int) -> None:
+        """Bring a replica back, catching it up from a live peer."""
+        shard = self._shards[shard_index]
+        source = shard.live_replica()
+        shard.replicas[replica_index] = dict(source)
+        shard.alive[replica_index] = True
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _group(self, keys: list[str]) -> dict[int, list[str]]:
+        by_shard: dict[int, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(self.shard_for(key), []).append(key)
+        return by_shard
+
+    def _resolve(self, value: Any) -> Any:
+        if value is None or value is _DELETED:
+            return None
+        if isinstance(value, _Stored):
+            if not value.operands:
+                return value.base
+            return self.merge_operator.full_merge(value.base, value.operands)
+        return value
+
+
+@dataclass(frozen=True)
+class _Stored:
+    """Server-side representation: a base value plus pending operands."""
+
+    base: Any
+    operands: tuple

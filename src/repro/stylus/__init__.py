@@ -1,0 +1,44 @@
+"""Stylus: the low-level stream-processing framework (paper Section 2.4).
+
+Stylus is the most general of the three engines: procedural processors
+(stateless, stateful, and monoid), every Table 8 semantics combination,
+two state-saving mechanisms (local RocksDB-style DB with HDFS backups,
+and a remote ZippyDB-style database with the append-only monoid
+optimization), watermark estimation, and batch binaries for backfill.
+"""
+
+from repro.stylus.bundle import StylusAppBundle
+from repro.stylus.checkpointing import CheckpointPolicy, CrashInjector, CrashPoint
+from repro.stylus.engine import Strategy, StylusJob, StylusTask
+from repro.stylus.processor import (
+    MonoidProcessor,
+    Output,
+    StatefulProcessor,
+    StatelessProcessor,
+)
+from repro.stylus.state import (
+    InMemoryStateBackend,
+    LocalDbStateBackend,
+    RemoteDbStateBackend,
+    RemoteWriteMode,
+)
+from repro.stylus.windowed import WindowedAggregator
+
+__all__ = [
+    "CheckpointPolicy",
+    "CrashInjector",
+    "CrashPoint",
+    "InMemoryStateBackend",
+    "LocalDbStateBackend",
+    "MonoidProcessor",
+    "Output",
+    "RemoteDbStateBackend",
+    "RemoteWriteMode",
+    "StatefulProcessor",
+    "StatelessProcessor",
+    "Strategy",
+    "StylusAppBundle",
+    "StylusJob",
+    "StylusTask",
+    "WindowedAggregator",
+]

@@ -1,0 +1,101 @@
+"""The dual-binary Stylus application bundle (paper Section 4.5.2).
+
+"When a user creates a Stylus application, two binaries are generated at
+the same time: one for stream and one for batch." A
+:class:`StylusAppBundle` is that pair: one processor definition, from
+which :meth:`streaming_job` builds the realtime job and
+:meth:`run_batch` builds and runs the right batch shape —
+
+- stateless processor -> custom mapper,
+- general stateful processor -> custom reducer keyed by the aggregation
+  key (rows time-sorted within each key),
+- monoid processor -> map-side partial aggregation with a combiner —
+
+on either batch runtime (Hive/MapReduce or the Spark-style dataset
+engine, the Section 7 evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.backfill import alt_runner, runner
+from repro.errors import ConfigError
+from repro.scribe.store import ScribeStore
+from repro.stylus.engine import StylusJob
+from repro.stylus.processor import (
+    MonoidProcessor,
+    StatefulProcessor,
+    StatelessProcessor,
+)
+
+Row = dict[str, Any]
+
+
+class StylusAppBundle:
+    """One application definition, two runtimes."""
+
+    def __init__(self, name: str, processor_factory: Callable[[], Any],
+                 reduce_key: Callable[[Row], Any] | None = None,
+                 time_field: str = "event_time",
+                 **stream_kwargs: Any) -> None:
+        self.name = name
+        self.processor_factory = processor_factory
+        self.reduce_key = reduce_key
+        self.time_field = time_field
+        self.stream_kwargs = stream_kwargs
+        sample = processor_factory()
+        if isinstance(sample, MonoidProcessor):
+            self.kind = "monoid"
+        elif isinstance(sample, StatefulProcessor):
+            self.kind = "stateful"
+            if reduce_key is None:
+                raise ConfigError(
+                    "a general stateful processor's batch binary needs a "
+                    "reduce_key (the aggregation key, Section 4.5.2)"
+                )
+        elif isinstance(sample, StatelessProcessor):
+            self.kind = "stateless"
+        else:
+            raise ConfigError(
+                f"unknown processor type {type(sample).__name__}"
+            )
+
+    # -- the stream binary ------------------------------------------------------
+
+    def streaming_job(self, scribe: ScribeStore, input_category: str,
+                      **overrides: Any) -> StylusJob:
+        kwargs = dict(self.stream_kwargs)
+        kwargs.update(overrides)
+        kwargs.setdefault("time_field", self.time_field)
+        return StylusJob.create(self.name, scribe, input_category,
+                                self.processor_factory, **kwargs)
+
+    # -- the batch binary -----------------------------------------------------------
+
+    def run_batch(self, rows: Iterable[Row],
+                  runtime: str = "mapreduce") -> Any:
+        """Run the batch binary over ``rows`` on the chosen runtime."""
+        if runtime not in ("mapreduce", "dataset"):
+            raise ConfigError(f"unknown batch runtime {runtime!r}")
+        if self.kind == "stateless":
+            if runtime == "mapreduce":
+                return runner.run_stateless_backfill(
+                    self.processor_factory(), rows, self.time_field)
+            return alt_runner.run_stateless_backfill_dataset(
+                self.processor_factory(), rows, time_field=self.time_field)
+        if self.kind == "monoid":
+            if runtime == "mapreduce":
+                return runner.run_monoid_backfill(
+                    self.processor_factory(), rows,
+                    time_field=self.time_field)
+            return alt_runner.run_monoid_backfill_dataset(
+                self.processor_factory(), rows, time_field=self.time_field)
+        # stateful
+        if runtime == "mapreduce":
+            return runner.run_stateful_backfill(
+                self.processor_factory, rows, self.reduce_key,
+                self.time_field)
+        return alt_runner.run_stateful_backfill_dataset(
+            self.processor_factory, rows, self.reduce_key,
+            time_field=self.time_field)

@@ -1,0 +1,484 @@
+"""The Stylus execution engine.
+
+A :class:`StylusTask` consumes one Scribe bucket with one processor and
+one semantics policy. The checkpoint procedure implements Section 4.3.1
+literally — the *order* of the state/offset/output saves is what defines
+the semantics:
+
+- at-least-once state: save state, then offset;
+- at-most-once state: save offset, then state;
+- exactly-once: save both (plus pending output) atomically;
+- at-least-once output: emit while processing (before the checkpoint);
+- at-most-once output: hold output, checkpoint, then emit;
+- exactly-once output: output rides in the checkpoint transaction.
+
+Crashes can be injected at every vulnerable point
+(:class:`~repro.stylus.checkpointing.CrashInjector`), which is how the
+Figure 7 experiment and the semantics property tests exercise failures.
+
+Tasks optionally account their work against a
+:class:`~repro.core.costs.CostModel` on a
+:class:`~repro.core.costs.ResourceTimeline`, in one of two execution
+strategies:
+
+- ``overlapped`` — the Stylus way: side-effect-free work (deserialization)
+  proceeds concurrently with receiving and with checkpoint waits;
+- ``buffered`` — the Swift-implementation way of Figure 9: buffer raw
+  input between checkpoints, then deserialize/process/emit in a burst.
+
+Both strategies produce identical *results*; they differ only in the
+modeled timeline — which is exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.core.costs import CostModel, ResourceTimeline
+from repro.core.event import Event
+from repro.core.semantics import SemanticsPolicy, StateSemantics
+from repro.core.watermark import WatermarkEstimator
+from repro.errors import CheckpointError, ProcessCrashed, ProcessingError
+from repro.serde import SerdeError
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.message import Message
+from repro.scribe.reader import ScribeReader
+from repro.scribe.store import ScribeStore
+from repro.scribe.writer import ScribeWriter
+from repro.stylus.checkpointing import (
+    CheckpointPolicy,
+    CrashInjector,
+    CrashPoint,
+    NoCrashes,
+)
+from repro.stylus.processor import (
+    MonoidProcessor,
+    Output,
+    StatefulProcessor,
+    StatelessProcessor,
+)
+from repro.stylus.state import InMemoryStateBackend, StateBackend
+
+Processor = StatelessProcessor | StatefulProcessor | MonoidProcessor
+
+
+class Strategy(enum.Enum):
+    """Execution strategy for cost accounting (see module docstring)."""
+
+    OVERLAPPED = "overlapped"
+    BUFFERED = "buffered"
+
+
+class StylusTask:
+    """One processor instance bound to one input bucket."""
+
+    def __init__(self, name: str, scribe: ScribeStore, input_category: str,
+                 bucket: int, processor: Processor,
+                 semantics: SemanticsPolicy | None = None,
+                 state_backend: StateBackend | None = None,
+                 checkpoint_policy: CheckpointPolicy | None = None,
+                 output_category: str | None = None,
+                 clock: Clock | None = None,
+                 crash_injector: CrashInjector | None = None,
+                 time_field: str = "event_time",
+                 cost_model: CostModel | None = None,
+                 strategy: Strategy = Strategy.OVERLAPPED,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.name = name
+        self.scribe = scribe
+        self.processor = processor
+        self.semantics = semantics or SemanticsPolicy.at_least_once()
+        self.state_backend = state_backend or InMemoryStateBackend(name)
+        self.checkpoint_policy = checkpoint_policy or CheckpointPolicy(
+            every_n_events=100
+        )
+        self.clock = clock if clock is not None else WallClock()
+        self.injector = crash_injector or NoCrashes()
+        self.time_field = time_field
+        self.cost_model = cost_model
+        self.strategy = strategy
+        self.timeline = ResourceTimeline() if cost_model else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.watermarks = WatermarkEstimator()
+
+        self._reader = ScribeReader(scribe, input_category, bucket)
+        self._writer = (ScribeWriter(scribe, output_category)
+                        if output_category else None)
+
+        if isinstance(processor, StatefulProcessor):
+            self._state: Any = processor.initial_state()
+        else:
+            self._state = None
+        self._partials: dict[str, Any] = {}
+        self._pending_output: list[Output] = []
+        self._raw_buffer: list[Message] = []
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_at = self._now()
+        self._checkpoint_index = 0
+        self.crashed = False
+        self._start_offset = self._reader.position
+        # The offset just past the last message consumed by the processor.
+        # This — not the reader's batch position, which runs ahead — is
+        # what checkpoints record, so a crash mid-batch replays correctly.
+        self._next_offset = self._reader.position
+
+    # -- time --------------------------------------------------------------
+
+    def _now(self) -> float:
+        """Checkpoint-relevant time: modeled when a cost model is attached."""
+        if self.timeline is not None:
+            return self.timeline.elapsed()
+        return self.clock.now()
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def state(self) -> Any:
+        """The live in-memory state (stateful processors)."""
+        return self._state
+
+    @property
+    def partials(self) -> dict[str, Any]:
+        """The live in-memory partial states (monoid processors)."""
+        return self._partials
+
+    @property
+    def position(self) -> int:
+        return self._reader.position
+
+    def lag_messages(self) -> int:
+        return self._reader.lag_messages()
+
+    def low_watermark(self, confidence: float = 0.99) -> float | None:
+        """Stylus's event-time low-watermark estimate (Section 2.4)."""
+        return self.watermarks.low_watermark(confidence)
+
+    def pump(self, max_messages: int = 1000) -> int:
+        """Process up to ``max_messages`` pending inputs; return count.
+
+        An injected crash stops the task mid-cycle; it stays down until
+        :meth:`restart`.
+        """
+        if self.crashed:
+            return 0
+        try:
+            return self._pump(max_messages)
+        except ProcessCrashed:
+            self._die()
+            return 0
+
+    def checkpoint_now(self) -> None:
+        """Force a checkpoint immediately (tests and shutdown paths)."""
+        if self.crashed:
+            raise CheckpointError(f"task {self.name!r} is down")
+        try:
+            self._checkpoint()
+        except ProcessCrashed:
+            self._die()
+
+    # -- the processing loop ------------------------------------------------------
+
+    def _pump(self, max_messages: int) -> int:
+        processed = 0
+        while processed < max_messages:
+            batch = self._reader.read_batch(
+                min(100, max_messages - processed)
+            )
+            if not batch:
+                break
+            for message in batch:
+                self._charge_receive(message)
+                if self.strategy == Strategy.BUFFERED:
+                    self._raw_buffer.append(message)
+                else:
+                    self._handle_message(message)
+                self._next_offset = message.offset + 1
+                self._events_since_checkpoint += 1
+                processed += 1
+                self.injector.fire(CrashPoint.DURING_PROCESSING,
+                                   self._checkpoint_index + 1,
+                                   self.name, self._now())
+                if self.checkpoint_policy.due(
+                        self._now(), self._last_checkpoint_at,
+                        self._events_since_checkpoint):
+                    self._checkpoint()
+        self.metrics.gauge(f"stylus.{self.name}.lag").set(self.lag_messages())
+        return processed
+
+    def _handle_message(self, message: Message) -> None:
+        try:
+            event = self._decode(message)
+        except (SerdeError, ProcessingError):
+            # A poison message must not wedge the consumer: count it,
+            # skip it, keep draining (hundreds of pipelines cannot page
+            # a human for every malformed log line).
+            self.metrics.counter(f"stylus.{self.name}.poison").increment()
+            return
+        outputs = self._process_event(event)
+        self._route(outputs)
+
+    def _decode(self, message: Message) -> Event:
+        self._charge_cpu(self.cost_model.deserialize_per_event
+                         if self.cost_model else 0.0)
+        event = Event.from_message(message, self.time_field)
+        self.watermarks.observe(event.event_time)
+        self.metrics.counter(f"stylus.{self.name}.events").increment()
+        self.metrics.counter(f"stylus.{self.name}.bytes").increment(message.size)
+        return event
+
+    def _process_event(self, event: Event) -> list[Output]:
+        self._charge_cpu(self.cost_model.process_per_event
+                         if self.cost_model else 0.0)
+        if isinstance(self.processor, StatelessProcessor):
+            return self.processor.process(event)
+        if isinstance(self.processor, StatefulProcessor):
+            return self.processor.process(event, self._state)
+        operator = self.processor.merge_operator()
+        for key, delta in self.processor.extract(event):
+            base = self._partials.get(key)
+            self._partials[key] = (delta if base is None
+                                   else operator.merge(base, delta))
+        return []
+
+    def _route(self, outputs: list[Output]) -> None:
+        if not outputs:
+            return
+        if self.semantics.emits_before_checkpoint:
+            self._emit(outputs)
+        else:  # at-most-once or exactly-once output: hold until checkpoint
+            self._pending_output.extend(outputs)
+
+    def _emit(self, outputs: list[Output]) -> None:
+        for output in outputs:
+            if self._writer is not None:
+                self._writer.write(output.record, key=output.key)
+            self.metrics.counter(f"stylus.{self.name}.outputs").increment()
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        index = self._checkpoint_index + 1
+        now = self._now()
+        self.injector.fire(CrashPoint.BEFORE_CHECKPOINT, index,
+                           self.name, now)
+
+        if self.strategy == Strategy.BUFFERED:
+            self._drain_buffer_for_checkpoint()
+
+        # Periodic processor output (e.g. the Figure 6 counter emission).
+        periodic = self._periodic_outputs(now)
+        if self.semantics.emits_before_checkpoint:
+            self._emit(periodic)
+        else:
+            self._pending_output.extend(periodic)
+
+        offset = self._next_offset
+        if self.semantics.state == StateSemantics.EXACTLY_ONCE:
+            self._save_exactly_once(offset, index)
+        elif self.semantics.state == StateSemantics.AT_LEAST_ONCE:
+            self._save_payload()
+            self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
+                               self.name, now)
+            self.state_backend.save_offset(offset)
+        else:  # at-most-once: offset first, then state
+            self.state_backend.save_offset(offset)
+            self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
+                               self.name, now)
+            self._save_payload()
+
+        self._checkpoint_index = index
+        self.injector.fire(CrashPoint.AFTER_CHECKPOINT, index,
+                           self.name, now)
+
+        if self.semantics.emits_after_checkpoint and self._pending_output:
+            self._emit(self._pending_output)
+            self._pending_output = []
+        self.injector.fire(CrashPoint.AFTER_EMIT, index, self.name, now)
+
+        self._charge_checkpoint_sync()
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_at = self._now()
+        self.metrics.counter(f"stylus.{self.name}.checkpoints").increment()
+
+    def _periodic_outputs(self, now: float) -> list[Output]:
+        if isinstance(self.processor, StatefulProcessor):
+            return self.processor.on_checkpoint(self._state, now)
+        if isinstance(self.processor, MonoidProcessor):
+            return self.processor.on_checkpoint(self._partials, now)
+        return []
+
+    def _save_payload(self) -> None:
+        """Persist the semantic payload: state, or monoid partials."""
+        if isinstance(self.processor, StatefulProcessor):
+            self.state_backend.save_state(self._state)
+        elif isinstance(self.processor, MonoidProcessor):
+            if self._partials:
+                self.state_backend.flush_partials(
+                    self._partials, self.processor.merge_operator()
+                )
+                self._partials = {}
+
+    def _save_exactly_once(self, offset: int, index: int) -> None:
+        if isinstance(self.processor, MonoidProcessor):
+            self.state_backend.flush_partials_atomic(
+                self._partials, self.processor.merge_operator(), offset,
+                self._pending_output, index,
+            )
+            self._partials = {}
+        else:
+            self.state_backend.save_atomic_with_outputs(
+                self._state, offset, self._pending_output, index
+            )
+        # Output is now durable in the transactional receiver.
+        self.metrics.counter(f"stylus.{self.name}.outputs").increment(
+            len(self._pending_output)
+        )
+        self._pending_output = []
+
+    # -- buffered (Swift-style) strategy ------------------------------------------------
+
+    def _drain_buffer_for_checkpoint(self) -> None:
+        """Deserialize and process everything buffered since last time.
+
+        This is the Figure 9 Swift implementation: all CPU work for the
+        interval happens here, in a burst, after idling while buffering.
+        """
+        buffered, self._raw_buffer = self._raw_buffer, []
+        if self.timeline is not None:
+            # The burst cannot start before receiving finished.
+            self.timeline.barrier("receive", "cpu")
+        for message in buffered:
+            self._handle_message(message)
+
+    # -- failure handling ------------------------------------------------------------------
+
+    def _die(self) -> None:
+        """The process is gone: all in-memory artifacts are lost."""
+        self.crashed = True
+        self._state = None
+        self._partials = {}
+        self._pending_output = []
+        self._raw_buffer = []
+        self.metrics.counter(f"stylus.{self.name}.crashes").increment()
+
+    def restart(self) -> None:
+        """Come back up from the last checkpoint (same machine)."""
+        state, offset = self.state_backend.load()
+        if isinstance(self.processor, StatefulProcessor):
+            self._state = (state if state is not None
+                           else self.processor.initial_state())
+        self._partials = {}
+        self._pending_output = []
+        self._raw_buffer = []
+        resume_at = offset if offset is not None else self._start_offset
+        self._reader.seek(resume_at)
+        self._next_offset = resume_at
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_at = self._now()
+        self.crashed = False
+
+    # -- cost accounting ---------------------------------------------------------------------
+
+    def _charge_receive(self, message: Message) -> None:
+        if self.cost_model is None:
+            return
+        self.timeline.charge("receive", self.cost_model.receive_per_event)
+
+    def _charge_cpu(self, seconds: float) -> None:
+        if self.cost_model is None or seconds == 0.0:
+            return
+        not_before = (self.timeline.resources.get("receive", 0.0)
+                      if self.strategy == Strategy.OVERLAPPED else 0.0)
+        self.timeline.charge("cpu", seconds, not_before=not_before)
+
+    def _charge_checkpoint_sync(self) -> None:
+        if self.cost_model is None:
+            return
+        if self.strategy == Strategy.OVERLAPPED:
+            # Side-effect-free work continues; only the emit path waits.
+            self.timeline.charge("checkpoint", self.cost_model.checkpoint_sync)
+        else:
+            # The buffered processor stalls completely during the sync.
+            self.timeline.barrier("receive", "cpu")
+            self.timeline.charge("cpu", self.cost_model.checkpoint_sync)
+            self.timeline.barrier("receive", "cpu")
+
+
+class StylusJob:
+    """A named set of tasks, one per input bucket, driven together.
+
+    Implements the :class:`~repro.core.dag.Pumpable` protocol so a job is
+    directly a DAG node. Factory classmethods build the per-bucket tasks
+    with shared configuration.
+    """
+
+    def __init__(self, name: str, tasks: list[StylusTask],
+                 scribe: ScribeStore | None = None,
+                 input_category_name: str | None = None,
+                 processor_factory=None,
+                 task_kwargs: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.tasks = tasks
+        self._scribe = scribe
+        self._input_category = input_category_name
+        self._processor_factory = processor_factory
+        self._task_kwargs = task_kwargs or {}
+
+    @classmethod
+    def create(cls, name: str, scribe: ScribeStore, input_category: str,
+               processor_factory, **task_kwargs: Any) -> "StylusJob":
+        """One task per bucket; ``processor_factory()`` builds each processor."""
+        num_buckets = scribe.category(input_category).num_buckets
+        tasks = [
+            StylusTask(f"{name}[{bucket}]", scribe, input_category, bucket,
+                       processor_factory(), **task_kwargs)
+            for bucket in range(num_buckets)
+        ]
+        return cls(name, tasks, scribe=scribe,
+                   input_category_name=input_category,
+                   processor_factory=processor_factory,
+                   task_kwargs=task_kwargs)
+
+    # -- the autoscaler contract (paper Sections 6.4 and 7) ------------------
+
+    def input_category(self) -> str:
+        if self._input_category is None:
+            raise CheckpointError(
+                f"job {self.name!r} was not built via StylusJob.create"
+            )
+        return self._input_category
+
+    def grow_to_buckets(self) -> int:
+        """Create tasks for buckets added by a category resize.
+
+        This is how "changing the parallelism is often just changing the
+        number of Scribe buckets and restarting the nodes" plays out: the
+        category grows, new tasks attach to the new buckets, existing
+        tasks keep their positions.
+        """
+        category = self._scribe.category(self.input_category())
+        for bucket in range(len(self.tasks), category.num_buckets):
+            self.tasks.append(StylusTask(
+                f"{self.name}[{bucket}]", self._scribe,
+                self._input_category, bucket, self._processor_factory(),
+                **self._task_kwargs,
+            ))
+        return len(self.tasks)
+
+    def pump(self, max_messages: int = 1000) -> int:
+        return sum(task.pump(max_messages) for task in self.tasks)
+
+    def lag_messages(self) -> int:
+        return sum(task.lag_messages() for task in self.tasks)
+
+    def checkpoint_now(self) -> None:
+        for task in self.tasks:
+            task.checkpoint_now()
+
+    def low_watermark(self, confidence: float = 0.99) -> float | None:
+        """The job-wide low watermark: the min across tasks."""
+        marks = [task.low_watermark(confidence) for task in self.tasks]
+        marks = [mark for mark in marks if mark is not None]
+        return min(marks) if marks else None

@@ -1,0 +1,98 @@
+"""Stylus processor interfaces.
+
+"Stylus provides three types of processors: a stateless processor, a
+general stateful processor, and a monoid stream processor"
+(Section 4.5.2). All three are defined here; the engine in
+:mod:`repro.stylus.engine` runs any of them with any supported
+semantics policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.event import Event
+from repro.storage.merge import MergeOperator
+
+
+@dataclass(frozen=True)
+class Output:
+    """One unit of processor output.
+
+    ``record`` is the serializable payload; ``key`` is the shard key the
+    downstream category partitions on (re-sharding between DAG nodes is
+    just emitting with a different key — Figure 3).
+    """
+
+    record: Mapping[str, Any]
+    key: str | None = None
+
+
+class StatelessProcessor(ABC):
+    """Pure event-in, outputs-out transformation (filter, project, join).
+
+    The Filterer and Joiner of Figure 3 are stateless: they keep no
+    cross-event state, so only output semantics apply to them.
+    """
+
+    @abstractmethod
+    def process(self, event: Event) -> list[Output]:
+        """Transform one event into zero or more outputs."""
+
+
+class StatefulProcessor(ABC):
+    """Processor with explicit in-memory state (the Scorer of Figure 3).
+
+    The engine owns the state's lifecycle: it calls :meth:`initial_state`
+    on first start, passes the state to every :meth:`process` call (which
+    may mutate it), snapshots it at checkpoints, and restores it after a
+    failure according to the configured state semantics.
+    """
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """A fresh state for a brand-new task (must be copyable)."""
+
+    @abstractmethod
+    def process(self, event: Event, state: Any) -> list[Output]:
+        """Fold one event into ``state``; return immediate outputs."""
+
+    def on_checkpoint(self, state: Any, now: float) -> list[Output]:
+        """Periodic outputs generated at checkpoint time.
+
+        The Counter Node of Figure 6 emits its counter value here ("every
+        few seconds, it emits the counter value to a (timewindow, counter)
+        output stream"). Default: nothing.
+        """
+        return []
+
+
+class MonoidProcessor(ABC):
+    """Keyed aggregation whose state forms a monoid (Section 4.4.2).
+
+    "When a monoid processor's application needs to access state that is
+    not in memory, mutations are applied to an empty state (the identity
+    element)" — the engine keeps only *partial* per-key states in memory
+    and lets the state backend merge them into the full state, either by
+    read-merge-write or (when the remote database supports a custom merge
+    operator) by appending operands.
+    """
+
+    @abstractmethod
+    def merge_operator(self) -> MergeOperator:
+        """The monoid: identity element plus associative merge."""
+
+    @abstractmethod
+    def extract(self, event: Event) -> list[tuple[str, Any]]:
+        """Map an event to (key, delta) pairs folded into the state.
+
+        One event may touch many keys — the Figure 12 workload
+        "aggregates its input events across many dimensions".
+        """
+
+    def on_checkpoint(self, partials: Mapping[str, Any],
+                      now: float) -> list[Output]:
+        """Periodic outputs computed from the in-memory partial states."""
+        return []

@@ -1,0 +1,130 @@
+"""Watermark-driven windowed aggregation for Stylus.
+
+Section 2.4: Stylus "must handle imperfect ordering in its input
+streams" and "provides a function to estimate the event time low
+watermark with a given confidence interval". This module is the piece
+that *uses* that estimate: a stateful processor that assigns events to
+event-time windows, keeps per-window monoid aggregates, and emits a
+window's finalized result only once the low watermark passes the window
+end — so out-of-order events land in the right window and late
+stragglers beyond the confidence level are counted and dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.event import Event
+from repro.core.windows import TumblingWindow
+from repro.errors import ConfigError
+from repro.storage.merge import MergeOperator
+from repro.stylus.processor import Output, StatefulProcessor
+
+KeyExtractor = Callable[[Event], list[tuple[str, Any]]]
+
+
+class WindowedAggregator(StatefulProcessor):
+    """Tumbling-window keyed aggregation with watermark-closed windows.
+
+    ``extract`` maps an event to (key, delta) pairs; ``operator`` folds
+    deltas per (window, key). At every checkpoint the processor computes
+    its low watermark at ``confidence``; windows that end before it are
+    *closed*: their finalized rows are emitted exactly once, then their
+    state is dropped. Events older than an already-closed window are
+    counted in ``state["late_events"]`` and otherwise ignored — the
+    watermark's confidence level is precisely the knob that trades
+    emission latency against stragglers.
+    """
+
+    def __init__(self, window_seconds: float, operator: MergeOperator,
+                 extract: KeyExtractor, confidence: float = 0.99,
+                 sample_size: int = 512) -> None:
+        if window_seconds <= 0:
+            raise ConfigError("window_seconds must be positive")
+        if not 0.0 < confidence <= 1.0:
+            raise ConfigError("confidence must be in (0, 1]")
+        self.window = TumblingWindow(window_seconds)
+        self.operator = operator
+        self.extract = extract
+        self.confidence = confidence
+        self.sample_size = sample_size
+
+    # -- the StatefulProcessor surface ------------------------------------
+
+    def initial_state(self) -> dict[str, Any]:
+        return {
+            "windows": {},       # window_start -> {key -> folded value}
+            "closed_before": None,  # every window ending here is emitted
+            "late_events": 0,
+            "max_seen": None,        # newest event time observed
+            "lateness_sample": [],   # arrival-ordered recent lateness values
+        }
+
+    def process(self, event: Event, state: dict[str, Any]) -> list[Output]:
+        window = self.window.window_containing(event.event_time)
+        closed_before = state["closed_before"]
+        if closed_before is not None and window.end <= closed_before:
+            state["late_events"] += 1
+            return []
+        max_seen = state["max_seen"]
+        if max_seen is None or event.event_time > max_seen:
+            max_seen = event.event_time
+            state["max_seen"] = max_seen
+        sample = state["lateness_sample"]
+        sample.append(max_seen - event.event_time)
+        if len(sample) > self.sample_size:
+            del sample[:len(sample) - self.sample_size]
+        per_key = state["windows"].setdefault(window.start, {})
+        for key, delta in self.extract(event):
+            base = per_key.get(key)
+            per_key[key] = (delta if base is None
+                            else self.operator.merge(base, delta))
+        return []
+
+    def on_checkpoint(self, state: dict[str, Any], now: float) -> list[Output]:
+        """Close every window the low watermark has passed."""
+        mark = self._low_watermark(state)
+        if mark is None:
+            return []
+        outputs: list[Output] = []
+        for window_start in sorted(state["windows"]):
+            window_end = window_start + self.window.size
+            if window_end > mark:
+                break  # newer windows are still open
+            for key, value in sorted(state["windows"][window_start].items()):
+                outputs.append(Output(
+                    {"event_time": window_end, "window_start": window_start,
+                     "key": key, "value": value, "final": True},
+                    key=key,
+                ))
+            del state["windows"][window_start]
+            previous = state["closed_before"]
+            state["closed_before"] = (window_end if previous is None
+                                      else max(previous, window_end))
+        return outputs
+
+    def _low_watermark(self, state: dict[str, Any]) -> float | None:
+        """``max_seen - q_confidence(lateness)``, from checkpointable state.
+
+        Same estimate as :class:`LatenessWatermarkEstimator`, computed
+        from the plain lists kept in the processor state so the
+        watermark survives checkpoints and restarts.
+        """
+        if state["max_seen"] is None:
+            return None
+        sample = sorted(state["lateness_sample"])
+        if not sample:
+            return state["max_seen"]
+        rank = min(len(sample) - 1,
+                   int(self.confidence * (len(sample) - 1) + 0.9999))
+        return state["max_seen"] - sample[rank]
+
+    # -- inspection helpers --------------------------------------------------
+
+    @staticmethod
+    def open_windows(state: dict[str, Any]) -> list[float]:
+        return sorted(state["windows"])
+
+    @staticmethod
+    def late_events(state: dict[str, Any]) -> int:
+        return state["late_events"]

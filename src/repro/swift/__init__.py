@@ -1,0 +1,13 @@
+"""Swift: the basic checkpointing stream engine (paper Section 2.3).
+
+Swift "provides a very simple API: you can read from a Scribe stream
+with checkpoints every N strings or B bytes. If the app crashes, you can
+restart from the latest checkpoint; all data is thus read at least once
+from Scribe." The client app is a plain callable (standing in for the
+process on the other side of the system-level pipe); performance and
+fault tolerance beyond at-least-once replay are the client's problem.
+"""
+
+from repro.swift.engine import SwiftApp, SwiftClient
+
+__all__ = ["SwiftApp", "SwiftClient"]

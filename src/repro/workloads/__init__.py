@@ -1,0 +1,18 @@
+"""Synthetic workload generators.
+
+Production Facebook streams are not available, so every experiment runs
+on seeded synthetic workloads whose distributional properties (Zipfian
+key skew, bursty topics, bounded event-time disorder) exercise the same
+code paths. Generators are deterministic for a given seed.
+"""
+
+from repro.workloads.events import EventStreamWorkload, TrendingEventsWorkload
+from repro.workloads.posts import PostsWorkload
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "EventStreamWorkload",
+    "PostsWorkload",
+    "TrendingEventsWorkload",
+    "ZipfSampler",
+]

@@ -1,0 +1,143 @@
+"""Event-stream workloads for the trending pipeline and the benchmarks.
+
+:class:`TrendingEventsWorkload` generates the Figure 3 input: events
+with an event type, a dimension id (resolvable against a generated
+dimension table), and text classifiable into a topic. A configurable
+set of *trend bursts* makes chosen topics spike in chosen intervals so
+the trending pipeline has ground truth to find.
+
+:class:`EventStreamWorkload` is the plainer Figure 2 / Figure 6 input:
+(event_time, event, category, score) records at a fixed rate with
+bounded event-time disorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ConfigError
+from repro.runtime.rng import make_rng
+from repro.workloads.zipf import ZipfSampler
+
+Record = dict[str, Any]
+
+TOPICS = ("movies", "babies", "sports", "politics", "music",
+          "food", "travel", "fashion", "science", "games")
+
+LANGUAGES = ("en", "es", "pt", "fr", "de", "hi", "ar", "id")
+
+EVENT_TYPES = ("post", "comment", "like", "share", "click")
+
+
+@dataclass(frozen=True)
+class TrendBurst:
+    """A scripted spike: ``topic`` is boosted in ``[start, end)``."""
+
+    topic: str
+    start: float
+    end: float
+    multiplier: float = 10.0
+
+
+@dataclass
+class TrendingEventsWorkload:
+    """The Figure 3 input stream plus its dimension side table."""
+
+    seed: int = 7
+    num_dimensions: int = 200
+    rate_per_second: float = 100.0
+    max_disorder_seconds: float = 2.0
+    interesting_fraction: float = 0.6  # events passing the Filterer
+    bursts: tuple[TrendBurst, ...] = ()
+    _rng: Any = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ConfigError("rate must be positive")
+        self._rng = make_rng(self.seed, "trending-events")
+        self._dim_sampler = ZipfSampler(self.num_dimensions, 1.05, self._rng)
+        self._topic_sampler = ZipfSampler(len(TOPICS), 0.8, self._rng)
+
+    # -- the dimension side table (loaded into Laser for the Joiner) -----------
+
+    def dimension_rows(self) -> list[Record]:
+        """(dim_id, language, country) rows for the lookup join."""
+        rng = make_rng(self.seed, "dimensions")
+        return [
+            {
+                "dim_id": f"dim{i}",
+                "language": rng.choice(LANGUAGES),
+                "country": rng.choice(("US", "BR", "IN", "GB", "ID", "MX")),
+                "event_time": 0.0,
+            }
+            for i in range(self.num_dimensions)
+        ]
+
+    # -- the event stream ----------------------------------------------------------
+
+    def _topic_at(self, when: float) -> str:
+        boosted = [b for b in self.bursts if b.start <= when < b.end]
+        if boosted:
+            total_boost = sum(b.multiplier for b in boosted)
+            if self._rng.random() < total_boost / (total_boost + 1.0):
+                pick = self._rng.random() * total_boost
+                for burst in boosted:
+                    pick -= burst.multiplier
+                    if pick <= 0:
+                        return burst.topic
+        return TOPICS[self._topic_sampler.sample()]
+
+    def generate(self, duration_seconds: float) -> Iterator[Record]:
+        """Yield events covering ``[0, duration)`` in arrival order.
+
+        Arrival order differs from event-time order by up to
+        ``max_disorder_seconds`` — the "imperfect ordering" Stylus must
+        handle (Section 2.4).
+        """
+        count = int(duration_seconds * self.rate_per_second)
+        for i in range(count):
+            arrival = (i + self._rng.random()) / self.rate_per_second
+            event_time = max(
+                0.0, arrival - self._rng.uniform(0, self.max_disorder_seconds)
+            )
+            topic = self._topic_at(arrival)
+            interesting = self._rng.random() < self.interesting_fraction
+            yield {
+                "event_time": round(event_time, 3),
+                "event_type": ("post" if interesting
+                               else self._rng.choice(EVENT_TYPES[2:])),
+                "dim_id": f"dim{self._dim_sampler.sample()}",
+                "text": f"something about {topic} #{topic}",
+            }
+
+    def ground_truth_topics(self) -> list[str]:
+        """Topics that should trend, from the scripted bursts."""
+        return sorted({burst.topic for burst in self.bursts})
+
+
+@dataclass
+class EventStreamWorkload:
+    """The Figure 2 input: (event_time, event, category, score) records."""
+
+    seed: int = 11
+    num_events: int = 50
+    categories: tuple[str, ...] = ("sports", "movies", "news")
+    rate_per_second: float = 200.0
+    max_disorder_seconds: float = 1.0
+
+    def generate(self, duration_seconds: float) -> Iterator[Record]:
+        rng = make_rng(self.seed, "event-stream")
+        sampler = ZipfSampler(self.num_events, 1.1, rng)
+        count = int(duration_seconds * self.rate_per_second)
+        for i in range(count):
+            arrival = i / self.rate_per_second
+            event_time = max(
+                0.0, arrival - rng.uniform(0, self.max_disorder_seconds)
+            )
+            yield {
+                "event_time": round(event_time, 3),
+                "event": f"e{sampler.sample()}",
+                "category": rng.choice(self.categories),
+                "score": round(rng.expovariate(0.5), 4),
+            }

@@ -1,0 +1,73 @@
+"""Posts workload for the Chorus pipeline (paper Section 5.1).
+
+Generates a stream of (anonymized) post records with hashtags, ages,
+genders, and countries, including a scripted "TV-ad moment": a huge
+spike in one hashtag over a two-minute window — the paper's
+"#likeagirl" Superbowl example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.runtime.rng import make_rng
+from repro.workloads.zipf import ZipfSampler
+
+Record = dict[str, Any]
+
+HASHTAGS = ("#superbowl", "#election", "#worldcup", "#oscars", "#newyear",
+            "#monday", "#travel", "#food", "#music", "#fitness",
+            "#likeagirl", "#science")
+
+AGE_BUCKETS = ("13-17", "18-24", "25-34", "35-44", "45-54", "55+")
+GENDERS = ("female", "male", "unknown")
+COUNTRIES = ("US", "BR", "IN", "GB", "ID", "MX", "DE", "JP")
+
+
+@dataclass(frozen=True)
+class AdMoment:
+    """A scripted spike for one hashtag (the Superbowl-ad effect)."""
+
+    hashtag: str = "#likeagirl"
+    start: float = 300.0
+    duration: float = 120.0
+    multiplier: float = 40.0
+
+
+@dataclass
+class PostsWorkload:
+    """Deterministic post stream with one optional ad moment."""
+
+    seed: int = 23
+    rate_per_second: float = 50.0
+    ad_moment: AdMoment | None = AdMoment()
+
+    def generate(self, duration_seconds: float) -> Iterator[Record]:
+        rng = make_rng(self.seed, "posts")
+        sampler = ZipfSampler(len(HASHTAGS), 1.0, rng)
+        count = int(duration_seconds * self.rate_per_second)
+        for i in range(count):
+            arrival = i / self.rate_per_second
+            hashtag = HASHTAGS[sampler.sample()]
+            moment = self.ad_moment
+            if (moment is not None
+                    and moment.start <= arrival < moment.start + moment.duration):
+                boost = moment.multiplier / (moment.multiplier + 1.0)
+                if rng.random() < boost:
+                    hashtag = moment.hashtag
+            yield {
+                "event_time": round(arrival, 3),
+                "post_id": f"p{i}",
+                "hashtag": hashtag,
+                "text": f"a post about {hashtag[1:]} {hashtag}",
+                "age_bucket": rng.choice(AGE_BUCKETS),
+                "gender": rng.choice(GENDERS),
+                "country": rng.choice(COUNTRIES),
+            }
+
+    def spike_window(self) -> tuple[float, float] | None:
+        if self.ad_moment is None:
+            return None
+        return (self.ad_moment.start,
+                self.ad_moment.start + self.ad_moment.duration)

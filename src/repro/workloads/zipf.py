@@ -1,0 +1,46 @@
+"""Zipfian sampling over a fixed universe of keys.
+
+Realtime analytics traffic is heavily skewed (a few hot events/topics
+dominate); the dimension ids, event names, and topics in the workloads
+draw from this sampler. Uses the inverse-CDF method over the exact
+normalized Zipf probabilities, so small universes are exact rather than
+approximated.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.errors import ConfigError
+
+
+class ZipfSampler:
+    """Samples indices ``0..n-1`` with P(i) proportional to 1/(i+1)^s."""
+
+    def __init__(self, n: int, exponent: float = 1.1,
+                 rng: random.Random | None = None) -> None:
+        if n < 1:
+            raise ConfigError("universe size must be >= 1")
+        if exponent <= 0:
+            raise ConfigError("exponent must be positive")
+        self.n = n
+        self.exponent = exponent
+        self._rng = rng if rng is not None else random.Random(0)
+        weights = [1.0 / (i + 1) ** exponent for i in range(n)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: list[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        self._cdf[-1] = 1.0  # guard against float round-off
+
+    def sample(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+    def probability(self, index: int) -> float:
+        if not 0 <= index < self.n:
+            raise ConfigError(f"index {index} out of range")
+        previous = self._cdf[index - 1] if index > 0 else 0.0
+        return self._cdf[index] - previous

@@ -1,0 +1,119 @@
+"""Tests for HyperLogLog and SpaceSaving sketches."""
+
+import pytest
+
+from repro.analysis.hll import HyperLogLog
+from repro.analysis.topk import SpaceSaving
+from repro.errors import ConfigError
+
+
+class TestHyperLogLog:
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog().cardinality() == pytest.approx(0.0, abs=1.0)
+
+    def test_small_cardinalities_are_near_exact(self):
+        sketch = HyperLogLog()
+        for i in range(100):
+            sketch.add(f"user{i}")
+        assert abs(len(sketch) - 100) <= 2
+
+    def test_large_cardinality_within_error_bound(self):
+        sketch = HyperLogLog(precision=12)
+        true_count = 50_000
+        sketch.add_all(f"item-{i}" for i in range(true_count))
+        estimate = sketch.cardinality()
+        assert abs(estimate - true_count) / true_count < 4 * sketch.relative_error()
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = HyperLogLog()
+        for _ in range(10):
+            sketch.add_all(f"u{i}" for i in range(500))
+        assert abs(len(sketch) - 500) / 500 < 0.1
+
+    def test_merge_is_union(self):
+        left, right = HyperLogLog(), HyperLogLog()
+        left.add_all(f"a{i}" for i in range(1000))
+        right.add_all(f"a{i}" for i in range(500, 1500))
+        merged = left.merge(right)
+        assert abs(merged.cardinality() - 1500) / 1500 < 0.1
+
+    def test_merge_requires_same_precision(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(10).merge(HyperLogLog(12))
+
+    def test_state_round_trip(self):
+        sketch = HyperLogLog()
+        sketch.add_all(range(100))
+        restored = HyperLogLog.from_state(sketch.to_state())
+        assert restored.cardinality() == sketch.cardinality()
+
+    def test_invalid_precision(self):
+        with pytest.raises(ConfigError):
+            HyperLogLog(precision=3)
+
+    def test_copy_is_independent(self):
+        sketch = HyperLogLog()
+        sketch.add("a")
+        clone = sketch.copy()
+        clone.add_all(range(100))
+        assert sketch.cardinality() < clone.cardinality()
+
+
+class TestSpaceSaving:
+    def test_exact_below_capacity(self):
+        sketch = SpaceSaving(capacity=10)
+        for key, count in [("a", 5), ("b", 3), ("c", 1)]:
+            for _ in range(count):
+                sketch.add(key)
+        assert sketch.top(2) == [("a", 5.0), ("b", 3.0)]
+        assert sketch.count("a") == 5.0
+        assert sketch.guaranteed("a") == 5.0
+
+    def test_heavy_hitters_survive_eviction(self):
+        sketch = SpaceSaving(capacity=10)
+        for i in range(1000):
+            sketch.add(f"noise{i}")     # unique noise
+            if i % 2 == 0:
+                sketch.add("heavy")       # 500 occurrences
+        top_keys = [k for k, _ in sketch.top(3)]
+        assert "heavy" in top_keys
+        assert sketch.count("heavy") >= 500
+
+    def test_counts_are_upper_bounds(self):
+        sketch = SpaceSaving(capacity=2)
+        for key in ["a", "b", "c", "d"]:
+            sketch.add(key)
+        for key, estimate in sketch.top(2):
+            assert estimate >= 1.0
+            assert sketch.guaranteed(key) <= estimate
+
+    def test_total_counts_everything(self):
+        sketch = SpaceSaving(capacity=2)
+        for key in ["a", "b", "c", "d"]:
+            sketch.add(key, weight=2.0)
+        assert sketch.total == 8.0
+
+    def test_merge_sums_shared_keys(self):
+        left, right = SpaceSaving(10), SpaceSaving(10)
+        for _ in range(5):
+            left.add("x")
+        for _ in range(3):
+            right.add("x")
+            right.add("y")
+        merged = left.merge(right)
+        assert merged.count("x") == 8.0
+        assert merged.count("y") == 3.0
+        assert merged.total == 11.0
+
+    def test_state_round_trip(self):
+        sketch = SpaceSaving(5)
+        for key in ["a", "a", "b"]:
+            sketch.add(key)
+        restored = SpaceSaving.from_state(sketch.to_state())
+        assert restored.top(2) == sketch.top(2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        with pytest.raises(ValueError):
+            SpaceSaving(1).add("a", weight=-1.0)

@@ -1,0 +1,69 @@
+"""Tests for the Chorus pipeline (Section 5.1)."""
+
+import pytest
+
+from repro.apps.chorus import ChorusPipeline
+from repro.scribe.writer import ScribeWriter
+from repro.workloads.posts import AdMoment, PostsWorkload
+
+
+@pytest.fixture
+def pipeline(scribe, clock):
+    return ChorusPipeline(scribe, clock=clock, k_anonymity=20,
+                          window_seconds=300.0)
+
+
+def feed(scribe, clock, duration=600.0, **workload_kwargs):
+    workload = PostsWorkload(**workload_kwargs)
+    writer = ScribeWriter(scribe, "chorus_posts")
+    for record in workload.generate(duration):
+        writer.write(record, key=record["post_id"])
+    clock.advance_to(duration)
+    return workload
+
+
+class TestChorusPipeline:
+    def test_spike_hashtag_tops_its_window(self, scribe, clock, pipeline):
+        feed(scribe, clock, ad_moment=AdMoment("#likeagirl", 300.0, 120.0,
+                                               multiplier=40.0))
+        pipeline.run_until_quiescent()
+        pipeline.checkpoint_all()
+        pipeline.run_until_quiescent()
+        top = pipeline.top_topics(300.0, k=1)
+        assert top[0][0] == "#likeagirl"
+
+    def test_quiet_windows_have_organic_top(self, scribe, clock, pipeline):
+        feed(scribe, clock, ad_moment=None)
+        pipeline.run_until_quiescent()
+        tops = pipeline.top_topics(0.0, k=5)
+        assert len(tops) == 5
+        counts = [count for _, count in tops]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_k_anonymity_suppresses_small_cells(self, scribe, clock,
+                                                pipeline):
+        feed(scribe, clock, ad_moment=AdMoment("#likeagirl", 300.0, 120.0,
+                                               multiplier=40.0))
+        pipeline.run_until_quiescent()
+        breakdown = pipeline.demographic_breakdown(300.0, "#likeagirl")
+        assert breakdown  # the spiked tag has revealable cells
+        assert all(count >= pipeline.k_anonymity
+                   for count in breakdown.values())
+        # A rare hashtag in a quiet window reveals nothing.
+        rare = pipeline.demographic_breakdown(0.0, "#science")
+        assert all(count >= pipeline.k_anonymity for count in rare.values())
+
+    def test_summaries_reach_scuba(self, scribe, clock, pipeline):
+        feed(scribe, clock)
+        pipeline.run_until_quiescent()
+        pipeline.checkpoint_all()
+        pipeline.run_until_quiescent()
+        assert pipeline.scuba_table.row_count() > 0
+
+    def test_unknown_window_is_empty(self, pipeline):
+        assert pipeline.top_topics(99_999.0) == []
+        assert pipeline.demographic_breakdown(99_999.0, "#x") == {}
+
+    def test_laser_lookup_join_resolves_regions(self, pipeline):
+        assert pipeline.regions.get("US") == {"region": "amer"}
+        assert pipeline.regions.get("JP") == {"region": "apac"}

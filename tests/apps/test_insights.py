@@ -1,0 +1,95 @@
+"""Tests for the page-insights and mobile-analytics apps (Section 1)."""
+
+import pytest
+
+from repro.apps.insights import MobileAnalyticsPipeline, PageInsightsPipeline
+from repro.laser.service import LaserTable
+from repro.runtime.rng import make_rng
+
+
+class TestPageInsights:
+    def feed(self, scribe, pipeline):
+        rng = make_rng(71, "page-insights")
+        for i in range(600):
+            viewer = f"v{rng.randrange(150)}"
+            action = rng.choices(
+                ["view", "like", "comment", "share"],
+                weights=[10, 3, 1, 1])[0]
+            scribe.write_record("page_actions", {
+                "event_time": i * 0.5,  # all within the first 5-min window
+                "page": "acme",
+                "post": f"post{i % 2}",
+                "action": action,
+                "viewer": viewer,
+            }, key=viewer)
+        pipeline.pump()
+
+    def test_post_summary(self, scribe, clock):
+        pipeline = PageInsightsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline)
+        summary = pipeline.post_summary("acme", "post0", 0.0)
+        assert summary["likes"] > 0
+        assert summary["engagements"] >= summary["likes"]
+        # reach is a distinct count: bounded by the viewer universe
+        assert 0 < summary["reach"] <= 160
+
+    def test_publish_to_laser(self, scribe, clock):
+        pipeline = PageInsightsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline)
+        laser = LaserTable("post_insights", ["page", "post"],
+                           ["likes", "reach", "engagements"], clock=clock)
+        published = pipeline.publish_to_laser(laser, 0.0)
+        assert published == 2
+        served = laser.get("acme", "post0")
+        assert served["likes"] == pipeline.post_summary(
+            "acme", "post0", 0.0)["likes"]
+
+
+class TestMobileAnalytics:
+    def feed(self, scribe, pipeline, bad_version=False):
+        rng = make_rng(72, "mobile")
+        for version, crash_weight, start_scale in [
+            ("v1.0", 1, 200.0),
+            ("v1.1", 30 if bad_version else 1,
+             1200.0 if bad_version else 220.0),
+        ]:
+            for i in range(300):
+                kind = rng.choices(
+                    ["session_start", "cold_start", "crash"],
+                    weights=[10, 5, crash_weight])[0]
+                scribe.write_record("app_events", {
+                    "event_time": i * 0.5,
+                    "app_version": version,
+                    "kind": kind,
+                    "cold_start_ms": rng.expovariate(1 / start_scale)
+                    if kind == "cold_start" else None,
+                }, key=f"{version}:{i}")
+        pipeline.pump()
+
+    def test_version_health_card(self, scribe, clock):
+        pipeline = MobileAnalyticsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline)
+        health = pipeline.version_health("v1.0", 0.0)
+        assert health["sessions"] > 0
+        assert health["cold_start_p95_ms"] > health["cold_start_mean_ms"]
+        assert 0.0 <= health["crash_rate"] < 0.5
+
+    def test_regression_detection(self, scribe, clock):
+        pipeline = MobileAnalyticsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline, bad_version=True)
+        bad = pipeline.regressed_versions(0.0, p95_budget_ms=800.0,
+                                          crash_budget=0.3)
+        assert bad == ["v1.1"]
+
+    def test_healthy_release_not_flagged(self, scribe, clock):
+        pipeline = MobileAnalyticsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline, bad_version=False)
+        assert pipeline.regressed_versions(0.0, p95_budget_ms=2000.0,
+                                           crash_budget=0.5) == []
+
+    def test_unknown_version_has_empty_card(self, scribe, clock):
+        pipeline = MobileAnalyticsPipeline(scribe, clock=clock)
+        self.feed(scribe, pipeline)
+        health = pipeline.version_health("v9.9", 0.0)
+        assert health["sessions"] == 0
+        assert health["crash_rate"] is None

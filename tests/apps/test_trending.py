@@ -1,0 +1,196 @@
+"""Tests for the Figure 3 trending-events pipeline."""
+
+import pytest
+
+from repro.apps.trending import (
+    ClassifierService,
+    FiltererProcessor,
+    JoinerProcessor,
+    TrendingPipeline,
+)
+from repro.core.event import Event
+from repro.laser.service import LaserTable
+from repro.scribe.writer import ScribeWriter
+from repro.workloads.events import TrendBurst, TrendingEventsWorkload
+
+
+@pytest.fixture
+def dimensions(clock):
+    table = LaserTable("dims", ["dim_id"], ["language", "country"],
+                       clock=clock)
+    workload = TrendingEventsWorkload()
+    for row in workload.dimension_rows():
+        table.put_row(row)
+    return table
+
+
+class TestFilterer:
+    def test_keeps_only_posts_and_shards_by_dim(self):
+        filterer = FiltererProcessor()
+        post = Event(1.0, {"event_type": "post", "dim_id": "d1", "text": "x"})
+        like = Event(1.0, {"event_type": "like", "dim_id": "d1", "text": "x"})
+        [output] = filterer.process(post)
+        assert output.key == "d1"
+        assert filterer.process(like) == []
+
+
+class TestJoiner:
+    def test_joins_dimension_and_classifies(self, dimensions):
+        joiner = JoinerProcessor(dimensions, ClassifierService())
+        event = Event(1.0, {"event_type": "post", "dim_id": "dim1",
+                            "text": "all about movies #movies"})
+        [output] = joiner.process(event)
+        assert output.record["topic"] == "movies"
+        assert output.record["language"] is not None
+        assert output.key == "post:movies"
+
+    def test_unknown_dimension_yields_null_join(self, dimensions):
+        joiner = JoinerProcessor(dimensions, ClassifierService())
+        event = Event(1.0, {"event_type": "post", "dim_id": "ghost",
+                            "text": "plain"})
+        [output] = joiner.process(event)
+        assert output.record["language"] is None
+        assert output.record["topic"] == "other"
+
+    def test_cache_reduces_repeat_lookups(self, dimensions):
+        joiner = JoinerProcessor(dimensions, ClassifierService(),
+                                 cache_capacity=8)
+        event = Event(1.0, {"event_type": "post", "dim_id": "dim1",
+                            "text": "t"})
+        for _ in range(10):
+            joiner.process(event)
+        assert joiner.cache_misses == 1
+        assert joiner.cache_hits == 9
+        assert joiner.cache_hit_rate() == pytest.approx(0.9)
+
+    def test_sharded_input_improves_cache_hit_rate(self, dimensions):
+        """Section 3: sharding the Joiner input by dim_id makes its cache
+        effective; unsharded (round-robin) input thrashes it."""
+        capacity = 8
+        events = [
+            Event(float(i), {"event_type": "post", "dim_id": f"dim{i % 64}",
+                             "text": "t"})
+            for i in range(512)
+        ]
+        # Sharded: this instance sees only its slice of the dim space.
+        sharded = JoinerProcessor(dimensions, ClassifierService(),
+                                  cache_capacity=capacity)
+        for event in events:
+            if int(event["dim_id"][3:]) % 8 == 0:  # 1-of-8 shard
+                sharded.process(event)
+        # Unsharded: the same instance sees every dimension.
+        unsharded = JoinerProcessor(dimensions, ClassifierService(),
+                                    cache_capacity=capacity)
+        for event in events:
+            unsharded.process(event)
+        assert sharded.cache_hit_rate() > unsharded.cache_hit_rate()
+
+
+class TestPipeline:
+    def test_burst_topic_ranks_first_after_warmup(self, scribe, clock,
+                                                  dimensions):
+        workload = TrendingEventsWorkload(
+            bursts=(TrendBurst("science", 150.0, 300.0, multiplier=30.0),),
+            rate_per_second=60.0,
+        )
+        pipeline = TrendingPipeline(scribe, dimensions, clock=clock,
+                                    checkpoint_interval=30.0)
+        writer = ScribeWriter(scribe, "trend_input")
+        events = list(workload.generate(300.0))
+        index = 0
+        for chunk_end in range(30, 330, 30):
+            while (index < len(events)
+                   and events[index]["event_time"] <= chunk_end - 30):
+                writer.write(events[index], key=events[index]["dim_id"])
+                index += 1
+            clock.advance_to(float(chunk_end))
+            pipeline.pump()
+        while index < len(events):
+            writer.write(events[index], key=events[index]["dim_id"])
+            index += 1
+        pipeline.run_until_quiescent()
+        pipeline.checkpoint_all()
+        pipeline.run_until_quiescent()
+
+        last_window = max(pipeline.ranker.windows("top_events_5min"))
+        top = pipeline.ranker.top_events(3, last_window)
+        assert top[0]["event"] == "science"
+
+    def test_cache_hit_rate_is_high_with_sharded_input(self, scribe, clock,
+                                                       dimensions):
+        pipeline = TrendingPipeline(scribe, dimensions, clock=clock)
+        writer = ScribeWriter(scribe, "trend_input")
+        workload = TrendingEventsWorkload(rate_per_second=50.0)
+        for event in workload.generate(60.0):
+            writer.write(event, key=event["dim_id"])
+        pipeline.run_until_quiescent()
+        assert pipeline.joiner_cache_hit_rate() > 0.8
+
+    def test_stateless_and_stateful_nodes_compose(self, scribe, clock,
+                                                  dimensions):
+        pipeline = TrendingPipeline(scribe, dimensions, clock=clock)
+        order = [n.name for n in pipeline.dag.topological_order()]
+        assert order == ["filterer", "joiner", "scorer", "top_events"]
+
+
+class TestScorer:
+    """Unit coverage of the Scorer's trend logic (Figure 3, node 3)."""
+
+    def make_events(self, topic, times):
+        from repro.core.event import Event
+
+        return [Event(t, {"topic": topic}) for t in times]
+
+    def test_steady_topic_scores_near_one(self):
+        from repro.apps.trending import ScorerProcessor
+
+        scorer = ScorerProcessor(window_seconds=60.0, trend_decay=0.5)
+        state = scorer.initial_state()
+        # Same activity every window: score converges toward 1.
+        score = None
+        for window in range(8):
+            for event in self.make_events(
+                    "sports", [window * 60.0 + i for i in range(10)]):
+                scorer.process(event, state)
+            [output] = scorer.on_checkpoint(state, (window + 1) * 60.0)
+            score = output.record["score"]
+        assert 0.8 < score < 1.6
+
+    def test_bursting_topic_scores_high(self):
+        from repro.apps.trending import ScorerProcessor
+
+        scorer = ScorerProcessor(window_seconds=60.0, trend_decay=0.5)
+        state = scorer.initial_state()
+        for window in range(5):  # establish a low baseline
+            for event in self.make_events(
+                    "science", [window * 60.0 + i for i in range(2)]):
+                scorer.process(event, state)
+            scorer.on_checkpoint(state, (window + 1) * 60.0)
+        # The burst: 30 events in the next window.
+        for event in self.make_events(
+                "science", [300.0 + i for i in range(30)]):
+            scorer.process(event, state)
+        [output] = scorer.on_checkpoint(state, 360.0)
+        assert output.record["score"] > 5.0
+
+    def test_output_sharded_by_topic(self):
+        from repro.apps.trending import ScorerProcessor
+
+        scorer = ScorerProcessor()
+        state = scorer.initial_state()
+        for event in self.make_events("music", [1.0, 2.0]):
+            scorer.process(event, state)
+        [output] = scorer.on_checkpoint(state, 10.0)
+        assert output.key == "music"
+
+    def test_window_forgets_old_activity(self):
+        from repro.apps.trending import ScorerProcessor
+
+        scorer = ScorerProcessor(window_seconds=60.0)
+        state = scorer.initial_state()
+        for event in self.make_events("food", [0.0, 1.0, 2.0]):
+            scorer.process(event, state)
+        scorer.on_checkpoint(state, 60.0)
+        # Much later, with no new activity: the window count is zero.
+        [output] = scorer.on_checkpoint(state, 1_000.0)
+        assert output.record["score"] == 0.0

@@ -1,0 +1,74 @@
+"""Tests: backfill on the dataset runtime matches the MapReduce runtime.
+
+This is the evaluation the paper's Section 7 plans ("We plan to evaluate
+Spark and Flink") — the must-hold property is result equivalence across
+batch runtimes running the same processor code.
+"""
+
+from repro.backfill.alt_runner import (
+    compare_runtimes,
+    run_monoid_backfill_dataset,
+    run_stateful_backfill_dataset,
+    run_stateless_backfill_dataset,
+)
+from repro.backfill.runner import (
+    run_monoid_backfill,
+    run_stateful_backfill,
+    run_stateless_backfill,
+)
+from repro.batch.dataset import DatasetContext
+from repro.runtime.rng import make_rng
+
+from tests.stylus.helpers import CountingProcessor, DimensionCounter, DropEvens
+
+
+def rows(count=60):
+    rng = make_rng(41, "alt-runner")
+    data = [{"event_time": rng.uniform(0, 100), "seq": i}
+            for i in range(count)]
+    rng.shuffle(data)
+    return data
+
+
+class TestRuntimeEquivalence:
+    def test_stateless_matches_mapreduce(self):
+        data = rows()
+        mapreduce = run_stateless_backfill(DropEvens(), data)
+        dataset = run_stateless_backfill_dataset(DropEvens(), data)
+        assert sorted(r["seq"] for r in dataset) == \
+               sorted(r["seq"] for r in mapreduce)
+
+    def test_monoid_matches_mapreduce(self):
+        data = rows()
+        mapreduce = run_monoid_backfill(DimensionCounter(dims_per_event=2),
+                                        data)
+        dataset = run_monoid_backfill_dataset(
+            DimensionCounter(dims_per_event=2), data)
+        assert dataset == mapreduce
+
+    def test_stateful_matches_mapreduce(self):
+        data = rows()
+        mapreduce = run_stateful_backfill(CountingProcessor, data,
+                                          key_fn=lambda r: r["seq"] % 4)
+        dataset = run_stateful_backfill_dataset(
+            CountingProcessor, data, key_fn=lambda r: r["seq"] % 4)
+        assert dataset == mapreduce
+
+    def test_compare_runtimes_reports_profile(self):
+        data = rows()
+        mapreduce = run_monoid_backfill(DimensionCounter(), data)
+        comparison = compare_runtimes(DimensionCounter(), data, mapreduce)
+        assert comparison.results_equal
+        assert comparison.dataset_stages == 2  # narrow + one shuffle
+        # Map-side combine: at most keys x partitions records shuffled.
+        assert comparison.dataset_shuffled_records <= 10 * 4
+
+    def test_partitioning_does_not_change_results(self):
+        data = rows()
+        results = [
+            run_monoid_backfill_dataset(
+                DimensionCounter(), data,
+                context=DatasetContext(default_partitions=parts))
+            for parts in [1, 2, 8]
+        ]
+        assert results[0] == results[1] == results[2]

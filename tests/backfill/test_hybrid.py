@@ -1,0 +1,96 @@
+"""Tests for the hybrid realtime/batch pipeline scheduler (Section 5.3)."""
+
+import pytest
+
+from repro.backfill.hybrid import HybridPipeline, PipelineStage
+from repro.errors import ConfigError
+
+
+def paper_like_pipeline():
+    """A daily pipeline whose batch critical path is ~14 hours."""
+    return HybridPipeline([
+        PipelineStage("ingest_clean", batch_hours=3.0),
+        PipelineStage("sessionize", batch_hours=4.0,
+                      depends_on=("ingest_clean",)),
+        PipelineStage("join_dims", batch_hours=3.0,
+                      depends_on=("sessionize",)),
+        PipelineStage("ml_features", batch_hours=4.0,
+                      depends_on=("join_dims",), convertible=False),
+    ])
+
+
+class TestScheduling:
+    def test_all_batch_completion_is_sum_of_critical_path(self):
+        pipeline = paper_like_pipeline()
+        assert pipeline.pipeline_completion() == 14.0
+
+    def test_converting_early_stages_pulls_in_completion(self):
+        pipeline = paper_like_pipeline()
+        converted = {"ingest_clean", "sessionize", "join_dims"}
+        finish = pipeline.completion_times(converted)
+        # converted results land minutes after midnight...
+        assert finish["join_dims"] == pipeline.STREAMING_LANDING_HOURS
+        # ...so only the non-convertible tail remains
+        assert pipeline.pipeline_completion(converted) == pytest.approx(
+            pipeline.STREAMING_LANDING_HOURS + 4.0)
+
+    def test_speedup_matches_paper_scale(self):
+        """The paper: 'we have sped up pipelines by 10 to 24 hours'."""
+        pipeline = paper_like_pipeline()
+        speedup = pipeline.speedup_hours(pipeline.convertible_prefix())
+        assert speedup == pytest.approx(14.0 - 4.25)
+
+    def test_streaming_stage_still_waits_for_batch_dependency(self):
+        pipeline = HybridPipeline([
+            PipelineStage("batch_only", batch_hours=6.0, convertible=False),
+            PipelineStage("streamable", batch_hours=2.0,
+                          depends_on=("batch_only",)),
+        ])
+        finish = pipeline.completion_times({"streamable"})
+        assert finish["streamable"] == 6.0  # gated by the batch input
+
+    def test_convertible_prefix_stops_at_non_convertible(self):
+        pipeline = paper_like_pipeline()
+        assert pipeline.convertible_prefix() == {
+            "ingest_clean", "sessionize", "join_dims",
+        }
+
+    def test_parallel_branches(self):
+        pipeline = HybridPipeline([
+            PipelineStage("a", batch_hours=2.0),
+            PipelineStage("b", batch_hours=5.0),
+            PipelineStage("join", batch_hours=1.0, depends_on=("a", "b")),
+        ])
+        assert pipeline.pipeline_completion() == 6.0
+        assert pipeline.pipeline_completion({"b"}) == 3.0
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        with pytest.raises(ConfigError):
+            HybridPipeline([
+                PipelineStage("a", 1.0, depends_on=("b",)),
+                PipelineStage("b", 1.0, depends_on=("a",)),
+            ])
+
+    def test_unknown_dependency(self):
+        with pytest.raises(ConfigError):
+            HybridPipeline([PipelineStage("a", 1.0, depends_on=("ghost",))])
+
+    def test_cannot_convert_non_convertible(self):
+        pipeline = paper_like_pipeline()
+        with pytest.raises(ConfigError):
+            pipeline.completion_times({"ml_features"})
+
+    def test_unknown_conversion_target(self):
+        with pytest.raises(ConfigError):
+            paper_like_pipeline().completion_times({"ghost"})
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            HybridPipeline([])
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ConfigError):
+            HybridPipeline([PipelineStage("a", 1.0),
+                            PipelineStage("a", 2.0)])

@@ -1,0 +1,69 @@
+"""Tests for running Stylus processors in batch (Section 4.5.2)."""
+
+from repro.backfill.runner import (
+    run_monoid_backfill,
+    run_stateful_backfill,
+    run_stateless_backfill,
+)
+from repro.runtime.rng import make_rng
+
+from tests.stylus.helpers import CountingProcessor, DimensionCounter, DropEvens
+
+
+def rows(count=50):
+    rng = make_rng(17, "backfill")
+    out = [{"event_time": rng.uniform(0, 100), "seq": i}
+           for i in range(count)]
+    rng.shuffle(out)
+    return out
+
+
+class TestStatelessBackfill:
+    def test_mapper_output_matches_processor(self):
+        data = rows(20)
+        output = run_stateless_backfill(DropEvens(), data)
+        assert sorted(o["seq"] for o in output) == list(range(1, 20, 2))
+
+    def test_empty_input(self):
+        assert run_stateless_backfill(DropEvens(), []) == []
+
+
+class TestStatefulBackfill:
+    def test_reducer_folds_per_key(self):
+        data = rows(30)
+        states = run_stateful_backfill(
+            CountingProcessor, data, key_fn=lambda r: r["seq"] % 3)
+        assert {k: s["count"] for k, s in states.items()} == {
+            0: 10, 1: 10, 2: 10,
+        }
+
+    def test_rows_are_time_ordered_within_key(self):
+        order_seen = []
+
+        class OrderSpy(CountingProcessor):
+            def process(self, event, state):
+                order_seen.append(event.event_time)
+                return super().process(event, state)
+
+        run_stateful_backfill(OrderSpy, rows(20), key_fn=lambda r: 0)
+        assert order_seen == sorted(order_seen)
+
+
+class TestMonoidBackfill:
+    def test_partial_aggregation_matches_streaming_totals(self):
+        data = rows(40)
+        results = run_monoid_backfill(DimensionCounter(), data,
+                                      num_map_tasks=4)
+        assert sum(v["count"] for v in results.values()) == 40
+
+    def test_map_task_count_does_not_change_results(self):
+        data = rows(40)
+        one = run_monoid_backfill(DimensionCounter(), data, num_map_tasks=1)
+        many = run_monoid_backfill(DimensionCounter(), data, num_map_tasks=13)
+        assert one == many
+
+    def test_multi_dimension_events(self):
+        data = rows(10)
+        results = run_monoid_backfill(DimensionCounter(dims_per_event=3),
+                                      data)
+        assert sum(v["count"] for v in results.values()) == 30

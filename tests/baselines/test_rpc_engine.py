@@ -1,0 +1,117 @@
+"""Tests for the backpressure comparison models (Section 4.2.2)."""
+
+import pytest
+
+from repro.baselines.rpc_engine import (
+    DecoupledPipelineModel,
+    RpcPipelineModel,
+    StageSpec,
+)
+from repro.errors import ConfigError
+
+
+def stages(slow_middle=False, outage=None):
+    middle_outages = (outage,) if outage else ()
+    return [
+        StageSpec("filterer", 0.001),
+        StageSpec("joiner", 0.005 if slow_middle else 0.001,
+                  outages=middle_outages),
+        StageSpec("ranker", 0.001),
+    ]
+
+
+class TestRpcBackpressure:
+    def test_throughput_capped_by_slowest_stage(self):
+        result = RpcPipelineModel(stages(slow_middle=True),
+                                  queue_capacity=10).run(
+            events=2000, arrival_rate=10_000.0)
+        assert result.pipeline_throughput == pytest.approx(200.0, rel=0.05)
+
+    def test_backpressure_holds_the_source(self):
+        """The upstream stage cannot finish early: the full queue blocks it."""
+        result = RpcPipelineModel(stages(slow_middle=True),
+                                  queue_capacity=10).run(
+            events=2000, arrival_rate=10_000.0)
+        # the fast filterer is dragged down to ~the slow stage's pace
+        assert result.source_drain_seconds() > 2000 * 0.005 * 0.8
+
+    def test_outage_stalls_the_whole_chain(self):
+        result = RpcPipelineModel(
+            stages(outage=(0.5, 5.5)), queue_capacity=10,
+        ).run(events=1000, arrival_rate=10_000.0)
+        assert result.end_to_end_seconds > 5.0
+
+    def test_no_bottleneck_runs_at_stage_speed(self):
+        result = RpcPipelineModel(stages(), queue_capacity=100).run(
+            events=1000, arrival_rate=100_000.0)
+        assert result.pipeline_throughput == pytest.approx(1000.0, rel=0.1)
+
+
+class TestDecoupledPipeline:
+    def test_source_never_held_back(self):
+        model = DecoupledPipelineModel(stages(slow_middle=True),
+                                       bus_delay=0.0)
+        result = model.run(events=2000, arrival_rate=10_000.0)
+        # filterer finishes at its own service speed (2000 x 1ms = 2s),
+        # not at the slow joiner's pace (10s) as under back pressure.
+        assert result.source_drain_seconds() == pytest.approx(2.0, rel=0.05)
+
+    def test_slow_stage_lags_but_others_keep_throughput(self):
+        model = DecoupledPipelineModel(stages(slow_middle=True),
+                                       bus_delay=0.0)
+        result = model.run(events=2000, arrival_rate=10_000.0)
+        assert result.stage_throughput["filterer"] > \
+            4 * result.stage_throughput["joiner"]
+
+    def test_outage_only_delays_downstream(self):
+        model = DecoupledPipelineModel(stages(outage=(0.5, 5.5)),
+                                       bus_delay=0.0)
+        result = model.run(events=1000, arrival_rate=10_000.0)
+        assert result.stage_finish["filterer"] < 1.5  # its own 1s of work
+        assert result.stage_finish["ranker"] > 5.5
+
+    def test_bus_delay_adds_per_hop_latency(self):
+        fast = DecoupledPipelineModel(stages(), bus_delay=0.0).run(10, 1000.0)
+        slow = DecoupledPipelineModel(stages(), bus_delay=1.0).run(10, 1000.0)
+        added = slow.end_to_end_seconds - fast.end_to_end_seconds
+        assert added == pytest.approx(3.0, rel=0.01)  # one per hop
+
+
+class TestComparison:
+    def test_decoupled_beats_rpc_when_one_stage_is_slow(self):
+        """The paper's core data-transfer claim, end to end."""
+        rpc = RpcPipelineModel(stages(slow_middle=True), queue_capacity=10)
+        bus = DecoupledPipelineModel(stages(slow_middle=True), bus_delay=1.0)
+        rpc_result = rpc.run(events=2000, arrival_rate=10_000.0)
+        bus_result = bus.run(events=2000, arrival_rate=10_000.0)
+        # upstream throughput: decoupled keeps it, RPC loses it
+        assert bus_result.stage_throughput["filterer"] > \
+            3 * rpc_result.stage_throughput["filterer"]
+
+    def test_equal_stages_rpc_has_lower_latency(self):
+        """The flip side: direct transfer wins on per-event latency."""
+        rpc = RpcPipelineModel(stages(), queue_capacity=100)
+        bus = DecoupledPipelineModel(stages(), bus_delay=1.0)
+        assert rpc.run(10, 100.0).end_to_end_seconds < \
+            bus.run(10, 100.0).end_to_end_seconds
+
+
+class TestValidation:
+    def test_config_errors(self):
+        with pytest.raises(ConfigError):
+            StageSpec("s", 0.0)
+        with pytest.raises(ConfigError):
+            StageSpec("s", 1.0, outages=((5.0, 5.0),))
+        with pytest.raises(ConfigError):
+            RpcPipelineModel([], queue_capacity=1)
+        with pytest.raises(ConfigError):
+            RpcPipelineModel(stages(), queue_capacity=0)
+        with pytest.raises(ConfigError):
+            DecoupledPipelineModel(stages(), bus_delay=-1.0)
+        with pytest.raises(ConfigError):
+            DecoupledPipelineModel(stages()).run(10, arrival_rate=0.0)
+
+    def test_stage_next_available_skips_outages(self):
+        stage = StageSpec("s", 1.0, outages=((2.0, 4.0), (4.0, 5.0)))
+        assert stage.next_available(1.0) == 1.0
+        assert stage.next_available(3.0) == 5.0  # chained outages

@@ -1,0 +1,115 @@
+"""Tests for the Spark-style dataset engine."""
+
+import pytest
+
+from repro.batch.dataset import Dataset, DatasetContext
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def context():
+    return DatasetContext(default_partitions=4)
+
+
+class TestNarrowTransformations:
+    def test_map_filter_flat_map(self, context):
+        result = (context.parallelize(range(10))
+                  .map(lambda x: x * 2)
+                  .filter(lambda x: x % 4 == 0)
+                  .flat_map(lambda x: [x, x + 1])
+                  .collect())
+        assert sorted(result) == sorted(
+            y for x in range(10) if (x * 2) % 4 == 0
+            for y in [x * 2, x * 2 + 1]
+        )
+
+    def test_narrow_chain_fuses_into_one_stage(self, context):
+        dataset = (context.parallelize(range(100))
+                   .map(lambda x: x + 1)
+                   .filter(lambda x: x % 2 == 0)
+                   .map(lambda x: x * 3))
+        context.stats.reset()
+        dataset.collect()
+        assert context.stats.stages == 1  # source only; no shuffle
+        assert context.stats.shuffled_records == 0
+
+    def test_count_and_take(self, context):
+        dataset = context.parallelize(range(25))
+        assert dataset.count() == 25
+        assert len(dataset.take(5)) == 5
+
+    def test_empty_input(self, context):
+        assert context.parallelize([]).collect() == []
+
+    def test_laziness(self, context):
+        calls = []
+        dataset = context.parallelize(range(5)).map(
+            lambda x: calls.append(x) or x)
+        assert calls == []  # nothing ran yet
+        dataset.collect()
+        assert len(calls) == 5
+
+
+class TestWideTransformations:
+    def test_group_by_key(self, context):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("a", 5)]
+        grouped = (context.parallelize(pairs)
+                   .group_by_key()
+                   .collect_as_map())
+        assert sorted(grouped["a"]) == [1, 3, 5]
+        assert sorted(grouped["b"]) == [2, 4]
+
+    def test_reduce_by_key(self, context):
+        pairs = [(f"k{i % 3}", 1) for i in range(30)]
+        totals = (context.parallelize(pairs)
+                  .reduce_by_key(lambda a, b: a + b)
+                  .collect_as_map())
+        assert totals == {"k0": 10, "k1": 10, "k2": 10}
+
+    def test_shuffle_counts_as_a_stage(self, context):
+        pairs = [(f"k{i}", 1) for i in range(20)]
+        dataset = context.parallelize(pairs).reduce_by_key(lambda a, b: a + b)
+        context.stats.reset()
+        dataset.collect()
+        assert context.stats.stages == 2  # source + shuffle
+
+    def test_map_side_combine_shrinks_the_shuffle(self, context):
+        pairs = [(f"k{i % 3}", 1) for i in range(300)]
+        combined = context.parallelize(pairs).reduce_by_key(
+            lambda a, b: a + b)
+        context.stats.reset()
+        combined.collect()
+        with_combine = context.stats.shuffled_records
+
+        grouped = context.parallelize(pairs).group_by_key()
+        context.stats.reset()
+        grouped.collect()
+        without_combine = context.stats.shuffled_records
+
+        assert with_combine <= 3 * 4      # keys x partitions
+        assert without_combine == 300      # every record crosses the wire
+        assert with_combine < without_combine
+
+    def test_key_by(self, context):
+        result = (context.parallelize(["aa", "b", "cc"])
+                  .key_by(len)
+                  .group_by_key()
+                  .collect_as_map())
+        assert sorted(result[2]) == ["aa", "cc"]
+        assert result[1] == ["b"]
+
+    def test_partition_count_does_not_change_results(self):
+        pairs = [(f"k{i % 7}", i) for i in range(100)]
+        results = []
+        for parts in [1, 3, 8]:
+            context = DatasetContext(default_partitions=parts)
+            results.append(context.parallelize(pairs)
+                           .reduce_by_key(lambda a, b: a + b)
+                           .collect_as_map())
+        assert results[0] == results[1] == results[2]
+
+
+class TestValidation:
+    def test_invalid_partitions(self):
+        with pytest.raises(ConfigError):
+            DatasetContext(default_partitions=0)

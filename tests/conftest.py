@@ -1,0 +1,35 @@
+"""Shared fixtures: a simulated clock, a Scribe store, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.store import ScribeStore
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def scribe(clock: SimClock) -> ScribeStore:
+    """A Scribe deployment on the simulated clock, zero delivery delay."""
+    return ScribeStore(clock=clock)
+
+
+@pytest.fixture
+def metrics() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def write_events(scribe: ScribeStore, category: str, count: int,
+                 start_time: float = 0.0, spacing: float = 1.0,
+                 **extra) -> None:
+    """Write ``count`` simple records with increasing event times."""
+    for i in range(count):
+        record = {"event_time": start_time + i * spacing, "seq": i}
+        record.update(extra)
+        scribe.write_record(category, record, key=str(i))

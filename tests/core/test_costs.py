@@ -1,0 +1,92 @@
+"""Tests for the resource cost model."""
+
+import pytest
+
+from repro.core.costs import CostModel, ResourceTimeline
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_defaults_are_valid(self):
+        model = CostModel()
+        assert model.cpu_per_event == (model.deserialize_per_event
+                                       + model.process_per_event)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(receive_per_event=-1.0)
+        with pytest.raises(ConfigError):
+            CostModel(event_bytes=0)
+
+
+class TestResourceTimeline:
+    def test_charges_accumulate_serially_per_resource(self):
+        timeline = ResourceTimeline()
+        assert timeline.charge("cpu", 1.0) == 1.0
+        assert timeline.charge("cpu", 2.0) == 3.0
+        assert timeline.elapsed() == 3.0
+
+    def test_resources_run_concurrently(self):
+        timeline = ResourceTimeline()
+        timeline.charge("receive", 5.0)
+        timeline.charge("cpu", 2.0)
+        assert timeline.elapsed() == 5.0  # max, not sum
+
+    def test_not_before_models_dependencies(self):
+        timeline = ResourceTimeline()
+        received_at = timeline.charge("receive", 2.0)
+        finished = timeline.charge("cpu", 1.0, not_before=received_at)
+        assert finished == 3.0
+
+    def test_barrier_synchronizes(self):
+        timeline = ResourceTimeline()
+        timeline.charge("receive", 4.0)
+        timeline.charge("cpu", 1.0)
+        frontier = timeline.barrier("receive", "cpu")
+        assert frontier == 4.0
+        assert timeline.charge("cpu", 1.0) == 5.0
+
+    def test_utilization(self):
+        timeline = ResourceTimeline()
+        timeline.charge("receive", 10.0)
+        timeline.charge("cpu", 5.0)
+        assert timeline.utilization("cpu") == pytest.approx(0.5)
+        assert timeline.utilization("receive") == pytest.approx(1.0)
+
+    def test_empty_timeline(self):
+        timeline = ResourceTimeline()
+        assert timeline.elapsed() == 0.0
+        assert timeline.utilization("cpu") == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourceTimeline().charge("cpu", -1.0)
+
+
+class TestOverlapVersusPhased:
+    """The mechanism behind Figure 9, in miniature."""
+
+    def test_overlap_beats_phased(self):
+        events = 1000
+        receive, cpu = 2e-6, 3e-6
+
+        overlapped = ResourceTimeline()
+        for _ in range(events):
+            done = overlapped.charge("receive", receive)
+            overlapped.charge("cpu", cpu, not_before=done)
+
+        phased = ResourceTimeline()
+        for _ in range(events):
+            phased.charge("receive", receive)
+        phased.barrier("receive", "cpu")
+        for _ in range(events):
+            phased.charge("cpu", cpu)
+
+        assert overlapped.elapsed() < phased.elapsed()
+        # overlapped is bounded by the slower resource, phased by the sum
+        assert overlapped.elapsed() == pytest.approx(
+            receive + events * cpu, rel=0.01
+        )
+        assert phased.elapsed() == pytest.approx(
+            events * (receive + cpu), rel=0.01
+        )

@@ -1,0 +1,86 @@
+"""Tests for DAG composition and execution."""
+
+import pytest
+
+from repro.core.dag import Dag
+from repro.errors import DagError
+
+
+class WorkNode:
+    """A fake node that does a fixed amount of work then stops."""
+
+    def __init__(self, name, work=1):
+        self.name = name
+        self.work = work
+        self.pumps = 0
+
+    def pump(self, max_messages=1000):
+        self.pumps += 1
+        done, self.work = self.work, 0
+        return done
+
+
+class TestStructure:
+    def test_topological_order_respects_categories(self):
+        dag = Dag()
+        dag.add(WorkNode("sink"), reads=["s2"])
+        dag.add(WorkNode("source"), writes=["s1"])
+        dag.add(WorkNode("middle"), reads=["s1"], writes=["s2"])
+        order = [n.name for n in dag.topological_order()]
+        assert order.index("source") < order.index("middle") < order.index("sink")
+
+    def test_duplicate_node_rejected(self):
+        dag = Dag()
+        dag.add(WorkNode("a"))
+        with pytest.raises(DagError):
+            dag.add(WorkNode("a"))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dag = Dag()
+        dag.add(WorkNode("a"), reads=["s2"], writes=["s1"])
+        with pytest.raises(DagError):
+            dag.add(WorkNode("b"), reads=["s1"], writes=["s2"])
+        assert [n.name for n in dag.nodes()] == ["a"]
+
+    def test_fan_out_edges(self):
+        dag = Dag()
+        dag.add(WorkNode("producer"), writes=["s"])
+        dag.add(WorkNode("consumer1"), reads=["s"])
+        dag.add(WorkNode("consumer2"), reads=["s"])
+        edges = set(dag.edges())
+        assert edges == {("producer", "consumer1"), ("producer", "consumer2")}
+
+    def test_disconnected_nodes_allowed(self):
+        dag = Dag()
+        dag.add(WorkNode("a"))
+        dag.add(WorkNode("b"))
+        assert len(dag.topological_order()) == 2
+
+
+class TestExecution:
+    def test_run_until_quiescent_sums_work(self):
+        dag = Dag()
+        dag.add(WorkNode("a", work=3), writes=["s"])
+        dag.add(WorkNode("b", work=2), reads=["s"])
+        assert dag.run_until_quiescent() == 5
+
+    def test_runaway_dag_detected(self):
+        class Forever(WorkNode):
+            def pump(self, max_messages=1000):
+                return 1
+
+        dag = Dag()
+        dag.add(Forever("loop"))
+        with pytest.raises(DagError):
+            dag.run_until_quiescent(max_rounds=10)
+
+    def test_schedule_on_pumps_periodically(self):
+        from repro.runtime.scheduler import Scheduler
+
+        scheduler = Scheduler()
+        node = WorkNode("a", work=1)
+        dag = Dag()
+        dag.add(node)
+        dag.schedule_on(scheduler, interval=5.0)
+        scheduler.run_until(16.0)
+        assert node.pumps == 3

@@ -1,0 +1,57 @@
+"""Tests for the Tables 4 & 5 registries."""
+
+from repro.core.decisions import (
+    DECISION_MATRIX,
+    SYSTEM_DECISIONS,
+    DesignDecision,
+    Quality,
+    decision_matrix_rows,
+    system_decision_rows,
+    systems_using,
+)
+
+
+class TestDecisionMatrix:
+    def test_every_decision_present(self):
+        assert set(DECISION_MATRIX) == set(DesignDecision)
+
+    def test_paper_row_state_saving_affects_everything(self):
+        affected = DECISION_MATRIX[DesignDecision.STATE_SAVING_MECHANISM]
+        assert affected == frozenset(Quality)
+
+    def test_paper_row_language_paradigm(self):
+        affected = DECISION_MATRIX[DesignDecision.LANGUAGE_PARADIGM]
+        assert affected == {Quality.EASE_OF_USE, Quality.PERFORMANCE}
+
+    def test_rows_render_in_paper_order(self):
+        rows = decision_matrix_rows()
+        assert [r[0] for r in rows] == [
+            "Language paradigm", "Data transfer", "Processing semantics",
+            "State-saving mechanism", "Reprocessing",
+        ]
+
+
+class TestSystemDecisions:
+    def test_all_nine_systems(self):
+        assert len(SYSTEM_DECISIONS) == 9
+
+    def test_facebook_systems_use_scribe(self):
+        assert systems_using("Scribe") == ["Puma", "Stylus", "Swift"]
+
+    def test_samza_uses_kafka(self):
+        assert SYSTEM_DECISIONS["Samza"].data_transfer == "Kafka"
+
+    def test_stylus_supports_all_three_semantics(self):
+        assert set(SYSTEM_DECISIONS["Stylus"].processing_semantics) == {
+            "at least", "at most", "exactly",
+        }
+
+    def test_rows_render_in_paper_column_order(self):
+        names = [row[0] for row in system_decision_rows()]
+        assert names == ["Puma", "Stylus", "Swift", "Storm", "Heron",
+                         "Spark Streaming", "Millwheel", "Flink", "Samza"]
+
+    def test_puma_row_matches_paper(self):
+        row = system_decision_rows()[0]
+        assert row == ("Puma", "SQL", "Scribe", "at least",
+                       "remote DB", "same code")

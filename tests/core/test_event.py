@@ -1,0 +1,48 @@
+"""Tests for the event model."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.errors import ProcessingError
+from repro.scribe.message import Message
+from repro import serde
+
+
+class TestEvent:
+    def test_field_access(self):
+        event = Event(1.5, {"a": 1})
+        assert event["a"] == 1
+        assert event.get("b") is None
+        assert event.get("b", 7) == 7
+        assert "a" in event and "b" not in event
+
+    def test_missing_field_raises(self):
+        with pytest.raises(ProcessingError):
+            Event(0.0, {})["missing"]
+
+    def test_with_fields_is_a_copy(self):
+        original = Event(1.0, {"a": 1})
+        updated = original.with_fields(b=2, a=9)
+        assert updated.fields == {"a": 9, "b": 2}
+        assert original.fields == {"a": 1}
+        assert updated.event_time == 1.0
+
+    def test_record_round_trip(self):
+        event = Event(2.5, {"x": "y"})
+        assert Event.from_record(event.to_record()) == event
+
+    def test_from_record_requires_time_field(self):
+        with pytest.raises(ProcessingError):
+            Event.from_record({"x": 1})
+
+    def test_custom_time_field(self):
+        event = Event.from_record({"ts": 9.0, "v": 1}, time_field="ts")
+        assert event.event_time == 9.0
+        assert event.fields == {"v": 1}
+
+    def test_from_message(self):
+        payload = serde.encode({"event_time": 3.0, "v": 2})
+        message = Message("cat", 0, 0, 10.0, payload)
+        event = Event.from_message(message)
+        assert event.event_time == 3.0  # event time, not write time
+        assert event["v"] == 2

@@ -1,0 +1,68 @@
+"""Tests for the semantics lattice (paper Table 8)."""
+
+import pytest
+
+from repro.core.semantics import (
+    OutputSemantics,
+    SemanticsPolicy,
+    StateSemantics,
+    common_combinations,
+    is_common_combination,
+)
+from repro.errors import SemanticsError
+
+
+class TestTable8:
+    def test_exactly_five_common_combinations(self):
+        assert len(common_combinations()) == 5
+
+    def test_the_paper_grid(self):
+        """Reproduce Figure 8 cell by cell."""
+        grid = {
+            (StateSemantics.AT_LEAST_ONCE, OutputSemantics.AT_LEAST_ONCE): True,
+            (StateSemantics.AT_MOST_ONCE, OutputSemantics.AT_LEAST_ONCE): True,
+            (StateSemantics.EXACTLY_ONCE, OutputSemantics.AT_LEAST_ONCE): False,
+            (StateSemantics.AT_LEAST_ONCE, OutputSemantics.AT_MOST_ONCE): True,
+            (StateSemantics.AT_MOST_ONCE, OutputSemantics.AT_MOST_ONCE): True,
+            (StateSemantics.EXACTLY_ONCE, OutputSemantics.AT_MOST_ONCE): False,
+            (StateSemantics.AT_LEAST_ONCE, OutputSemantics.EXACTLY_ONCE): False,
+            (StateSemantics.AT_MOST_ONCE, OutputSemantics.EXACTLY_ONCE): False,
+            (StateSemantics.EXACTLY_ONCE, OutputSemantics.EXACTLY_ONCE): True,
+        }
+        for (state, output), expected in grid.items():
+            assert is_common_combination(state, output) == expected
+
+
+class TestSemanticsPolicy:
+    def test_valid_policies_construct(self):
+        SemanticsPolicy.at_least_once()
+        SemanticsPolicy.at_most_once()
+        SemanticsPolicy.exactly_once()
+
+    @pytest.mark.parametrize("state,output", [
+        (StateSemantics.EXACTLY_ONCE, OutputSemantics.AT_LEAST_ONCE),
+        (StateSemantics.EXACTLY_ONCE, OutputSemantics.AT_MOST_ONCE),
+        (StateSemantics.AT_LEAST_ONCE, OutputSemantics.EXACTLY_ONCE),
+        (StateSemantics.AT_MOST_ONCE, OutputSemantics.EXACTLY_ONCE),
+    ])
+    def test_uncommon_combinations_rejected(self, state, output):
+        with pytest.raises(SemanticsError):
+            SemanticsPolicy(state, output)
+
+    def test_mixed_valid_combination(self):
+        policy = SemanticsPolicy(StateSemantics.AT_MOST_ONCE,
+                                 OutputSemantics.AT_LEAST_ONCE)
+        assert policy.emits_before_checkpoint
+        assert not policy.transactional
+
+    def test_emission_timing_flags(self):
+        assert SemanticsPolicy.at_least_once().emits_before_checkpoint
+        assert SemanticsPolicy.at_most_once().emits_after_checkpoint
+        exactly = SemanticsPolicy.exactly_once()
+        assert not exactly.emits_before_checkpoint
+        assert not exactly.emits_after_checkpoint
+        assert exactly.transactional
+
+    def test_describe(self):
+        text = SemanticsPolicy.at_most_once().describe()
+        assert "at-most-once" in text

@@ -1,0 +1,69 @@
+"""Tests for sharding and reshard planning."""
+
+import pytest
+
+from repro.core.sharding import Resharder, ShardAssignment, shard_for_key
+from repro.errors import ConfigError
+
+
+class TestShardForKey:
+    def test_stable_and_in_range(self):
+        for i in range(100):
+            shard = shard_for_key(f"k{i}", 16)
+            assert shard == shard_for_key(f"k{i}", 16)
+            assert 0 <= shard < 16
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_for_key("k", 0)
+
+
+class TestShardAssignment:
+    def test_partition_of_buckets(self):
+        assignment = ShardAssignment(num_buckets=16, num_processes=5)
+        all_buckets = []
+        for process in range(5):
+            all_buckets.extend(assignment.buckets_for(process))
+        assert sorted(all_buckets) == list(range(16))
+
+    def test_balance_within_one(self):
+        assignment = ShardAssignment(num_buckets=16, num_processes=5)
+        low, high = assignment.balance()
+        assert high - low <= 1
+
+    def test_process_for_is_inverse(self):
+        assignment = ShardAssignment(num_buckets=12, num_processes=4)
+        for bucket in range(12):
+            process = assignment.process_for(bucket)
+            assert bucket in assignment.buckets_for(process)
+
+    def test_out_of_range_rejected(self):
+        assignment = ShardAssignment(4, 2)
+        with pytest.raises(ConfigError):
+            assignment.buckets_for(2)
+        with pytest.raises(ConfigError):
+            assignment.process_for(4)
+
+
+class TestResharder:
+    def test_plan_lists_only_moved_keys(self):
+        resharder = Resharder(4, 8)
+        keys = [f"k{i}" for i in range(200)]
+        plan = resharder.plan(keys)
+        for key, (old, new) in plan.items():
+            assert old != new
+            assert shard_for_key(key, 4) == old
+            assert shard_for_key(key, 8) == new
+
+    def test_doubling_moves_about_half(self):
+        resharder = Resharder(4, 8)
+        keys = [f"key{i}" for i in range(2000)]
+        fraction = resharder.moved_fraction(keys)
+        assert 0.4 < fraction < 0.6
+
+    def test_same_count_moves_nothing(self):
+        resharder = Resharder(8, 8)
+        assert resharder.moved_fraction([f"k{i}" for i in range(50)]) == 0.0
+
+    def test_empty_keys(self):
+        assert Resharder(2, 4).moved_fraction([]) == 0.0

@@ -1,0 +1,111 @@
+"""Tests for the low-watermark estimators."""
+
+import pytest
+
+from repro.core.watermark import LatenessWatermarkEstimator, WatermarkEstimator
+from repro.errors import ConfigError
+from repro.runtime.rng import make_rng
+
+
+class TestWatermarkEstimator:
+    def test_empty_estimator_returns_none(self):
+        assert WatermarkEstimator().low_watermark() is None
+        assert WatermarkEstimator().max_event_time() is None
+
+    def test_watermark_below_max_for_disordered_stream(self):
+        estimator = WatermarkEstimator(sample_size=200)
+        rng = make_rng(3, "wm")
+        for i in range(1000):
+            estimator.observe(i - rng.uniform(0, 10))
+        assert estimator.low_watermark(0.99) < estimator.max_event_time()
+
+    def test_higher_confidence_gives_lower_watermark(self):
+        estimator = WatermarkEstimator(sample_size=500)
+        rng = make_rng(4, "wm")
+        for i in range(1000):
+            estimator.observe(i - rng.uniform(0, 20))
+        conservative = estimator.low_watermark(0.99)
+        aggressive = estimator.low_watermark(0.5)
+        assert conservative <= aggressive
+
+    def test_watermark_is_monotone(self):
+        estimator = WatermarkEstimator(sample_size=50)
+        rng = make_rng(5, "wm")
+        previous = None
+        for i in range(500):
+            estimator.observe(i - rng.uniform(0, 5))
+            mark = estimator.low_watermark(0.95)
+            if previous is not None:
+                assert mark >= previous
+            previous = mark
+
+    def test_sliding_sample_forgets_old_events(self):
+        estimator = WatermarkEstimator(sample_size=10)
+        for i in range(100):
+            estimator.observe(float(i))
+        # sample holds [90..99]; the 0.99-confidence mark is near 90.
+        assert estimator.low_watermark(0.99) >= 90.0
+
+    def test_observed_counts_everything(self):
+        estimator = WatermarkEstimator(sample_size=5)
+        for i in range(20):
+            estimator.observe(float(i))
+        assert estimator.observed == 20
+
+    def test_invalid_confidence_rejected(self):
+        estimator = WatermarkEstimator()
+        estimator.observe(1.0)
+        with pytest.raises(ConfigError):
+            estimator.low_watermark(0.0)
+        with pytest.raises(ConfigError):
+            estimator.low_watermark(1.5)
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigError):
+            WatermarkEstimator(sample_size=0)
+
+
+class TestLatenessWatermarkEstimator:
+    def test_ordered_stream_watermark_is_newest(self):
+        estimator = LatenessWatermarkEstimator()
+        for i in range(50):
+            estimator.observe(float(i))
+        assert estimator.low_watermark(0.99) == 49.0
+
+    def test_disordered_stream_subtracts_lateness(self):
+        estimator = LatenessWatermarkEstimator()
+        rng = make_rng(8, "lateness")
+        for i in range(500):
+            estimator.observe(i - rng.uniform(0, 10))
+        mark = estimator.low_watermark(0.99)
+        assert mark < estimator.max_event_time
+        assert mark > estimator.max_event_time - 12.0
+
+    def test_higher_confidence_gives_lower_watermark(self):
+        estimator = LatenessWatermarkEstimator()
+        rng = make_rng(9, "lateness")
+        for i in range(500):
+            estimator.observe(i - rng.uniform(0, 10))
+        assert estimator.low_watermark(0.99) <= estimator.low_watermark(0.5)
+
+    def test_monotone(self):
+        estimator = LatenessWatermarkEstimator(sample_size=50)
+        rng = make_rng(10, "lateness")
+        previous = None
+        for i in range(300):
+            estimator.observe(i - rng.uniform(0, 5))
+            mark = estimator.low_watermark(0.9)
+            if previous is not None:
+                assert mark >= previous
+            previous = mark
+
+    def test_empty_returns_none(self):
+        assert LatenessWatermarkEstimator().low_watermark() is None
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            LatenessWatermarkEstimator(sample_size=0)
+        estimator = LatenessWatermarkEstimator()
+        estimator.observe(1.0)
+        with pytest.raises(ConfigError):
+            estimator.low_watermark(0.0)

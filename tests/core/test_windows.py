@@ -1,0 +1,54 @@
+"""Tests for window assignment."""
+
+import pytest
+
+from repro.core.windows import SlidingWindow, TumblingWindow, Window
+from repro.errors import ConfigError
+
+
+class TestTumblingWindow:
+    def test_alignment(self):
+        assigner = TumblingWindow(300.0)
+        window = assigner.window_containing(601.0)
+        assert window.start == 600.0
+        assert window.end == 900.0
+        assert window.contains(601.0)
+
+    def test_boundaries_are_half_open(self):
+        assigner = TumblingWindow(10.0)
+        assert assigner.window_containing(10.0).start == 10.0
+        assert assigner.window_containing(9.999).start == 0.0
+
+    def test_assign_returns_exactly_one(self):
+        assert len(TumblingWindow(5.0).assign(7.3)) == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            TumblingWindow(0)
+
+
+class TestSlidingWindow:
+    def test_event_in_all_overlapping_windows(self):
+        assigner = SlidingWindow(size=300.0, slide=60.0)
+        windows = assigner.assign(601.0)
+        assert len(windows) == 5
+        assert all(w.contains(601.0) for w in windows)
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    def test_slide_equal_to_size_is_tumbling(self):
+        assigner = SlidingWindow(size=10.0, slide=10.0)
+        assert len(assigner.assign(25.0)) == 1
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SlidingWindow(size=10.0, slide=20.0)
+
+    def test_window_containing_is_newest(self):
+        assigner = SlidingWindow(size=300.0, slide=60.0)
+        assert assigner.window_containing(601.0).start == 600.0
+
+
+class TestWindow:
+    def test_length(self):
+        assert Window(10.0, 25.0).length == 15.0

@@ -1,0 +1,196 @@
+"""Tests for the functional stream paradigm (paper Section 4.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.functional.streams import StreamBuilder
+from repro.scribe.reader import CategoryReader
+from repro.storage.merge import CounterMergeOperator, DictSumMergeOperator
+
+
+@pytest.fixture
+def builder(scribe, clock):
+    return StreamBuilder(scribe, clock=clock, num_buckets=2,
+                         checkpoint_every_events=50)
+
+
+def feed(scribe, count=100, category="events"):
+    for i in range(count):
+        scribe.write_record(category, {
+            "event_time": float(i),
+            "event_type": "post" if i % 2 == 0 else "like",
+            "topic": f"t{i % 3}",
+            "score": i % 5,
+        }, key=str(i))
+
+
+def output(scribe, category):
+    return [m.decode() for m in CategoryReader(scribe, category).read_all()]
+
+
+def feed_interleaved(scribe, pipeline, count=100, chunk=10):
+    """Feed in small chunks, pumping between them.
+
+    Batch-pumping a whole backlog concatenates each upstream task's
+    ordered sub-stream, which manufactures unbounded event-time disorder
+    at a re-shard boundary; interleaving like a live deployment keeps
+    the disorder bounded by the chunk size, which is what the windowed
+    aggregator's watermark is designed for.
+    """
+    for start in range(0, count, chunk):
+        for i in range(start, min(start + chunk, count)):
+            scribe.write_record("events", {
+                "event_time": float(i),
+                "event_type": "post" if i % 2 == 0 else "like",
+                "topic": f"t{i % 3}",
+                "score": i % 5,
+            }, key=str(i))
+        pipeline.pump(chunk)
+    pipeline.run_until_quiescent()
+
+
+class TestNarrowFusion:
+    def test_map_filter_chain(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .filter(lambda r: r["event_type"] == "post")
+                    .map(lambda r: {**r, "doubled": r["score"] * 2})
+                    .to("posts_out")
+                    .build("p1"))
+        feed(scribe)
+        pipeline.run_until_quiescent()
+        rows = output(scribe, "posts_out")
+        assert len(rows) == 50
+        assert all(r["doubled"] == r["score"] * 2 for r in rows)
+
+    def test_narrow_ops_fuse_into_one_node(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .map(lambda r: r)
+                    .filter(lambda r: True)
+                    .map(lambda r: r)
+                    .build("p2"))
+        assert len(pipeline.jobs) == 1  # Section 4.2.1: collapsed
+
+    def test_flat_map(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .flat_map(lambda r: [r, r])
+                    .build("p3"))
+        feed(scribe, 10)
+        pipeline.run_until_quiescent()
+        assert len(output(scribe, "p3.out")) == 20
+
+    def test_map_preserves_event_time_if_dropped(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .map(lambda r: {"only": r["topic"]})
+                    .build("p4"))
+        feed(scribe, 5)
+        pipeline.run_until_quiescent()
+        rows = output(scribe, "p4.out")
+        assert all("event_time" in r for r in rows)
+
+
+class TestKeyByAndWindows:
+    def test_key_by_creates_stage_boundary(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .map(lambda r: r)
+                    .key_by(lambda r: r["topic"])
+                    .map(lambda r: r)
+                    .build("p5"))
+        assert len(pipeline.jobs) == 2
+        assert scribe.has_category("p5.stage0")
+
+    def test_key_by_shards_downstream_input(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .key_by(lambda r: r["topic"])
+                    .map(lambda r: r)
+                    .build("p6"))
+        feed(scribe)
+        pipeline.run_until_quiescent()
+        # Each topic's records all landed in a single stage0 bucket.
+        category = scribe.category("p6.stage0")
+        for bucket in range(category.num_buckets):
+            topics = {m.decode()["topic"]
+                      for m in scribe.read("p6.stage0", bucket, 0, 1000)}
+            for other in range(category.num_buckets):
+                if other != bucket:
+                    other_topics = {
+                        m.decode()["topic"]
+                        for m in scribe.read("p6.stage0", other, 0, 1000)
+                    }
+                    assert not (topics & other_topics)
+
+    def test_window_count(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .key_by(lambda r: r["topic"])
+                    .window_count(30.0)
+                    .build("p7"))
+        feed_interleaved(scribe, pipeline, 100)  # windows [0,30), [30,60)...
+        pipeline.checkpoint_all()
+        pipeline.run_until_quiescent()
+        rows = output(scribe, "p7.out")
+        assert rows, "closed windows must have emitted"
+        assert all(r["final"] for r in rows)
+        # Topics cycle every 3 events: 10 per topic per 30 s window.
+        assert all(r["value"] == 10 for r in rows)
+
+    def test_window_aggregate_with_custom_monoid(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .key_by(lambda r: r["topic"])
+                    .window_aggregate(30.0, DictSumMergeOperator(),
+                                      lambda r: {"score": r["score"],
+                                                 "n": 1})
+                    .build("p8"))
+        feed_interleaved(scribe, pipeline, 100)
+        pipeline.checkpoint_all()
+        pipeline.run_until_quiescent()
+        rows = output(scribe, "p8.out")
+        assert rows
+        assert all(r["value"]["n"] == 10 for r in rows)
+
+    def test_window_requires_key_by(self, builder):
+        with pytest.raises(ConfigError):
+            (builder.source("events")
+             .window_aggregate(30.0, CounterMergeOperator(), lambda r: 1))
+
+    def test_operators_after_window_rejected(self, builder):
+        stream = (builder.source("events")
+                  .key_by(lambda r: r["topic"])
+                  .window_count(30.0))
+        with pytest.raises(ConfigError):
+            stream.map(lambda r: r)
+
+
+class TestPipelineOperation:
+    def test_immutable_chaining(self, scribe, builder):
+        base = builder.source("events").filter(
+            lambda r: r["event_type"] == "post")
+        left = base.map(lambda r: {**r, "branch": "left"}).build("left")
+        right = base.map(lambda r: {**r, "branch": "right"}).build("right")
+        feed(scribe, 10)
+        left.run_until_quiescent()
+        right.run_until_quiescent()
+        assert {r["branch"] for r in output(scribe, "left.out")} == {"left"}
+        assert {r["branch"] for r in output(scribe, "right.out")} == {"right"}
+
+    def test_lag_reporting(self, scribe, builder):
+        pipeline = (builder.source("events")
+                    .map(lambda r: r)
+                    .build("p9"))
+        feed(scribe, 7)
+        assert pipeline.lag_messages() == 7
+        pipeline.run_until_quiescent()
+        assert pipeline.lag_messages() == 0
+
+
+class TestWindowConfidencePropagation:
+    def test_confidence_survives_to_and_build(self, scribe, builder):
+        """Regression: .to() after window_aggregate must not drop the
+        configured watermark confidence."""
+        pipeline = (builder.source("events")
+                    .key_by(lambda r: r["topic"])
+                    .window_aggregate(30.0, CounterMergeOperator(),
+                                      lambda r: 1, confidence=0.5)
+                    .to("custom_out")
+                    .build("pc"))
+        window_task = pipeline.jobs[-1].tasks[0]
+        assert window_task.processor.confidence == 0.5
+        assert pipeline.output_category == "custom_out"

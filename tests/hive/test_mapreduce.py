@@ -1,0 +1,56 @@
+"""Tests for the MapReduce mini-framework."""
+
+from repro.hive.mapreduce import MapReduceJob, run_map_reduce
+
+
+def word_count_job(combiner=False, tasks=4):
+    return MapReduceJob(
+        mapper=lambda row: [(w, 1) for w in row["text"].split()],
+        reducer=lambda key, values: [{"word": key, "n": sum(values)}],
+        combiner=(lambda key, values: sum(values)) if combiner else None,
+        num_map_tasks=tasks,
+    )
+
+
+ROWS = [{"text": "a b a"}, {"text": "b c"}, {"text": "a"}]
+
+
+class TestRunMapReduce:
+    def test_word_count(self):
+        output = run_map_reduce(word_count_job(), ROWS)
+        assert output == [
+            {"word": "a", "n": 3}, {"word": "b", "n": 2}, {"word": "c", "n": 1},
+        ]
+
+    def test_combiner_preserves_results(self):
+        with_combiner = run_map_reduce(word_count_job(combiner=True), ROWS)
+        without = run_map_reduce(word_count_job(combiner=False), ROWS)
+        assert with_combiner == without
+
+    def test_split_count_does_not_change_results(self):
+        one = run_map_reduce(word_count_job(combiner=True, tasks=1), ROWS)
+        many = run_map_reduce(word_count_job(combiner=True, tasks=16), ROWS)
+        assert one == many
+
+    def test_empty_input(self):
+        assert run_map_reduce(word_count_job(), []) == []
+
+    def test_output_is_key_sorted_deterministic(self):
+        output = run_map_reduce(word_count_job(), list(reversed(ROWS)))
+        assert [o["word"] for o in output] == ["a", "b", "c"]
+
+    def test_mapper_can_emit_nothing(self):
+        job = MapReduceJob(
+            mapper=lambda row: [],
+            reducer=lambda key, values: [{"k": key}],
+        )
+        assert run_map_reduce(job, ROWS) == []
+
+    def test_reducer_sees_all_values_for_key(self):
+        seen = {}
+        job = MapReduceJob(
+            mapper=lambda row: [(row["text"][0], row["text"])],
+            reducer=lambda key, values: seen.setdefault(key, values) or [],
+        )
+        run_map_reduce(job, ROWS)
+        assert sorted(seen["a"]) == ["a", "a b a"]

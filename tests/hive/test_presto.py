@@ -1,0 +1,83 @@
+"""Tests for the Presto stand-in (paper Section 2.7)."""
+
+import pytest
+
+from repro.errors import HiveError
+from repro.hive.presto import PrestoEngine
+from repro.hive.warehouse import SECONDS_PER_DAY, HiveWarehouse
+from repro.laser.service import LaserTable
+
+
+@pytest.fixture
+def warehouse(scribe):
+    warehouse = HiveWarehouse(scribe)
+    table = warehouse.create_table("requests")
+    for day in range(2):
+        for i in range(100):
+            table.append({
+                "event_time": day * SECONDS_PER_DAY + i * 60.0,
+                "endpoint": "/home" if i % 2 else "/feed",
+                "ms": i % 10,
+            })
+    table.land_partitions_before(now=2 * SECONDS_PER_DAY + 1)
+    return warehouse
+
+
+@pytest.fixture
+def presto(warehouse):
+    return PrestoEngine(warehouse)
+
+
+class TestQueries:
+    def test_aggregation_query(self, presto):
+        rows = presto.query(
+            "requests",
+            "SELECT endpoint, count(*) AS n, avg(ms) AS mean_ms "
+            "FROM requests [1 day]",
+        )
+        by_key = {(r["window_start"], r["endpoint"]): r["n"] for r in rows}
+        assert by_key[(0.0, "/home")] == 50
+        assert by_key[(SECONDS_PER_DAY, "/feed")] == 50
+
+    def test_filter_query(self, presto):
+        rows = presto.query(
+            "requests",
+            "SELECT endpoint, ms FROM requests WHERE ms >= 8",
+        )
+        assert rows
+        assert all(r["ms"] >= 8 for r in rows)
+
+    def test_partition_scoping(self, presto):
+        day0 = presto.query("requests",
+                            "SELECT count(*) AS n FROM requests", days=[0])
+        assert day0[0]["n"] == 100
+
+    def test_unlanded_partitions_invisible(self, scribe):
+        warehouse = HiveWarehouse(scribe)
+        table = warehouse.create_table("fresh")
+        table.append({"event_time": 10.0, "v": 1})  # today: not landed
+        presto = PrestoEngine(warehouse)
+        with pytest.raises(HiveError):
+            presto.query("fresh", "SELECT count(*) AS n FROM fresh")
+
+    def test_udfs_available(self, presto):
+        rows = presto.query(
+            "requests",
+            "SELECT hour_of_day(event_time) AS hour, count(*) AS n "
+            "FROM requests WHERE day_bucket(event_time) = 0",
+        )
+        assert sum(r["n"] for r in rows) == 100
+
+
+class TestLaserPublication:
+    def test_results_served_by_laser(self, presto, clock):
+        """Section 2.7: daily results 'can then be sent to Laser'."""
+        rows = presto.query(
+            "requests",
+            "SELECT endpoint, count(*) AS n FROM requests [1 day]",
+        )
+        laser = LaserTable("daily_counts", ["window_start", "endpoint"],
+                           ["n"], clock=clock)
+        published = presto.publish_to_laser(rows, laser)
+        assert published == len(rows)
+        assert laser.get(0.0, "/home") == {"n": 50}

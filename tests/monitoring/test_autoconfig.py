@@ -1,0 +1,62 @@
+"""Tests for auto-configured monitoring (paper Section 6.4)."""
+
+from repro.monitoring.autoconfig import auto_monitor
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.storage.hbase import HBaseTable
+from repro.stylus.engine import StylusJob
+
+from tests.stylus.helpers import CountingProcessor
+
+PQL = """
+CREATE APPLICATION puma_app;
+CREATE INPUT TABLE t(event_time, x) FROM SCRIBE("cat") TIME event_time;
+CREATE TABLE c AS SELECT count(*) AS n FROM t [1 minute];
+"""
+
+
+def build_apps(scribe, clock):
+    scribe.create_category("cat", 2)
+    puma = PumaApp(plan(parse(PQL)), scribe, HBaseTable("s"), clock=clock)
+    stylus = StylusJob.create("stylus_job", scribe, "cat", CountingProcessor,
+                              clock=clock)
+    return puma, stylus
+
+
+class TestAutoMonitor:
+    def test_watches_both_puma_and_stylus(self, scribe, clock):
+        puma, stylus = build_apps(scribe, clock)
+        monitor, dashboard = auto_monitor([puma, stylus], clock,
+                                          lag_threshold=5)
+        assert set(monitor.current_lags()) == {"puma_app", "stylus_job"}
+        assert sorted(p.name for p in dashboard.panels()) == [
+            "lag:puma_app", "lag:stylus_job",
+        ]
+
+    def test_alerts_fire_for_lagging_apps(self, scribe, clock):
+        puma, stylus = build_apps(scribe, clock)
+        monitor, _ = auto_monitor([puma, stylus], clock, lag_threshold=5)
+        for i in range(20):
+            scribe.write_record("cat", {"event_time": float(i), "x": i},
+                                key=str(i))
+        alerts = monitor.sample()
+        assert sorted(a.consumer for a in alerts) == ["puma_app",
+                                                      "stylus_job"]
+        puma.pump()
+        stylus.pump()
+        monitor.sample()
+        assert monitor.active_alerts() == []
+
+    def test_dashboard_panels_serve_lag_history(self, scribe, clock):
+        puma, stylus = build_apps(scribe, clock)
+        monitor, dashboard = auto_monitor([puma, stylus], clock)
+        for i in range(3):
+            scribe.write_record("cat", {"event_time": float(i), "x": i})
+        monitor.sample()
+        clock.advance(60.0)
+        monitor.sample()
+        results = dashboard.refresh()
+        history = results["lag:puma_app"]
+        assert len(history) == 2
+        assert history[0]["lag"] == 3

@@ -1,0 +1,153 @@
+"""Tests for the lag-driven autoscaler (paper Section 6.4)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitoring.autoscaler import AutoScaler
+from repro.stylus.engine import StylusJob
+
+from tests.stylus.helpers import CountingProcessor
+
+
+@pytest.fixture
+def world(scribe, clock):
+    scribe.create_category("in", 2)
+    job = StylusJob.create("counter", scribe, "in", CountingProcessor,
+                           clock=clock)
+    scaler = AutoScaler(scribe, clock=clock, high_lag=100,
+                        sustain_samples=2, idle_samples_for_downscale=3,
+                        cooldown_seconds=60.0)
+    scaler.watch(job)
+    return scribe, clock, job, scaler
+
+
+def backlog(scribe, count):
+    for i in range(count):
+        scribe.write_record("in", {"event_time": float(i), "seq": i},
+                            key=str(i))
+
+
+class TestScaleUp:
+    def test_sustained_lag_doubles_buckets(self, world):
+        scribe, clock, job, scaler = world
+        backlog(scribe, 1000)
+        assert scaler.sample() == []   # first high sample: not sustained
+        clock.advance(30.0)
+        actions = scaler.sample()      # second: scale up
+        assert len(actions) == 1
+        assert actions[0].kind == "scale_up"
+        assert scribe.category("in").num_buckets == 4
+        assert len(job.tasks) == 4
+
+    def test_new_tasks_consume_new_buckets(self, world):
+        scribe, clock, job, scaler = world
+        backlog(scribe, 1000)
+        scaler.sample()
+        scaler.sample()
+        # New writes spread over 4 buckets; all tasks make progress.
+        backlog(scribe, 400)
+        assert job.pump(100_000) == 1400
+        assert job.lag_messages() == 0
+
+    def test_cooldown_blocks_rapid_rescaling(self, world):
+        scribe, clock, job, scaler = world
+        backlog(scribe, 1000)
+        scaler.sample()
+        scaler.sample()  # scaled to 4
+        scaler.sample()
+        scaler.sample()  # still within cooldown
+        assert scribe.category("in").num_buckets == 4
+        clock.advance(120.0)
+        scaler.sample()
+        scaler.sample()
+        assert scribe.category("in").num_buckets == 8
+
+    def test_max_buckets_cap(self, scribe, clock):
+        scribe.create_category("capped", 4)
+        job = StylusJob.create("j", scribe, "capped", CountingProcessor,
+                               clock=clock)
+        scaler = AutoScaler(scribe, clock=clock, high_lag=1,
+                            sustain_samples=1, cooldown_seconds=0.0,
+                            max_buckets=4)
+        scaler.watch(job)
+        for i in range(10):
+            scribe.write_record("capped", {"event_time": float(i)})
+        assert scaler.sample() == []  # already at the cap
+        assert scribe.category("capped").num_buckets == 4
+
+
+class TestScaleDownRecommendation:
+    def test_sustained_idle_recommends_downscale(self, world):
+        scribe, clock, job, scaler = world
+        for _ in range(3):
+            clock.advance(30.0)
+            actions = scaler.sample()
+        assert actions
+        assert actions[0].kind == "recommend_scale_down"
+        # Recommendation only: the bucket count is untouched.
+        assert scribe.category("in").num_buckets == 2
+        assert scaler.recommendations()
+
+    def test_single_bucket_never_recommended_down(self, scribe, clock):
+        scribe.create_category("tiny", 1)
+        job = StylusJob.create("j", scribe, "tiny", CountingProcessor,
+                               clock=clock)
+        scaler = AutoScaler(scribe, clock=clock,
+                            idle_samples_for_downscale=1,
+                            cooldown_seconds=0.0)
+        scaler.watch(job)
+        assert scaler.sample() == []
+
+
+class TestHysteresis:
+    def test_moderate_lag_resets_both_counters(self, world):
+        scribe, clock, job, scaler = world
+        backlog(scribe, 1000)
+        scaler.sample()                   # high sample 1
+        job.pump(950)                     # lag drops to 50: moderate
+        clock.advance(30.0)
+        scaler.sample()                   # resets the high counter
+        backlog(scribe, 1000)
+        clock.advance(30.0)
+        assert scaler.sample() == []      # needs 2 sustained again
+
+    def test_invalid_config(self, scribe):
+        with pytest.raises(ConfigError):
+            AutoScaler(scribe, high_lag=0)
+
+
+class TestPumaAppScaling:
+    """Section 6.4's wish covers 'both Puma and Stylus apps'."""
+
+    def test_puma_app_scales_up(self, scribe, clock):
+        from repro.puma.app import PumaApp
+        from repro.puma.parser import parse
+        from repro.puma.planner import plan
+        from repro.storage.hbase import HBaseTable
+
+        source = """
+        CREATE APPLICATION scaled;
+        CREATE INPUT TABLE t(event_time, x) FROM SCRIBE("wide")
+        TIME event_time;
+        CREATE TABLE c AS SELECT count(*) AS n FROM t [1 minute];
+        """
+        scribe.create_category("wide", 2)
+        app = PumaApp(plan(parse(source)), scribe, HBaseTable("s"),
+                      clock=clock)
+        scaler = AutoScaler(scribe, clock=clock, high_lag=100,
+                            sustain_samples=1, cooldown_seconds=0.0)
+        scaler.watch(app)
+        for i in range(500):
+            scribe.write_record("wide", {"event_time": float(i), "x": i},
+                                key=str(i))
+        actions = scaler.sample()
+        assert actions and actions[0].kind == "scale_up"
+        assert scribe.category("wide").num_buckets == 4
+        # New writes spread over 4 buckets; the app consumes all of them.
+        for i in range(100):
+            scribe.write_record("wide", {"event_time": 600.0 + i, "x": i},
+                                key=f"n{i}")
+        assert app.pump(10_000) == 600
+        assert app.lag_messages() == 0
+        rows = app.query("c")
+        assert sum(r["n"] for r in rows) == 600

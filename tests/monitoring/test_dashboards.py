@@ -1,0 +1,100 @@
+"""Tests for the dashboard framework (Section 5.2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitoring.dashboards import Dashboard, DashboardPanel
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.scuba.query import ScubaQuery
+from repro.scuba.table import ScubaTable
+from repro.storage.hbase import HBaseTable
+
+PQL = """
+CREATE APPLICATION dash;
+CREATE INPUT TABLE clicks(event_time, page) FROM SCRIBE("clicks")
+TIME event_time;
+CREATE TABLE per_page AS
+SELECT page, count(*) AS n FROM clicks [1 minute];
+"""
+
+
+def loaded_scuba():
+    table = ScubaTable("clicks")
+    for i in range(120):
+        table.add({"event_time": float(i),
+                   "page": "home" if i % 3 else "about"})
+    return table
+
+
+class TestScubaPanels:
+    def test_panel_runs_over_window(self, clock):
+        table = loaded_scuba()
+        query = ScubaQuery(table, 0.0, 60.0, group_by=("page",))
+        panel = DashboardPanel.from_scuba("clicks", query)
+        rows = panel.runner(0.0, 60.0)
+        assert sum(r["value"] for r in rows) == 60
+
+    def test_refresh_slides_the_window(self, clock):
+        table = loaded_scuba()
+        dashboard = Dashboard("ops", window_seconds=60.0, clock=clock)
+        dashboard.add_panel(DashboardPanel.from_scuba(
+            "clicks", ScubaQuery(table, 0.0, 60.0, group_by=("page",))))
+        clock.advance(60.0)
+        first = dashboard.refresh()
+        clock.advance(60.0)
+        second = dashboard.refresh()
+        assert sum(r["value"] for r in first["clicks"]) == 60
+        assert sum(r["value"] for r in second["clicks"]) == 60
+
+
+class TestPumaPanels:
+    def test_puma_panel_serves_precomputed_windows(self, scribe, clock):
+        scribe.create_category("clicks", 1)
+        app = PumaApp(plan(parse(PQL)), scribe, HBaseTable("s"), clock=clock)
+        for i in range(120):
+            scribe.write_record("clicks", {
+                "event_time": float(i), "page": "home" if i % 3 else "about",
+            })
+        app.pump(1000)
+        panel = DashboardPanel.from_puma("clicks", app, "per_page", "n")
+        rows = panel.runner(0.0, 120.0)
+        assert rows
+        assert rows[0]["n"] >= rows[-1]["n"]
+
+
+class TestDashboard:
+    def test_duplicate_panel_rejected(self, clock):
+        dashboard = Dashboard("d", 60.0, clock=clock)
+        panel = DashboardPanel("p", lambda s, e: [], backend="scuba")
+        dashboard.add_panel(panel)
+        with pytest.raises(ConfigError):
+            dashboard.add_panel(panel)
+
+    def test_dead_panel_detection(self, clock):
+        dashboard = Dashboard("d", 60.0, clock=clock)
+        dashboard.add_panel(DashboardPanel("hot", lambda s, e: [],
+                                           backend="scuba"))
+        dashboard.add_panel(DashboardPanel("cold", lambda s, e: [],
+                                           backend="scuba"))
+        clock.advance(1000.0)
+        dashboard.view("hot")
+        assert dashboard.dead_panels(idle_seconds=500.0) == ["cold"]
+
+    def test_view_unknown_panel_raises(self, clock):
+        dashboard = Dashboard("d", 60.0, clock=clock)
+        with pytest.raises(ConfigError):
+            dashboard.view("ghost")
+
+    def test_refresh_counts(self, clock):
+        dashboard = Dashboard("d", 60.0, clock=clock)
+        panel = DashboardPanel("p", lambda s, e: [], backend="scuba")
+        dashboard.add_panel(panel)
+        dashboard.refresh()
+        dashboard.refresh()
+        assert panel.refresh_count == 2
+
+    def test_invalid_window(self, clock):
+        with pytest.raises(ConfigError):
+            Dashboard("d", 0.0, clock=clock)

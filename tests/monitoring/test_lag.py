@@ -1,0 +1,90 @@
+"""Tests for processing-lag monitoring."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitoring.lag import LagMonitor
+from repro.runtime.clock import SimClock
+from repro.runtime.scheduler import Scheduler
+
+
+class FakeConsumer:
+    def __init__(self, name, lag=0):
+        self.name = name
+        self.lag = lag
+
+    def lag_messages(self):
+        return self.lag
+
+
+class TestLagMonitor:
+    def test_alert_raised_above_threshold(self, clock):
+        monitor = LagMonitor(clock=clock, default_threshold=100)
+        consumer = FakeConsumer("app", lag=500)
+        monitor.watch(consumer)
+        alerts = monitor.sample()
+        assert [a.consumer for a in alerts] == ["app"]
+        assert monitor.active_alerts() == ["app"]
+
+    def test_no_alert_below_threshold(self, clock):
+        monitor = LagMonitor(clock=clock, default_threshold=100)
+        monitor.watch(FakeConsumer("app", lag=50))
+        assert monitor.sample() == []
+
+    def test_alert_raised_once_until_cleared(self, clock):
+        monitor = LagMonitor(clock=clock, default_threshold=100)
+        consumer = FakeConsumer("app", lag=500)
+        monitor.watch(consumer)
+        assert len(monitor.sample()) == 1
+        assert monitor.sample() == []  # still alerting, not re-raised
+
+    def test_hysteresis_on_clear(self, clock):
+        monitor = LagMonitor(clock=clock, default_threshold=100)
+        consumer = FakeConsumer("app", lag=500)
+        monitor.watch(consumer)
+        monitor.sample()
+        consumer.lag = 80  # below threshold but above clear fraction
+        monitor.sample()
+        assert monitor.active_alerts() == ["app"]
+        consumer.lag = 10
+        monitor.sample()
+        assert monitor.active_alerts() == []
+
+    def test_per_consumer_threshold(self, clock):
+        monitor = LagMonitor(clock=clock, default_threshold=100)
+        monitor.watch(FakeConsumer("strict", lag=50), threshold=10)
+        monitor.watch(FakeConsumer("lenient", lag=50), threshold=1000)
+        monitor.sample()
+        assert monitor.active_alerts() == ["strict"]
+
+    def test_history_recorded(self, clock):
+        monitor = LagMonitor(clock=clock)
+        consumer = FakeConsumer("app", lag=5)
+        monitor.watch(consumer)
+        monitor.sample()
+        clock.advance(60.0)
+        consumer.lag = 9
+        monitor.sample()
+        assert monitor.lag_history("app") == [(0.0, 5), (60.0, 9)]
+        assert monitor.current_lags() == {"app": 9}
+
+    def test_unwatch(self, clock):
+        monitor = LagMonitor(clock=clock)
+        monitor.watch(FakeConsumer("app"))
+        monitor.unwatch("app")
+        assert monitor.current_lags() == {}
+        with pytest.raises(ConfigError):
+            monitor.lag_history("app")
+
+    def test_scheduled_sampling(self):
+        scheduler = Scheduler()
+        monitor = LagMonitor(clock=scheduler.clock, default_threshold=10)
+        consumer = FakeConsumer("app", lag=100)
+        monitor.watch(consumer)
+        monitor.schedule_on(scheduler, interval=60.0)
+        scheduler.run_until(200.0)
+        assert len(monitor.lag_history("app")) == 3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            LagMonitor(default_threshold=0)

@@ -1,0 +1,78 @@
+"""Property tests for windows, sharding, watermarks, and serde."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import serde
+from repro.core.sharding import shard_for_key
+from repro.core.watermark import WatermarkEstimator
+from repro.core.windows import SlidingWindow, TumblingWindow
+
+times = st.floats(min_value=0.0, max_value=1e7, allow_nan=False,
+                  allow_infinity=False)
+
+
+class TestWindowProperties:
+    @settings(max_examples=100)
+    @given(event_time=times, size=st.floats(0.1, 1e4))
+    def test_tumbling_window_contains_its_event(self, event_time, size):
+        window = TumblingWindow(size).window_containing(event_time)
+        assert window.start <= event_time < window.end + 1e-6
+
+    @settings(max_examples=100)
+    @given(event_time=times,
+           slide=st.floats(0.1, 100.0),
+           multiplier=st.integers(1, 10))
+    def test_sliding_assignment_covers_exactly_the_overlaps(
+            self, event_time, slide, multiplier):
+        size = slide * multiplier
+        windows = SlidingWindow(size, slide).assign(event_time)
+        assert 1 <= len(windows) <= multiplier + 1
+        for window in windows:
+            assert window.start <= event_time
+            assert event_time < window.end + 1e-6
+
+
+class TestShardingProperties:
+    @settings(max_examples=100)
+    @given(key=st.text(min_size=0, max_size=30),
+           num_shards=st.integers(1, 128))
+    def test_shard_in_range_and_stable(self, key, num_shards):
+        shard = shard_for_key(key, num_shards)
+        assert 0 <= shard < num_shards
+        assert shard == shard_for_key(key, num_shards)
+
+
+class TestWatermarkProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(event_times=st.lists(times, min_size=1, max_size=300),
+           confidence=st.floats(0.5, 1.0))
+    def test_watermark_monotone_and_bounded(self, event_times, confidence):
+        estimator = WatermarkEstimator(sample_size=64)
+        previous = None
+        for event_time in event_times:
+            estimator.observe(event_time)
+            mark = estimator.low_watermark(confidence)
+            assert mark <= estimator.max_event_time() + 1e-9
+            if previous is not None:
+                assert mark >= previous
+            previous = mark
+
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-1e6, 1e6),
+              st.floats(allow_nan=False, allow_infinity=False),
+              st.text(max_size=20)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+class TestSerdeProperties:
+    @settings(max_examples=100)
+    @given(record=st.dictionaries(st.text(min_size=1, max_size=10),
+                                  json_values, max_size=6))
+    def test_round_trip(self, record):
+        assert serde.decode(serde.encode(record)) == record

@@ -1,0 +1,84 @@
+"""Property test: the LSM store behaves like a dict + counter model.
+
+Random interleavings of put/delete/merge/flush/compact/crash-recover must
+always agree with a trivial in-memory model. This is the classic
+model-based test for storage engines.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.lsm import LsmStore
+from repro.storage.merge import CounterMergeOperator
+
+keys = st.sampled_from([f"k{i}" for i in range(8)])
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, st.integers(-100, 100)),
+        st.tuples(st.just("delete"), keys, st.none()),
+        st.tuples(st.just("merge"), keys, st.integers(-10, 10)),
+        st.tuples(st.just("flush"), st.none(), st.none()),
+        st.tuples(st.just("compact"), st.none(), st.none()),
+        st.tuples(st.just("crash_recover"), st.none(), st.none()),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def apply_to_model(model, op, key, value):
+    if op == "put":
+        model[key] = value
+    elif op == "delete":
+        model.pop(key, None)
+    elif op == "merge":
+        model[key] = model.get(key, 0) + value
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=operations)
+def test_lsm_matches_dict_model(ops):
+    store = LsmStore(merge_operator=CounterMergeOperator(),
+                     memtable_flush_bytes=1 << 30)
+    model: dict[str, int] = {}
+    for op, key, value in ops:
+        if op == "flush":
+            store.flush()
+        elif op == "compact":
+            store.flush()
+            store.compact()
+        elif op == "crash_recover":
+            store.drop_memory()
+            store.recover()
+        else:
+            apply_to_model(model, op, key, value)
+            getattr(store, op)(key) if op == "delete" else \
+                getattr(store, op)(key, value)
+
+    for key in [f"k{i}" for i in range(8)]:
+        assert store.get(key) == model.get(key)
+    assert dict(store.scan()) == {k: v for k, v in model.items()
+                                  if v is not None}
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_scan_is_sorted_and_consistent_with_get(ops):
+    store = LsmStore(merge_operator=CounterMergeOperator(),
+                     memtable_flush_bytes=1 << 30)
+    for op, key, value in ops:
+        if op == "flush":
+            store.flush()
+        elif op == "compact":
+            store.flush()
+            store.compact()
+        elif op == "crash_recover":
+            store.drop_memory()
+            store.recover()
+        elif op == "delete":
+            store.delete(key)
+        else:
+            getattr(store, op)(key, value)
+    scanned = list(store.scan())
+    assert [k for k, _ in scanned] == sorted(k for k, _ in scanned)
+    for key, value in scanned:
+        assert store.get(key) == value

@@ -1,0 +1,88 @@
+"""Property tests: semantics invariants on the MONOID checkpoint path.
+
+The monoid processor's checkpoint path (flush_partials orderings) is
+distinct code from the stateful-state path, so the Section 4.3
+invariants get their own property coverage: under arbitrary crash
+schedules, per-key totals must respect at-least / at-most / exactly-once
+bounds against the true counts.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.scribe.store import ScribeStore
+from repro.stylus.checkpointing import CheckpointPolicy, CrashInjector, CrashPoint
+from repro.stylus.engine import StylusTask
+
+from tests.stylus.helpers import DimensionCounter
+
+TOTAL = 50
+EVERY = 7
+KEYS = [f"dim{i}" for i in range(10)]
+
+crash_schedules = st.lists(
+    st.tuples(st.sampled_from(list(CrashPoint)),
+              st.integers(min_value=1, max_value=9)),
+    max_size=2, unique=True,
+)
+
+
+def run_monoid(semantics, schedule):
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("in", 1)
+    injector = CrashInjector()
+    for point, index in schedule:
+        injector.arm(point, index)
+    task = StylusTask("agg", scribe, "in", 0, DimensionCounter(),
+                      semantics=semantics,
+                      checkpoint_policy=CheckpointPolicy(every_n_events=EVERY),
+                      clock=clock, crash_injector=injector)
+    for i in range(TOTAL):
+        scribe.write_record("in", {"event_time": float(i), "seq": i})
+    for _ in range(60):
+        if task.crashed:
+            task.restart()
+            continue
+        task.pump()
+        if task.crashed or task.lag_messages() > 0:
+            continue
+        task.checkpoint_now()
+        if not task.crashed:
+            break
+    assert not task.crashed
+    backend = task.state_backend
+    return {
+        key: (backend.read_value(key) or {}).get("count", 0) for key in KEYS
+    }
+
+
+def true_counts():
+    counts = {key: 0 for key in KEYS}
+    for i in range(TOTAL):
+        counts[f"dim{i % 10}"] += 1
+    return counts
+
+
+@settings(max_examples=30, deadline=None)
+@given(schedule=crash_schedules)
+def test_monoid_at_least_once_never_undercounts(schedule):
+    totals = run_monoid(SemanticsPolicy.at_least_once(), schedule)
+    for key, expected in true_counts().items():
+        assert totals[key] >= expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(schedule=crash_schedules)
+def test_monoid_at_most_once_never_overcounts(schedule):
+    totals = run_monoid(SemanticsPolicy.at_most_once(), schedule)
+    for key, expected in true_counts().items():
+        assert totals[key] <= expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(schedule=crash_schedules)
+def test_monoid_exactly_once_is_exact(schedule):
+    totals = run_monoid(SemanticsPolicy.exactly_once(), schedule)
+    assert totals == true_counts()

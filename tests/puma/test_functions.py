@@ -1,0 +1,285 @@
+"""Tests for PQL aggregation functions (all monoids) and scalar UDFs."""
+
+import math
+
+import pytest
+
+from repro.errors import UnknownFunction
+from repro.puma.functions import (
+    AGGREGATE_FUNCTIONS,
+    AggregateFunction,
+    get_aggregate,
+    get_udf,
+    register_aggregate,
+    register_udf,
+)
+
+
+def fold(name, values, extra=()):
+    function = get_aggregate(name)
+    state = function.create(extra)
+    for value in values:
+        state = function.update(state, value, extra)
+    return function.result(state, extra)
+
+
+class TestAggregates:
+    def test_count_skips_nulls(self):
+        assert fold("count", [1, None, 3]) == 2
+
+    def test_sum(self):
+        assert fold("sum", [1, 2, None, 3]) == 6
+
+    def test_avg(self):
+        assert fold("avg", [2, 4, 6]) == 4
+        assert fold("avg", []) is None
+
+    def test_min_max(self):
+        assert fold("min", [3, 1, 2]) == 1
+        assert fold("max", [3, 1, 2]) == 3
+        assert fold("min", [None]) is None
+
+    def test_topk_default_and_custom_k(self):
+        values = list(range(20))
+        assert fold("topk", values) == list(range(19, 9, -1))
+        assert fold("topk", values, extra=(3,)) == [19, 18, 17]
+
+    def test_approx_distinct_close_to_truth(self):
+        estimate = fold("approx_distinct", [f"u{i}" for i in range(5000)])
+        assert abs(estimate - 5000) / 5000 < 0.05
+
+    def test_stddev(self):
+        assert fold("stddev", [2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+        assert fold("stddev", []) is None
+
+
+class TestMonoidLaws:
+    """Section 4.4.2: 'The aggregation functions in Puma are all monoid.'"""
+
+    CASES = [
+        ("count", [1, 2], [3], ()),
+        ("sum", [1.5, 2], [3], ()),
+        ("avg", [1, 2], [3, 4], ()),
+        ("min", [5, 3], [4], ()),
+        ("max", [5, 3], [9], ()),
+        ("topk", [1, 9, 4], [7, 2], (2,)),
+        ("approx_distinct", ["a", "b"], ["b", "c"], ()),
+        ("stddev", [1.0, 2.0], [3.0, 4.0], ()),
+    ]
+
+    @pytest.mark.parametrize("name,left,right,extra", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_split_merge_equals_sequential(self, name, left, right, extra):
+        function = get_aggregate(name)
+        state_left = function.create(extra)
+        for value in left:
+            state_left = function.update(state_left, value, extra)
+        state_right = function.create(extra)
+        for value in right:
+            state_right = function.update(state_right, value, extra)
+        merged = function.merge(state_left, state_right, extra)
+
+        sequential = function.create(extra)
+        for value in left + right:
+            sequential = function.update(sequential, value, extra)
+
+        result_merged = function.result(merged, extra)
+        result_sequential = function.result(sequential, extra)
+        if isinstance(result_merged, float):
+            assert result_merged == pytest.approx(result_sequential)
+        else:
+            assert result_merged == result_sequential
+
+    @pytest.mark.parametrize("name,left,right,extra", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_identity_is_neutral(self, name, left, right, extra):
+        function = get_aggregate(name)
+        state = function.create(extra)
+        for value in left:
+            state = function.update(state, value, extra)
+        with_identity = function.merge(state, function.create(extra), extra)
+        assert function.result(with_identity, extra) == \
+               function.result(state, extra)
+
+
+class TestRegistry:
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(UnknownFunction):
+            get_aggregate("no_such_agg")
+
+    def test_register_custom_aggregate(self):
+        class Product(AggregateFunction):
+            name = "test_product"
+
+            def create(self, extra_args=()):
+                return 1
+
+            def update(self, state, value, extra_args=()):
+                return state * (value if value is not None else 1)
+
+            def merge(self, left, right, extra_args=()):
+                return left * right
+
+            def result(self, state, extra_args=()):
+                return state
+
+        register_aggregate(Product())
+        try:
+            assert fold("test_product", [2, 3, 4]) == 24
+        finally:
+            del AGGREGATE_FUNCTIONS["test_product"]
+
+
+class TestScalarUdfs:
+    def test_builtins(self):
+        assert get_udf("lower")("ABC") == "abc"
+        assert get_udf("upper")("abc") == "ABC"
+        assert get_udf("length")("abcd") == 4
+        assert get_udf("contains")("hello world", "wor")
+        assert not get_udf("contains")(None, "x")
+        assert get_udf("concat")("a", 1, "b") == "a1b"
+        assert get_udf("coalesce")(None, None, 3) == 3
+        assert get_udf("if")(True, "yes", "no") == "yes"
+        assert get_udf("abs")(-4) == 4
+        assert get_udf("round")(3.14159, 2) == 3.14
+        assert get_udf("floor")(2.9) == 2
+        assert get_udf("ceil")(2.1) == 3
+
+    def test_null_propagation(self):
+        assert get_udf("lower")(None) is None
+        assert get_udf("abs")(None) is None
+
+    def test_register_custom_udf(self):
+        register_udf("test_double", lambda x: x * 2)
+        try:
+            assert get_udf("test_double")(21) == 42
+        finally:
+            from repro.puma.functions import SCALAR_FUNCTIONS
+            del SCALAR_FUNCTIONS["test_double"]
+
+    def test_unknown_udf_raises(self):
+        with pytest.raises(UnknownFunction):
+            get_udf("no_such_fn")
+
+
+class TestHiveUdfLibrary:
+    """Section 5.3: the 'common Hive UDFs' needed for pipeline conversion."""
+
+    def test_string_functions(self):
+        assert get_udf("trim")("  x  ") == "x"
+        assert get_udf("starts_with")("hello", "he")
+        assert not get_udf("starts_with")(None, "he")
+        assert get_udf("ends_with")("hello", "lo")
+        assert get_udf("substr")("abcdef", 2, 3) == "bcd"   # 1-based
+        assert get_udf("substr")("abcdef", 3) == "cdef"
+        assert get_udf("split_part")("a,b,c", ",", 2) == "b"
+        assert get_udf("split_part")("a,b,c", ",", 9) is None
+        assert get_udf("replace")("aXbX", "X", "-") == "a-b-"
+        assert get_udf("regexp_like")("user42", r"\d+")
+        assert not get_udf("regexp_like")(None, r"\d+")
+
+    def test_numeric_functions(self):
+        assert get_udf("sqrt")(16) == 4.0
+        assert get_udf("pow")(2, 10) == 1024
+        assert get_udf("ln")(math.e) == pytest.approx(1.0)
+        assert get_udf("log10")(1000) == pytest.approx(3.0)
+        assert get_udf("mod")(17, 5) == 2
+        assert get_udf("greatest")(1, None, 7, 3) == 7
+        assert get_udf("least")(None, 4, 2) == 2
+        assert get_udf("greatest")(None, None) is None
+
+    def test_null_handling_functions(self):
+        assert get_udf("nullif")(5, 5) is None
+        assert get_udf("nullif")(5, 6) == 5
+        assert get_udf("is_null")(None)
+        assert not get_udf("is_null")(0)
+
+    def test_time_functions(self):
+        t = 2 * 86400 + 5 * 3600 + 42 * 60 + 7.0
+        assert get_udf("hour_of_day")(t) == 5
+        assert get_udf("minute_of_hour")(t) == 42
+        assert get_udf("day_bucket")(t) == 2
+        assert get_udf("time_bucket")(t, 3600) == 2 * 86400 + 5 * 3600
+        assert get_udf("hour_of_day")(None) is None
+
+    def test_udfs_usable_in_pql(self):
+        """The library is reachable from a real query."""
+        from repro.puma.parser import parse
+        from repro.puma.planner import plan
+
+        source = """
+        CREATE APPLICATION udfs;
+        CREATE INPUT TABLE t(event_time, name)
+        FROM SCRIBE("c") TIME event_time;
+        CREATE TABLE hourly AS
+        SELECT hour_of_day(event_time) AS hour, count(*) AS n
+        FROM t WHERE regexp_like(name, 'user');
+        """
+        app_plan = plan(parse(source))
+        table = app_plan.table("hourly")
+        assert table.predicate({"name": "user9"})
+        assert not table.predicate({"name": "bot"})
+
+
+class TestApproxPercentile:
+    """The mobile-analytics aggregate (cold-start percentiles)."""
+
+    def test_uniform_distribution_quantiles(self):
+        values = list(range(1000))  # uniform 0..999
+        p50 = fold("approx_percentile", values, extra=(50, 10.0))
+        p95 = fold("approx_percentile", values, extra=(95, 10.0))
+        assert abs(p50 - 500) <= 10
+        assert abs(p95 - 950) <= 10
+
+    def test_fraction_and_percent_forms_agree(self):
+        values = [float(i) for i in range(100)]
+        assert fold("approx_percentile", values, extra=(0.9,)) == \
+               fold("approx_percentile", values, extra=(90,))
+
+    def test_error_bounded_by_bucket_width(self):
+        import random
+        rng = random.Random(3)
+        values = [rng.expovariate(1 / 100.0) for _ in range(5000)]
+        estimate = fold("approx_percentile", values, extra=(95, 5.0))
+        exact = sorted(values)[int(0.95 * len(values))]
+        assert abs(estimate - exact) <= 10.0  # 2 buckets of slack
+
+    def test_is_a_monoid(self):
+        function = get_aggregate("approx_percentile")
+        extra = (95, 1.0)
+        left = function.create(extra)
+        for v in [1.0, 5.0, 9.0]:
+            left = function.update(left, v, extra)
+        right = function.create(extra)
+        for v in [2.0, 7.0]:
+            right = function.update(right, v, extra)
+        merged = function.merge(left, right, extra)
+        sequential = function.create(extra)
+        for v in [1.0, 5.0, 9.0, 2.0, 7.0]:
+            sequential = function.update(sequential, v, extra)
+        assert merged == sequential
+
+    def test_empty_and_null_handling(self):
+        assert fold("approx_percentile", [], extra=(50,)) is None
+        assert fold("approx_percentile", [None, 5.0], extra=(50,)) \
+            == pytest.approx(5.0, abs=1.0)
+
+    def test_requires_percentile_argument(self):
+        with pytest.raises(UnknownFunction):
+            fold("approx_percentile", [1.0])
+
+    def test_usable_from_pql(self):
+        from repro.puma.parser import parse
+        from repro.puma.planner import plan
+
+        source = """
+        CREATE APPLICATION mobile;
+        CREATE INPUT TABLE starts(event_time, app, cold_start_ms)
+        FROM SCRIBE("c") TIME event_time;
+        CREATE TABLE p95 AS
+        SELECT app, approx_percentile(cold_start_ms, 95, 10) AS p95_ms,
+               count(*) AS n
+        FROM starts [5 minutes];
+        """
+        table = plan(parse(source)).table("p95")
+        assert [a.alias for a in table.aggregates] == ["p95_ms", "n"]

@@ -1,0 +1,63 @@
+"""Tests for the PQL tokenizer."""
+
+import pytest
+
+from repro.errors import PqlSyntaxError
+from repro.puma.lexer import TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("create TABLE Select")
+        assert [t.value for t in tokens[:-1]] == ["CREATE", "TABLE", "SELECT"]
+        assert all(t.type == TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        [token, _] = tokenize("myTable")
+        assert token.type == TokenType.IDENTIFIER
+        assert token.value == "myTable"
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == [
+            (TokenType.NUMBER, "42"), (TokenType.NUMBER, "3.14"),
+        ]
+
+    def test_strings_both_quote_styles(self):
+        assert kinds("'abc' \"def\"") == [
+            (TokenType.STRING, "abc"), (TokenType.STRING, "def"),
+        ]
+
+    def test_unterminated_string_raises_with_position(self):
+        with pytest.raises(PqlSyntaxError) as exc:
+            tokenize("SELECT 'oops")
+        assert exc.value.line == 1
+
+    def test_operators_including_two_char(self):
+        values = [v for _, v in kinds("a <= b != c <> d")]
+        assert values == ["a", "<=", "b", "!=", "c", "!=", "d"]
+
+    def test_punctuation_and_window_brackets(self):
+        values = [v for _, v in kinds("(a, b) [5 minutes];")]
+        assert values == ["(", "a", ",", "b", ")", "[", "5", "MINUTES",
+                          "]", ";"]
+
+    def test_line_comments_are_skipped(self):
+        assert kinds("a -- a comment\nb") == [
+            (TokenType.IDENTIFIER, "a"), (TokenType.IDENTIFIER, "b"),
+        ]
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(PqlSyntaxError):
+            tokenize("a @ b")
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].type == TokenType.END

@@ -1,0 +1,152 @@
+"""Tests for the PQL parser."""
+
+import pytest
+
+from repro.errors import PqlSyntaxError
+from repro.puma.ast import Aggregate, BinaryOp, Column, InList, Literal
+from repro.puma.parser import parse
+
+FIGURE_2 = """
+CREATE APPLICATION top_events;
+
+CREATE INPUT TABLE events_score(
+    event_time,
+    event,
+    category,
+    score
+)
+FROM SCRIBE("events_stream")
+TIME event_time;
+
+CREATE TABLE top_events_5min AS
+SELECT
+    category,
+    event,
+    topk(score) AS score
+FROM
+    events_score [5 minutes];
+"""
+
+
+class TestFigure2:
+    """The paper's complete example app must parse verbatim."""
+
+    def test_application(self):
+        program = parse(FIGURE_2)
+        assert program.application.name == "top_events"
+
+    def test_input_table(self):
+        table = parse(FIGURE_2).input_tables[0]
+        assert table.name == "events_score"
+        assert table.columns == ("event_time", "event", "category", "score")
+        assert table.scribe_category == "events_stream"
+        assert table.time_column == "event_time"
+
+    def test_select_structure(self):
+        select = parse(FIGURE_2).tables[0].select
+        assert select.from_table == "events_score"
+        assert select.window.seconds == 300.0
+        aliases = [p.alias for p in select.projections]
+        assert aliases == ["category", "event", "score"]
+        assert isinstance(select.projections[2].expression, Aggregate)
+        assert select.projections[2].expression.name == "topk"
+
+
+class TestStatements:
+    def test_time_column_must_be_declared(self):
+        with pytest.raises(PqlSyntaxError):
+            parse('CREATE INPUT TABLE t(a) FROM SCRIBE("c") TIME missing;')
+
+    def test_scribe_category_must_be_quoted(self):
+        with pytest.raises(PqlSyntaxError):
+            parse("CREATE INPUT TABLE t(a) FROM SCRIBE(cat) TIME a;")
+
+    def test_duplicate_application_rejected(self):
+        with pytest.raises(PqlSyntaxError):
+            parse("CREATE APPLICATION a; CREATE APPLICATION b;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(PqlSyntaxError):
+            parse("CREATE APPLICATION a")
+
+
+class TestSelect:
+    def parse_select(self, body):
+        source = (
+            "CREATE APPLICATION a; "
+            'CREATE INPUT TABLE t(event_time, x, y) FROM SCRIBE("c") '
+            "TIME event_time; "
+            f"CREATE TABLE out AS {body};"
+        )
+        return parse(source).tables[0].select
+
+    def test_where_clause(self):
+        select = self.parse_select("SELECT x FROM t WHERE x > 5 AND y = 'a'")
+        assert isinstance(select.where, BinaryOp)
+        assert select.where.op == "AND"
+
+    def test_group_by(self):
+        select = self.parse_select(
+            "SELECT x, count(*) AS n FROM t GROUP BY x")
+        assert select.group_by == ("x",)
+
+    def test_in_list(self):
+        select = self.parse_select("SELECT x FROM t WHERE y IN ('a', 'b')")
+        assert isinstance(select.where, InList)
+        assert len(select.where.values) == 2
+
+    def test_not_in_list(self):
+        select = self.parse_select("SELECT x FROM t WHERE y NOT IN (1)")
+        assert select.where.negated
+
+    def test_window_units(self):
+        assert self.parse_select(
+            "SELECT count(*) AS n FROM t [30 seconds]").window.seconds == 30.0
+        assert self.parse_select(
+            "SELECT count(*) AS n FROM t [2 hours]").window.seconds == 7200.0
+        assert self.parse_select(
+            "SELECT count(*) AS n FROM t [1 day]").window.seconds == 86400.0
+
+    def test_count_star(self):
+        select = self.parse_select("SELECT count(*) AS n FROM t")
+        aggregate = select.projections[0].expression
+        assert aggregate.star
+        assert aggregate.arg is None
+
+    def test_aggregate_with_extra_literal_args(self):
+        select = self.parse_select("SELECT topk(x, 3) AS t3 FROM t")
+        aggregate = select.projections[0].expression
+        assert aggregate.extra_args == (3,)
+
+    def test_aggregate_extra_args_must_be_literals(self):
+        with pytest.raises(PqlSyntaxError):
+            self.parse_select("SELECT topk(x, y) AS bad FROM t")
+
+    def test_arithmetic_precedence(self):
+        select = self.parse_select("SELECT x + y * 2 AS v FROM t")
+        expression = select.projections[0].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        select = self.parse_select("SELECT (x + y) * 2 AS v FROM t")
+        assert select.projections[0].expression.op == "*"
+
+    def test_unary_not_and_minus(self):
+        select = self.parse_select("SELECT x FROM t WHERE NOT x > -5")
+        assert select.where.op == "NOT"
+
+    def test_scalar_function_calls(self):
+        select = self.parse_select("SELECT lower(x) AS lx FROM t")
+        call = select.projections[0].expression
+        assert call.name == "lower"
+        assert call.args == (Column("x"),)
+
+    def test_default_aliases(self):
+        select = self.parse_select("SELECT x, count(*) FROM t")
+        assert [p.alias for p in select.projections] == ["x", "count"]
+
+    def test_boolean_and_null_literals(self):
+        select = self.parse_select(
+            "SELECT x FROM t WHERE x = TRUE OR y = NULL")
+        assert isinstance(select.where.left.right, Literal)

@@ -1,0 +1,109 @@
+"""Tests for PQL planning and expression compilation."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.puma.parser import parse
+from repro.puma.planner import compile_expression, plan
+from repro.puma.ast import BinaryOp, Column, Literal
+
+BASE = (
+    "CREATE APPLICATION app; "
+    'CREATE INPUT TABLE t(event_time, x, y, name) FROM SCRIBE("cat") '
+    "TIME event_time; "
+)
+
+
+def plan_of(body):
+    return plan(parse(BASE + body + ";"))
+
+
+class TestExpressionCompilation:
+    COLUMNS = ("x", "y")
+
+    def evaluate(self, expression, row):
+        return compile_expression(expression, self.COLUMNS)(row)
+
+    def test_literal_and_column(self):
+        assert self.evaluate(Literal(5), {}) == 5
+        assert self.evaluate(Column("x"), {"x": 9}) == 9
+
+    def test_unknown_column_fails_at_compile_time(self):
+        with pytest.raises(PlanningError):
+            compile_expression(Column("zzz"), self.COLUMNS)
+
+    def test_arithmetic_and_comparison(self):
+        expression = BinaryOp("<", BinaryOp("+", Column("x"), Literal(1)),
+                              Column("y"))
+        assert self.evaluate(expression, {"x": 1, "y": 3})
+        assert not self.evaluate(expression, {"x": 5, "y": 3})
+
+
+class TestPlanning:
+    def test_aggregation_plan(self):
+        app_plan = plan_of(
+            "CREATE TABLE agg AS SELECT name, count(*) AS n, sum(x) AS total "
+            "FROM t [1 minute]")
+        table = app_plan.table("agg")
+        assert table.kind == "aggregation"
+        assert table.window_seconds == 60.0
+        assert [g[0] for g in table.group_keys] == ["name"]
+        assert [a.alias for a in table.aggregates] == ["n", "total"]
+
+    def test_filter_plan(self):
+        app_plan = plan_of(
+            "CREATE TABLE filtered AS SELECT name, x FROM t WHERE x > 3")
+        table = app_plan.table("filtered")
+        assert table.kind == "filter"
+        assert table.predicate({"x": 4})
+        assert not table.predicate({"x": 3})
+
+    def test_explicit_group_by(self):
+        app_plan = plan_of(
+            "CREATE TABLE agg AS SELECT count(*) AS n FROM t GROUP BY name")
+        assert [g[0] for g in app_plan.table("agg").group_keys] == ["name"]
+
+    def test_group_key_extraction(self):
+        app_plan = plan_of(
+            "CREATE TABLE agg AS SELECT name, count(*) AS n FROM t")
+        table = app_plan.table("agg")
+        assert table.group_key({"name": "a", "x": 1}) == ("a",)
+
+    def test_requires_application(self):
+        with pytest.raises(PlanningError):
+            plan(parse('CREATE INPUT TABLE t(a) FROM SCRIBE("c") TIME a;'))
+
+    def test_requires_exactly_one_input_table(self):
+        with pytest.raises(PlanningError):
+            plan(parse("CREATE APPLICATION a;"))
+
+    def test_requires_output_tables(self):
+        with pytest.raises(PlanningError):
+            plan(parse(BASE))
+
+    def test_from_must_reference_input_table(self):
+        with pytest.raises(PlanningError):
+            plan_of("CREATE TABLE bad AS SELECT count(*) AS n FROM other")
+
+    def test_unknown_column_in_projection(self):
+        with pytest.raises(PlanningError):
+            plan_of("CREATE TABLE bad AS SELECT nope FROM t")
+
+    def test_group_by_without_aggregates_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_of("CREATE TABLE bad AS SELECT name FROM t GROUP BY name")
+
+    def test_duplicate_table_names_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_of("CREATE TABLE a AS SELECT x FROM t; "
+                    "CREATE TABLE a AS SELECT y FROM t")
+
+    def test_plan_exposes_input_binding(self):
+        app_plan = plan_of("CREATE TABLE f AS SELECT x FROM t")
+        assert app_plan.scribe_category == "cat"
+        assert app_plan.time_column == "event_time"
+
+    def test_unknown_table_lookup_raises(self):
+        app_plan = plan_of("CREATE TABLE f AS SELECT x FROM t")
+        with pytest.raises(PlanningError):
+            app_plan.table("ghost")

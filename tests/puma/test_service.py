@@ -1,0 +1,111 @@
+"""Tests for the Puma deployment service."""
+
+import pytest
+
+from repro.errors import ConfigError, PqlSyntaxError
+from repro.puma.service import PumaService
+
+SOURCE = """
+CREATE APPLICATION app1;
+CREATE INPUT TABLE t(event_time, x) FROM SCRIBE("cat") TIME event_time;
+CREATE TABLE c AS SELECT count(*) AS n FROM t [1 minute];
+"""
+
+
+@pytest.fixture
+def service(scribe):
+    scribe.create_category("cat", 2)
+    return PumaService(scribe, clock=scribe.clock)
+
+
+class TestDeployment:
+    def test_deploy_and_list(self, service):
+        service.deploy(SOURCE)
+        assert service.apps() == ["app1"]
+        assert service.app("app1").name == "app1"
+
+    def test_compile_validates_without_deploying(self, service):
+        plan = service.compile(SOURCE)
+        assert plan.name == "app1"
+        assert service.apps() == []
+
+    def test_duplicate_deploy_rejected(self, service):
+        service.deploy(SOURCE)
+        with pytest.raises(ConfigError):
+            service.deploy(SOURCE)
+
+    def test_deploy_requires_existing_category(self, service):
+        bad = SOURCE.replace('"cat"', '"missing"')
+        with pytest.raises(ConfigError):
+            service.deploy(bad)
+
+    def test_bad_sql_fails_at_deploy(self, service):
+        with pytest.raises(PqlSyntaxError):
+            service.deploy("CREATE GARBAGE;")
+
+    def test_delete(self, service):
+        service.deploy(SOURCE)
+        service.delete("app1")
+        assert service.apps() == []
+        with pytest.raises(ConfigError):
+            service.delete("app1")
+
+
+class TestOperation:
+    def test_pump_all_drives_every_app(self, service, scribe):
+        service.deploy(SOURCE)
+        for i in range(5):
+            scribe.write_record("cat", {"event_time": float(i), "x": i})
+        assert service.pump_all() == 5
+
+    def test_lag_report_and_alerts(self, service, scribe):
+        service.lag_alert_threshold = 3
+        service.deploy(SOURCE)
+        for i in range(10):
+            scribe.write_record("cat", {"event_time": float(i), "x": i})
+        assert service.lag_report() == {"app1": 10}
+        assert service.lag_alerts() == ["app1"]
+        service.pump_all()
+        assert service.lag_alerts() == []
+
+
+class TestReviewWorkflow:
+    """Section 6.3: 'the UI generates a code diff that must be reviewed'."""
+
+    def test_propose_approve_deploys(self, service):
+        diff = service.propose(SOURCE, author="alice")
+        assert service.apps() == []  # not deployed yet
+        app = service.approve(diff.diff_id, reviewer="bob")
+        assert app.name == "app1"
+        assert service.apps() == ["app1"]
+        assert service.pending_diffs() == []
+
+    def test_self_approval_rejected(self, service):
+        diff = service.propose(SOURCE, author="alice")
+        with pytest.raises(ConfigError):
+            service.approve(diff.diff_id, reviewer="alice")
+        assert service.pending_diffs()  # still pending
+
+    def test_bad_sql_fails_at_proposal_not_review(self, service):
+        with pytest.raises(PqlSyntaxError):
+            service.propose("CREATE NONSENSE;", author="alice")
+
+    def test_reject_discards(self, service):
+        diff = service.propose(SOURCE, author="alice")
+        service.reject(diff.diff_id)
+        assert service.pending_diffs() == []
+        with pytest.raises(ConfigError):
+            service.approve(diff.diff_id, reviewer="bob")
+
+    def test_reviewed_delete(self, service):
+        service.deploy(SOURCE)
+        diff = service.propose_delete("app1", author="alice")
+        result = service.approve(diff.diff_id, reviewer="bob")
+        assert result is None
+        assert service.apps() == []
+
+    def test_unknown_diff(self, service):
+        with pytest.raises(ConfigError):
+            service.approve(999, reviewer="bob")
+        with pytest.raises(ConfigError):
+            service.reject(999)

@@ -1,0 +1,55 @@
+"""Tests for the clock abstractions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.clock import SimClock, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock().now() == 0.0
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = SimClock(start=1.0)
+        clock.advance(0.0)
+        assert clock.now() == 1.0
+
+    def test_advance_rejects_negative_delta(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_absolute_time(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimClock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_rejects_going_backwards(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.999)
+
+
+class TestWallClock:
+    def test_is_monotone_nondecreasing(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

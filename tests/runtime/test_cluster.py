@@ -1,0 +1,114 @@
+"""Tests for machines, processes, and the failure model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.cluster import Cluster, ProcessState
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster()
+    c.add_machine("m1")
+    c.add_machine("m2")
+    return c
+
+
+class TestTopology:
+    def test_spawn_and_lookup(self, cluster):
+        process = cluster.spawn("job-a", "m1")
+        assert process.running
+        assert cluster.process("job-a") is process
+        assert cluster.machine("m1").processes["job-a"] is process
+
+    def test_duplicate_machine_rejected(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.add_machine("m1")
+
+    def test_duplicate_process_rejected(self, cluster):
+        cluster.spawn("job-a", "m1")
+        with pytest.raises(SimulationError):
+            cluster.spawn("job-a", "m2")
+
+    def test_unknown_lookups_raise(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.machine("nope")
+        with pytest.raises(SimulationError):
+            cluster.process("nope")
+
+
+class TestProcessCrash:
+    def test_crash_keeps_machine_disk(self, cluster):
+        cluster.spawn("job-a", "m1")
+        cluster.machine("m1").disk["data"] = [1, 2, 3]
+        cluster.crash_process("job-a")
+        assert cluster.process("job-a").state == ProcessState.CRASHED
+        assert cluster.machine("m1").disk["data"] == [1, 2, 3]
+
+    def test_crash_fires_callbacks(self, cluster):
+        events = []
+        process = cluster.spawn("job-a", "m1")
+        process.on_crash(lambda: events.append("crash"))
+        process.on_restart(lambda: events.append("restart"))
+        cluster.crash_process("job-a")
+        cluster.restart_process("job-a")
+        assert events == ["crash", "restart"]
+
+    def test_double_crash_is_idempotent(self, cluster):
+        events = []
+        process = cluster.spawn("job-a", "m1")
+        process.on_crash(lambda: events.append("crash"))
+        cluster.crash_process("job-a")
+        cluster.crash_process("job-a")
+        assert events == ["crash"]
+
+
+class TestMachineFailure:
+    def test_failure_wipes_disk_and_crashes_processes(self, cluster):
+        cluster.spawn("job-a", "m1")
+        cluster.machine("m1").disk["data"] = "precious"
+        cluster.fail_machine("m1")
+        assert not cluster.machine("m1").alive
+        assert cluster.machine("m1").disk == {}
+        assert cluster.process("job-a").state == ProcessState.CRASHED
+
+    def test_cannot_restart_on_dead_machine(self, cluster):
+        cluster.spawn("job-a", "m1")
+        cluster.fail_machine("m1")
+        with pytest.raises(SimulationError):
+            cluster.restart_process("job-a")
+
+    def test_revive_gives_empty_disk(self, cluster):
+        cluster.machine("m1").disk["data"] = 1
+        cluster.fail_machine("m1")
+        machine = cluster.revive_machine("m1")
+        assert machine.alive
+        assert machine.disk == {}
+
+    def test_cannot_spawn_on_dead_machine(self, cluster):
+        cluster.fail_machine("m1")
+        with pytest.raises(SimulationError):
+            cluster.spawn("job-a", "m1")
+
+
+class TestMoveProcess:
+    def test_move_crashed_process(self, cluster):
+        cluster.spawn("job-a", "m1")
+        cluster.crash_process("job-a")
+        process = cluster.move_process("job-a", "m2")
+        assert process.machine.name == "m2"
+        assert "job-a" not in cluster.machine("m1").processes
+        cluster.restart_process("job-a")
+        assert process.running
+
+    def test_cannot_move_running_process(self, cluster):
+        cluster.spawn("job-a", "m1")
+        with pytest.raises(SimulationError):
+            cluster.move_process("job-a", "m2")
+
+    def test_cannot_move_to_dead_machine(self, cluster):
+        cluster.spawn("job-a", "m1")
+        cluster.crash_process("job-a")
+        cluster.fail_machine("m2")
+        with pytest.raises(SimulationError):
+            cluster.move_process("job-a", "m2")

@@ -1,0 +1,78 @@
+"""Tests for scripted failure injection."""
+
+import pytest
+
+from repro.runtime.cluster import Cluster, ProcessState
+from repro.runtime.failures import FailureKind, FailurePlan
+from repro.runtime.rng import make_rng
+from repro.runtime.scheduler import Scheduler
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster()
+    cluster.add_machine("m1")
+    cluster.spawn("job", "m1")
+    return Scheduler(), cluster
+
+
+class TestFailurePlan:
+    def test_crash_and_restart_fire_at_times(self, world):
+        scheduler, cluster = world
+        FailurePlan().crash_and_restart("job", at=5.0, downtime=2.0) \
+            .install(scheduler, cluster)
+
+        scheduler.run_until(5.5)
+        assert cluster.process("job").state == ProcessState.CRASHED
+        scheduler.run_until(7.5)
+        assert cluster.process("job").running
+
+    def test_machine_failure_events(self, world):
+        scheduler, cluster = world
+        plan = FailurePlan()
+        plan.fail_machine("m1", at=3.0)
+        plan.revive_machine("m1", at=6.0)
+        plan.install(scheduler, cluster)
+        scheduler.run_until(4.0)
+        assert not cluster.machine("m1").alive
+        scheduler.run_until(10.0)
+        assert cluster.machine("m1").alive
+
+    def test_events_sorted_on_construction(self):
+        plan = FailurePlan()
+        plan.crash("job", at=9.0)
+        plan.crash("job", at=1.0)
+        installed_order = [e.at for e in sorted(plan.events,
+                                                key=lambda e: e.at)]
+        assert installed_order == [1.0, 9.0]
+
+    def test_builders_chain(self):
+        plan = (FailurePlan()
+                .crash("a", 1.0)
+                .restart("a", 2.0)
+                .fail_machine("m", 3.0))
+        assert [e.kind for e in plan.events] == [
+            FailureKind.CRASH_PROCESS,
+            FailureKind.RESTART_PROCESS,
+            FailureKind.FAIL_MACHINE,
+        ]
+
+
+class TestRandomCrashes:
+    def test_deterministic_for_seed(self):
+        plan_a = FailurePlan.random_crashes("job", horizon=100.0, rate=0.1,
+                                            downtime=1.0, rng=make_rng(42))
+        plan_b = FailurePlan.random_crashes("job", horizon=100.0, rate=0.1,
+                                            downtime=1.0, rng=make_rng(42))
+        assert [(e.at, e.kind) for e in plan_a.events] == \
+               [(e.at, e.kind) for e in plan_b.events]
+
+    def test_all_events_within_horizon_plus_downtime(self):
+        plan = FailurePlan.random_crashes("job", horizon=50.0, rate=0.5,
+                                          downtime=2.0, rng=make_rng(1))
+        assert all(e.at <= 52.0 for e in plan.events)
+        # crashes and restarts alternate
+        kinds = [e.kind for e in sorted(plan.events, key=lambda e: e.at)]
+        for i in range(0, len(kinds) - 1, 2):
+            assert kinds[i] == FailureKind.CRASH_PROCESS
+            assert kinds[i + 1] == FailureKind.RESTART_PROCESS

@@ -1,0 +1,118 @@
+"""Tests for the dynamic load balancer (paper Section 7 future work)."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.runtime.cluster import Cluster
+from repro.runtime.loadbalancer import JobSpec, LoadBalancer
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster()
+    for name in ["m1", "m2", "m3"]:
+        cluster.add_machine(name)
+    return cluster, LoadBalancer(cluster)
+
+
+class TestPlacement:
+    def test_places_on_least_loaded(self, world):
+        _, balancer = world
+        balancer.place(JobSpec("heavy", load=10.0))
+        target = balancer.place(JobSpec("light", load=1.0))
+        assert target != balancer.placement_of("heavy")
+
+    def test_many_jobs_spread_evenly(self, world):
+        _, balancer = world
+        for i in range(30):
+            balancer.place(JobSpec(f"job{i}", load=1.0))
+        loads = balancer.loads()
+        assert max(loads.values()) - min(loads.values()) <= 1.0
+        assert balancer.imbalance() == pytest.approx(1.0, abs=0.11)
+
+    def test_duplicate_placement_rejected(self, world):
+        _, balancer = world
+        balancer.place(JobSpec("a"))
+        with pytest.raises(ConfigError):
+            balancer.place(JobSpec("a"))
+
+    def test_no_live_machines_raises(self):
+        cluster = Cluster()
+        cluster.add_machine("m1")
+        cluster.fail_machine("m1")
+        balancer = LoadBalancer(cluster)
+        with pytest.raises(SimulationError):
+            balancer.place(JobSpec("a"))
+
+    def test_invalid_job(self):
+        with pytest.raises(ConfigError):
+            JobSpec("a", load=0.0)
+
+
+class TestRebalance:
+    def test_hot_machine_is_relieved(self, world):
+        _, balancer = world
+        # Pile everything onto m1 artificially.
+        for i in range(9):
+            balancer._jobs[f"job{i}"] = JobSpec(f"job{i}", load=1.0)
+            balancer._placement[f"job{i}"] = "m1"
+        assert balancer.imbalance() == pytest.approx(3.0)
+        moves = balancer.rebalance(max_moves=10)
+        assert moves
+        assert balancer.imbalance() < 1.5
+
+    def test_lagging_jobs_move_first(self, world):
+        _, balancer = world
+        for i in range(6):
+            spec = JobSpec(f"job{i}", load=1.0, lag=1000 if i == 3 else 0)
+            balancer._jobs[spec.name] = spec
+            balancer._placement[spec.name] = "m1"
+        moves = balancer.rebalance(max_moves=1)
+        assert moves[0].job == "job3"  # the lagging job got the quiet box
+
+    def test_balanced_cluster_makes_no_moves(self, world):
+        _, balancer = world
+        for i in range(6):
+            balancer.place(JobSpec(f"job{i}", load=1.0))
+        assert balancer.rebalance() == []
+
+    def test_move_budget_respected(self, world):
+        _, balancer = world
+        for i in range(20):
+            balancer._jobs[f"job{i}"] = JobSpec(f"job{i}", load=1.0)
+            balancer._placement[f"job{i}"] = "m1"
+        moves = balancer.rebalance(max_moves=3)
+        assert len(moves) <= 3
+
+    def test_update_lag(self, world):
+        _, balancer = world
+        balancer.place(JobSpec("a"))
+        balancer.update_lag("a", 500)
+        assert balancer._jobs["a"].lag == 500
+        with pytest.raises(ConfigError):
+            balancer.update_lag("ghost", 1)
+
+
+class TestFailureHandling:
+    def test_dead_machines_jobs_are_replaced(self, world):
+        cluster, balancer = world
+        for i in range(9):
+            balancer.place(JobSpec(f"job{i}", load=1.0))
+        victim = "m2"
+        orphaned = [job for job, machine in balancer._placement.items()
+                    if machine == victim]
+        cluster.fail_machine(victim)
+        moves = balancer.handle_machine_failure(victim)
+        assert sorted(m.job for m in moves) == sorted(orphaned)
+        live = {"m1", "m3"}
+        assert all(balancer.placement_of(job) in live for job in orphaned)
+
+    def test_orphans_spread_across_survivors(self, world):
+        cluster, balancer = world
+        for i in range(12):
+            balancer.place(JobSpec(f"job{i}", load=1.0))
+        cluster.fail_machine("m3")
+        balancer.handle_machine_failure("m3")
+        loads = balancer.loads()
+        assert set(loads) == {"m1", "m2"}
+        assert abs(loads["m1"] - loads["m2"]) <= 1.0

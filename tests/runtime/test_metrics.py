@@ -1,0 +1,68 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_increment_accumulates(self, metrics):
+        metrics.counter("a.b").increment()
+        metrics.counter("a.b").increment(4)
+        assert metrics.counter("a.b").value == 5
+
+    def test_counters_cannot_decrease(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.counter("a").increment(-1)
+
+    def test_same_name_is_same_counter(self, metrics):
+        assert metrics.counter("x") is metrics.counter("x")
+
+
+class TestGauges:
+    def test_set_replaces_value(self, metrics):
+        metrics.gauge("lag").set(10)
+        metrics.gauge("lag").set(3)
+        assert metrics.gauge("lag").value == 3
+
+
+class TestTimers:
+    def test_record_accumulates(self, metrics):
+        metrics.timer("op").record(1.0)
+        metrics.timer("op").record(3.0)
+        assert metrics.timer("op").count == 2
+        assert metrics.timer("op").total_seconds == 4.0
+        assert metrics.timer("op").mean_seconds == 2.0
+
+    def test_mean_of_empty_timer_is_zero(self, metrics):
+        assert metrics.timer("never").mean_seconds == 0.0
+
+    def test_negative_duration_rejected(self, metrics):
+        with pytest.raises(ValueError):
+            metrics.timer("op").record(-0.5)
+
+    def test_time_context_uses_clock(self):
+        clock = SimClock()
+        registry = MetricsRegistry(clock=clock)
+        with registry.time("span"):
+            clock.advance(2.5)
+        assert registry.timer("span").total_seconds == 2.5
+
+
+class TestSnapshot:
+    def test_snapshot_flattens_all_metrics(self, metrics):
+        metrics.counter("c").increment(7)
+        metrics.gauge("g").set(1.5)
+        metrics.timer("t").record(0.5)
+        snap = metrics.snapshot()
+        assert snap["c"] == 7
+        assert snap["g"] == 1.5
+        assert snap["t.count"] == 1.0
+        assert snap["t.total_seconds"] == 0.5
+
+    def test_find_filters_by_prefix(self, metrics):
+        metrics.counter("stylus.a.events").increment()
+        metrics.counter("puma.b.events").increment()
+        found = metrics.find("stylus.")
+        assert list(found) == ["stylus.a.events"]

@@ -1,0 +1,21 @@
+"""Tests for seeded random streams."""
+
+from repro.runtime.rng import make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_and_stream_reproduce(self):
+        a = [make_rng(7, "events").random() for _ in range(5)]
+        b = [make_rng(7, "events").random() for _ in range(5)]
+        assert a == b
+
+    def test_different_streams_are_uncorrelated(self):
+        a = make_rng(7, "events").random()
+        b = make_rng(7, "failures").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_default_stream_is_stable(self):
+        assert make_rng(0).random() == make_rng(0, "").random()

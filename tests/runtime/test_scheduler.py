@@ -1,0 +1,123 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.scheduler import Scheduler
+
+
+@pytest.fixture
+def scheduler():
+    return Scheduler()
+
+
+class TestScheduling:
+    def test_events_run_in_timestamp_order(self, scheduler):
+        order = []
+        scheduler.at(3.0, lambda: order.append("c"))
+        scheduler.at(1.0, lambda: order.append("a"))
+        scheduler.at(2.0, lambda: order.append("b"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_fifo(self, scheduler):
+        order = []
+        scheduler.at(1.0, lambda: order.append("first"))
+        scheduler.at(1.0, lambda: order.append("second"))
+        scheduler.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self, scheduler):
+        seen = []
+        scheduler.at(4.5, lambda: seen.append(scheduler.now()))
+        scheduler.run()
+        assert seen == [4.5]
+        assert scheduler.clock.now() == 4.5
+
+    def test_cannot_schedule_in_the_past(self, scheduler):
+        scheduler.clock.advance(10.0)
+        with pytest.raises(SimulationError):
+            scheduler.at(9.0, lambda: None)
+
+    def test_after_is_relative(self, scheduler):
+        scheduler.clock.advance(5.0)
+        seen = []
+        scheduler.after(2.0, lambda: seen.append(scheduler.now()))
+        scheduler.run()
+        assert seen == [7.0]
+
+    def test_negative_delay_rejected(self, scheduler):
+        with pytest.raises(SimulationError):
+            scheduler.after(-1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_runs_only_due_events(self, scheduler):
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(5.0, lambda: fired.append(5))
+        scheduler.run_until(3.0)
+        assert fired == [1]
+        assert scheduler.clock.now() == 3.0
+        assert scheduler.pending() == 1
+
+    def test_lands_exactly_on_target(self, scheduler):
+        scheduler.run_until(7.25)
+        assert scheduler.clock.now() == 7.25
+
+    def test_event_at_boundary_is_included(self, scheduler):
+        fired = []
+        scheduler.at(3.0, lambda: fired.append(3))
+        scheduler.run_until(3.0)
+        assert fired == [3]
+
+
+class TestRecurring:
+    def test_every_fires_repeatedly(self, scheduler):
+        times = []
+        scheduler.every(2.0, lambda: times.append(scheduler.now()))
+        scheduler.run_until(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_start_after_overrides_first_delay(self, scheduler):
+        times = []
+        scheduler.every(5.0, lambda: times.append(scheduler.now()),
+                        start_after=1.0)
+        scheduler.run_until(12.0)
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_cancel_stops_future_firings(self, scheduler):
+        times = []
+        handle = scheduler.every(1.0, lambda: times.append(scheduler.now()))
+        scheduler.run_until(2.5)
+        handle.cancel()
+        scheduler.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_cancel_inside_callback(self, scheduler):
+        times = []
+        handle = scheduler.every(1.0, lambda: (
+            times.append(scheduler.now()),
+            handle.cancel() if len(times) >= 2 else None,
+        ))
+        scheduler.run_until(10.0)
+        assert times == [1.0, 2.0]
+
+    def test_non_positive_interval_rejected(self, scheduler):
+        with pytest.raises(SimulationError):
+            scheduler.every(0.0, lambda: None)
+
+
+class TestGuards:
+    def test_runaway_loop_detected(self, scheduler):
+        def reschedule():
+            scheduler.after(0.001, reschedule)
+
+        scheduler.after(0.001, reschedule)
+        with pytest.raises(SimulationError):
+            scheduler.run(max_events=100)
+
+    def test_run_returns_event_count(self, scheduler):
+        for i in range(5):
+            scheduler.at(float(i + 1), lambda: None)
+        assert scheduler.run() == 5

@@ -1,0 +1,94 @@
+"""Tests for the append-only bucket log."""
+
+import pytest
+
+from repro.errors import OffsetOutOfRange
+from repro.scribe.bucket import Bucket
+
+
+@pytest.fixture
+def bucket():
+    b = Bucket("cat", 0)
+    for i in range(10):
+        b.append(f"m{i}".encode(), write_time=float(i), visible_at=float(i))
+    return b
+
+
+class TestAppend:
+    def test_offsets_are_dense_from_zero(self, bucket):
+        assert bucket.end_offset == 10
+        assert bucket.first_retained_offset == 0
+
+    def test_bytes_appended_accumulates(self):
+        b = Bucket("cat", 0)
+        b.append(b"abc", 0.0, 0.0)
+        b.append(b"de", 0.0, 0.0)
+        assert b.bytes_appended == 5
+
+
+class TestRead:
+    def test_read_returns_requested_range(self, bucket):
+        messages = bucket.read(3, max_messages=4, now=100.0)
+        assert [m.offset for m in messages] == [3, 4, 5, 6]
+        assert messages[0].payload == b"m3"
+
+    def test_read_at_end_offset_is_empty(self, bucket):
+        assert bucket.read(10, 5, now=100.0) == []
+
+    def test_read_beyond_end_raises(self, bucket):
+        with pytest.raises(OffsetOutOfRange):
+            bucket.read(11, 5, now=100.0)
+
+    def test_read_respects_visibility(self, bucket):
+        messages = bucket.read(0, 100, now=4.5)
+        assert [m.offset for m in messages] == [0, 1, 2, 3, 4]
+
+    def test_read_max_bytes_limits_batch(self, bucket):
+        # each payload is 2 bytes ("m0".."m9")
+        messages = bucket.read(0, 100, now=100.0, max_bytes=5)
+        assert len(messages) == 2  # first always included, then budget
+
+    def test_first_message_always_returned_even_if_large(self):
+        b = Bucket("cat", 0)
+        b.append(b"x" * 1000, 0.0, 0.0)
+        messages = b.read(0, 10, now=1.0, max_bytes=10)
+        assert len(messages) == 1
+
+    def test_zero_max_messages(self, bucket):
+        assert bucket.read(0, 0, now=100.0) == []
+
+
+class TestVisibility:
+    def test_visible_end_offset_tracks_now(self, bucket):
+        assert bucket.visible_end_offset(now=4.0) == 5
+        assert bucket.visible_end_offset(now=100.0) == 10
+        assert bucket.visible_end_offset(now=-1.0) == 0
+
+
+class TestTrim:
+    def test_trim_older_than_moves_base(self, bucket):
+        dropped = bucket.trim_older_than(cutoff_time=5.0)
+        assert dropped == 5
+        assert bucket.first_retained_offset == 5
+        assert bucket.end_offset == 10  # numbering is stable
+
+    def test_read_below_retained_raises(self, bucket):
+        bucket.trim_older_than(5.0)
+        with pytest.raises(OffsetOutOfRange) as exc:
+            bucket.read(2, 5, now=100.0)
+        assert exc.value.first_retained == 5
+
+    def test_offsets_survive_trim(self, bucket):
+        bucket.trim_older_than(3.0)
+        messages = bucket.read(3, 2, now=100.0)
+        assert [m.payload for m in messages] == [b"m3", b"m4"]
+
+    def test_trim_to_offset(self, bucket):
+        assert bucket.trim_to_offset(7) == 7
+        assert bucket.first_retained_offset == 7
+        assert bucket.trim_to_offset(3) == 0  # already past
+
+    def test_append_after_trim_continues_numbering(self, bucket):
+        bucket.trim_older_than(10.0)
+        offset = bucket.append(b"new", 11.0, 11.0)
+        assert offset == 10

@@ -1,0 +1,43 @@
+"""Tests for the consumer checkpoint store."""
+
+from repro.scribe.checkpoints import Checkpoint, CheckpointStore
+
+
+class TestCheckpointStore:
+    def test_save_and_load(self):
+        store = CheckpointStore()
+        store.save("app", "cat", 0, Checkpoint(offset=42, state={"n": 1}))
+        loaded = store.load("app", "cat", 0)
+        assert loaded.offset == 42
+        assert loaded.state == {"n": 1}
+
+    def test_load_missing_returns_none(self):
+        assert CheckpointStore().load("app", "cat", 0) is None
+
+    def test_save_replaces(self):
+        store = CheckpointStore()
+        store.save("app", "cat", 0, Checkpoint(offset=1))
+        store.save("app", "cat", 0, Checkpoint(offset=2))
+        assert store.load("app", "cat", 0).offset == 2
+
+    def test_keys_are_independent(self):
+        store = CheckpointStore()
+        store.save("a", "cat", 0, Checkpoint(offset=1))
+        store.save("a", "cat", 1, Checkpoint(offset=2))
+        store.save("b", "cat", 0, Checkpoint(offset=3))
+        assert store.load("a", "cat", 0).offset == 1
+        assert store.load("a", "cat", 1).offset == 2
+        assert store.load("b", "cat", 0).offset == 3
+
+    def test_delete(self):
+        store = CheckpointStore()
+        store.save("a", "cat", 0, Checkpoint(offset=1))
+        store.delete("a", "cat", 0)
+        assert store.load("a", "cat", 0) is None
+        store.delete("a", "cat", 0)  # idempotent
+
+    def test_consumers_listing(self):
+        store = CheckpointStore()
+        store.save("b", "cat", 0, Checkpoint(offset=1))
+        store.save("a", "cat", 0, Checkpoint(offset=1))
+        assert store.consumers() == ["a", "b"]

@@ -1,0 +1,174 @@
+"""Tests for reader clients: tailing, replay, lag, decoupling."""
+
+import pytest
+
+from repro.errors import OffsetOutOfRange
+from repro.runtime.clock import SimClock
+from repro.scribe.reader import CategoryReader, ScribeReader
+from repro.scribe.store import ScribeStore
+
+from tests.conftest import write_events
+
+
+@pytest.fixture
+def loaded(scribe):
+    scribe.create_category("e", 1)
+    write_events(scribe, "e", 20)
+    return scribe
+
+
+class TestScribeReader:
+    def test_read_batch_advances_position(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        batch = reader.read_batch(5)
+        assert [m.offset for m in batch] == [0, 1, 2, 3, 4]
+        assert reader.position == 5
+
+    def test_peek_does_not_advance(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        reader.peek(3)
+        assert reader.position == 0
+
+    def test_seek_replays_history(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        first = reader.read_batch(20)
+        reader.seek(0)
+        second = reader.read_batch(20)
+        assert [m.payload for m in first] == [m.payload for m in second]
+
+    def test_two_readers_are_independent(self, loaded):
+        fast = ScribeReader(loaded, "e", 0)
+        slow = ScribeReader(loaded, "e", 0)
+        fast.read_batch(20)
+        assert slow.position == 0
+        assert len(slow.read_batch(20)) == 20
+
+    def test_lag_counts_unread_visible_messages(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        assert reader.lag_messages() == 20
+        reader.read_batch(15)
+        assert reader.lag_messages() == 5
+        assert not reader.caught_up()
+        reader.read_batch(5)
+        assert reader.caught_up()
+
+    def test_seek_to_end_skips_backlog(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        reader.seek_to_end()
+        assert reader.read_batch(10) == []
+        loaded.write_record("e", {"event_time": 99.0})
+        assert len(reader.read_batch(10)) == 1
+
+    def test_lagging_past_retention_skips_forward(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        loaded.category("e").bucket(0).trim_to_offset(10)
+        batch = reader.read_batch(5)
+        assert [m.offset for m in batch] == [10, 11, 12, 13, 14]
+
+    def test_position_beyond_end_still_raises(self, loaded):
+        reader = ScribeReader(loaded, "e", 0)
+        reader.seek(1000)
+        with pytest.raises(OffsetOutOfRange):
+            reader.read_batch(1)
+
+
+class TestCategoryReader:
+    def test_reads_across_buckets(self, scribe):
+        scribe.create_category("multi", 4)
+        write_events(scribe, "multi", 40)
+        reader = CategoryReader(scribe, "multi")
+        messages = reader.read_all()
+        assert len(messages) == 40
+        assert {m.bucket for m in messages} == {0, 1, 2, 3}
+
+    def test_from_start_false_tails_only_new_data(self, scribe):
+        scribe.create_category("multi", 2)
+        write_events(scribe, "multi", 10)
+        reader = CategoryReader(scribe, "multi", from_start=False)
+        assert reader.read_all() == []
+        write_events(scribe, "multi", 3, start_time=100.0)
+        assert len(reader.read_all()) == 3
+
+    def test_follows_category_resize(self, scribe):
+        scribe.create_category("grow", 1)
+        write_events(scribe, "grow", 5)
+        reader = CategoryReader(scribe, "grow")
+        assert len(reader.read_all()) == 5
+        scribe.category("grow").resize(3)
+        scribe.write("grow", b"x", bucket=2)
+        assert len(reader.read_all()) == 1
+
+    def test_lag_sums_buckets(self, scribe):
+        scribe.create_category("multi", 4)
+        write_events(scribe, "multi", 12)
+        reader = CategoryReader(scribe, "multi")
+        assert reader.lag_messages() == 12
+
+
+class TestDecoupling:
+    """Section 4.2.2: readers at different speeds never interfere."""
+
+    def test_slow_reader_does_not_backpressure_writer(self):
+        clock = SimClock()
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1)
+        slow = ScribeReader(store, "e", 0)
+        # The writer streams far ahead of the stalled reader with no error.
+        for i in range(10_000):
+            store.write_record("e", {"event_time": float(i)})
+        assert slow.lag_messages() == 10_000
+        # The reader catches up later, from where it left off.
+        total = 0
+        while True:
+            batch = slow.read_batch(1000)
+            if not batch:
+                break
+            total += len(batch)
+        assert total == 10_000
+
+
+class TestTimeBasedReplay:
+    """Section 6.2: replay a stream from a given (recent) time period."""
+
+    def test_seek_to_time(self):
+        from repro.runtime.clock import SimClock
+        from repro.scribe.store import ScribeStore
+
+        clock = SimClock()
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1)
+        for i in range(10):
+            clock.advance_to(float(i * 10))
+            store.write_record("e", {"event_time": float(i), "i": i})
+        reader = ScribeReader(store, "e", 0)
+        reader.seek_to_time(45.0)  # between message 4 (t=40) and 5 (t=50)
+        batch = reader.read_batch(100)
+        assert [m.decode()["i"] for m in batch] == [5, 6, 7, 8, 9]
+
+    def test_seek_to_time_past_end(self):
+        from repro.runtime.clock import SimClock
+        from repro.scribe.store import ScribeStore
+
+        clock = SimClock()
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1)
+        store.write_record("e", {"event_time": 0.0})
+        reader = ScribeReader(store, "e", 0)
+        reader.seek_to_time(1e9)
+        assert reader.read_batch(10) == []
+
+    def test_seek_to_time_respects_retention(self):
+        from repro.runtime.clock import SimClock
+        from repro.scribe.store import ScribeStore
+
+        clock = SimClock()
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1)
+        for i in range(10):
+            clock.advance_to(float(i))
+            store.write_record("e", {"i": i})
+        store.category("e").bucket(0).trim_to_offset(5)
+        reader = ScribeReader(store, "e", 0)
+        reader.seek_to_time(0.0)  # older than anything retained
+        batch = reader.read_batch(100)
+        assert [m.decode()["i"] for m in batch] == [5, 6, 7, 8, 9]

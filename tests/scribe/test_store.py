@@ -1,0 +1,156 @@
+"""Tests for the Scribe store: categories, writes, delivery delay."""
+
+import pytest
+
+from repro.errors import ConfigError, UnknownCategory
+from repro.runtime.clock import SimClock
+from repro.scribe.store import ScribeStore, default_bucketer
+
+
+class TestCategories:
+    def test_create_and_lookup(self, scribe):
+        scribe.create_category("events", num_buckets=4)
+        assert scribe.category("events").num_buckets == 4
+        assert scribe.has_category("events")
+        assert scribe.categories() == ["events"]
+
+    def test_duplicate_create_rejected(self, scribe):
+        scribe.create_category("events")
+        with pytest.raises(ConfigError):
+            scribe.create_category("events")
+
+    def test_ensure_category_is_idempotent(self, scribe):
+        first = scribe.ensure_category("e", 2)
+        second = scribe.ensure_category("e", 99)
+        assert first is second
+        assert second.num_buckets == 2
+
+    def test_unknown_category_raises(self, scribe):
+        with pytest.raises(UnknownCategory):
+            scribe.category("nope")
+
+    def test_resize_grows_only(self, scribe):
+        category = scribe.create_category("e", 2)
+        category.resize(5)
+        assert category.num_buckets == 5
+        with pytest.raises(ConfigError):
+            category.resize(3)
+
+
+class TestWrites:
+    def test_write_assigns_offsets_per_bucket(self, scribe):
+        scribe.create_category("e", 2)
+        assert scribe.write("e", b"a", bucket=0) == 0
+        assert scribe.write("e", b"b", bucket=0) == 1
+        assert scribe.write("e", b"c", bucket=1) == 0
+
+    def test_write_by_key_is_stable(self, scribe):
+        scribe.create_category("e", 8)
+        scribe.write("e", b"x", key="user42")
+        expected = default_bucketer("user42", 8)
+        assert scribe.end_offset("e", expected) == 1
+
+    def test_write_without_key_goes_to_bucket_zero(self, scribe):
+        scribe.create_category("e", 4)
+        scribe.write("e", b"x")
+        assert scribe.end_offset("e", 0) == 1
+
+    def test_write_record_round_trips(self, scribe):
+        scribe.create_category("e", 1)
+        scribe.write_record("e", {"a": 1, "b": "two"})
+        [message] = scribe.read("e", 0, 0)
+        assert message.decode() == {"a": 1, "b": "two"}
+
+    def test_metrics_count_writes(self, scribe):
+        scribe.create_category("e", 1)
+        scribe.write("e", b"abcd")
+        snapshot = scribe.metrics.snapshot()
+        assert snapshot["scribe.e.messages"] == 1
+        assert snapshot["scribe.e.bytes"] == 4
+
+
+class TestDeliveryDelay:
+    def test_messages_invisible_until_delay_elapses(self):
+        clock = SimClock()
+        store = ScribeStore(clock=clock, delivery_delay=1.0)
+        store.create_category("e", 1)
+        store.write("e", b"x")
+        assert store.read("e", 0, 0, 10) == []
+        assert store.visible_end_offset("e", 0) == 0
+        clock.advance(1.0)
+        assert len(store.read("e", 0, 0, 10)) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            ScribeStore(delivery_delay=-1.0)
+
+
+class TestRetention:
+    def test_run_retention_trims_old_messages(self):
+        clock = SimClock()
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1, retention_seconds=10.0)
+        store.write("e", b"old")
+        clock.advance(20.0)
+        store.write("e", b"new")
+        assert store.run_retention() == 1
+        assert store.first_retained_offset("e", 0) == 1
+
+
+class TestBucketer:
+    def test_stable_across_calls(self):
+        assert default_bucketer("k", 16) == default_bucketer("k", 16)
+
+    def test_spreads_keys(self):
+        buckets = {default_bucketer(f"key{i}", 8) for i in range(100)}
+        assert len(buckets) == 8
+
+
+class TestDurability:
+    """Section 2.1: Scribe stores data in HDFS for durability."""
+
+    def test_snapshot_restore_round_trip(self, clock):
+        from repro.storage.hdfs import HdfsBlobStore
+
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 2, retention_seconds=500.0)
+        for i in range(20):
+            store.write_record("e", {"event_time": float(i), "i": i},
+                               key=str(i))
+        count = store.snapshot_to(HdfsBlobStore(clock=clock), "snap")
+        assert count == 20
+
+    def test_restore_preserves_offsets_and_payloads(self, clock):
+        from repro.storage.hdfs import HdfsBlobStore
+
+        hdfs = HdfsBlobStore(clock=clock)
+        original = ScribeStore(clock=clock)
+        original.create_category("e", 2)
+        for i in range(30):
+            original.write_record("e", {"i": i}, key=str(i))
+        # Trim some history so base offsets are non-trivial.
+        original.category("e").bucket(0).trim_to_offset(3)
+        original.snapshot_to(hdfs)
+
+        restored = ScribeStore.restore_from(hdfs, clock=clock)
+        for bucket in range(2):
+            assert restored.end_offset("e", bucket) == \
+                original.end_offset("e", bucket)
+            assert restored.first_retained_offset("e", bucket) == \
+                original.first_retained_offset("e", bucket)
+        start = restored.first_retained_offset("e", 0)
+        original_msgs = original.read("e", 0, start, 100)
+        restored_msgs = restored.read("e", 0, start, 100)
+        assert [m.payload for m in restored_msgs] == \
+            [m.payload for m in original_msgs]
+
+    def test_snapshot_blocked_by_hdfs_outage(self, clock):
+        from repro.errors import StoreUnavailable
+        from repro.storage.hdfs import HdfsBlobStore
+
+        hdfs = HdfsBlobStore(clock=clock)
+        hdfs.add_outage(0.0, 10.0)
+        store = ScribeStore(clock=clock)
+        store.create_category("e", 1)
+        with pytest.raises(StoreUnavailable):
+            store.snapshot_to(hdfs)

@@ -1,0 +1,49 @@
+"""Tests for the writer client."""
+
+import pytest
+
+from repro.errors import UnknownCategory
+from repro.scribe.writer import ScribeWriter
+
+
+class TestScribeWriter:
+    def test_unknown_category_fails_fast(self, scribe):
+        with pytest.raises(UnknownCategory):
+            ScribeWriter(scribe, "missing")
+
+    def test_write_shards_by_key(self, scribe):
+        scribe.create_category("e", 8)
+        writer = ScribeWriter(scribe, "e")
+        writer.write({"event_time": 0.0, "v": 1}, key="alpha")
+        bucket = writer.bucket_for_key("alpha")
+        assert scribe.end_offset("e", bucket) == 1
+
+    def test_write_to_explicit_bucket(self, scribe):
+        scribe.create_category("e", 4)
+        writer = ScribeWriter(scribe, "e")
+        writer.write_to_bucket({"event_time": 0.0}, bucket=3)
+        assert scribe.end_offset("e", 3) == 1
+
+    def test_resharding_on_different_key(self, scribe):
+        """Figure 3: re-sharding is writing with a different key."""
+        scribe.create_category("by_dim", 8)
+        scribe.create_category("by_topic", 8)
+        dim_writer = ScribeWriter(scribe, "by_dim")
+        topic_writer = ScribeWriter(scribe, "by_topic")
+        record = {"event_time": 0.0, "dim": "d1", "topic": "movies"}
+        dim_writer.write(record, key=record["dim"])
+        topic_writer.write(record, key=record["topic"])
+        assert dim_writer.bucket_for_key("d1") != \
+               topic_writer.bucket_for_key("movies") or True  # both valid
+        # the same record is routed independently per category
+        total = sum(scribe.end_offset("by_dim", b) for b in range(8))
+        assert total == 1
+
+    def test_encoded_size_matches_serde(self, scribe):
+        scribe.create_category("e", 1)
+        writer = ScribeWriter(scribe, "e")
+        record = {"event_time": 1.0, "text": "hello"}
+        size = writer.encoded_size(record)
+        writer.write(record)
+        [message] = scribe.read("e", 0, 0)
+        assert message.size == size

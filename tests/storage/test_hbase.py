@@ -1,0 +1,80 @@
+"""Tests for the HBase-style table store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.hbase import HBaseTable
+
+
+@pytest.fixture
+def table():
+    return HBaseTable("t")
+
+
+class TestRows:
+    def test_put_merges_columns(self, table):
+        table.put("r", {"a": 1})
+        table.put("r", {"b": 2})
+        assert table.get("r") == {"a": 1, "b": 2}
+
+    def test_get_returns_copy(self, table):
+        table.put("r", {"a": 1})
+        row = table.get("r")
+        row["a"] = 999
+        assert table.get_column("r", "a") == 1
+
+    def test_missing_row_is_none(self, table):
+        assert table.get("nope") is None
+        assert table.get_column("nope", "c", default=7) == 7
+
+    def test_empty_put_rejected(self, table):
+        with pytest.raises(StorageError):
+            table.put("r", {})
+
+    def test_delete_row(self, table):
+        table.put("r", {"a": 1})
+        table.delete_row("r")
+        assert table.get("r") is None
+        assert table.row_count() == 0
+
+
+class TestAtomics:
+    def test_increment(self, table):
+        assert table.increment("r", "count") == 1
+        assert table.increment("r", "count", 4) == 5
+
+    def test_check_and_put_applies_on_match(self, table):
+        table.put("r", {"v": 1})
+        assert table.check_and_put("r", "v", 1, {"v": 2})
+        assert table.get_column("r", "v") == 2
+
+    def test_check_and_put_rejects_on_mismatch(self, table):
+        table.put("r", {"v": 1})
+        assert not table.check_and_put("r", "v", 99, {"v": 2})
+        assert table.get_column("r", "v") == 1
+
+    def test_check_and_put_against_absent_column(self, table):
+        assert table.check_and_put("new", "v", None, {"v": 1})
+        assert table.get_column("new", "v") == 1
+
+
+class TestScan:
+    def test_scan_is_key_ordered(self, table):
+        for key in ["b", "a", "c"]:
+            table.put(key, {"k": key})
+        assert [k for k, _ in table.scan()] == ["a", "b", "c"]
+
+    def test_scan_range_half_open(self, table):
+        for key in ["a", "b", "c", "d"]:
+            table.put(key, {"x": 1})
+        assert [k for k, _ in table.scan("b", "d")] == ["b", "c"]
+
+    def test_scan_limit(self, table):
+        for i in range(10):
+            table.put(f"r{i}", {"x": i})
+        assert len(list(table.scan(limit=3))) == 3
+
+    def test_scan_sees_increment_created_rows(self, table):
+        table.increment("r1", "c")
+        table.put("r0", {"c": 0})
+        assert [k for k, _ in table.scan()] == ["r0", "r1"]

@@ -1,0 +1,187 @@
+"""Tests for the LSM store: reads, merges, flush, compaction, recovery."""
+
+import pytest
+
+from repro.errors import StoreClosed
+from repro.storage.lsm import LsmStore
+from repro.storage.merge import CounterMergeOperator, DictSumMergeOperator
+
+
+@pytest.fixture
+def store():
+    return LsmStore(merge_operator=CounterMergeOperator(),
+                    memtable_flush_bytes=1 << 30)  # manual flushing
+
+
+class TestBasicOps:
+    def test_put_get_delete(self, store):
+        store.put("a", 1)
+        assert store.get("a") == 1
+        store.delete("a")
+        assert store.get("a") is None
+
+    def test_missing_key_is_none(self, store):
+        assert store.get("never") is None
+
+    def test_none_values_are_reserved(self, store):
+        with pytest.raises(ValueError):
+            store.put("a", None)
+
+    def test_multi_get(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.multi_get(["a", "b", "c"]) == {"a": 1, "b": 2, "c": None}
+
+    def test_closed_store_rejects_ops(self, store):
+        store.close()
+        with pytest.raises(StoreClosed):
+            store.get("a")
+
+
+class TestMergeResolution:
+    def test_merge_without_base_uses_identity(self, store):
+        store.merge("c", 5)
+        store.merge("c", 3)
+        assert store.get("c") == 8
+
+    def test_merge_over_put(self, store):
+        store.put("c", 100)
+        store.merge("c", 1)
+        assert store.get("c") == 101
+
+    def test_merge_over_delete_restarts(self, store):
+        store.put("c", 100)
+        store.delete("c")
+        store.merge("c", 1)
+        assert store.get("c") == 1
+
+    def test_merge_chain_across_flushes(self, store):
+        store.merge("c", 1)
+        store.flush()
+        store.merge("c", 2)
+        store.flush()
+        store.merge("c", 3)
+        assert store.get("c") == 6
+
+    def test_put_in_old_run_merge_in_new(self, store):
+        store.put("c", 10)
+        store.flush()
+        store.merge("c", 5)
+        assert store.get("c") == 15
+
+    def test_delete_shadows_older_put_across_runs(self, store):
+        store.put("c", 10)
+        store.flush()
+        store.delete("c")
+        store.flush()
+        assert store.get("c") is None
+
+    def test_merge_requires_operator(self):
+        plain = LsmStore()
+        with pytest.raises(ValueError):
+            plain.merge("a", 1)
+
+    def test_dict_sum_operator(self):
+        store = LsmStore(merge_operator=DictSumMergeOperator())
+        store.merge("k", {"a": 1})
+        store.merge("k", {"a": 2, "b": 1})
+        assert store.get("k") == {"a": 3, "b": 1}
+
+
+class TestFlushAndCompaction:
+    def test_flush_moves_memtable_to_sstable(self, store):
+        store.put("a", 1)
+        assert store.memtable_size == 1
+        store.flush()
+        assert store.memtable_size == 0
+        assert store.num_sstables == 1
+        assert store.get("a") == 1
+
+    def test_flush_empty_memtable_is_noop(self, store):
+        store.flush()
+        assert store.num_sstables == 0
+
+    def test_auto_flush_on_size(self):
+        store = LsmStore(memtable_flush_bytes=100)
+        for i in range(50):
+            store.put(f"key{i}", "v" * 20)
+        assert store.num_sstables >= 1
+
+    def test_compaction_folds_everything(self, store):
+        for round_number in range(6):
+            store.merge("counter", 1)
+            store.put(f"k{round_number}", round_number)
+            store.flush()
+        store.compact()
+        assert store.num_sstables == 1
+        assert store.get("counter") == 6
+        assert store.get("k3") == 3
+
+    def test_compaction_drops_tombstones(self, store):
+        store.put("dead", 1)
+        store.flush()
+        store.delete("dead")
+        store.flush()
+        store.compact()
+        assert store.get("dead") is None
+        assert store.approximate_key_count() == 0
+
+    def test_auto_compaction_trigger(self):
+        store = LsmStore(compaction_trigger=2,
+                         memtable_flush_bytes=1 << 30)
+        for i in range(5):
+            store.put(f"k{i}", i)
+            store.flush()
+        assert store.num_sstables <= 2
+
+
+class TestScan:
+    def test_scan_merges_all_levels(self, store):
+        store.put("a", 1)
+        store.flush()
+        store.put("b", 2)
+        store.delete("a")
+        assert list(store.scan()) == [("b", 2)]
+
+    def test_scan_range(self, store):
+        for key in ["a", "b", "c", "d"]:
+            store.put(key, key)
+        assert [k for k, _ in store.scan("b", "d")] == ["b", "c"]
+
+
+class TestRecovery:
+    def test_process_crash_recovers_from_wal(self):
+        disk = {}
+        store = LsmStore(disk=disk, merge_operator=CounterMergeOperator())
+        store.put("a", 1)
+        store.merge("a", 4)
+        store.delete("gone")
+        store.drop_memory()  # crash: memtable lost
+        assert store.get("a") is None
+        replayed = store.recover()
+        assert replayed == 3
+        assert store.get("a") == 5
+
+    def test_recovery_after_flush_replays_only_tail(self):
+        disk = {}
+        store = LsmStore(disk=disk, merge_operator=CounterMergeOperator())
+        store.put("a", 1)
+        store.flush()
+        store.put("b", 2)
+        store.drop_memory()
+        assert store.recover() == 1  # only "b" was unflushed
+        assert store.get("a") == 1
+        assert store.get("b") == 2
+
+    def test_fresh_store_on_same_disk_sees_data(self):
+        disk = {}
+        first = LsmStore(disk=disk, name="app")
+        first.put("a", 1)
+        first.flush()
+        second = LsmStore(disk=disk, name="app")
+        assert second.get("a") == 1
+
+    def test_write_batch_is_atomic_unit(self, store):
+        store.write_batch(puts={"a": 1, "b": 2}, merges=[("c", 3)])
+        assert store.get("a") == 1
+        assert store.get("c") == 3

@@ -1,0 +1,60 @@
+"""Tests for the merge operators (associativity is the contract)."""
+
+import pytest
+
+from repro.storage.merge import (
+    CounterMergeOperator,
+    DictSumMergeOperator,
+    ListAppendMergeOperator,
+    MaxMergeOperator,
+    MinMergeOperator,
+    SetUnionMergeOperator,
+)
+
+ALL_OPERATORS = [
+    (CounterMergeOperator(), [1, 2, 3]),
+    (MaxMergeOperator(), [5, 1, 9]),
+    (MinMergeOperator(), [5, 1, 9]),
+    (ListAppendMergeOperator(), [[1], [2, 3], [4]]),
+    (DictSumMergeOperator(), [{"a": 1}, {"a": 2, "b": 1}, {"b": 4}]),
+    (SetUnionMergeOperator(), [{1}, {2, 3}, {1, 4}]),
+]
+
+
+class TestMonoidLaws:
+    @pytest.mark.parametrize("operator,operands", ALL_OPERATORS,
+                             ids=lambda x: type(x).__name__
+                             if hasattr(x, "merge") else "")
+    def test_identity_is_neutral(self, operator, operands):
+        for operand in operands:
+            assert operator.merge(operator.identity(), operand) == operand
+            assert operator.merge(operand, operator.identity()) == operand
+
+    @pytest.mark.parametrize("operator,operands", ALL_OPERATORS,
+                             ids=lambda x: type(x).__name__
+                             if hasattr(x, "merge") else "")
+    def test_associativity(self, operator, operands):
+        a, b, c = operands
+        left = operator.merge(operator.merge(a, b), c)
+        right = operator.merge(a, operator.merge(b, c))
+        assert left == right
+
+
+class TestFullMerge:
+    def test_none_base_uses_identity(self):
+        operator = CounterMergeOperator()
+        assert operator.full_merge(None, [1, 2, 3]) == 6
+
+    def test_base_is_folded_first(self):
+        operator = ListAppendMergeOperator()
+        assert operator.full_merge([0], [[1], [2]]) == [0, 1, 2]
+
+    def test_partial_merge_collapses_operands(self):
+        operator = DictSumMergeOperator()
+        assert operator.partial_merge([{"a": 1}, {"a": 4}]) == {"a": 5}
+
+    def test_dict_sum_does_not_mutate_inputs(self):
+        operator = DictSumMergeOperator()
+        left = {"a": 1}
+        operator.merge(left, {"a": 2})
+        assert left == {"a": 1}

@@ -1,0 +1,48 @@
+"""Tests for immutable sorted runs."""
+
+import pytest
+
+from repro.storage.memtable import Entry
+from repro.storage.sstable import SSTable
+
+
+def make(entries):
+    return SSTable([(k, Entry.put(v)) for k, v in entries])
+
+
+class TestSSTable:
+    def test_get_found_and_missing(self):
+        table = make([("a", 1), ("c", 3), ("e", 5)])
+        assert table.get("c").value == 3
+        assert table.get("b") is None
+        assert table.get("z") is None
+
+    def test_requires_sorted_keys(self):
+        with pytest.raises(ValueError):
+            make([("b", 1), ("a", 2)])
+
+    def test_requires_unique_keys(self):
+        with pytest.raises(ValueError):
+            make([("a", 1), ("a", 2)])
+
+    def test_scan_range_is_half_open(self):
+        table = make([("a", 1), ("b", 2), ("c", 3), ("d", 4)])
+        assert [k for k, _ in table.scan("b", "d")] == ["b", "c"]
+
+    def test_scan_unbounded(self):
+        table = make([("a", 1), ("b", 2)])
+        assert [k for k, _ in table.scan()] == ["a", "b"]
+
+    def test_scan_with_only_start(self):
+        table = make([("a", 1), ("b", 2), ("c", 3)])
+        assert [k for k, _ in table.scan(start="b")] == ["b", "c"]
+
+    def test_min_max_keys(self):
+        table = make([("b", 1), ("x", 2)])
+        assert table.min_key == "b"
+        assert table.max_key == "x"
+        empty = SSTable([])
+        assert empty.min_key is None and empty.max_key is None
+
+    def test_len(self):
+        assert len(make([("a", 1), ("b", 2)])) == 2

@@ -1,0 +1,150 @@
+"""Tests for the ZippyDB stand-in."""
+
+import pytest
+
+from repro.errors import ConfigError, StoreUnavailable, TransactionAborted
+from repro.runtime.clock import SimClock
+from repro.storage.merge import DictSumMergeOperator
+from repro.storage.zippydb import ZippyDb, ZippyDbLatencyModel
+
+
+@pytest.fixture
+def db(clock):
+    return ZippyDb(num_shards=3, replication_factor=3,
+                   merge_operator=DictSumMergeOperator(), clock=clock)
+
+
+class TestBasicOps:
+    def test_put_get_delete(self, db):
+        db.put("a", {"v": 1})
+        assert db.get("a") == {"v": 1}
+        db.delete("a")
+        assert db.get("a") is None
+
+    def test_sharding_is_stable(self, db):
+        assert db.shard_for("key") == db.shard_for("key")
+        assert 0 <= db.shard_for("key") < db.num_shards
+
+    def test_merge_folds_server_side(self, db):
+        db.merge("k", {"a": 1})
+        db.merge("k", {"a": 2, "b": 5})
+        assert db.get("k") == {"a": 3, "b": 5}
+
+    def test_merge_over_put(self, db):
+        db.put("k", {"a": 10})
+        db.merge("k", {"a": 1})
+        assert db.get("k") == {"a": 11}
+
+    def test_merge_without_operator_rejected(self, clock):
+        db = ZippyDb(clock=clock)
+        with pytest.raises(ConfigError):
+            db.merge("k", 1)
+
+
+class TestBatches:
+    def test_multi_get_put(self, db):
+        db.multi_put({"a": 1, "b": 2})
+        assert db.multi_get(["a", "b", "c"]) == {"a": 1, "b": 2, "c": None}
+
+    def test_multi_merge(self, db):
+        db.multi_merge([("k", {"x": 1}), ("k", {"x": 2}), ("j", {"y": 1})])
+        assert db.get("k") == {"x": 3}
+        assert db.get("j") == {"y": 1}
+
+    def test_batching_is_cheaper_than_singles(self, clock):
+        latency = ZippyDbLatencyModel()
+        db_single = ZippyDb(num_shards=3, clock=SimClock(), latency=latency)
+        db_batch = ZippyDb(num_shards=3, clock=SimClock(), latency=latency)
+        items = {f"k{i}": i for i in range(50)}
+        for key, value in items.items():
+            db_single.put(key, value)
+        db_batch.multi_put(items)
+        assert db_batch.clock.now() < db_single.clock.now()
+
+
+class TestLatencyAccounting:
+    def test_reads_and_writes_advance_clock(self, clock, db):
+        db.put("a", 1)
+        db.get("a")
+        expected = db.latency.write + db.latency.read
+        assert clock.now() == pytest.approx(expected)
+
+    def test_transaction_costs_two_rounds(self, clock, db):
+        db.commit_transaction(puts={"a": 1})
+        assert clock.now() >= 2 * db.latency.transaction_round
+
+    def test_metrics_count_ops(self, db):
+        db.put("a", 1)
+        db.get("a")
+        db.merge("m", {"x": 1})
+        snapshot = db.metrics.snapshot()
+        assert snapshot["zippydb.writes"] == 1
+        assert snapshot["zippydb.reads"] == 1
+        assert snapshot["zippydb.merge_writes"] == 1
+
+
+class TestTransactions:
+    def test_commit_applies_all(self, db):
+        db.put("doomed", 1)
+        db.commit_transaction(puts={"a": 1, "b": 2}, deletes=["doomed"])
+        assert db.get("a") == 1
+        assert db.get("b") == 2
+        assert db.get("doomed") is None
+
+    def test_empty_transaction_is_noop(self, clock, db):
+        db.commit_transaction()
+        assert clock.now() == 0.0
+
+    def test_aborts_when_shard_unwritable(self, db):
+        key = "victim"
+        shard = db.shard_for(key)
+        db.kill_replica(shard, 0)
+        db.kill_replica(shard, 1)
+        with pytest.raises(TransactionAborted):
+            db.commit_transaction(puts={key: 1})
+
+
+class TestReplication:
+    def find_key_on_shard(self, db, shard):
+        return next(f"p{i}" for i in range(1000)
+                    if db.shard_for(f"p{i}") == shard)
+
+    def test_writes_need_quorum(self, db):
+        key = self.find_key_on_shard(db, 0)
+        db.kill_replica(0, 0)
+        db.put(key, 1)  # 2 of 3 alive: still a quorum
+        db.kill_replica(0, 1)
+        with pytest.raises(StoreUnavailable):
+            db.put(key, 2)
+
+    def test_reads_survive_minority_failure(self, db):
+        key = self.find_key_on_shard(db, 0)
+        db.put(key, 42)
+        db.kill_replica(0, 0)
+        assert db.get(key) == 42
+
+    def test_revived_replica_catches_up(self, db):
+        key = self.find_key_on_shard(db, 0)
+        db.kill_replica(0, 0)
+        db.put(key, 7)
+        db.revive_replica(0, 0)
+        db.kill_replica(0, 1)
+        db.kill_replica(0, 2)
+        # Only the revived replica is alive; it must have caught up.
+        assert db.get(key) == 7
+
+    def test_other_shards_unaffected_by_dead_shard(self, db):
+        db.kill_replica(0, 0)
+        db.kill_replica(0, 1)
+        db.kill_replica(0, 2)
+        key = self.find_key_on_shard(db, 1)
+        db.put(key, 1)
+        assert db.get(key) == 1
+
+
+class TestConfig:
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            ZippyDb(num_shards=0)
+        with pytest.raises(ConfigError):
+            ZippyDb(replication_factor=0)

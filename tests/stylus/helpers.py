@@ -1,0 +1,60 @@
+"""Shared processors and harnesses for Stylus tests."""
+
+from __future__ import annotations
+
+from repro.core.event import Event
+from repro.storage.merge import DictSumMergeOperator
+from repro.stylus.processor import (
+    MonoidProcessor,
+    Output,
+    StatefulProcessor,
+    StatelessProcessor,
+)
+
+
+class CountingProcessor(StatefulProcessor):
+    """The paper's Figure 6 Counter Node."""
+
+    def initial_state(self):
+        return {"count": 0}
+
+    def process(self, event: Event, state) -> list[Output]:
+        state["count"] += 1
+        return []
+
+    def on_checkpoint(self, state, now: float) -> list[Output]:
+        return [Output({"event_time": now, "count": state["count"]})]
+
+
+class EchoProcessor(StatelessProcessor):
+    """Stateless pass-through that re-keys by a field."""
+
+    def __init__(self, key_field: str = "seq"):
+        self.key_field = key_field
+
+    def process(self, event: Event) -> list[Output]:
+        return [Output(event.to_record(), key=str(event.get(self.key_field)))]
+
+
+class DropEvens(StatelessProcessor):
+    def process(self, event: Event) -> list[Output]:
+        if event["seq"] % 2 == 0:
+            return []
+        return [Output(event.to_record())]
+
+
+class DimensionCounter(MonoidProcessor):
+    """Counts events per dimension — the Figure 12 workload shape."""
+
+    def __init__(self, dims_per_event: int = 1):
+        self.dims_per_event = dims_per_event
+
+    def merge_operator(self):
+        return DictSumMergeOperator()
+
+    def extract(self, event: Event):
+        base = int(event["seq"])
+        return [
+            (f"dim{(base + i) % 10}", {"count": 1, "score": base % 5})
+            for i in range(self.dims_per_event)
+        ]

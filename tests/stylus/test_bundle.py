@@ -1,0 +1,81 @@
+"""Tests for the dual-binary bundle (paper Section 4.5.2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.stylus.bundle import StylusAppBundle
+
+from tests.conftest import write_events
+from tests.stylus.helpers import CountingProcessor, DimensionCounter, DropEvens
+
+
+def rows(count=40):
+    return [{"event_time": float(i), "seq": i} for i in range(count)]
+
+
+class TestKindDetection:
+    def test_detects_all_three_kinds(self):
+        assert StylusAppBundle("a", DropEvens).kind == "stateless"
+        assert StylusAppBundle("b", DimensionCounter).kind == "monoid"
+        assert StylusAppBundle("c", CountingProcessor,
+                               reduce_key=lambda r: 0).kind == "stateful"
+
+    def test_stateful_requires_reduce_key(self):
+        with pytest.raises(ConfigError):
+            StylusAppBundle("c", CountingProcessor)
+
+    def test_unknown_runtime_rejected(self):
+        bundle = StylusAppBundle("a", DropEvens)
+        with pytest.raises(ConfigError):
+            bundle.run_batch([], runtime="flink")
+
+
+class TestBothBinaries:
+    def test_stream_and_batch_agree_for_monoid(self, scribe, clock):
+        bundle = StylusAppBundle("agg", DimensionCounter)
+        scribe.create_category("in", 2)
+        job = bundle.streaming_job(scribe, "in", clock=clock)
+        write_events(scribe, "in", 40)
+        job.pump(1000)
+        job.checkpoint_now()
+        streaming = {}
+        for task in job.tasks:
+            for key in [f"dim{i}" for i in range(10)]:
+                value = task.state_backend.read_value(key)
+                if value:
+                    entry = streaming.setdefault(key, {"count": 0,
+                                                       "score": 0})
+                    entry["count"] += value["count"]
+                    entry["score"] += value["score"]
+        batch = bundle.run_batch(rows(40))
+        assert streaming == batch
+
+    def test_batch_runtimes_agree(self):
+        bundle = StylusAppBundle("agg", DimensionCounter)
+        data = rows(40)
+        assert bundle.run_batch(data, "mapreduce") == \
+               bundle.run_batch(data, "dataset")
+
+    def test_stateless_batch(self):
+        bundle = StylusAppBundle("f", DropEvens)
+        output = bundle.run_batch(rows(10))
+        assert sorted(o["seq"] for o in output) == [1, 3, 5, 7, 9]
+
+    def test_stateful_batch(self):
+        bundle = StylusAppBundle("s", CountingProcessor,
+                                 reduce_key=lambda r: r["seq"] % 2)
+        states = bundle.run_batch(rows(10))
+        assert {k: s["count"] for k, s in states.items()} == {0: 5, 1: 5}
+
+    def test_stream_kwargs_flow_through(self, scribe, clock):
+        from repro.stylus.checkpointing import CheckpointPolicy
+
+        bundle = StylusAppBundle(
+            "agg", DimensionCounter,
+            checkpoint_policy=CheckpointPolicy(every_n_events=5))
+        scribe.create_category("in", 1)
+        job = bundle.streaming_job(scribe, "in", clock=clock)
+        write_events(scribe, "in", 20)
+        job.pump(1000)
+        cp = job.tasks[0].metrics.counter("stylus.agg[0].checkpoints").value
+        assert cp == 4

@@ -1,0 +1,133 @@
+"""The Figure 7 experiment as tests: semantics under injected failures.
+
+The counter node runs over a fixed input; a crash is injected at the
+vulnerable point between the two checkpoint saves. The final counter
+value must land on the correct side of the true count for each policy.
+"""
+
+import pytest
+
+from repro.core.semantics import SemanticsPolicy
+from repro.scribe.reader import CategoryReader
+from repro.stylus.checkpointing import CheckpointPolicy, CrashInjector, CrashPoint
+from repro.stylus.engine import StylusTask
+
+from tests.conftest import write_events
+from tests.stylus.helpers import CountingProcessor
+
+TOTAL_EVENTS = 100
+CHECKPOINT_EVERY = 10
+
+
+def run_counter(scribe, semantics, crash_point=None, crash_checkpoint=4):
+    scribe.ensure_category("in", 1)
+    scribe.ensure_category("out", 1)
+    injector = CrashInjector()
+    if crash_point is not None:
+        injector.arm(crash_point, crash_checkpoint)
+    task = StylusTask("counter", scribe, "in", 0, CountingProcessor(),
+                      semantics=semantics,
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=CHECKPOINT_EVERY),
+                      output_category="out", clock=scribe.clock,
+                      crash_injector=injector)
+    write_events(scribe, "in", TOTAL_EVENTS)
+    restarts = 0
+    while True:
+        task.pump()
+        if task.crashed:
+            task.restart()
+            restarts += 1
+            continue
+        if task.lag_messages() == 0:
+            break
+    # TOTAL_EVENTS is a multiple of CHECKPOINT_EVERY, so the final
+    # checkpoint (and its periodic output) fired inside the last pump.
+    return task, restarts
+
+
+def final_count(scribe, task):
+    if task.semantics.output.value == "exactly-once":
+        outputs = task.state_backend.committed_outputs()
+    else:
+        outputs = [m.decode() for m in CategoryReader(scribe, "out").read_all()]
+    return outputs[-1]["count"]
+
+
+class TestNoFailure:
+    @pytest.mark.parametrize("semantics", [
+        SemanticsPolicy.at_least_once(),
+        SemanticsPolicy.at_most_once(),
+        SemanticsPolicy.exactly_once(),
+    ], ids=lambda s: s.describe())
+    def test_all_semantics_exact_without_failures(self, scribe, semantics):
+        task, restarts = run_counter(scribe, semantics)
+        assert restarts == 0
+        assert final_count(scribe, task) == TOTAL_EVENTS
+
+
+class TestFigure7Shapes:
+    def test_at_least_once_overcounts_after_crash(self, scribe):
+        task, restarts = run_counter(
+            scribe, SemanticsPolicy.at_least_once(),
+            CrashPoint.AFTER_FIRST_SAVE,
+        )
+        assert restarts == 1
+        # state was saved, offset was not: the replayed events count twice
+        assert final_count(scribe, task) == TOTAL_EVENTS + CHECKPOINT_EVERY
+
+    def test_at_most_once_undercounts_after_crash(self, scribe):
+        task, restarts = run_counter(
+            scribe, SemanticsPolicy.at_most_once(),
+            CrashPoint.AFTER_FIRST_SAVE,
+        )
+        assert restarts == 1
+        # offset was saved, state was not: those events are lost
+        assert final_count(scribe, task) == TOTAL_EVENTS - CHECKPOINT_EVERY
+
+    @pytest.mark.parametrize("point", [
+        CrashPoint.BEFORE_CHECKPOINT,
+        CrashPoint.DURING_PROCESSING,
+        CrashPoint.AFTER_CHECKPOINT,
+    ], ids=lambda p: p.value)
+    def test_exactly_once_is_exact_under_any_crash(self, scribe, point):
+        task, restarts = run_counter(
+            scribe, SemanticsPolicy.exactly_once(), point,
+        )
+        assert restarts == 1
+        assert final_count(scribe, task) == TOTAL_EVENTS
+
+    def test_exactly_once_output_has_no_duplicates(self, scribe):
+        task, _ = run_counter(scribe, SemanticsPolicy.exactly_once(),
+                              CrashPoint.BEFORE_CHECKPOINT)
+        outputs = task.state_backend.committed_outputs()
+        counts = [o["count"] for o in outputs]
+        assert counts == sorted(counts)
+        assert len(counts) == len(set(counts))
+
+
+class TestOutputSemantics:
+    def test_at_most_once_crash_after_checkpoint_loses_output(self, scribe):
+        """Crash between the checkpoint save and the emit: output gone,
+        but never duplicated."""
+        task, restarts = run_counter(
+            scribe, SemanticsPolicy.at_most_once(),
+            CrashPoint.AFTER_CHECKPOINT,
+        )
+        assert restarts == 1
+        counts = [m.decode()["count"]
+                  for m in CategoryReader(scribe, "out").read_all()]
+        assert len(counts) == len(set(counts))  # no duplicates
+        assert TOTAL_EVENTS in counts  # final value still arrives later
+
+    def test_at_least_once_crash_after_emit_duplicates_output(self, scribe):
+        """Crash after emitting but before the saves complete: the
+        emission happens again after replay — duplicates allowed."""
+        task, restarts = run_counter(
+            scribe, SemanticsPolicy.at_least_once(),
+            CrashPoint.BEFORE_CHECKPOINT, crash_checkpoint=3,
+        )
+        assert restarts == 1
+        counts = [m.decode()["count"]
+                  for m in CategoryReader(scribe, "out").read_all()]
+        assert counts[-1] == TOTAL_EVENTS

@@ -1,0 +1,181 @@
+"""Tests for the three state backends and their recovery paths."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime.clock import SimClock
+from repro.storage.backup import BackupEngine
+from repro.storage.hdfs import HdfsBlobStore
+from repro.storage.merge import DictSumMergeOperator
+from repro.storage.zippydb import ZippyDb
+from repro.stylus.processor import Output
+from repro.stylus.state import (
+    InMemoryStateBackend,
+    LocalDbStateBackend,
+    RemoteDbStateBackend,
+    RemoteWriteMode,
+)
+
+OPERATOR = DictSumMergeOperator()
+
+
+def make_local(disk=None, hdfs=None):
+    engine = BackupEngine(hdfs) if hdfs is not None else None
+    return LocalDbStateBackend("task", disk if disk is not None else {},
+                               backup_engine=engine,
+                               merge_operator=OPERATOR)
+
+
+def make_remote(mode=RemoteWriteMode.APPEND_ONLY, clock=None):
+    db = ZippyDb(num_shards=3, merge_operator=OPERATOR,
+                 clock=clock or SimClock())
+    return RemoteDbStateBackend("task", db, mode)
+
+
+BACKEND_FACTORIES = [
+    ("in-memory", lambda: InMemoryStateBackend("task")),
+    ("local-db", make_local),
+    ("remote-append", make_remote),
+    ("remote-rmw", lambda: make_remote(RemoteWriteMode.READ_MODIFY_WRITE)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BACKEND_FACTORIES,
+                         ids=[n for n, _ in BACKEND_FACTORIES])
+class TestBackendContract:
+    def test_fresh_backend_loads_nothing(self, name, factory):
+        assert factory().load() == (None, None)
+
+    def test_two_phase_saves_round_trip(self, name, factory):
+        backend = factory()
+        backend.save_state({"count": 5})
+        backend.save_offset(42)
+        state, offset = backend.load()
+        assert state == {"count": 5}
+        assert offset == 42
+
+    def test_atomic_save_round_trips(self, name, factory):
+        backend = factory()
+        backend.save_atomic({"count": 9}, 99)
+        assert backend.load() == ({"count": 9}, 99)
+
+    def test_saved_state_is_isolated_from_live_state(self, name, factory):
+        backend = factory()
+        live = {"count": 1}
+        backend.save_state(live)
+        live["count"] = 999
+        state, _ = backend.load()
+        assert state == {"count": 1}
+
+    def test_flush_partials_merges(self, name, factory):
+        backend = factory()
+        backend.flush_partials({"k1": {"n": 1}}, OPERATOR)
+        backend.flush_partials({"k1": {"n": 2}, "k2": {"n": 5}}, OPERATOR)
+        assert backend.read_value("k1") == {"n": 3}
+        assert backend.read_value("k2") == {"n": 5}
+
+    def test_transactional_output_is_idempotent_by_index(self, name, factory):
+        backend = factory()
+        outputs = [Output({"count": 10})]
+        backend.save_atomic_with_outputs({"c": 10}, 10, outputs, 1)
+        backend.save_atomic_with_outputs({"c": 10}, 10, outputs, 1)  # replay
+        assert backend.committed_outputs() == [{"count": 10}]
+
+
+class TestLocalDbRecovery:
+    def test_process_crash_recovery_replays_wal(self):
+        disk = {}
+        backend = make_local(disk)
+        backend.save_state({"count": 3})
+        backend.save_offset(3)
+        backend.store.drop_memory()  # the crash
+        cost = backend.recover_after_process_crash()
+        assert cost.source == "local-wal"
+        assert backend.load() == ({"count": 3}, 3)
+
+    def test_machine_failure_restores_from_hdfs(self, clock):
+        hdfs = HdfsBlobStore(clock=clock)
+        disk = {}
+        backend = make_local(disk, hdfs)
+        backend.save_state({"count": 7})
+        backend.save_offset(7)
+        assert backend.maybe_backup()
+        disk.clear()  # the machine dies
+        cost = backend.recover_after_machine_failure(new_disk={})
+        assert cost.source == "hdfs-backup"
+        assert backend.load() == ({"count": 7}, 7)
+
+    def test_machine_failure_without_backup_engine_raises(self):
+        backend = make_local()
+        with pytest.raises(CheckpointError):
+            backend.recover_after_machine_failure(new_disk={})
+
+    def test_machine_failure_loses_delta_since_backup(self, clock):
+        hdfs = HdfsBlobStore(clock=clock)
+        backend = make_local({}, hdfs)
+        backend.save_state({"count": 5})
+        backend.save_offset(5)
+        backend.maybe_backup()
+        backend.save_state({"count": 9})  # newer than the snapshot
+        backend.save_offset(9)
+        backend.recover_after_machine_failure(new_disk={})
+        state, offset = backend.load()
+        assert state == {"count": 5}  # the replay from Scribe fills the gap
+        assert offset == 5
+
+    def test_backup_during_outage_is_skipped(self, clock):
+        hdfs = HdfsBlobStore(clock=clock)
+        hdfs.add_outage(0.0, 100.0)
+        backend = make_local({}, hdfs)
+        backend.save_state({"count": 1})
+        assert not backend.maybe_backup()
+
+    def test_no_backup_engine_maybe_backup_false(self):
+        assert not make_local().maybe_backup()
+
+
+class TestRemoteDbBackend:
+    def test_failover_is_constant_and_lossless(self):
+        backend = make_remote()
+        backend.save_state({"count": 11})
+        backend.save_offset(11)
+        cost = backend.recover_failover()
+        assert cost.entries == 0
+        assert cost.source == "remote-db"
+        assert backend.load() == ({"count": 11}, 11)
+
+    def test_append_only_issues_no_reads(self):
+        backend = make_remote(RemoteWriteMode.APPEND_ONLY)
+        backend.flush_partials({"k": {"n": 1}}, OPERATOR)
+        snapshot = backend.db.metrics.snapshot()
+        assert snapshot.get("zippydb.batch_reads", 0) == 0
+
+    def test_read_modify_write_issues_reads(self):
+        backend = make_remote(RemoteWriteMode.READ_MODIFY_WRITE)
+        backend.flush_partials({"k": {"n": 1}}, OPERATOR)
+        snapshot = backend.db.metrics.snapshot()
+        assert snapshot["zippydb.batch_reads"] == 1
+
+    def test_both_modes_agree_on_values(self):
+        append = make_remote(RemoteWriteMode.APPEND_ONLY)
+        rmw = make_remote(RemoteWriteMode.READ_MODIFY_WRITE)
+        for backend in (append, rmw):
+            backend.flush_partials({"k": {"n": 2}}, OPERATOR)
+            backend.flush_partials({"k": {"n": 3}, "j": {"m": 1}}, OPERATOR)
+        assert append.read_value("k") == rmw.read_value("k") == {"n": 5}
+        assert append.read_value("j") == rmw.read_value("j") == {"m": 1}
+
+    def test_empty_flush_is_noop(self):
+        backend = make_remote()
+        backend.flush_partials({}, OPERATOR)
+        assert backend.db.metrics.snapshot().get("zippydb.batch_merge_writes",
+                                                 0) == 0
+
+    def test_monoid_exactly_once_flush(self):
+        backend = make_remote()
+        backend.flush_partials_atomic({"k": {"n": 4}}, OPERATOR, 17,
+                                      [Output({"v": 1})], 1)
+        assert backend.read_value("k") == {"n": 4}
+        _, offset = backend.load()
+        assert offset == 17
+        assert backend.committed_outputs() == [{"v": 1}]

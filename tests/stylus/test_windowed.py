@@ -1,0 +1,152 @@
+"""Tests for the watermark-driven windowed aggregator."""
+
+import pytest
+
+from repro.core.semantics import SemanticsPolicy
+from repro.errors import ConfigError
+from repro.runtime.rng import make_rng
+from repro.scribe.reader import CategoryReader
+from repro.storage.merge import CounterMergeOperator
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.stylus.windowed import WindowedAggregator
+
+
+def make_aggregator(confidence=0.99, window=10.0):
+    return WindowedAggregator(
+        window_seconds=window,
+        operator=CounterMergeOperator(),
+        extract=lambda event: [(str(event.get("k", "all")), 1)],
+        confidence=confidence,
+    )
+
+
+def wire_task(scribe, aggregator, checkpoint_every=50):
+    scribe.ensure_category("in", 1)
+    scribe.ensure_category("out", 1)
+    return StylusTask("win", scribe, "in", 0, aggregator,
+                      semantics=SemanticsPolicy.at_least_once(),
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=checkpoint_every),
+                      output_category="out", clock=scribe.clock)
+
+
+def emitted(scribe):
+    return [m.decode() for m in CategoryReader(scribe, "out").read_all()]
+
+
+class TestWindowClosing:
+    def test_windows_close_once_watermark_passes(self, scribe):
+        aggregator = make_aggregator()
+        task = wire_task(scribe, aggregator)
+        # 100 in-order events, 1/s: windows [0,10) .. [90,100).
+        for i in range(100):
+            scribe.write_record("in", {"event_time": float(i), "k": "a"})
+        task.pump()
+        task.checkpoint_now()
+        rows = emitted(scribe)
+        assert rows, "closed windows must emit"
+        # Every emitted row is a complete window of 10 events.
+        assert all(row["value"] == 10 for row in rows)
+        assert all(row["final"] for row in rows)
+        # The newest windows stay open (the watermark hasn't passed them).
+        open_windows = WindowedAggregator.open_windows(task.state)
+        assert open_windows
+        assert max(row["window_start"] for row in rows) < min(open_windows)
+
+    def test_each_window_emitted_exactly_once(self, scribe):
+        task = wire_task(scribe, make_aggregator(), checkpoint_every=20)
+        for i in range(200):
+            scribe.write_record("in", {"event_time": float(i), "k": "a"})
+        task.pump()
+        task.checkpoint_now()
+        starts = [row["window_start"] for row in emitted(scribe)]
+        assert len(starts) == len(set(starts))
+
+    def test_out_of_order_events_land_in_their_window(self, scribe):
+        task = wire_task(scribe, make_aggregator(confidence=0.99))
+        rng = make_rng(5, "windowed")
+        times = [i * 0.5 for i in range(200)]
+        # bounded disorder: swap nearby events
+        for i in range(0, 198, 2):
+            if rng.random() < 0.5:
+                times[i], times[i + 1] = times[i + 1], times[i]
+        for t in times:
+            scribe.write_record("in", {"event_time": t, "k": "a"})
+        task.pump()
+        task.checkpoint_now()
+        rows = emitted(scribe)
+        assert rows
+        # Windows are 10s of 0.5s-spaced events: exactly 20 per window.
+        assert all(row["value"] == 20 for row in rows)
+        assert WindowedAggregator.late_events(task.state) == 0
+
+    def test_very_late_events_are_counted_and_dropped(self, scribe):
+        task = wire_task(scribe, make_aggregator(), checkpoint_every=10)
+        for i in range(100):
+            scribe.write_record("in", {"event_time": float(i), "k": "a"})
+        task.pump()
+        task.checkpoint_now()
+        closed_before = task.state["closed_before"]
+        assert closed_before is not None
+        # An event far older than every closed window arrives now.
+        scribe.write_record("in", {"event_time": 0.5, "k": "a"})
+        task.pump()
+        assert WindowedAggregator.late_events(task.state) == 1
+
+    def test_keys_aggregate_independently(self, scribe):
+        task = wire_task(scribe, make_aggregator())
+        for i in range(100):
+            scribe.write_record("in", {"event_time": float(i),
+                                       "k": "a" if i % 2 else "b"})
+        task.pump()
+        task.checkpoint_now()
+        rows = emitted(scribe)
+        by_key = {}
+        for row in rows:
+            by_key.setdefault(row["key"], 0)
+            by_key[row["key"]] += row["value"]
+        assert by_key["a"] == by_key["b"]
+
+    def test_lower_confidence_closes_windows_sooner(self, scribe):
+        """The confidence knob trades emission latency for stragglers."""
+        def closed_count(confidence):
+            clock_events = 100
+            from repro.runtime.clock import SimClock
+            from repro.scribe.store import ScribeStore
+            local = ScribeStore(clock=SimClock())
+            task = wire_task(local, make_aggregator(confidence=confidence),
+                             checkpoint_every=clock_events)
+            rng = make_rng(9, "conf")
+            for i in range(clock_events):
+                local.write_record("in", {
+                    "event_time": max(0.0, i - rng.uniform(0, 8)),
+                    "k": "a",
+                })
+            task.pump()
+            task.checkpoint_now()
+            return len(emitted(local))
+
+        assert closed_count(0.5) >= closed_count(0.999)
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            make_aggregator(window=0.0)
+        with pytest.raises(ConfigError):
+            make_aggregator(confidence=0.0)
+
+
+class TestRecovery:
+    def test_state_survives_crash_restart(self, scribe):
+        task = wire_task(scribe, make_aggregator(), checkpoint_every=25)
+        for i in range(50):
+            scribe.write_record("in", {"event_time": float(i), "k": "a"})
+        task.pump()
+        before_open = WindowedAggregator.open_windows(task.state)
+        task.checkpoint_now()
+        task._die()
+        task.restart()
+        after_open = WindowedAggregator.open_windows(task.state)
+        assert after_open == before_open

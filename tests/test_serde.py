@@ -1,0 +1,37 @@
+"""Tests for payload serialization."""
+
+import pytest
+
+from repro import serde
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        record = {"event_time": 1.5, "text": "héllo", "n": 3,
+                  "nested": {"a": [1, 2]}}
+        assert serde.decode(serde.encode(record)) == record
+
+    def test_tuples_become_lists(self):
+        decoded = serde.decode(serde.encode({"pair": (1, 2)}))
+        assert decoded["pair"] == [1, 2]
+
+    def test_deterministic_key_order(self):
+        a = serde.encode({"b": 1, "a": 2})
+        b = serde.encode({"a": 2, "b": 1})
+        assert a == b
+
+    def test_unencodable_raises(self):
+        with pytest.raises(serde.SerdeError):
+            serde.encode({"bad": object()})
+
+    def test_bad_bytes_raise(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode(b"\xff\xfe not json")
+
+    def test_non_record_payload_raises(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode(b"[1, 2, 3]")
+
+    def test_encoded_size(self):
+        record = {"a": 1}
+        assert serde.encoded_size(record) == len(serde.encode(record))

@@ -1,0 +1,116 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.rng import make_rng
+from repro.workloads.events import (
+    EventStreamWorkload,
+    TrendBurst,
+    TrendingEventsWorkload,
+)
+from repro.workloads.posts import AdMoment, PostsWorkload
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, 1.1)
+        total = sum(sampler.probability(i) for i in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_head_is_heavier_than_tail(self):
+        sampler = ZipfSampler(1000, 1.1, rng=make_rng(1, "zipf"))
+        samples = [sampler.sample() for _ in range(10_000)]
+        head = sum(1 for s in samples if s < 10)
+        assert head > len(samples) * 0.3
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5, 1.0, rng=make_rng(2, "zipf"))
+        assert all(0 <= sampler.sample() < 5 for _ in range(1000))
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, exponent=0)
+
+
+class TestTrendingEventsWorkload:
+    def test_deterministic_for_seed(self):
+        a = list(TrendingEventsWorkload(seed=3).generate(10.0))
+        b = list(TrendingEventsWorkload(seed=3).generate(10.0))
+        assert a == b
+
+    def test_rate_controls_volume(self):
+        events = list(TrendingEventsWorkload(rate_per_second=50.0)
+                      .generate(10.0))
+        assert len(events) == 500
+
+    def test_events_have_required_fields(self):
+        for event in TrendingEventsWorkload().generate(2.0):
+            assert set(event) == {"event_time", "event_type", "dim_id",
+                                  "text"}
+
+    def test_disorder_is_bounded(self):
+        workload = TrendingEventsWorkload(max_disorder_seconds=2.0,
+                                          rate_per_second=100.0)
+        events = list(workload.generate(10.0))
+        previous_arrival = 0.0
+        for index, event in enumerate(events):
+            arrival = index / 100.0
+            assert event["event_time"] <= arrival + 0.011
+            assert event["event_time"] >= arrival - 2.0 - 0.011
+            previous_arrival = arrival
+
+    def test_burst_boosts_topic(self):
+        burst = TrendBurst("science", 0.0, 10.0, multiplier=50.0)
+        workload = TrendingEventsWorkload(bursts=(burst,),
+                                          rate_per_second=200.0)
+        events = list(workload.generate(10.0))
+        science = sum(1 for e in events if "science" in e["text"])
+        assert science > len(events) * 0.5
+        assert workload.ground_truth_topics() == ["science"]
+
+    def test_dimension_rows_cover_ids(self):
+        workload = TrendingEventsWorkload(num_dimensions=50)
+        rows = workload.dimension_rows()
+        assert len(rows) == 50
+        assert {row["dim_id"] for row in rows} == {f"dim{i}" for i in range(50)}
+
+
+class TestEventStreamWorkload:
+    def test_fields_and_determinism(self):
+        events_a = list(EventStreamWorkload(seed=1).generate(5.0))
+        events_b = list(EventStreamWorkload(seed=1).generate(5.0))
+        assert events_a == events_b
+        assert set(events_a[0]) == {"event_time", "event", "category",
+                                    "score"}
+
+    def test_scores_are_non_negative(self):
+        assert all(e["score"] >= 0
+                   for e in EventStreamWorkload().generate(5.0))
+
+
+class TestPostsWorkload:
+    def test_ad_moment_spikes_hashtag(self):
+        workload = PostsWorkload(
+            ad_moment=AdMoment("#likeagirl", start=10.0, duration=20.0,
+                               multiplier=50.0),
+            rate_per_second=100.0,
+        )
+        posts = list(workload.generate(40.0))
+        inside = [p for p in posts if 10.0 <= p["event_time"] < 30.0]
+        outside = [p for p in posts if p["event_time"] < 10.0]
+        rate_inside = sum(p["hashtag"] == "#likeagirl" for p in inside) \
+            / len(inside)
+        rate_outside = (sum(p["hashtag"] == "#likeagirl" for p in outside)
+                        / len(outside))
+        assert rate_inside > 10 * max(rate_outside, 0.01)
+        assert workload.spike_window() == (10.0, 30.0)
+
+    def test_no_ad_moment(self):
+        workload = PostsWorkload(ad_moment=None)
+        assert workload.spike_window() is None
+        posts = list(workload.generate(5.0))
+        assert len(posts) == 250
