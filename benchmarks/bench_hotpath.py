@@ -1,0 +1,295 @@
+"""Hot-path microbenchmarks: ingest, process, point reads, recovery.
+
+Times the three loops the paper's evaluation is about — Scribe ingest
+(Section 4.2.2), the Stylus per-event loop (Figure 9), and LSM point
+reads (Figure 12) — plus WAL recovery replay (Figure 10), and persists
+the results to ``BENCH_hotpath.json`` at the repo root.
+
+Run directly::
+
+    python benchmarks/bench_hotpath.py            # full run, write JSON
+    python benchmarks/bench_hotpath.py --quick    # smaller sizes
+    python benchmarks/bench_hotpath.py --output /tmp/bench.json
+
+or as the perf smoke test (compares against the committed baseline)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -m perf_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_harness import (  # noqa: E402  (path bootstrap above)
+    BASELINE_PATH,
+    BenchResult,
+    collect,
+    diff_reports,
+    load_report,
+    timed,
+    write_report,
+)
+
+from repro import serde  # noqa: E402
+from repro.core.costs import CostModel  # noqa: E402
+from repro.core.event import Event  # noqa: E402
+from repro.runtime.clock import SimClock  # noqa: E402
+from repro.scribe.store import ScribeStore  # noqa: E402
+from repro.scribe.writer import ScribeWriter  # noqa: E402
+from repro.storage.lsm import LsmStore  # noqa: E402
+from repro.stylus.checkpointing import CheckpointPolicy  # noqa: E402
+from repro.stylus.engine import StylusTask  # noqa: E402
+from repro.stylus.processor import Output, StatelessProcessor  # noqa: E402
+
+
+class _Passthrough(StatelessProcessor):
+    """Minimal processor so the bench measures engine overhead."""
+
+    def process(self, event: Event) -> list[Output]:
+        return []
+
+
+def _record(i: int) -> dict:
+    return {"event_time": float(i), "seq": i, "user": f"user-{i % 997}",
+            "action": "click", "weight": i % 13}
+
+
+# -- microbenchmarks ---------------------------------------------------------
+
+
+def bench_ingest(n: int) -> BenchResult:
+    """Scribe write path: serialize + append via a cached writer handle."""
+
+    def run() -> int:
+        scribe = ScribeStore(clock=SimClock())
+        scribe.create_category("in", num_buckets=4)
+        writer = ScribeWriter(scribe, "in")
+        write = writer.write
+        for i in range(n):
+            write(_record(i), key=str(i))
+        return n
+
+    wall, ops = timed(run)
+    return BenchResult("ingest", wall, ops)
+
+
+def bench_process(n: int) -> BenchResult:
+    """Stylus per-event loop: read_batch + batched decode + process."""
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("in", num_buckets=1)
+    writer = ScribeWriter(scribe, "in")
+    for i in range(n):
+        writer.write_to_bucket(_record(i), 0)
+
+    def run() -> int:
+        task = StylusTask("bench", scribe, "in", 0, _Passthrough(),
+                          checkpoint_policy=CheckpointPolicy(
+                              every_n_events=1000),
+                          clock=SimClock())
+        done = 0
+        while True:
+            pumped = task.pump(10_000)
+            if pumped == 0:
+                return done
+            done += pumped
+
+    wall, ops = timed(run)
+
+    # Deterministic companion: the modeled (simulated-clock) cost of the
+    # same loop under a fixed CostModel — catches engine-timeline
+    # regressions that wall clocks are too noisy to see.
+    costs = CostModel(receive_per_event=2e-6, deserialize_per_event=8e-6,
+                      process_per_event=2e-6, checkpoint_sync=1e-3)
+    modeled_task = StylusTask("modeled", scribe, "in", 0, _Passthrough(),
+                              checkpoint_policy=CheckpointPolicy(
+                                  every_n_events=1000),
+                              clock=SimClock(), cost_model=costs)
+    modeled = 0
+    while True:
+        pumped = modeled_task.pump(10_000)
+        if pumped == 0:
+            break
+        modeled += pumped
+    modeled_per_event = (modeled_task.timeline.elapsed() / modeled
+                         if modeled else 0.0)
+    return BenchResult("process", wall, ops, counters={
+        "modeled_seconds_per_event": modeled_per_event,
+    })
+
+
+def bench_lsm_point_read(num_keys: int, num_reads: int) -> BenchResult:
+    """LSM point reads: hit (cold/warm) and absent-key latency + scans.
+
+    The store is built with several un-compacted runs so the bloom
+    filters have work to do; the counters record how many runs an
+    absent-key read actually probes versus the one-search-per-run cost
+    the seed implementation paid.
+    """
+    store = LsmStore(name="bench", compaction_trigger=64,
+                     memtable_flush_bytes=1 << 30,
+                     row_cache_size=2 * num_keys)  # warm pass fits
+    for i in range(num_keys):
+        store.put(f"key:{i:08d}", {"seq": i, "weight": i % 13})
+        if (i + 1) % (num_keys // 8) == 0:
+            store.flush()
+    store.flush()
+    runs = store.num_sstables
+    get = store.get
+
+    def run_hits() -> int:
+        for i in range(num_reads):
+            get(f"key:{(i * 7919) % num_keys:08d}")
+        return num_reads
+
+    hit_cold_wall, _ = timed(run_hits, repeat=1)
+    hit_warm_wall, _ = timed(run_hits)  # row cache + bloom already warm
+
+    probes_before = store.stats.sstable_probes
+
+    def run_absent() -> int:
+        # Interleaved *inside* the stored key range so the min/max check
+        # cannot reject them — the bloom filters do the work.
+        for i in range(num_reads):
+            get(f"key:{i:08d}x")
+        return num_reads
+
+    absent_wall, _ = timed(run_absent, repeat=1)
+    absent_probes = store.stats.sstable_probes - probes_before
+    naive_scans = num_reads * runs  # the seed probed every run per read
+    reduction = naive_scans / max(1, absent_probes)
+
+    wall = hit_cold_wall + hit_warm_wall + absent_wall
+    ops = num_reads * 3
+    stats = store.stats
+    return BenchResult(
+        "lsm_point_read", wall, ops,
+        metrics={
+            "hit_cold_us": hit_cold_wall / num_reads * 1e6,
+            "hit_warm_us": hit_warm_wall / num_reads * 1e6,
+            "absent_us": absent_wall / num_reads * 1e6,
+        },
+        counters={
+            "sstable_runs": float(runs),
+            "absent_reads": float(num_reads),
+            "absent_probes": float(absent_probes),
+            "naive_scans": float(naive_scans),
+            "scan_reduction_factor": reduction,
+            "probes_per_absent_read": absent_probes / num_reads,
+            "cache_hit_rate": (stats.cache_hits
+                               / max(1, stats.cache_hits
+                                     + stats.cache_misses)),
+        },
+    )
+
+
+def bench_recovery(n: int) -> BenchResult:
+    """WAL replay after a process crash (Figure 10's fast rung)."""
+    store = LsmStore(name="recover", memtable_flush_bytes=1 << 30)
+    for i in range(n):
+        store.put(f"key:{i:08d}", i)
+    store.drop_memory()
+
+    def run() -> int:
+        return store.recover()
+
+    wall, ops = timed(run)
+    return BenchResult("recovery", wall, ops)
+
+
+def bench_serde_batch(n: int) -> BenchResult:
+    """Batched vs per-message deserialization (the Figure 9 bottleneck)."""
+    payloads = serde.encode_batch([_record(i) for i in range(n)])
+
+    def run_single() -> int:
+        decode = serde.decode
+        for payload in payloads:
+            decode(payload)
+        return n
+
+    def run_batch() -> int:
+        serde.decode_batch(payloads)
+        return n
+
+    single_wall, _ = timed(run_single)
+    batch_wall, ops = timed(run_batch)
+    return BenchResult(
+        "serde_batch", batch_wall, ops,
+        metrics={
+            "single_us_per_op": single_wall / n * 1e6,
+            "batch_speedup": single_wall / batch_wall if batch_wall else 0.0,
+        },
+    )
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def run_hotpath(quick: bool = False) -> dict:
+    """Run every microbenchmark; return the persistable report."""
+    scale = 4 if quick else 1
+    results = [
+        bench_ingest(20_000 // scale),
+        bench_process(20_000 // scale),
+        bench_lsm_point_read(8_000 // scale, 4_000 // scale),
+        bench_recovery(20_000 // scale),
+        bench_serde_batch(20_000 // scale),
+    ]
+    return collect(results, quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes (finishes in a few seconds)")
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH,
+                        help=f"where to write the JSON (default "
+                             f"{BASELINE_PATH})")
+    args = parser.parse_args(argv)
+    start = time.perf_counter()
+    report = run_hotpath(quick=args.quick)
+    elapsed = time.perf_counter() - start
+    path = write_report(report, args.output)
+    print(f"wrote {path} in {elapsed:.1f}s")
+    for name, bench in sorted(report["benchmarks"].items()):
+        print(f"  {name:16s} {bench['ops_per_sec']:>12,.0f} ops/s  "
+              f"{bench['us_per_op']:>8.2f} us/op")
+    counters = report["benchmarks"]["lsm_point_read"]["counters"]
+    print(f"  absent-key scan reduction: "
+          f"{counters['scan_reduction_factor']:.1f}x "
+          f"({counters['naive_scans']:.0f} naive scans -> "
+          f"{counters['absent_probes']:.0f} probes)")
+    return 0
+
+
+# -- perf smoke test (opt-in: pytest -m perf_smoke on this file) -------------
+
+try:
+    import pytest
+except ImportError:  # script mode without pytest installed
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.perf_smoke
+    def test_hotpath_no_regression_vs_baseline():
+        """Quick bench vs. the committed baseline; >25% rate drop fails."""
+        if not BASELINE_PATH.exists():
+            pytest.skip("no committed BENCH_hotpath.json baseline")
+        current = run_hotpath(quick=True)
+        regressions = diff_reports(current, load_report(), threshold=0.25)
+        assert not regressions, "\n".join(r.describe() for r in regressions)
+
+    @pytest.mark.perf_smoke
+    def test_absent_key_reads_skip_sstable_scans():
+        """The acceptance bar: >= 5x fewer scans than the seed's."""
+        result = bench_lsm_point_read(2_000, 1_000)
+        assert result.counters["scan_reduction_factor"] >= 5.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

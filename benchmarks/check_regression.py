@@ -1,0 +1,80 @@
+"""CI entry point: fail the build on hot-path perf regressions.
+
+Runs the hotpath microbenchmarks (quick mode by default, well under the
+60-second budget) and diffs them against the committed
+``BENCH_hotpath.json``. Exits nonzero if any wall-clock rate regressed
+past the threshold (default 25%) or any deterministic work counter
+regressed past its tight tolerance.
+
+Usage::
+
+    python benchmarks/check_regression.py             # quick run, 25%
+    python benchmarks/check_regression.py --threshold 0.10
+    python benchmarks/check_regression.py --full      # full-size run
+    python benchmarks/check_regression.py --update    # rewrite baseline
+
+The same check is available as a pytest marker::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -m perf_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_harness import (  # noqa: E402  (path bootstrap above)
+    BASELINE_PATH,
+    diff_reports,
+    load_report,
+    write_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="baseline JSON to compare against")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed wall-clock regression (default 0.25)")
+    parser.add_argument("--full", action="store_true",
+                        help="full-size run instead of quick mode")
+    parser.add_argument("--update", action="store_true",
+                        help="write the fresh run to the baseline and exit")
+    args = parser.parse_args(argv)
+
+    from bench_hotpath import run_hotpath
+
+    start = time.perf_counter()
+    current = run_hotpath(quick=not args.full)
+    elapsed = time.perf_counter() - start
+
+    if args.update:
+        path = write_report(current, args.baseline)
+        print(f"baseline updated: {path} ({elapsed:.1f}s)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    regressions = diff_reports(current, load_report(args.baseline),
+                               threshold=args.threshold)
+    if regressions:
+        print(f"PERF REGRESSION ({len(regressions)} metric(s), "
+              f"bench took {elapsed:.1f}s):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        return 1
+    print(f"perf ok: no regression past {args.threshold:.0%} "
+          f"(bench took {elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

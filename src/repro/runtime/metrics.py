@@ -114,9 +114,26 @@ class MetricsRegistry:
         return flat
 
     def find(self, prefix: str) -> dict[str, float]:
-        """Return the snapshot entries whose name starts with ``prefix``."""
-        return {
-            name: value
-            for name, value in self.snapshot().items()
-            if name.startswith(prefix)
-        }
+        """Return the snapshot entries whose name starts with ``prefix``.
+
+        Filters each metric family directly rather than materializing a
+        full :meth:`snapshot` — monitoring loops (lag polling, alert
+        evaluation) call this every cycle against registries holding one
+        metric per task, so the full flatten was an O(all metrics) tax
+        per poll.
+        """
+        flat: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            if name.startswith(prefix):
+                flat[name] = counter.value
+        for name, gauge in self._gauges.items():
+            if name.startswith(prefix):
+                flat[name] = gauge.value
+        for name, timer in self._timers.items():
+            count_name = f"{name}.count"
+            total_name = f"{name}.total_seconds"
+            if count_name.startswith(prefix):
+                flat[count_name] = float(timer.count)
+            if total_name.startswith(prefix):
+                flat[total_name] = timer.total_seconds
+        return flat

@@ -88,9 +88,24 @@ class Bucket:
             )
         if max_messages <= 0:
             return []
-        result: list[StoredMessage] = []
-        budget = max_bytes if max_bytes is not None else float("inf")
         position = offset - self._base_offset
+        if max_bytes is None:
+            # Fast path: one slice, then truncate at the visibility
+            # horizon (visible_at is non-decreasing: the bus stamps it
+            # from its monotone clock plus a constant delay).
+            chunk = self._messages[position:position + max_messages]
+            if not chunk or chunk[-1].visible_at <= now:
+                return chunk
+            lo, hi = 0, len(chunk)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if chunk[mid].visible_at <= now:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            return chunk[:lo]
+        result: list[StoredMessage] = []
+        budget = max_bytes
         while position < len(self._messages) and len(result) < max_messages:
             message = self._messages[position]
             if message.visible_at > now:

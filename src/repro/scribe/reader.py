@@ -5,6 +5,11 @@ decoupling that the paper's data-transfer decision buys (Section 4.2.2).
 A reader owns only a position; seeking it backwards replays history
 (debugging, recovery), and two readers at different positions never
 interfere.
+
+Each reader resolves its :class:`~repro.scribe.bucket.Bucket` handle
+once at attach time and reads through it directly, rather than paying a
+category-registry and bucket-list lookup per batch. Bucket handles are
+stable: categories only grow, and grown buckets keep their objects.
 """
 
 from __future__ import annotations
@@ -22,8 +27,10 @@ class ScribeReader:
         self.store = store
         self.category = category
         self.bucket = bucket
+        # Resolved once; validates the category/bucket pair eagerly.
+        self._bucket = store.category(category).bucket(bucket)
         if start_offset is None:
-            start_offset = store.first_retained_offset(category, bucket)
+            start_offset = self._bucket.first_retained_offset
         self.position = start_offset
 
     # -- reading ---------------------------------------------------------------
@@ -37,23 +44,24 @@ class ScribeReader:
         offset — matching a real tailer, which loses that data.
         """
         try:
-            batch = self.store.read(self.category, self.bucket, self.position,
-                                    max_messages, max_bytes)
+            batch = self.store.read_from(self._bucket, self.position,
+                                         max_messages, max_bytes)
         except OffsetOutOfRange:
-            first = self.store.first_retained_offset(self.category, self.bucket)
+            first = self._bucket.first_retained_offset
             if self.position >= first:
                 raise  # position beyond the end: a real bug, don't mask it
             self.position = first
-            batch = self.store.read(self.category, self.bucket, self.position,
-                                    max_messages, max_bytes)
+            batch = self.store.read_from(self._bucket, self.position,
+                                         max_messages, max_bytes)
         if batch:
             self.position = batch[-1].offset + 1
         return batch
 
-    def peek(self, max_messages: int = 100) -> list[Message]:
+    def peek(self, max_messages: int = 100,
+             max_bytes: int | None = None) -> list[Message]:
         """Read without advancing the position."""
-        return self.store.read(self.category, self.bucket, self.position,
-                               max_messages)
+        return self.store.read_from(self._bucket, self.position,
+                                    max_messages, max_bytes)
 
     # -- positioning ---------------------------------------------------------
 
@@ -61,21 +69,20 @@ class ScribeReader:
         self.position = offset
 
     def seek_to_end(self) -> None:
-        self.position = self.store.end_offset(self.category, self.bucket)
+        self.position = self._bucket.end_offset
 
     def seek_to_start(self) -> None:
-        self.position = self.store.first_retained_offset(self.category, self.bucket)
+        self.position = self._bucket.first_retained_offset
 
     def seek_to_time(self, write_time: float) -> None:
         """Replay from a given (recent) time period (Section 6.2)."""
-        bucket = self.store.category(self.category).bucket(self.bucket)
-        self.position = bucket.first_offset_at_or_after(write_time)
+        self.position = self._bucket.first_offset_at_or_after(write_time)
 
     # -- lag (Section 6.4: "processing lag" alerts) -----------------------------
 
     def lag_messages(self) -> int:
         """How many visible messages are waiting to be read."""
-        end = self.store.visible_end_offset(self.category, self.bucket)
+        end = self._bucket.visible_end_offset(self.store.clock.now())
         return max(0, end - self.position)
 
     def caught_up(self) -> bool:
@@ -93,6 +100,7 @@ class CategoryReader:
                  from_start: bool = True) -> None:
         self.store = store
         self.category = category
+        self._from_start = from_start
         num_buckets = store.category(category).num_buckets
         self.readers = [
             ScribeReader(store, category, bucket,
@@ -103,23 +111,39 @@ class CategoryReader:
         self._next_bucket = 0
 
     def _refresh_buckets(self) -> None:
-        # The category may have been resized since we attached.
+        # The category may have been resized since we attached. A reader
+        # attached with from_start=False is tail-only, so buckets it
+        # discovers late start at their current end — otherwise a resize
+        # would make it replay every message those buckets accumulated
+        # before the next read noticed them.
         num_buckets = self.store.category(self.category).num_buckets
         for bucket in range(len(self.readers), num_buckets):
-            self.readers.append(ScribeReader(self.store, self.category, bucket))
+            self.readers.append(ScribeReader(
+                self.store, self.category, bucket,
+                start_offset=None if self._from_start else
+                self.store.end_offset(self.category, bucket),
+            ))
 
-    def read_batch(self, max_messages: int = 100) -> list[Message]:
-        """Read up to ``max_messages`` total, round-robin over buckets."""
+    def read_batch(self, max_messages: int = 100,
+                   max_bytes: int | None = None) -> list[Message]:
+        """Read up to ``max_messages``/``max_bytes`` total, round-robin
+        over buckets (the byte budget spans the whole fan-in batch)."""
         self._refresh_buckets()
         result: list[Message] = []
+        consumed = 0
         attempts = 0
         while len(result) < max_messages and attempts < len(self.readers):
             reader = self.readers[self._next_bucket]
             self._next_bucket = (self._next_bucket + 1) % len(self.readers)
-            batch = reader.read_batch(max_messages - len(result))
+            remaining = (None if max_bytes is None
+                         else max(0, max_bytes - consumed))
+            if remaining is not None and consumed and remaining <= 0:
+                break
+            batch = reader.read_batch(max_messages - len(result), remaining)
             if batch:
                 attempts = 0
                 result.extend(batch)
+                consumed += sum(message.size for message in batch)
             else:
                 attempts += 1
         return result

@@ -8,8 +8,8 @@ from typing import Any, Mapping
 from repro import serde
 from repro.errors import ConfigError, UnknownCategory
 from repro.runtime.clock import Clock, WallClock
-from repro.runtime.metrics import MetricsRegistry
-from repro.scribe.bucket import StoredMessage
+from repro.runtime.metrics import Counter, MetricsRegistry
+from repro.scribe.bucket import Bucket, StoredMessage
 from repro.scribe.category import Category
 from repro.scribe.message import Message
 
@@ -42,6 +42,10 @@ class ScribeStore:
         self.delivery_delay = delivery_delay
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._categories: dict[str, Category] = {}
+        # Per-category (messages, bytes) counter handles, resolved once:
+        # the write path must not pay an f-string + registry lookup per
+        # message (Figure 9 is about exactly this kind of per-event tax).
+        self._write_counters: dict[str, tuple[Counter, Counter]] = {}
 
     # -- category management -------------------------------------------------
 
@@ -72,6 +76,16 @@ class ScribeStore:
 
     # -- writes ---------------------------------------------------------------
 
+    def _counters_for(self, category_name: str) -> tuple[Counter, Counter]:
+        handles = self._write_counters.get(category_name)
+        if handles is None:
+            handles = (
+                self.metrics.counter(f"scribe.{category_name}.messages"),
+                self.metrics.counter(f"scribe.{category_name}.bytes"),
+            )
+            self._write_counters[category_name] = handles
+        return handles
+
     def write(self, category_name: str, payload: bytes,
               key: str | None = None, bucket: int | None = None) -> int:
         """Append raw bytes; return the assigned offset.
@@ -79,7 +93,16 @@ class ScribeStore:
         The bucket is chosen by, in priority order: the explicit ``bucket``
         argument, hashing ``key``, or bucket 0.
         """
-        category = self.category(category_name)
+        return self.write_to(self.category(category_name), payload,
+                             key=key, bucket=bucket)
+
+    def write_to(self, category: Category, payload: bytes,
+                 key: str | None = None, bucket: int | None = None) -> int:
+        """Append via a pre-resolved :class:`Category` handle.
+
+        The fast path for writer clients that already hold the category
+        (see :class:`~repro.scribe.writer.ScribeWriter`): no name lookup.
+        """
         if bucket is None:
             if key is not None:
                 bucket = default_bucketer(key, category.num_buckets)
@@ -89,8 +112,9 @@ class ScribeStore:
         offset = category.bucket(bucket).append(
             payload, write_time=now, visible_at=now + self.delivery_delay
         )
-        self.metrics.counter(f"scribe.{category_name}.messages").increment()
-        self.metrics.counter(f"scribe.{category_name}.bytes").increment(len(payload))
+        messages, nbytes = self._counters_for(category.name)
+        messages.increment()
+        nbytes.increment(len(payload))
         return offset
 
     def write_record(self, category_name: str, record: Mapping[str, Any],
@@ -104,11 +128,27 @@ class ScribeStore:
              max_messages: int = 100,
              max_bytes: int | None = None) -> list[Message]:
         """Read visible messages from one bucket starting at ``offset``."""
-        category = self.category(category_name)
-        stored = category.bucket(bucket).read(
+        return self.read_from(self.category(category_name).bucket(bucket),
+                              offset, max_messages, max_bytes)
+
+    def read_from(self, bucket: Bucket, offset: int,
+                  max_messages: int = 100,
+                  max_bytes: int | None = None) -> list[Message]:
+        """Read via a pre-resolved :class:`Bucket` handle.
+
+        The fast path for reader clients (see
+        :class:`~repro.scribe.reader.ScribeReader`): per-batch work is one
+        visibility-bounded slice plus message wrapping, with no category
+        or bucket dict lookups.
+        """
+        stored = bucket.read(
             offset, max_messages, now=self.clock.now(), max_bytes=max_bytes
         )
-        return [self._to_message(category_name, bucket, item) for item in stored]
+        category_name = bucket.category
+        index = bucket.index
+        return [Message(category_name, index, item.offset, item.write_time,
+                        item.payload)
+                for item in stored]
 
     def end_offset(self, category_name: str, bucket: int) -> int:
         return self.category(category_name).bucket(bucket).end_offset

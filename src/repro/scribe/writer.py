@@ -14,27 +14,46 @@ class ScribeWriter:
     Processors re-shard their output by writing with a different shard key
     than the one their input was sharded by (e.g. the Filterer in Figure 3
     shards its output by dimension id).
+
+    The category handle is resolved once at construction (handles are
+    stable across resizes), so the per-write cost is encode + append —
+    no registry lookups on the hot path.
     """
 
     def __init__(self, store: ScribeStore, category: str) -> None:
         self.store = store
         self.category = category
-        # Fail fast on typos rather than on the first write.
-        store.category(category)
+        # Fail fast on typos rather than on the first write; keep the
+        # resolved handle for every subsequent append.
+        self._category = store.category(category)
 
     def write(self, record: Mapping[str, Any], key: str | None = None) -> int:
         """Serialize and append ``record``; return the assigned offset."""
-        return self.store.write_record(self.category, record, key=key)
+        return self.store.write_to(self._category, serde.encode(record),
+                                   key=key)
+
+    def write_batch(self, records: list[Mapping[str, Any]],
+                    key: str | None = None) -> list[int]:
+        """Serialize and append many records; return their offsets.
+
+        One serde call and one handle resolution for the whole batch —
+        the write-side twin of :func:`repro.serde.decode_batch`.
+        """
+        write_to = self.store.write_to
+        category = self._category
+        return [write_to(category, payload, key=key)
+                for payload in serde.encode_batch(records)]
 
     def write_bytes(self, payload: bytes, key: str | None = None) -> int:
-        return self.store.write(self.category, payload, key=key)
+        return self.store.write_to(self._category, payload, key=key)
 
     def write_to_bucket(self, record: Mapping[str, Any], bucket: int) -> int:
-        return self.store.write_record(self.category, record, bucket=bucket)
+        return self.store.write_to(self._category, serde.encode(record),
+                                   bucket=bucket)
 
     def bucket_for_key(self, key: str) -> int:
         """Which bucket a key currently lands in (after any resize)."""
-        return default_bucketer(key, self.store.category(self.category).num_buckets)
+        return default_bucketer(key, self._category.num_buckets)
 
     def encoded_size(self, record: Mapping[str, Any]) -> int:
         return serde.encoded_size(record)

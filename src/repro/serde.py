@@ -5,17 +5,29 @@ events into them and deserialize on read. The paper's Figure 9 experiment
 hinges on deserialization being the CPU bottleneck of the Scuba ingestion
 processor, so the encoding here is deliberately a real (JSON-based) codec
 whose cost scales with payload size, not a no-op.
+
+Because deserialization dominates the hot loop, the module exposes batch
+variants (:func:`encode_batch`, :func:`decode_batch`) that amortize the
+per-call overhead — attribute lookups, try/except setup, type checks —
+across a whole Scribe batch. The batched and per-message paths produce
+byte-identical results (asserted by the property suite).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import ReproError
 
-__all__ = ["SerdeError", "encode", "decode", "encoded_size"]
-
+__all__ = [
+    "SerdeError",
+    "encode",
+    "decode",
+    "encode_batch",
+    "decode_batch",
+    "encoded_size",
+]
 
 class SerdeError(ReproError):
     """A payload could not be encoded or decoded."""
@@ -41,9 +53,64 @@ def decode(payload: bytes) -> dict[str, Any]:
     return record
 
 
+def encode_batch(records: Iterable[Mapping[str, Any]]) -> list[bytes]:
+    """Serialize many records in one pass (output matches :func:`encode`)."""
+    dumps = json.dumps
+    fallback = _encode_fallback
+    try:
+        return [
+            dumps(record, separators=(",", ":"), sort_keys=True,
+                  default=fallback).encode("utf-8")
+            for record in records
+        ]
+    except (TypeError, ValueError) as exc:
+        raise SerdeError(f"cannot encode record: {exc}") from exc
+
+
+def decode_batch(payloads: Iterable[bytes],
+                 errors: str = "strict") -> list[dict[str, Any] | None]:
+    """Deserialize many payloads in one pass (output matches :func:`decode`).
+
+    ``errors`` selects the poison-message policy: ``"strict"`` raises
+    :class:`SerdeError` on the first bad payload, ``"none"`` substitutes
+    ``None`` for each bad payload so a consumer can count-and-skip
+    without abandoning the rest of the batch.
+    """
+    if errors not in ("strict", "none"):
+        raise ValueError(f"unknown errors policy {errors!r}")
+    payloads = list(payloads)
+    loads = json.loads
+    try:
+        records = [loads(payload.decode("utf-8")) for payload in payloads]
+    except (UnicodeDecodeError, json.JSONDecodeError, AttributeError):
+        records = None
+    if records is not None and all(type(r) is dict for r in records):
+        return records
+    # Slow path: at least one payload is malformed (or not a record);
+    # re-decode one at a time so the error lands on the right payload.
+    result: list[dict[str, Any] | None] = []
+    for payload in payloads:
+        try:
+            result.append(decode(payload))
+        except SerdeError:
+            if errors == "strict":
+                raise
+            result.append(None)
+    return result
+
+
 def encoded_size(record: Mapping[str, Any]) -> int:
-    """Size in bytes of the encoded record."""
-    return len(encode(record))
+    """Size in bytes of the encoded record.
+
+    ``json.dumps`` with the default ``ensure_ascii=True`` emits pure
+    ASCII, so the UTF-8 byte length equals the string length — the
+    str→bytes encode (the second encode the seed paid) is skipped.
+    """
+    try:
+        return len(json.dumps(record, separators=(",", ":"), sort_keys=True,
+                              default=_encode_fallback))
+    except (TypeError, ValueError) as exc:
+        raise SerdeError(f"cannot encode record: {exc}") from exc
 
 
 def _encode_fallback(value: Any) -> Any:

@@ -11,6 +11,13 @@ Architecture (a faithful miniature of RocksDB's write path):
 - reads consult memtable then runs newest-to-oldest, resolving merge
   chains with the configured :class:`~repro.storage.merge.MergeOperator`.
 
+Read path: every run carries a bloom filter and key range, so a point
+read probes only the runs that might hold the key — a read of an absent
+key usually touches none (see :class:`LsmStats`, which counts probes and
+skips). A bounded LRU row cache short-circuits repeated point reads of
+hot keys; it is invalidated per key on writes and bypassed by scans so
+range queries cannot evict the hot set.
+
 Durability model: the WAL and SSTables live in a *disk namespace* — by
 default a private dict, but a Stylus processor passes its machine's
 ``disk`` dict so that a **process crash** (in-memory memtable lost)
@@ -21,15 +28,89 @@ of the paper's Figure 10.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import StoreClosed
+from repro.storage.bloom import hash_pair
 from repro.storage.memtable import Entry, EntryKind, Memtable
 from repro.storage.merge import MergeOperator
 from repro.storage.sstable import SSTable
 from repro.storage.wal import WalOp, WriteAheadLog
 
 _DISK_KEY = "lsm"
+
+#: Row-cache sentinel distinguishing "cached absence" from "not cached".
+_ABSENT = object()
+
+
+@dataclass
+class LsmStats:
+    """Read-path counters (per store instance, reset with the process).
+
+    ``sstable_probes`` counts binary searches actually performed inside
+    runs; ``bloom_skips``/``range_skips`` count runs rejected without a
+    search. The seed implementation probed every run on every read, so
+    ``gets * num_sstables`` is the naive-scan baseline the perf harness
+    compares against.
+    """
+
+    gets: int = 0
+    sstable_probes: int = 0
+    bloom_skips: int = 0
+    range_skips: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    flushes: int = 0
+    compactions: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "gets": self.gets,
+            "sstable_probes": self.sstable_probes,
+            "bloom_skips": self.bloom_skips,
+            "range_skips": self.range_skips,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "flushes": self.flushes,
+            "compactions": self.compactions,
+        }
+
+
+class _RowCache:
+    """Bounded LRU of resolved point-read results (absence included)."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def lookup(self, key: str) -> Any:
+        """The cached value, ``_ABSENT`` for a cached miss, or None."""
+        entries = self._entries
+        value = entries.get(key)
+        if value is None and key not in entries:
+            return None
+        entries.move_to_end(key)
+        return value
+
+    def store(self, key: str, value: Any) -> None:
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def invalidate(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class LsmStore:
@@ -39,7 +120,8 @@ class LsmStore:
                  name: str = "lsm",
                  merge_operator: MergeOperator | None = None,
                  memtable_flush_bytes: int = 64 * 1024,
-                 compaction_trigger: int = 4) -> None:
+                 compaction_trigger: int = 4,
+                 row_cache_size: int = 1024) -> None:
         self.name = name
         self.merge_operator = merge_operator
         self.memtable_flush_bytes = memtable_flush_bytes
@@ -47,6 +129,8 @@ class LsmStore:
         self._disk = disk if disk is not None else {}
         self._memtable = Memtable()
         self._closed = False
+        self.stats = LsmStats()
+        self._row_cache = _RowCache(row_cache_size) if row_cache_size > 0 else None
         self._disk_state()  # initialize the namespace eagerly
 
     # -- disk namespace -------------------------------------------------------
@@ -79,12 +163,16 @@ class LsmStore:
             raise ValueError("None values are reserved; use delete()")
         self._wal.append(WalOp.PUT, key, value)
         self._memtable.put(key, value)
+        if self._row_cache is not None:
+            self._row_cache.invalidate(key)
         self._maybe_flush()
 
     def delete(self, key: str) -> None:
         self._check_open()
         self._wal.append(WalOp.DELETE, key)
         self._memtable.delete(key)
+        if self._row_cache is not None:
+            self._row_cache.invalidate(key)
         self._maybe_flush()
 
     def merge(self, key: str, operand: Any) -> None:
@@ -94,6 +182,8 @@ class LsmStore:
             raise ValueError(f"store {self.name!r} has no merge operator")
         self._wal.append(WalOp.MERGE, key, operand)
         self._memtable.merge(key, operand)
+        if self._row_cache is not None:
+            self._row_cache.invalidate(key)
         self._maybe_flush()
 
     def write_batch(self, puts: dict[str, Any] | None = None,
@@ -105,19 +195,26 @@ class LsmStore:
         public calls, never inside one, so a batch is all-or-nothing.
         """
         self._check_open()
+        cache = self._row_cache
         for key, value in (puts or {}).items():
             if value is None:
                 raise ValueError("None values are reserved; use deletes")
             self._wal.append(WalOp.PUT, key, value)
             self._memtable.put(key, value)
+            if cache is not None:
+                cache.invalidate(key)
         for key in deletes or []:
             self._wal.append(WalOp.DELETE, key)
             self._memtable.delete(key)
+            if cache is not None:
+                cache.invalidate(key)
         for key, operand in merges or []:
             if self.merge_operator is None:
                 raise ValueError(f"store {self.name!r} has no merge operator")
             self._wal.append(WalOp.MERGE, key, operand)
             self._memtable.merge(key, operand)
+            if cache is not None:
+                cache.invalidate(key)
         self._maybe_flush()
 
     # -- reads ----------------------------------------------------------------
@@ -125,6 +222,23 @@ class LsmStore:
     def get(self, key: str) -> Any:
         """Return the value for ``key``, or None if absent/deleted."""
         self._check_open()
+        stats = self.stats
+        stats.gets += 1
+        cache = self._row_cache
+        if cache is not None:
+            cached = cache.lookup(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                return None if cached is _ABSENT else cached
+            stats.cache_misses += 1
+        value = self._lookup(key)
+        if cache is not None:
+            cache.store(key, _ABSENT if value is None else value)
+        return value
+
+    def _lookup(self, key: str) -> Any:
+        """Resolve ``key`` against the memtable and filter-passing runs."""
+        stats = self.stats
         pending: list[Any] = []  # newer-first merge operands awaiting a base
 
         entry = self._memtable.get(key)
@@ -133,13 +247,24 @@ class LsmStore:
             if done:
                 return resolved
 
-        for sstable in reversed(self._sstables):  # newest first
-            entry = sstable.get(key)
-            if entry is None:
-                continue
-            resolved, done = self._absorb(entry, pending)
-            if done:
-                return resolved
+        sstables = self._sstables
+        if sstables:
+            h1, h2 = hash_pair(key)
+            for sstable in reversed(sstables):  # newest first
+                min_key = sstable.min_key
+                if min_key is None or key < min_key or key > sstable.max_key:
+                    stats.range_skips += 1
+                    continue
+                if not sstable.bloom.may_contain_hashed(h1, h2):
+                    stats.bloom_skips += 1
+                    continue
+                stats.sstable_probes += 1
+                entry = sstable.get(key)
+                if entry is None:
+                    continue
+                resolved, done = self._absorb(entry, pending)
+                if done:
+                    return resolved
 
         if pending:
             # Chain bottomed out: fold onto the operator's identity.
@@ -147,11 +272,18 @@ class LsmStore:
         return None
 
     def multi_get(self, keys: list[str]) -> dict[str, Any]:
-        return {key: self.get(key) for key in keys}
+        self._check_open()
+        get = self.get
+        return {key: get(key) for key in keys}
 
     def scan(self, start: str | None = None,
              end: str | None = None) -> Iterator[tuple[str, Any]]:
-        """Yield (key, value) in key order over ``[start, end)``."""
+        """Yield (key, value) in key order over ``[start, end)``.
+
+        Scans resolve keys via :meth:`_lookup` directly, bypassing the
+        row cache so a large range read cannot evict the hot point-read
+        set (the classic scan-pollution problem).
+        """
         self._check_open()
         keys: set[str] = set()
         for key in self._memtable.keys():
@@ -161,7 +293,7 @@ class LsmStore:
             for key, _ in sstable.scan(start, end):
                 keys.add(key)
         for key in sorted(keys):
-            value = self.get(key)
+            value = self._lookup(key)
             if value is not None:
                 yield key, value
 
@@ -203,6 +335,7 @@ class LsmStore:
         state["flushed_seq"] = state["wal"].next_sequence
         state["wal"].truncate_before(state["flushed_seq"])
         self._memtable = Memtable()
+        self.stats.flushes += 1
         if len(state["sstables"]) > self.compaction_trigger:
             self.compact()
 
@@ -222,16 +355,22 @@ class LsmStore:
             if entry.kind != EntryKind.TOMBSTONE  # bottom level: drop dead keys
         ]
         state["sstables"] = [SSTable(survivors, level=1)] if survivors else []
+        self.stats.compactions += 1
 
     # -- lifecycle & recovery ----------------------------------------------------
 
     def drop_memory(self) -> None:
         """Simulate a process crash: lose the memtable, keep the disk."""
         self._memtable = Memtable()
+        # Unflushed writes are gone, so cached resolutions may be stale.
+        if self._row_cache is not None:
+            self._row_cache.clear()
 
     def recover(self) -> int:
         """Rebuild the memtable from unflushed WAL records; return count."""
         self._memtable = Memtable()
+        if self._row_cache is not None:
+            self._row_cache.clear()
         state = self._disk_state()
         count = 0
         for record in state["wal"].records_since(state["flushed_seq"]):
@@ -260,6 +399,10 @@ class LsmStore:
     @property
     def memtable_size(self) -> int:
         return len(self._memtable)
+
+    @property
+    def row_cache_len(self) -> int:
+        return len(self._row_cache) if self._row_cache is not None else 0
 
     def approximate_key_count(self) -> int:
         """Upper bound on live keys (duplicates across runs counted once)."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 import enum
 from typing import Any
 
+from repro import serde
 from repro.core.costs import CostModel, ResourceTimeline
 from repro.core.event import Event
 from repro.core.semantics import SemanticsPolicy, StateSemantics
@@ -85,7 +86,8 @@ class StylusTask:
                  time_field: str = "event_time",
                  cost_model: CostModel | None = None,
                  strategy: Strategy = Strategy.OVERLAPPED,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 max_batch_bytes: int | None = None) -> None:
         self.name = name
         self.scribe = scribe
         self.processor = processor
@@ -102,6 +104,23 @@ class StylusTask:
         self.timeline = ResourceTimeline() if cost_model else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.watermarks = WatermarkEstimator()
+        self.max_batch_bytes = max_batch_bytes
+
+        # Metric handles resolved once: the registry returns the same
+        # object for a name forever, so re-resolving through its dicts
+        # (plus an f-string) on every event is pure per-event tax.
+        registry = self.metrics
+        self._events_counter = registry.counter(f"stylus.{name}.events")
+        self._bytes_counter = registry.counter(f"stylus.{name}.bytes")
+        self._poison_counter = registry.counter(f"stylus.{name}.poison")
+        self._outputs_counter = registry.counter(f"stylus.{name}.outputs")
+        self._checkpoints_counter = registry.counter(
+            f"stylus.{name}.checkpoints")
+        self._crashes_counter = registry.counter(f"stylus.{name}.crashes")
+        self._lag_gauge = registry.gauge(f"stylus.{name}.lag")
+        # Test hook: force the per-message decode path even when the
+        # batched fast path would apply (equivalence property tests).
+        self._force_per_message = False
 
         self._reader = ScribeReader(scribe, input_category, bucket)
         self._writer = (ScribeWriter(scribe, output_category)
@@ -184,13 +203,26 @@ class StylusTask:
         processed = 0
         while processed < max_messages:
             batch = self._reader.read_batch(
-                min(100, max_messages - processed)
+                min(100, max_messages - processed),
+                max_bytes=self.max_batch_bytes,
             )
             if not batch:
                 break
-            for message in batch:
+            if self._use_batched_decode():
+                # Deserialization is side-effect-free (the overlapped
+                # strategy's defining property), so the whole batch is
+                # decoded up front in one serde pass, then processed
+                # message by message with unchanged checkpoint cadence.
+                events = self._decode_batch(batch)
+            else:
+                events = None
+            for index, message in enumerate(batch):
                 self._charge_receive(message)
-                if self.strategy == Strategy.BUFFERED:
+                if events is not None:
+                    event = events[index]
+                    if event is not None:
+                        self._route(self._process_event(event))
+                elif self.strategy == Strategy.BUFFERED:
                     self._raw_buffer.append(message)
                 else:
                     self._handle_message(message)
@@ -204,8 +236,51 @@ class StylusTask:
                         self._now(), self._last_checkpoint_at,
                         self._events_since_checkpoint):
                     self._checkpoint()
-        self.metrics.gauge(f"stylus.{self.name}.lag").set(self.lag_messages())
+        self._lag_gauge.set(self.lag_messages())
         return processed
+
+    def _use_batched_decode(self) -> bool:
+        """Whether the up-front batch-decode fast path applies.
+
+        Disabled when a cost model is attached (the modeled timeline
+        charges receive/deserialize in per-message interleaving) or when
+        crashes can be injected (a mid-batch crash must not have decoded
+        — observed watermarks, counted — messages past the crash point).
+        Results are identical either way; the property suite asserts it.
+        """
+        return (self.strategy == Strategy.OVERLAPPED
+                and self.cost_model is None
+                and isinstance(self.injector, NoCrashes)
+                and not self._force_per_message)
+
+    def _decode_batch(self, messages: list[Message]) -> list[Event | None]:
+        """Decode a batch in one pass; ``None`` marks a poison message."""
+        records = serde.decode_batch(
+            [message.payload for message in messages], errors="none"
+        )
+        from_record = Event.from_record
+        observe = self.watermarks.observe
+        time_field = self.time_field
+        events_counter = self._events_counter
+        bytes_counter = self._bytes_counter
+        events: list[Event | None] = []
+        append = events.append
+        for message, record in zip(messages, records):
+            if record is None:
+                self._poison_counter.increment()
+                append(None)
+                continue
+            try:
+                event = from_record(record, time_field)
+            except ProcessingError:
+                self._poison_counter.increment()
+                append(None)
+                continue
+            observe(event.event_time)
+            events_counter.increment()
+            bytes_counter.increment(message.size)
+            append(event)
+        return events
 
     def _handle_message(self, message: Message) -> None:
         try:
@@ -214,7 +289,7 @@ class StylusTask:
             # A poison message must not wedge the consumer: count it,
             # skip it, keep draining (hundreds of pipelines cannot page
             # a human for every malformed log line).
-            self.metrics.counter(f"stylus.{self.name}.poison").increment()
+            self._poison_counter.increment()
             return
         outputs = self._process_event(event)
         self._route(outputs)
@@ -224,8 +299,8 @@ class StylusTask:
                          if self.cost_model else 0.0)
         event = Event.from_message(message, self.time_field)
         self.watermarks.observe(event.event_time)
-        self.metrics.counter(f"stylus.{self.name}.events").increment()
-        self.metrics.counter(f"stylus.{self.name}.bytes").increment(message.size)
+        self._events_counter.increment()
+        self._bytes_counter.increment(message.size)
         return event
 
     def _process_event(self, event: Event) -> list[Output]:
@@ -251,10 +326,12 @@ class StylusTask:
             self._pending_output.extend(outputs)
 
     def _emit(self, outputs: list[Output]) -> None:
+        writer = self._writer
+        outputs_counter = self._outputs_counter
         for output in outputs:
-            if self._writer is not None:
-                self._writer.write(output.record, key=output.key)
-            self.metrics.counter(f"stylus.{self.name}.outputs").increment()
+            if writer is not None:
+                writer.write(output.record, key=output.key)
+            outputs_counter.increment()
 
     # -- checkpointing --------------------------------------------------------------
 
@@ -300,7 +377,7 @@ class StylusTask:
         self._charge_checkpoint_sync()
         self._events_since_checkpoint = 0
         self._last_checkpoint_at = self._now()
-        self.metrics.counter(f"stylus.{self.name}.checkpoints").increment()
+        self._checkpoints_counter.increment()
 
     def _periodic_outputs(self, now: float) -> list[Output]:
         if isinstance(self.processor, StatefulProcessor):
@@ -332,9 +409,7 @@ class StylusTask:
                 self._state, offset, self._pending_output, index
             )
         # Output is now durable in the transactional receiver.
-        self.metrics.counter(f"stylus.{self.name}.outputs").increment(
-            len(self._pending_output)
-        )
+        self._outputs_counter.increment(len(self._pending_output))
         self._pending_output = []
 
     # -- buffered (Swift-style) strategy ------------------------------------------------
@@ -349,6 +424,14 @@ class StylusTask:
         if self.timeline is not None:
             # The burst cannot start before receiving finished.
             self.timeline.barrier("receive", "cpu")
+        if (self.cost_model is None and isinstance(self.injector, NoCrashes)
+                and not self._force_per_message):
+            # Same batched serde pass as the overlapped fast path; the
+            # drain is already a burst, so there is nothing to interleave.
+            for event in self._decode_batch(buffered):
+                if event is not None:
+                    self._route(self._process_event(event))
+            return
         for message in buffered:
             self._handle_message(message)
 
@@ -361,7 +444,7 @@ class StylusTask:
         self._partials = {}
         self._pending_output = []
         self._raw_buffer = []
-        self.metrics.counter(f"stylus.{self.name}.crashes").increment()
+        self._crashes_counter.increment()
 
     def restart(self) -> None:
         """Come back up from the last checkpoint (same machine)."""

@@ -1,0 +1,141 @@
+"""Property tests: batched decode/read paths match the per-message path.
+
+The engine's batch-decode fast path (and ``serde.decode_batch``) must be
+a pure optimization — byte-identical output streams, identical
+checkpoint offsets, identical counters — under every semantics policy.
+The per-message path is forced via the engine's ``_force_per_message``
+test hook so both implementations run over the same inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import serde
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.clock import SimClock
+from repro.scribe.reader import ScribeReader
+from repro.scribe.store import ScribeStore
+from repro.scribe.writer import ScribeWriter
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.stylus.state import InMemoryStateBackend
+
+from tests.stylus.helpers import EchoProcessor
+
+POISON = "<poison>"
+
+records = st.fixed_dictionaries(
+    {
+        "event_time": st.floats(min_value=0, max_value=1e6,
+                                allow_nan=False, allow_infinity=False),
+        "seq": st.integers(0, 10_000),
+    },
+    optional={
+        "tag": st.text(max_size=8),
+        "weight": st.integers(-5, 5),
+    },
+)
+
+#: An input stream: decodable records with poison bytes mixed in.
+streams = st.lists(st.one_of(records, st.just(POISON)),
+                   min_size=1, max_size=40)
+
+batch_plans = st.lists(st.integers(1, 9), min_size=1, max_size=8)
+
+POLICIES = {
+    "at_least_once": SemanticsPolicy.at_least_once,
+    "at_most_once": SemanticsPolicy.at_most_once,
+    "exactly_once": SemanticsPolicy.exactly_once,
+}
+
+
+def _run_pipeline(items, batch_plan, checkpoint_every, policy_name,
+                  force_per_message):
+    """Write ``items`` to Scribe, drain them through a task, fingerprint."""
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("in", num_buckets=1)
+    scribe.create_category("out", num_buckets=1)
+    writer = ScribeWriter(scribe, "in")
+    for item in items:
+        if item == POISON:
+            scribe.write("in", b"\xff{not json")
+        else:
+            writer.write_to_bucket(item, 0)
+
+    backend = InMemoryStateBackend("task")
+    task = StylusTask("task", scribe, "in", 0, EchoProcessor(),
+                      semantics=POLICIES[policy_name](),
+                      state_backend=backend,
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=checkpoint_every),
+                      output_category="out",
+                      clock=SimClock())
+    task._force_per_message = force_per_message
+    assert task._use_batched_decode() != force_per_message
+
+    plan_index = 0
+    while True:
+        size = batch_plan[plan_index % len(batch_plan)]
+        plan_index += 1
+        if task.pump(size) == 0:
+            break
+    task.checkpoint_now()
+
+    out_reader = ScribeReader(scribe, "out", 0)
+    emitted = [(m.offset, m.payload) for m in out_reader.read_batch(100_000)]
+    state, offset = backend.load()
+    return {
+        "emitted": emitted,
+        "committed": backend.committed_outputs(),
+        "state": state,
+        "checkpoint_offset": offset,
+        "checkpoint_index": task._checkpoint_index,
+        "next_offset": task._next_offset,
+        "events": task._events_counter.value,
+        "poison": task._poison_counter.value,
+        "outputs": task._outputs_counter.value,
+        "checkpoints": task._checkpoints_counter.value,
+        "low_watermark": task.low_watermark(),
+    }
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+@settings(max_examples=25, deadline=None)
+@given(items=streams, batch_plan=batch_plans,
+       checkpoint_every=st.integers(1, 7))
+def test_batched_and_per_message_paths_are_equivalent(
+        policy_name, items, batch_plan, checkpoint_every):
+    batched = _run_pipeline(items, batch_plan, checkpoint_every,
+                            policy_name, force_per_message=False)
+    single = _run_pipeline(items, batch_plan, checkpoint_every,
+                           policy_name, force_per_message=True)
+    assert batched == single
+
+
+@settings(max_examples=60, deadline=None)
+@given(recs=st.lists(records, max_size=50))
+def test_decode_batch_matches_single_decode(recs):
+    payloads = [serde.encode(r) for r in recs]
+    assert serde.encode_batch(recs) == payloads
+    assert serde.decode_batch(payloads) == [serde.decode(p)
+                                            for p in payloads]
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=streams)
+def test_decode_batch_none_policy_marks_poison(items):
+    payloads = [b"\xff{not json" if item == POISON else serde.encode(item)
+                for item in items]
+    decoded = serde.decode_batch(payloads, errors="none")
+    assert len(decoded) == len(items)
+    for item, got in zip(items, decoded):
+        if item == POISON:
+            assert got is None
+        else:
+            assert got == serde.decode(serde.encode(item))
+
+
+def test_decode_batch_strict_raises_on_poison():
+    payloads = [serde.encode({"seq": 1}), b"\xff{not json"]
+    with pytest.raises(serde.SerdeError):
+        serde.decode_batch(payloads)

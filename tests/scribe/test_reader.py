@@ -98,6 +98,21 @@ class TestCategoryReader:
         scribe.write("grow", b"x", bucket=2)
         assert len(reader.read_all()) == 1
 
+    def test_tail_reader_skips_backlog_in_new_buckets(self, scribe):
+        # A from_start=False reader is a *tail* reader; a bucket that
+        # appears via resize must start at its end, not replay whatever
+        # was written to it before the reader noticed it exists.
+        scribe.create_category("grow", 1)
+        write_events(scribe, "grow", 5)
+        reader = CategoryReader(scribe, "grow", from_start=False)
+        assert reader.read_all() == []
+        scribe.category("grow").resize(3)
+        scribe.write("grow", b"pre-discovery", bucket=2)
+        assert reader.read_all() == []
+        scribe.write("grow", b"post-discovery", bucket=2)
+        messages = reader.read_all()
+        assert [m.payload for m in messages] == [b"post-discovery"]
+
     def test_lag_sums_buckets(self, scribe):
         scribe.create_category("multi", 4)
         write_events(scribe, "multi", 12)

@@ -1,0 +1,223 @@
+"""Bloom filter + read-path tests: no false negatives, scan skipping,
+and row-cache behavior (the hot-path structures behind Figure 12)."""
+
+import random
+
+import pytest
+
+from repro.storage.bloom import BloomFilter, hash_pair
+from repro.storage.lsm import LsmStore
+from repro.storage.merge import CounterMergeOperator
+from repro.storage.sstable import SSTable
+from repro.storage.memtable import Entry
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        keys = [f"key:{i}" for i in range(2000)]
+        bloom = BloomFilter(keys)
+        assert all(bloom.may_contain(key) for key in keys)
+
+    def test_false_positive_rate_is_low(self):
+        rng = random.Random(7)
+        keys = [f"key:{rng.getrandbits(64):016x}" for _ in range(2000)]
+        bloom = BloomFilter(keys)
+        absent = [f"other:{i}" for i in range(2000)]
+        positives = sum(bloom.may_contain(key) for key in absent)
+        # 10 bits/key targets ~1%; allow generous slack.
+        assert positives / len(absent) < 0.05
+
+    def test_deterministic_across_instances(self):
+        keys = [f"key:{i}" for i in range(100)]
+        probes = [f"probe:{i}" for i in range(500)]
+        first = [BloomFilter(keys).may_contain(p) for p in probes]
+        second = [BloomFilter(keys).may_contain(p) for p in probes]
+        assert first == second
+
+    def test_hash_pair_shared_with_may_contain_hashed(self):
+        bloom = BloomFilter(["a", "b", "c"])
+        for key in ["a", "b", "c", "nope"]:
+            assert (bloom.may_contain(key)
+                    == bloom.may_contain_hashed(*hash_pair(key)))
+
+    def test_empty_key_set(self):
+        bloom = BloomFilter([])
+        assert not bloom.may_contain("anything")
+
+
+class TestSSTableFiltering:
+    def _table(self, count=200):
+        entries = [(f"k:{i:05d}", Entry.put(i)) for i in range(count)]
+        return SSTable(entries)
+
+    def test_every_present_key_found(self):
+        table = self._table()
+        for i in range(200):
+            entry = table.get(f"k:{i:05d}")
+            assert entry is not None and entry.value == i
+
+    def test_may_contain_never_false_negative(self):
+        table = self._table()
+        assert all(table.may_contain(f"k:{i:05d}") for i in range(200))
+
+    def test_out_of_range_keys_rejected_without_bloom(self):
+        table = self._table()
+        assert not table.may_contain("a")        # below min_key
+        assert not table.may_contain("zzz")      # above max_key
+
+    def test_sparse_index_agrees_with_full_search(self):
+        # Sizes around the index interval boundary are the risky ones.
+        for count in [1, 15, 16, 17, 31, 32, 33, 100]:
+            entries = [(f"k:{i:05d}", Entry.put(i)) for i in range(count)]
+            table = SSTable(entries)
+            for i in range(count):
+                assert table.get(f"k:{i:05d}").value == i
+            assert table.get("k:99999") is None
+            assert table.get("a") is None
+
+
+def _flushed_store(**kwargs) -> LsmStore:
+    store = LsmStore(memtable_flush_bytes=1 << 30, compaction_trigger=64,
+                     **kwargs)
+    for chunk in range(4):
+        for i in range(chunk * 100, (chunk + 1) * 100):
+            store.put(f"key:{i:05d}", i)
+        store.flush()
+    return store
+
+
+class TestLsmScanSkipping:
+    def test_no_false_negatives_across_flush(self):
+        store = _flushed_store()
+        assert store.num_sstables == 4
+        for i in range(400):
+            assert store.get(f"key:{i:05d}") == i
+
+    def test_no_false_negatives_across_compaction(self):
+        store = _flushed_store()
+        store.compact()
+        assert store.num_sstables == 1
+        for i in range(400):
+            assert store.get(f"key:{i:05d}") == i
+
+    def test_no_false_negatives_across_recovery(self):
+        disk = {}
+        store = LsmStore(disk=disk, memtable_flush_bytes=1 << 30)
+        for i in range(100):
+            store.put(f"key:{i:05d}", i)
+        store.flush()
+        for i in range(100, 150):
+            store.put(f"key:{i:05d}", i)  # unflushed: lives in the WAL
+        store.drop_memory()
+        store.recover()
+        for i in range(150):
+            assert store.get(f"key:{i:05d}") == i
+
+    def test_merge_chains_survive_filtered_reads(self):
+        store = LsmStore(merge_operator=CounterMergeOperator(),
+                         memtable_flush_bytes=1 << 30, compaction_trigger=64)
+        for _ in range(3):
+            store.merge("hits", 2)
+            store.flush()
+        assert store.get("hits") == 6
+
+    def test_absent_key_reads_skip_sstable_scans(self):
+        """The counter-based assertion: absent keys probe (almost) no runs."""
+        store = _flushed_store(row_cache_size=0)
+        runs = store.num_sstables
+        before = store.stats.sstable_probes
+        absent_reads = 500
+        # Keys interleaved *inside* the stored key range, so the bloom
+        # filters (not just the min/max check) do the rejecting.
+        for i in range(absent_reads):
+            assert store.get(f"key:{i:05d}x") is None
+        probes = store.stats.sstable_probes - before
+        naive = absent_reads * runs  # what the seed implementation scanned
+        assert probes * 5 <= naive, (
+            f"absent-key reads probed {probes} runs; the naive path "
+            f"would have probed {naive}"
+        )
+        assert store.stats.bloom_skips > 0
+
+    def test_present_key_reads_probe_only_the_owning_run(self):
+        store = _flushed_store(row_cache_size=0)
+        probes_before = store.stats.sstable_probes
+        range_before = store.stats.range_skips
+        assert store.get("key:00000") == 0  # lives in the oldest run
+        # The per-chunk key ranges are disjoint, so the min/max check
+        # rejects the 3 younger runs; only the owning run is searched.
+        assert store.stats.sstable_probes - probes_before == 1
+        assert store.stats.range_skips - range_before == 3
+
+
+class TestRowCache:
+    def test_repeat_reads_hit_cache(self):
+        store = _flushed_store()
+        store.get("key:00042")
+        hits_before = store.stats.cache_hits
+        store.get("key:00042")
+        assert store.stats.cache_hits == hits_before + 1
+
+    def test_absent_keys_are_cached_too(self):
+        store = _flushed_store()
+        assert store.get("missing") is None
+        hits_before = store.stats.cache_hits
+        assert store.get("missing") is None
+        assert store.stats.cache_hits == hits_before + 1
+
+    @pytest.mark.parametrize("mutate", ["put", "delete", "merge"])
+    def test_writes_invalidate_cached_key(self, mutate):
+        store = LsmStore(merge_operator=CounterMergeOperator(),
+                         memtable_flush_bytes=1 << 30)
+        store.put("k", 1)
+        assert store.get("k") == 1  # now cached
+        if mutate == "put":
+            store.put("k", 2)
+            assert store.get("k") == 2
+        elif mutate == "delete":
+            store.delete("k")
+            assert store.get("k") is None
+        else:
+            store.merge("k", 10)
+            assert store.get("k") == 11
+
+    def test_write_batch_invalidates_cached_keys(self):
+        store = LsmStore(memtable_flush_bytes=1 << 30)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1 and store.get("b") == 2
+        store.write_batch(puts={"a": 10}, deletes=["b"])
+        assert store.get("a") == 10
+        assert store.get("b") is None
+
+    def test_crash_clears_cache(self):
+        store = LsmStore(memtable_flush_bytes=1 << 30)
+        store.put("k", 1)
+        assert store.get("k") == 1
+        store.drop_memory()  # unflushed write lost with the memtable
+        assert store.get("k") is None
+        store.recover()
+        assert store.get("k") == 1
+
+    def test_cache_is_bounded(self):
+        store = LsmStore(memtable_flush_bytes=1 << 30, row_cache_size=10)
+        for i in range(50):
+            store.put(f"k:{i}", i)
+        for i in range(50):
+            store.get(f"k:{i}")
+        assert store.row_cache_len <= 10
+
+    def test_cache_can_be_disabled(self):
+        store = LsmStore(memtable_flush_bytes=1 << 30, row_cache_size=0)
+        store.put("k", 1)
+        store.get("k")
+        store.get("k")
+        assert store.stats.cache_hits == 0
+        assert store.row_cache_len == 0
+
+    def test_scans_bypass_the_cache(self):
+        store = _flushed_store(row_cache_size=4)
+        list(store.scan())
+        # A full scan of 400 keys through a 4-entry cache would have
+        # evicted everything; bypassing it leaves the cache untouched.
+        assert store.row_cache_len == 0
