@@ -33,6 +33,12 @@ def _aligned_start(event_time: float, step: float) -> float:
     return start
 
 
+#: Public name for the grid alignment primitive: batch loops that only
+#: need the bucket key can call this directly instead of allocating a
+#: :class:`Window` per event via :meth:`TumblingWindow.window_containing`.
+aligned_start = _aligned_start
+
+
 @dataclass(frozen=True)
 class Window:
     """A half-open event-time interval ``[start, end)``."""

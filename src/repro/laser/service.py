@@ -48,7 +48,8 @@ class LaserTable:
                  value_columns: list[str],
                  lifetime_seconds: float = float("inf"),
                  clock: Clock | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 batched: bool = True) -> None:
         if not key_columns:
             raise ConfigError("at least one key column is required")
         if not value_columns:
@@ -59,6 +60,7 @@ class LaserTable:
         self.key_columns = list(key_columns)
         self.value_columns = list(value_columns)
         self.lifetime_seconds = lifetime_seconds
+        self.batched = batched
         self.clock = clock if clock is not None else WallClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._store = LsmStore(name=f"laser:{name}")
@@ -97,9 +99,25 @@ class LaserTable:
                 continue
             # One serde pass for the whole batch (deserialization is the
             # ingestion bottleneck — the paper's Figure 9 point).
-            for row in serde.decode_batch([m.payload for m in batch]):
-                self.put_row(row)
-                ingested += 1
+            rows = serde.decode_batch([m.payload for m in batch])
+            if not self.batched:
+                for row in rows:
+                    self.put_row(row)
+                ingested += len(rows)
+                continue
+            # One WAL/memtable batch per Scribe batch: duplicate keys
+            # collapse to the last write, same as sequential puts.
+            expires = self.clock.now() + self.lifetime_seconds
+            value_columns = self.value_columns
+            composite = self._composite_key
+            puts = {
+                composite(row): _Stamped(
+                    {c: row.get(c) for c in value_columns}, expires)
+                for row in rows
+            }
+            self._store.write_batch(puts=puts)
+            self._writes_counter.increment(len(rows))
+            ingested += len(rows)
         return ingested
 
     def load_from_hive(self, table: HiveTable,
@@ -128,7 +146,31 @@ class LaserTable:
         return dict(stamped.value)
 
     def multi_get(self, keys: list[tuple]) -> dict[tuple, Row | None]:
-        return {key: self.get(*key) for key in keys}
+        """Point lookups for many keys in one pass over the store.
+
+        Goes through :meth:`LsmStore.multi_get`, which probes each
+        SSTable run once for the whole (sorted) key set instead of once
+        per key.
+        """
+        composites = []
+        for key_values in keys:
+            if len(key_values) != len(self.key_columns):
+                raise LaserError(
+                    f"table {self.name!r} key has {len(self.key_columns)} "
+                    f"columns; got {len(key_values)} values"
+                )
+            composites.append("\x1f".join(str(v) for v in key_values))
+        stamped_map = self._store.multi_get(composites)
+        self._reads_counter.increment(len(keys))
+        now = self.clock.now()
+        out: dict[tuple, Row | None] = {}
+        for key_values, composite in zip(keys, composites):
+            stamped = stamped_map.get(composite)
+            if stamped is None or stamped.expires_at <= now:
+                out[key_values] = None
+            else:
+                out[key_values] = dict(stamped.value)
+        return out
 
 
 class ReplicatedLaserTable:

@@ -26,6 +26,7 @@ class _ScheduledEvent:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -46,8 +47,13 @@ class EventHandle:
         return self._cancelled
 
     def _track(self, event: _ScheduledEvent) -> None:
-        # Old events are never un-cancelled, so only the live tail matters.
-        self._events = [e for e in self._events if not e.cancelled]
+        # Only events that may still be in the queue need cancelling
+        # later; fired and cancelled ones are dead. A recurring handle
+        # therefore tracks at most its single pending event, keeping the
+        # per-firing cost O(1) instead of growing with the firing count.
+        if self._events:
+            self._events = [e for e in self._events
+                            if not (e.cancelled or e.fired)]
         self._events.append(event)
 
 
@@ -126,6 +132,7 @@ class Scheduler:
             if event.cancelled:
                 continue
             self.clock.advance_to(event.timestamp)
+            event.fired = True
             event.callback()
             return True
         return False
@@ -149,6 +156,7 @@ class Scheduler:
                     break
                 heapq.heappop(self._queue)
                 self.clock.advance_to(head.timestamp)
+                head.fired = True
                 head.callback()
             if timestamp > self.clock.now():
                 self.clock.advance_to(timestamp)

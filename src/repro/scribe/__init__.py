@@ -17,7 +17,7 @@ Key behaviours reproduced here:
 - retention trimming models Scribe's "up to a few days" storage.
 """
 
-from repro.scribe.bucket import Bucket, StoredMessage
+from repro.scribe.bucket import Bucket
 from repro.scribe.category import Category
 from repro.scribe.checkpoints import CheckpointStore
 from repro.scribe.message import Message
@@ -34,5 +34,4 @@ __all__ = [
     "ScribeReader",
     "ScribeStore",
     "ScribeWriter",
-    "StoredMessage",
 ]

@@ -5,27 +5,18 @@ A bucket is "the basic processing unit for stream processing systems"
 retained range, and trims data older than the retention window. Offsets
 are never reused: after trimming, the first retained offset moves forward
 but the numbering is stable, so checkpointed offsets stay meaningful.
+
+Messages are materialized as reader-facing :class:`Message` objects once,
+at append time, so a read is a bounds check plus one list slice — no
+per-message wrapping on the (much hotter) read path. Visibility stamps
+live in a parallel array: they are the bus's delivery bookkeeping, not
+part of what a reader sees.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.errors import OffsetOutOfRange
-
-
-@dataclass(frozen=True)
-class StoredMessage:
-    """A message at rest in a bucket."""
-
-    offset: int
-    write_time: float
-    visible_at: float
-    payload: bytes
-
-    @property
-    def size(self) -> int:
-        return len(self.payload)
+from repro.scribe.message import Message
 
 
 class Bucket:
@@ -34,7 +25,8 @@ class Bucket:
     def __init__(self, category: str, index: int) -> None:
         self.category = category
         self.index = index
-        self._messages: list[StoredMessage] = []
+        self._messages: list[Message] = []
+        self._visible_at: list[float] = []  # parallel to _messages
         self._base_offset = 0  # offset of _messages[0]
         self._bytes_appended = 0
 
@@ -45,8 +37,9 @@ class Bucket:
         """Store a message; return its offset."""
         offset = self._base_offset + len(self._messages)
         self._messages.append(
-            StoredMessage(offset, write_time, visible_at, payload)
+            Message(self.category, self.index, offset, write_time, payload)
         )
+        self._visible_at.append(visible_at)
         self._bytes_appended += len(payload)
         return offset
 
@@ -71,7 +64,7 @@ class Bucket:
         return self._bytes_appended
 
     def read(self, offset: int, max_messages: int, now: float,
-             max_bytes: int | None = None) -> list[StoredMessage]:
+             max_bytes: int | None = None) -> list[Message]:
         """Read up to ``max_messages`` starting at ``offset``.
 
         Only messages whose ``visible_at`` is at or before ``now`` are
@@ -89,33 +82,43 @@ class Bucket:
         if max_messages <= 0:
             return []
         position = offset - self._base_offset
+        visible = self._visible_at
         if max_bytes is None:
-            # Fast path: one slice, then truncate at the visibility
-            # horizon (visible_at is non-decreasing: the bus stamps it
-            # from its monotone clock plus a constant delay).
-            chunk = self._messages[position:position + max_messages]
-            if not chunk or chunk[-1].visible_at <= now:
-                return chunk
-            lo, hi = 0, len(chunk)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if chunk[mid].visible_at <= now:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            return chunk[:lo]
-        result: list[StoredMessage] = []
+            # Fast path: clamp at the visibility horizon (visible_at is
+            # non-decreasing: the bus stamps it from its monotone clock
+            # plus a constant delay), then one slice.
+            stop = min(position + max_messages, len(self._messages))
+            if stop > position and visible[stop - 1] > now:
+                lo, hi = position, stop
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if visible[mid] <= now:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                stop = lo
+            return self._messages[position:stop]
+        result: list[Message] = []
         budget = max_bytes
         while position < len(self._messages) and len(result) < max_messages:
-            message = self._messages[position]
-            if message.visible_at > now:
+            if visible[position] > now:
                 break  # later messages are even less visible
+            message = self._messages[position]
             if result and message.size > budget:
                 break
             result.append(message)
             budget -= message.size
             position += 1
         return result
+
+    def entries(self) -> list[tuple[int, float, float, bytes]]:
+        """Every retained ``(offset, write_time, visible_at, payload)``.
+
+        The durability hook for snapshots, which must persist the
+        visibility stamps that readers never see.
+        """
+        return [(message.offset, message.write_time, visible, message.payload)
+                for message, visible in zip(self._messages, self._visible_at)]
 
     def first_offset_at_or_after(self, write_time: float) -> int:
         """The first retained offset written at or after ``write_time``.
@@ -138,8 +141,8 @@ class Bucket:
     def visible_end_offset(self, now: float) -> int:
         """One past the last offset visible to readers at time ``now``."""
         # Visibility is monotone in offset, so scan back from the end.
-        position = len(self._messages)
-        while position > 0 and self._messages[position - 1].visible_at > now:
+        position = len(self._visible_at)
+        while position > 0 and self._visible_at[position - 1] > now:
             position -= 1
         return self._base_offset + position
 
@@ -153,6 +156,7 @@ class Bucket:
             keep += 1
         if keep:
             del self._messages[:keep]
+            del self._visible_at[:keep]
             self._base_offset += keep
         return keep
 
@@ -162,5 +166,6 @@ class Bucket:
             return 0
         drop = min(offset, self.end_offset) - self._base_offset
         del self._messages[:drop]
+        del self._visible_at[:drop]
         self._base_offset += drop
         return drop

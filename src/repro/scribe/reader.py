@@ -101,7 +101,11 @@ class CategoryReader:
         self.store = store
         self.category = category
         self._from_start = from_start
-        num_buckets = store.category(category).num_buckets
+        # Category handles are stable (categories are never replaced,
+        # only grown), so resolve once and skip the registry lookup the
+        # resize check would otherwise pay on every read.
+        self._category = store.category(category)
+        num_buckets = self._category.num_buckets
         self.readers = [
             ScribeReader(store, category, bucket,
                          start_offset=None if from_start else
@@ -116,7 +120,7 @@ class CategoryReader:
         # discovers late start at their current end — otherwise a resize
         # would make it replay every message those buckets accumulated
         # before the next read noticed them.
-        num_buckets = self.store.category(self.category).num_buckets
+        num_buckets = self._category.num_buckets
         for bucket in range(len(self.readers), num_buckets):
             self.readers.append(ScribeReader(
                 self.store, self.category, bucket,
@@ -143,7 +147,8 @@ class CategoryReader:
             if batch:
                 attempts = 0
                 result.extend(batch)
-                consumed += sum(message.size for message in batch)
+                if max_bytes is not None:
+                    consumed += sum(message.size for message in batch)
             else:
                 attempts += 1
         return result

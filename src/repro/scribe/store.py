@@ -9,7 +9,7 @@ from repro import serde
 from repro.errors import ConfigError, UnknownCategory
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import Counter, MetricsRegistry
-from repro.scribe.bucket import Bucket, StoredMessage
+from repro.scribe.bucket import Bucket
 from repro.scribe.category import Category
 from repro.scribe.message import Message
 
@@ -138,17 +138,12 @@ class ScribeStore:
 
         The fast path for reader clients (see
         :class:`~repro.scribe.reader.ScribeReader`): per-batch work is one
-        visibility-bounded slice plus message wrapping, with no category
-        or bucket dict lookups.
+        visibility-bounded slice of pre-built messages, with no category
+        or bucket dict lookups and no per-message wrapping.
         """
-        stored = bucket.read(
+        return bucket.read(
             offset, max_messages, now=self.clock.now(), max_bytes=max_bytes
         )
-        category_name = bucket.category
-        index = bucket.index
-        return [Message(category_name, index, item.offset, item.write_time,
-                        item.payload)
-                for item in stored]
 
     def end_offset(self, category_name: str, bucket: int) -> int:
         return self.category(category_name).bucket(bucket).end_offset
@@ -185,12 +180,7 @@ class ScribeStore:
         for category_name, category in self._categories.items():
             buckets = []
             for bucket in category.buckets:
-                messages = [
-                    (m.offset, m.write_time, m.visible_at, m.payload)
-                    for m in bucket.read(bucket.first_retained_offset,
-                                         bucket.retained_count,
-                                         now=float("inf"))
-                ]
+                messages = bucket.entries()
                 buckets.append({
                     "base": bucket.first_retained_offset,
                     "end": bucket.end_offset,
@@ -225,8 +215,3 @@ class ScribeStore:
                     bucket.append(payload, write_time, visible_at)
                 assert bucket.end_offset == bucket_data["end"]
         return store
-
-    @staticmethod
-    def _to_message(category: str, bucket: int, stored: StoredMessage) -> Message:
-        return Message(category, bucket, stored.offset, stored.write_time,
-                       stored.payload)

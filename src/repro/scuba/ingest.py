@@ -6,15 +6,25 @@ duplication. Exactly-once semantics are not possible because Scuba does
 not support transactions, so at-most-once output semantics are the best
 choice" (Section 4.3.2). The ingester therefore samples rows and never
 re-delivers: its position always moves forward, even across restarts.
+Malformed payloads are counted and dropped — best effort extends to
+poison messages, which must not wedge the ingestion loop.
+
+Ingestion is batch-at-a-time by default: the sampling decisions are made
+first (consuming the RNG stream in message order, exactly as the
+per-message path does), then only the sampled-in payloads are decoded
+in one :func:`repro.serde.decode_batch` call and stored with one
+:meth:`ScubaTable.add_rows` call.
 """
 
 from __future__ import annotations
 
 import random
 
+from repro import serde
 from repro.errors import ConfigError
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.rng import make_rng
+from repro.scribe.message import Message
 from repro.scribe.reader import CategoryReader
 from repro.scribe.store import ScribeStore
 from repro.scuba.table import ScubaTable
@@ -25,28 +35,75 @@ class ScubaIngester:
 
     def __init__(self, scribe: ScribeStore, category: str, table: ScubaTable,
                  sample_rate: float = 1.0, seed: int = 0,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 batched: bool = True) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ConfigError("sample_rate must be in (0, 1]")
         self.name = f"scuba-ingest:{table.name}"
         self.table = table
         self.sample_rate = sample_rate
+        self.batched = batched
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._reader = CategoryReader(scribe, category)
         self._rng: random.Random = make_rng(seed, f"scuba:{category}")
+        self._rows_counter = self.metrics.counter(f"{self.name}.rows")
+        self._poison_counter = self.metrics.counter(f"{self.name}.poison")
+        self._sampled_out_counter = self.metrics.counter(
+            f"{self.name}.sampled_out")
 
     def pump(self, max_messages: int = 1000) -> int:
         """Ingest up to ``max_messages``; returns rows actually stored."""
-        stored = 0
-        for message in self._reader.read_batch(max_messages):
-            if (self.sample_rate < 1.0
-                    and self._rng.random() >= self.sample_rate):
-                self.metrics.counter(f"{self.name}.sampled_out").increment()
-                continue
-            self.table.add(message.decode())
-            stored += 1
-        self.metrics.counter(f"{self.name}.rows").increment(stored)
+        messages = self._reader.read_batch(max_messages)
+        if self.batched:
+            stored = self._store_batched(messages)
+        else:
+            stored = self._store_per_message(messages)
+        self._rows_counter.increment(stored)
         return stored
+
+    def _store_per_message(self, messages: list[Message]) -> int:
+        stored = 0
+        sample_rate = self.sample_rate
+        for message in messages:
+            if (sample_rate < 1.0
+                    and self._rng.random() >= sample_rate):
+                self._sampled_out_counter.increment()
+                continue
+            try:
+                row = message.decode()
+            except serde.SerdeError:
+                self._poison_counter.increment()
+                continue
+            self.table.add(row)
+            stored += 1
+        return stored
+
+    def _store_batched(self, messages: list[Message]) -> int:
+        sample_rate = self.sample_rate
+        if sample_rate < 1.0:
+            rng_random = self._rng.random
+            sampled = []
+            keep = sampled.append
+            sampled_out = 0
+            for message in messages:
+                if rng_random() >= sample_rate:
+                    sampled_out += 1
+                else:
+                    keep(message)
+            if sampled_out:
+                self._sampled_out_counter.increment(sampled_out)
+        else:
+            sampled = messages
+        if not sampled:
+            return 0
+        decoded = serde.decode_batch(
+            [message.payload for message in sampled], errors="none")
+        rows = [row for row in decoded if row is not None]
+        poison = len(decoded) - len(rows)
+        if poison:
+            self._poison_counter.increment(poison)
+        self.table.add_rows(rows)
+        return len(rows)
 
     def lag_messages(self) -> int:
         return self._reader.lag_messages()

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import islice
+from operator import le
 from typing import Any
 
 from repro.errors import ScubaError
@@ -43,6 +45,44 @@ class ScubaTable:
             index = bisect_right(self._times, time_value)
             self._times.insert(index, time_value)
             self._rows.insert(index, row)
+
+    def add_rows(self, rows: list[Row]) -> None:
+        """Insert a batch of rows; equivalent to :meth:`add` in order.
+
+        Live ingestion almost always delivers batches whose times are
+        nondecreasing and at/after the current tail; that case is two
+        list extends instead of per-row tail checks. Anything else falls
+        back to the sequential inserts so ordering (including ties,
+        which land after existing equal times) is identical.
+        """
+        if not rows:
+            return
+        column = self.time_column
+        try:
+            new_times = [float(row[column]) for row in rows]
+        except (KeyError, TypeError):
+            # Missing column or a None value; anything else (a string
+            # that won't float, say) propagates exactly as add() would.
+            for row in rows:
+                if row.get(column) is None:
+                    raise ScubaError(
+                        f"row lacks time column {column!r}"
+                    ) from None
+            raise
+        times = self._times
+        if (not times or new_times[0] >= times[-1]) and all(
+                map(le, new_times, islice(new_times, 1, None))):
+            times.extend(new_times)
+            self._rows.extend(rows)
+            return
+        for time_value, row in zip(new_times, rows):
+            if times and time_value >= times[-1]:
+                times.append(time_value)
+                self._rows.append(row)
+            else:
+                index = bisect_right(times, time_value)
+                times.insert(index, time_value)
+                self._rows.insert(index, row)
 
     def rows_between(self, start: float, end: float) -> list[Row]:
         """Rows with time in ``[start, end)``."""

@@ -5,9 +5,15 @@ Architecture (a faithful miniature of RocksDB's write path):
 - mutations append to a :class:`~repro.storage.wal.WriteAheadLog`, then
   apply to the :class:`~repro.storage.memtable.Memtable`;
 - when the memtable exceeds ``memtable_flush_bytes`` it flushes to an
-  immutable :class:`~repro.storage.sstable.SSTable`;
-- when the run count exceeds ``compaction_trigger`` the runs compact into
-  one, folding merge-operand chains and dropping dead tombstones;
+  immutable :class:`~repro.storage.sstable.SSTable` at level 0;
+- when the run count exceeds ``compaction_trigger``, one *bounded*
+  :meth:`compact_step` merges a contiguous same-level group of at most
+  ``max_compact_runs`` runs into a run one level up, folding
+  merge-operand chains (monoid operand collapsing) and — when the group
+  includes the oldest run — dropping dead tombstones. Repeated steps
+  tier the store (size-tiered leveling) without the stop-the-world full
+  merge the seed paid; :meth:`compact` remains as the "merge everything"
+  path, itself built from bounded steps;
 - reads consult memtable then runs newest-to-oldest, resolving merge
   chains with the configured :class:`~repro.storage.merge.MergeOperator`.
 
@@ -28,6 +34,7 @@ of the paper's Figure 10.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -64,6 +71,12 @@ class LsmStats:
     cache_misses: int = 0
     flushes: int = 0
     compactions: int = 0
+    multi_gets: int = 0
+    multi_get_keys: int = 0
+    multi_get_run_walks: int = 0
+    compact_steps: int = 0
+    compacted_entries: int = 0
+    max_step_entries: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -75,6 +88,12 @@ class LsmStats:
             "cache_misses": self.cache_misses,
             "flushes": self.flushes,
             "compactions": self.compactions,
+            "multi_gets": self.multi_gets,
+            "multi_get_keys": self.multi_get_keys,
+            "multi_get_run_walks": self.multi_get_run_walks,
+            "compact_steps": self.compact_steps,
+            "compacted_entries": self.compacted_entries,
+            "max_step_entries": self.max_step_entries,
         }
 
 
@@ -121,11 +140,18 @@ class LsmStore:
                  merge_operator: MergeOperator | None = None,
                  memtable_flush_bytes: int = 64 * 1024,
                  compaction_trigger: int = 4,
+                 max_compact_runs: int = 4,
                  row_cache_size: int = 1024) -> None:
+        if max_compact_runs < 2:
+            raise ValueError("max_compact_runs must be >= 2")
         self.name = name
         self.merge_operator = merge_operator
         self.memtable_flush_bytes = memtable_flush_bytes
         self.compaction_trigger = compaction_trigger
+        #: Upper bound on runs merged by one compaction step — the knob
+        #: that bounds a single call's pause. ``compaction_trigger``
+        #: doubles as the per-level fanout (size-tiered leveling).
+        self.max_compact_runs = max_compact_runs
         self._disk = disk if disk is not None else {}
         self._memtable = Memtable()
         self._closed = False
@@ -272,9 +298,108 @@ class LsmStore:
         return None
 
     def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        """Resolve many keys, walking each SSTable run at most once.
+
+        Cache-hitting keys are served first; the misses are sorted and
+        probed as one monotone pass per run (:meth:`SSTable.get_sorted`),
+        with the range/bloom pre-checks shared across the batch — instead
+        of ``len(keys)`` independent :meth:`get` calls each restarting
+        the run search from scratch.
+        """
         self._check_open()
-        get = self.get
-        return {key: get(key) for key in keys}
+        stats = self.stats
+        stats.multi_gets += 1
+        stats.multi_get_keys += len(keys)
+        stats.gets += len(keys)
+        cache = self._row_cache
+        results: dict[str, Any] = {}
+        misses: set[str] = set()
+        for key in keys:
+            if key in results or key in misses:
+                continue
+            if cache is not None:
+                cached = cache.lookup(key)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    results[key] = None if cached is _ABSENT else cached
+                    continue
+                stats.cache_misses += 1
+            misses.add(key)
+
+        if misses:
+            resolved = self._lookup_sorted(sorted(misses))
+            results.update(resolved)
+            if cache is not None:
+                for key, value in resolved.items():
+                    cache.store(key, _ABSENT if value is None else value)
+        return {key: results[key] for key in keys}
+
+    def _lookup_sorted(self, sorted_keys: list[str]) -> dict[str, Any]:
+        """Resolve an ascending, de-duplicated key list against all runs."""
+        stats = self.stats
+        results: dict[str, Any] = {}
+        # key -> newest-first merge operands still awaiting a base value.
+        pending: dict[str, list[Any]] = {}
+        open_keys: list[str] = []  # still unresolved, kept sorted
+
+        memtable_get = self._memtable.get
+        for key in sorted_keys:
+            entry = memtable_get(key)
+            if entry is not None:
+                chain: list[Any] = []
+                value, done = self._absorb(entry, chain)
+                if done:
+                    results[key] = value
+                    continue
+                pending[key] = chain
+            open_keys.append(key)
+
+        hashes = {key: hash_pair(key) for key in open_keys}
+        for sstable in reversed(self._sstables):  # newest first
+            if not open_keys:
+                break
+            min_key = sstable.min_key
+            if min_key is None:
+                continue
+            max_key = sstable.max_key
+            lo = bisect_left(open_keys, min_key)
+            hi = bisect_right(open_keys, max_key, lo)
+            stats.range_skips += len(open_keys) - (hi - lo)
+            if lo == hi:
+                continue
+            bloom = sstable.bloom
+            candidates = []
+            for key in open_keys[lo:hi]:
+                h1, h2 = hashes[key]
+                if bloom.may_contain_hashed(h1, h2):
+                    candidates.append(key)
+                else:
+                    stats.bloom_skips += 1
+            if not candidates:
+                continue
+            stats.multi_get_run_walks += 1
+            stats.sstable_probes += len(candidates)
+            closed: set[str] = set()
+            for key, entry in zip(candidates, sstable.get_sorted(candidates)):
+                if entry is None:
+                    continue
+                chain = pending.setdefault(key, [])
+                value, done = self._absorb(entry, chain)
+                if done:
+                    results[key] = value
+                    pending.pop(key, None)
+                    closed.add(key)
+            if closed:
+                open_keys = [key for key in open_keys if key not in closed]
+
+        operator = self.merge_operator
+        for key in open_keys:
+            chain = pending.get(key)
+            if chain:
+                results[key] = operator.full_merge(None, reversed(chain))
+            else:
+                results[key] = None
+        return results
 
     def scan(self, start: str | None = None,
              end: str | None = None) -> Iterator[tuple[str, Any]]:
@@ -337,25 +462,150 @@ class LsmStore:
         self._memtable = Memtable()
         self.stats.flushes += 1
         if len(state["sstables"]) > self.compaction_trigger:
-            self.compact()
+            self.compact_step()
 
-    def compact(self) -> None:
-        """Merge every run into one, folding operands and dropping garbage."""
+    def compact_step(self, max_runs: int | None = None) -> int:
+        """Merge one bounded group of runs; return how many were merged.
+
+        Size-tiered selection: the runs list is age-ordered (oldest
+        first) and levels are non-increasing along it. The step picks the
+        newest contiguous same-level group that has reached the fanout
+        (``compaction_trigger``) and merges its oldest ``max_runs`` runs
+        into a single run one level up — so each call touches a bounded
+        number of runs, never the whole store. Under run-count pressure
+        with no full group, the cheapest relieving merge is taken
+        instead (the newest mergeable group, or a fold of the newest
+        singleton runs); tombstones are dropped only when the merged
+        window includes the oldest run (nothing older can resurface the
+        key).
+
+        Returns 0 when there is nothing eligible, so recurring schedules
+        (:meth:`schedule_compaction`) idle cheaply.
+        """
         self._check_open()
+        limit = self.max_compact_runs if max_runs is None else max_runs
+        if limit < 2:
+            raise ValueError("a compaction step needs at least 2 runs")
         state = self._disk_state()
         runs: list[SSTable] = state["sstables"]
         if len(runs) <= 1:
-            return
+            return 0
+        window = self._select_step(runs, limit)
+        if window is None:
+            return 0
+        start, stop, promote = window
+        self._merge_runs(state, start, stop, promote=promote)
+        return stop - start
+
+    def _select_step(self, runs: list[SSTable], limit: int
+                     ) -> tuple[int, int, bool] | None:
+        """The ``(start, stop, promote)`` window the next step should merge."""
+        fanout = max(2, self.compaction_trigger)
+        # Maximal contiguous same-level groups, newest (rightmost) first.
+        groups: list[tuple[int, int]] = []
+        stop = len(runs)
+        while stop > 0:
+            start = stop - 1
+            level = runs[start].level
+            while start > 0 and runs[start - 1].level == level:
+                start -= 1
+            groups.append((start, stop))
+            stop = start
+        for start, stop in groups:
+            if stop - start >= fanout:
+                return start, min(stop, start + limit), True
+        if len(runs) > self.compaction_trigger:
+            # Pressure fallback: no group filled its tier yet, but runs
+            # keep piling up. Two candidate windows relieve pressure:
+            # the newest same-level group of at least two runs (a real
+            # tier merge, graduating one level up), or the suffix of
+            # newest singleton groups — levels strictly decrease there,
+            # so folding them (at the level of their largest input, no
+            # graduation) keeps the non-increasing invariant and never
+            # drags a half-empty deep tier into the step. Pick whichever
+            # touches fewer entries: pauses stay proportional to the
+            # *new* data, and the big bottom runs only merge when their
+            # own tier genuinely fills (or via an explicit compact()).
+            candidates: list[tuple[int, int, bool]] = []
+            for start, stop in groups:
+                if stop - start >= 2:
+                    candidates.append((start, min(stop, start + limit), True))
+                    break
+            singletons = 0
+            for start, stop in groups:
+                if stop - start != 1:
+                    break
+                singletons += 1
+            if singletons >= 2:
+                candidates.append(
+                    (len(runs) - min(singletons, limit), len(runs), False))
+            if candidates:
+                return min(candidates, key=lambda window: sum(
+                    len(runs[i]) for i in range(window[0], window[1])))
+        return None
+
+    def _merge_runs(self, state: dict[str, Any], start: int, stop: int,
+                    promote: bool = True) -> None:
+        """Merge ``runs[start:stop]`` into one run, one level up when
+        ``promote`` (a tier graduating) or at the largest input's level
+        when not (a pressure fold of newest runs)."""
+        runs: list[SSTable] = state["sstables"]
+        window = runs[start:stop]
+        operator = self.merge_operator
         merged: dict[str, Entry] = {}
-        for run in runs:  # oldest first, so newer entries overwrite/fold
+        entries_in = 0
+        for run in window:  # oldest first, so newer entries overwrite/fold
+            entries_in += len(run)
             for key, entry in run.items():
-                merged[key] = _fold(merged.get(key), entry, self.merge_operator)
-        survivors = [
-            (key, entry) for key, entry in sorted(merged.items())
-            if entry.kind != EntryKind.TOMBSTONE  # bottom level: drop dead keys
-        ]
-        state["sstables"] = [SSTable(survivors, level=1)] if survivors else []
+                merged[key] = _fold(merged.get(key), entry, operator)
+        bottom = start == 0
+        survivors: list[tuple[str, Entry]] = []
+        for key in sorted(merged):
+            entry = merged[key]
+            if bottom and entry.kind == EntryKind.TOMBSTONE:
+                continue  # bottom level: drop dead keys
+            if operator is not None:
+                entry = _collapse(entry, operator)
+            survivors.append((key, entry))
+        level = max(run.level for run in window) + (1 if promote else 0)
+        runs[start:stop] = [SSTable(survivors, level=level)] if survivors else []
+        stats = self.stats
+        stats.compact_steps += 1
+        stats.compacted_entries += entries_in
+        if entries_in > stats.max_step_entries:
+            stats.max_step_entries = entries_in
+
+    def compact(self) -> None:
+        """Merge every run into one (the legacy full compaction).
+
+        Built from bounded steps: each iteration merges the oldest
+        ``max_compact_runs`` runs, so even the full merge never holds
+        more than that many runs' entries as an in-flight dict.
+        """
+        self._check_open()
+        state = self._disk_state()
+        if len(state["sstables"]) <= 1:
+            return
+        while len(state["sstables"]) > 1:
+            stop = min(len(state["sstables"]), self.max_compact_runs)
+            self._merge_runs(state, 0, stop)
         self.stats.compactions += 1
+
+    def schedule_compaction(self, scheduler, interval: float):
+        """Run one :meth:`compact_step` every ``interval`` virtual seconds.
+
+        ``scheduler`` is any object with a ``Scheduler.every``-shaped
+        method. Each firing does one bounded step (a no-op when no tier
+        is full), so maintenance cost is spread over virtual time instead
+        of landing as one unbounded pause. Returns the timer handle;
+        cancel it to stop, e.g. before closing the store.
+        """
+
+        def tick() -> None:
+            if not self._closed:
+                self.compact_step()
+
+        return scheduler.every(interval, tick)
 
     # -- lifecycle & recovery ----------------------------------------------------
 
@@ -397,6 +647,11 @@ class LsmStore:
         return len(self._sstables)
 
     @property
+    def levels(self) -> list[int]:
+        """Per-run levels, oldest first (non-increasing by invariant)."""
+        return [run.level for run in self._sstables]
+
+    @property
     def memtable_size(self) -> int:
         return len(self._memtable)
 
@@ -411,6 +666,26 @@ class LsmStore:
             for key, _ in sstable.items():
                 keys.add(key)
         return len(keys)
+
+
+def _collapse(entry: Entry, operator: MergeOperator) -> Entry:
+    """Collapse an entry's operand chain during a level merge.
+
+    Monoid operand collapsing: a surviving MERGE chain of N operands
+    becomes a single pre-folded operand, and a PUT with trailing
+    operands folds them into its value — so reads through compacted
+    levels pay one merge instead of replaying the whole chain. Safe
+    because every operator is associative with a true identity.
+    """
+    if entry.kind == EntryKind.MERGE:
+        if len(entry.operands) > 1:
+            return Entry(EntryKind.MERGE,
+                         operands=[operator.partial_merge(entry.operands)])
+        return entry
+    if entry.kind == EntryKind.PUT and entry.operands:
+        return Entry(EntryKind.PUT,
+                     value=operator.full_merge(entry.value, entry.operands))
+    return entry
 
 
 def _fold(older: Entry | None, newer: Entry,

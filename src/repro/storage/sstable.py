@@ -82,6 +82,28 @@ class SSTable:
             return self._entries[index]
         return None
 
+    def get_sorted(self, keys: list[str]) -> list[Entry | None]:
+        """Entries for an *ascending* key list in one forward walk.
+
+        Each bisect is bounded below by the previous hit position, so a
+        whole sorted probe set costs one monotone pass over the run
+        instead of ``len(keys)`` independent full-range searches — the
+        building block of :meth:`LsmStore.multi_get`.
+        """
+        run_keys = self._keys
+        entries = self._entries
+        n = len(run_keys)
+        out: list[Entry | None] = []
+        append = out.append
+        lo = 0
+        for key in keys:
+            lo = bisect_left(run_keys, key, lo, n)
+            if lo < n and run_keys[lo] == key:
+                append(entries[lo])
+            else:
+                append(None)
+        return out
+
     # -- scans ----------------------------------------------------------------
 
     def scan(self, start: str | None = None,

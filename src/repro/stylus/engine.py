@@ -214,6 +214,9 @@ class StylusTask:
                 # decoded up front in one serde pass, then processed
                 # message by message with unchanged checkpoint cadence.
                 events = self._decode_batch(batch)
+                if self._chunk_at_checkpoints():
+                    processed += self._process_chunked(batch, events)
+                    continue
             else:
                 events = None
             for index, message in enumerate(batch):
@@ -253,33 +256,104 @@ class StylusTask:
                 and isinstance(self.injector, NoCrashes)
                 and not self._force_per_message)
 
+    def _chunk_at_checkpoints(self) -> bool:
+        """Whether whole chunks can go to the processor in one call.
+
+        Only an event-count-only checkpoint policy makes checkpoint
+        positions a pure function of the message count, letting the loop
+        split a decoded batch into checkpoint-aligned chunks up front.
+        A time trigger could fire anywhere, so it keeps the per-message
+        cadence. (Callers have already established ``_use_batched_decode``,
+        so no cost model or crash injection is active here.)
+        """
+        policy = self.checkpoint_policy
+        return (policy.every_n_events is not None
+                and policy.interval_seconds is None)
+
+    def _process_chunked(self, batch: list[Message],
+                         events: list[Event | None]) -> int:
+        """Process a decoded batch in checkpoint-aligned chunks.
+
+        Each chunk ends exactly where the per-message loop would have
+        checkpointed (poison messages count toward the cadence there
+        too), so checkpoint offsets, emission order, and final state are
+        identical — with one processor call and one offset/counter
+        update per chunk instead of per event.
+        """
+        every_n = self.checkpoint_policy.every_n_events
+        index = 0
+        total = len(batch)
+        while index < total:
+            take = min(every_n - self._events_since_checkpoint,
+                       total - index)
+            chunk = [event for event in events[index:index + take]
+                     if event is not None]
+            if chunk:
+                self._route(self._process_events(chunk))
+            index += take
+            self._next_offset = batch[index - 1].offset + 1
+            self._events_since_checkpoint += take
+            if self._events_since_checkpoint >= every_n:
+                self._checkpoint()
+        return total
+
+    def _process_events(self, events: list[Event]) -> list[Output]:
+        """Run a chunk through the processor with per-chunk dispatch."""
+        processor = self.processor
+        if isinstance(processor, StatefulProcessor):
+            return processor.process_batch(events, self._state)
+        if isinstance(processor, StatelessProcessor):
+            outputs: list[Output] = []
+            extend = outputs.extend
+            process = processor.process
+            for event in events:
+                extend(process(event))
+            return outputs
+        operator = processor.merge_operator()
+        merge = operator.merge
+        extract = processor.extract
+        partials = self._partials
+        get = partials.get
+        for event in events:
+            for key, delta in extract(event):
+                base = get(key)
+                partials[key] = (delta if base is None
+                                 else merge(base, delta))
+        return []
+
     def _decode_batch(self, messages: list[Message]) -> list[Event | None]:
         """Decode a batch in one pass; ``None`` marks a poison message."""
         records = serde.decode_batch(
             [message.payload for message in messages], errors="none"
         )
         from_record = Event.from_record
-        observe = self.watermarks.observe
         time_field = self.time_field
-        events_counter = self._events_counter
-        bytes_counter = self._bytes_counter
         events: list[Event | None] = []
         append = events.append
+        times: list[float] = []
+        times_append = times.append
+        poison = 0
+        good_bytes = 0
         for message, record in zip(messages, records):
             if record is None:
-                self._poison_counter.increment()
+                poison += 1
                 append(None)
                 continue
             try:
                 event = from_record(record, time_field)
             except ProcessingError:
-                self._poison_counter.increment()
+                poison += 1
                 append(None)
                 continue
-            observe(event.event_time)
-            events_counter.increment()
-            bytes_counter.increment(message.size)
+            times_append(event.event_time)
+            good_bytes += message.size
             append(event)
+        if poison:
+            self._poison_counter.increment(poison)
+        if times:
+            self.watermarks.observe_batch(times)
+            self._events_counter.increment(len(times))
+            self._bytes_counter.increment(good_bytes)
         return events
 
     def _handle_message(self, message: Message) -> None:

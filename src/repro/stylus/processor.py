@@ -59,6 +59,21 @@ class StatefulProcessor(ABC):
     def process(self, event: Event, state: Any) -> list[Output]:
         """Fold one event into ``state``; return immediate outputs."""
 
+    def process_batch(self, events: list[Event], state: Any) -> list[Output]:
+        """Fold many events into ``state``; outputs are concatenated.
+
+        Must be observationally equivalent to calling :meth:`process`
+        once per event, in order. The default does exactly that;
+        processors with per-event overhead worth amortizing (state
+        lookups, attribute resolution) override it.
+        """
+        outputs: list[Output] = []
+        extend = outputs.extend
+        process = self.process
+        for event in events:
+            extend(process(event, state))
+        return outputs
+
     def on_checkpoint(self, state: Any, now: float) -> list[Output]:
         """Periodic outputs generated at checkpoint time.
 

@@ -1,24 +1,47 @@
-"""Property tests: batched decode/read paths match the per-message path.
+"""Property tests: batched execution paths match the per-message paths.
 
-The engine's batch-decode fast path (and ``serde.decode_batch``) must be
-a pure optimization — byte-identical output streams, identical
-checkpoint offsets, identical counters — under every semantics policy.
-The per-message path is forced via the engine's ``_force_per_message``
-test hook so both implementations run over the same inputs.
+Batch-at-a-time is the ecosystem's default execution mode; every batched
+path (Stylus, Puma, Swift, Scuba) must be a pure optimization —
+byte-identical output streams, identical checkpoint offsets, identical
+counters — under every semantics policy, with poison messages mixed in.
+Crash injection relaxes this to *semantic* equivalence: after a restart
+and a full drain, the recovered durable state and delivered sets must
+match, even though the batched path crashes at a coarser point.
+
+Incremental leveled compaction gets the same treatment: bounded
+``compact_step`` sequences (manual or scheduler-driven) and the full
+``compact`` must all resolve every key to the same value as an
+uncompacted store.
 """
+
+import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import serde
 from repro.core.semantics import SemanticsPolicy
+from repro.errors import ProcessCrashed
+from repro.puma.app import PumaApp
+from repro.puma.parser import parse
+from repro.puma.planner import plan
 from repro.runtime.clock import SimClock
-from repro.scribe.reader import ScribeReader
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.scheduler import Scheduler
+from repro.scribe.checkpoints import Checkpoint, CheckpointStore
+from repro.scribe.reader import CategoryReader, ScribeReader
 from repro.scribe.store import ScribeStore
 from repro.scribe.writer import ScribeWriter
+from repro.scuba.ingest import ScubaIngester
+from repro.scuba.table import ScubaTable
+from repro.storage.hbase import HBaseTable
+from repro.storage.lsm import LsmStore
+from repro.storage.merge import CounterMergeOperator
 from repro.stylus.checkpointing import CheckpointPolicy
 from repro.stylus.engine import StylusTask
 from repro.stylus.state import InMemoryStateBackend
+from repro.stylus.windowed import WindowedAggregator
+from repro.swift.engine import SwiftApp
 
 from tests.stylus.helpers import EchoProcessor
 
@@ -139,3 +162,424 @@ def test_decode_batch_strict_raises_on_poison():
     payloads = [serde.encode({"seq": 1}), b"\xff{not json"]
     with pytest.raises(serde.SerdeError):
         serde.decode_batch(payloads)
+
+
+# -- Stylus windowed aggregation ------------------------------------------------
+
+
+def _run_windowed(items, batch_plan, checkpoint_every, force_per_message):
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("in", num_buckets=1)
+    scribe.create_category("out", num_buckets=1)
+    writer = ScribeWriter(scribe, "in")
+    for item in items:
+        if item == POISON:
+            scribe.write("in", b"\xff{not json")
+        else:
+            writer.write_to_bucket(item, 0)
+
+    processor = WindowedAggregator(
+        window_seconds=30.0, operator=CounterMergeOperator(),
+        extract=lambda e: [(f"g{int(e['seq']) % 3}", 1)],
+        confidence=0.9, sample_size=16,
+    )
+    backend = InMemoryStateBackend("win")
+    task = StylusTask("win", scribe, "in", 0, processor,
+                      state_backend=backend,
+                      checkpoint_policy=CheckpointPolicy(
+                          every_n_events=checkpoint_every),
+                      output_category="out",
+                      clock=SimClock())
+    task._force_per_message = force_per_message
+
+    plan_index = 0
+    while True:
+        size = batch_plan[plan_index % len(batch_plan)]
+        plan_index += 1
+        if task.pump(size) == 0:
+            break
+    task.checkpoint_now()
+
+    out_reader = ScribeReader(scribe, "out", 0)
+    emitted = [(m.offset, m.payload) for m in out_reader.read_batch(100_000)]
+    state, offset = backend.load()
+    return {
+        "emitted": emitted,
+        "live_state": task.state,
+        "saved_state": state,
+        "checkpoint_offset": offset,
+        "events": task._events_counter.value,
+        "poison": task._poison_counter.value,
+        "outputs": task._outputs_counter.value,
+        "checkpoints": task._checkpoints_counter.value,
+        "late": processor.late_events(task.state),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=streams, batch_plan=batch_plans,
+       checkpoint_every=st.integers(1, 7))
+def test_windowed_batched_matches_per_message(items, batch_plan,
+                                              checkpoint_every):
+    batched = _run_windowed(items, batch_plan, checkpoint_every,
+                            force_per_message=False)
+    single = _run_windowed(items, batch_plan, checkpoint_every,
+                           force_per_message=True)
+    assert batched == single
+
+
+# -- Puma -----------------------------------------------------------------------
+
+PUMA_SOURCE = """
+CREATE APPLICATION eq;
+CREATE INPUT TABLE clicks(event_time, page, user) FROM SCRIBE("clicks")
+TIME event_time;
+CREATE TABLE agg AS
+SELECT page, count(*) AS n FROM clicks [1 minute];
+CREATE TABLE filt AS
+SELECT user, page FROM clicks WHERE page = 'home';
+"""
+
+puma_records = st.fixed_dictionaries(
+    {
+        "page": st.sampled_from(["home", "about", "news"]),
+        "user": st.sampled_from(["u1", "u2", "u3"]),
+    },
+    optional={
+        "event_time": st.floats(min_value=0, max_value=300,
+                                allow_nan=False, allow_infinity=False),
+    },
+)
+
+puma_streams = st.lists(st.one_of(puma_records, st.just(POISON)),
+                        min_size=1, max_size=40)
+
+
+def _crashing_plan(app_plan, crash_on_call):
+    """Wrap the filter table's predicate to crash once, mid-processing."""
+    countdown = [crash_on_call]
+
+    filt = app_plan.tables[1]
+    inner = filt.predicate
+
+    def crashing(row):
+        countdown[0] -= 1
+        if countdown[0] == 0:
+            raise ProcessCrashed("puma-predicate", 0.0)
+        return inner(row)
+
+    return dataclasses.replace(
+        app_plan,
+        tables=(app_plan.tables[0],
+                dataclasses.replace(filt, predicate=crashing)),
+    )
+
+
+def _run_puma(items, batch_plan, checkpoint_every, retain, batched,
+              crash_on_call=None):
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("clicks", num_buckets=1)
+    for item in items:
+        if item == POISON:
+            scribe.write("clicks", b"\xff{not json")
+        else:
+            scribe.write_record("clicks", item, key=item["user"])
+
+    app_plan = plan(parse(PUMA_SOURCE))
+    if crash_on_call is not None:
+        app_plan = _crashing_plan(app_plan, crash_on_call)
+    hbase = HBaseTable("state")
+    app = PumaApp(app_plan, scribe, hbase,
+                  checkpoint_every_events=checkpoint_every,
+                  retain_windows=retain, clock=scribe.clock,
+                  batched=batched)
+
+    plan_index = 0
+    while True:
+        if app.crashed:
+            app.restart()
+        size = batch_plan[plan_index % len(batch_plan)]
+        plan_index += 1
+        if app.pump(size) == 0 and not app.crashed:
+            break
+    app.checkpoint()
+
+    out = CategoryReader(scribe, "filt")
+    emitted = [(m.bucket, m.offset, m.payload) for m in out.read_all()]
+    return {
+        "query": app.query("agg"),
+        "hbase": sorted((key, dict(cols))
+                        for key, cols in hbase.scan("", "￿")),
+        "emitted": emitted,
+        "events": app._events_counter.value,
+        "poison": app._poison_counter.value,
+        "checkpoints": app._checkpoints_counter.value,
+        "out": app._out_counters["filt"].value,
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=puma_streams, batch_plan=batch_plans,
+       checkpoint_every=st.integers(1, 9),
+       retain=st.one_of(st.none(), st.integers(1, 3)))
+def test_puma_batched_matches_per_message(items, batch_plan,
+                                          checkpoint_every, retain):
+    batched = _run_puma(items, batch_plan, checkpoint_every, retain,
+                        batched=True)
+    single = _run_puma(items, batch_plan, checkpoint_every, retain,
+                       batched=False)
+    assert batched == single
+
+
+@settings(max_examples=25, deadline=None)
+@given(items=puma_streams, batch_plan=batch_plans,
+       checkpoint_every=st.integers(1, 9),
+       crash_on_call=st.integers(1, 20))
+def test_puma_crash_recovery_is_semantically_equivalent(
+        items, batch_plan, checkpoint_every, crash_on_call):
+    """A mid-processing crash lands at a coarser point on the batched
+    path (table-major chunks), so byte equivalence of the at-least-once
+    output stream is off the table — but after restart + drain, the
+    recovered aggregate state and the *set* of delivered filter rows
+    must match exactly."""
+    results = [
+        _run_puma(items, batch_plan, checkpoint_every, None,
+                  batched=flag, crash_on_call=crash_on_call)
+        for flag in (True, False)
+    ]
+    batched, single = results
+    assert batched["query"] == single["query"]
+    assert batched["hbase"] == single["hbase"]
+    assert ({payload for _, _, payload in batched["emitted"]}
+            == {payload for _, _, payload in single["emitted"]})
+
+
+# -- Swift ----------------------------------------------------------------------
+
+
+class _LoggingCheckpointStore(CheckpointStore):
+    """Records every saved offset, in order."""
+
+    def __init__(self):
+        super().__init__()
+        self.offset_log = []
+
+    def save(self, consumer, category, bucket, checkpoint: Checkpoint):
+        self.offset_log.append(checkpoint.offset)
+        super().save(consumer, category, bucket, checkpoint)
+
+
+class _Recorder:
+    """Per-message Swift client; optionally crashes once after N calls."""
+
+    def __init__(self, sink, crash_at=None):
+        self.sink = sink
+        self.countdown = crash_at
+
+    def _maybe_crash(self, weight):
+        if self.countdown is None:
+            return
+        self.countdown -= weight
+        if self.countdown <= 0:
+            self.countdown = None
+            raise ProcessCrashed("swift-client", 0.0)
+
+    def __call__(self, message):
+        self._maybe_crash(1)
+        self.sink.append((message.offset, message.payload))
+
+
+class _BatchRecorder(_Recorder):
+    """Batch Swift client; a crash drops the whole in-flight segment."""
+
+    def on_batch(self, messages):
+        self._maybe_crash(len(messages))
+        self.sink.extend((m.offset, m.payload) for m in messages)
+
+
+def _run_swift(payloads, batch_plan, every_messages, every_bytes,
+               use_batch_client, crash_at=None):
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("in", num_buckets=1)
+    for payload in payloads:
+        scribe.write("in", payload)
+
+    checkpoints = _LoggingCheckpointStore()
+    delivered = []
+    client_cls = _BatchRecorder if use_batch_client else _Recorder
+    client = client_cls(delivered, crash_at)
+    app = SwiftApp("app", scribe, "in", 0, client, checkpoints,
+                   checkpoint_every_messages=every_messages,
+                   checkpoint_every_bytes=every_bytes)
+
+    plan_index = 0
+    while True:
+        if app.crashed:
+            app.restart()
+        size = batch_plan[plan_index % len(batch_plan)]
+        plan_index += 1
+        if app.pump(size) == 0 and not app.crashed:
+            break
+    return delivered, checkpoints
+
+
+swift_payloads = st.lists(st.binary(min_size=0, max_size=30),
+                          min_size=1, max_size=40)
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads=swift_payloads, batch_plan=batch_plans,
+       every_messages=st.one_of(st.none(), st.integers(1, 9)),
+       every_bytes=st.one_of(st.none(), st.integers(1, 120)))
+def test_swift_batch_client_matches_per_message(payloads, batch_plan,
+                                                every_messages, every_bytes):
+    if every_messages is None and every_bytes is None:
+        every_messages = 3
+    runs = [
+        _run_swift(payloads, batch_plan, every_messages, every_bytes,
+                   use_batch_client=flag)
+        for flag in (True, False)
+    ]
+    (batched_seen, batched_ckpt), (single_seen, single_ckpt) = runs
+    assert batched_seen == single_seen
+    assert batched_ckpt.offset_log == single_ckpt.offset_log
+    assert (batched_ckpt.load("app", "in", 0)
+            == single_ckpt.load("app", "in", 0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=swift_payloads, batch_plan=batch_plans,
+       every_messages=st.integers(1, 9), crash_at=st.integers(1, 20))
+def test_swift_crash_recovery_is_semantically_equivalent(
+        payloads, batch_plan, every_messages, crash_at):
+    """A batch client loses the whole crashed segment instead of a
+    suffix, so the replayed duplicates differ — but at-least-once
+    delivery of everything, and the final checkpoint, must hold on both
+    paths."""
+    runs = [
+        _run_swift(payloads, batch_plan, every_messages, None,
+                   use_batch_client=flag, crash_at=crash_at)
+        for flag in (True, False)
+    ]
+    all_offsets = set(range(len(payloads)))
+    finals = []
+    for delivered, checkpoints in runs:
+        assert {offset for offset, _ in delivered} == all_offsets
+        saved = checkpoints.load("app", "in", 0)
+        finals.append(saved.offset if saved is not None else None)
+    assert finals[0] == finals[1]
+
+
+# -- Scuba ----------------------------------------------------------------------
+
+
+def _run_scuba(items, batch_plan, sample_rate, batched):
+    scribe = ScribeStore(clock=SimClock())
+    scribe.create_category("events", num_buckets=1)
+    for item in items:
+        if item == POISON:
+            scribe.write("events", b"\xff{not json")
+        else:
+            scribe.write_record("events", item, key="k")
+
+    table = ScubaTable("t")
+    metrics = MetricsRegistry()
+    ingester = ScubaIngester(scribe, "events", table,
+                             sample_rate=sample_rate, seed=7,
+                             metrics=metrics, batched=batched)
+    plan_index = 0
+    while True:
+        size = batch_plan[plan_index % len(batch_plan)]
+        plan_index += 1
+        if ingester.pump(size) == 0 and ingester.lag_messages() == 0:
+            break
+    name = ingester.name
+    return {
+        "times": list(table._times),
+        "rows": list(table._rows),
+        "rows_counter": metrics.counter(f"{name}.rows").value,
+        "poison": metrics.counter(f"{name}.poison").value,
+        "sampled_out": metrics.counter(f"{name}.sampled_out").value,
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=streams, batch_plan=batch_plans,
+       sample_rate=st.sampled_from([1.0, 0.7, 0.3]))
+def test_scuba_batched_matches_per_message(items, batch_plan, sample_rate):
+    batched = _run_scuba(items, batch_plan, sample_rate, batched=True)
+    single = _run_scuba(items, batch_plan, sample_rate, batched=False)
+    assert batched == single
+
+
+# -- incremental compaction ------------------------------------------------------
+
+_LSM_KEYS = [f"k{i:02d}" for i in range(12)]
+
+lsm_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(_LSM_KEYS),
+                  st.integers(0, 100)),
+        st.tuples(st.just("delete"), st.sampled_from(_LSM_KEYS)),
+        st.tuples(st.just("merge"), st.sampled_from(_LSM_KEYS),
+                  st.integers(-3, 3)),
+    ),
+    min_size=1, max_size=80,
+)
+
+
+def _apply_ops(store, ops, flush_every):
+    for index, op in enumerate(ops, start=1):
+        if op[0] == "put":
+            store.put(op[1], op[2])
+        elif op[0] == "delete":
+            store.delete(op[1])
+        else:
+            store.merge(op[1], op[2])
+        if index % flush_every == 0:
+            store.flush()
+    store.flush()
+
+
+def _snapshot(store):
+    return {
+        "gets": {key: store.get(key) for key in _LSM_KEYS},
+        "multi_get": store.multi_get(_LSM_KEYS),
+        "scan": list(store.scan()),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=lsm_ops, flush_every=st.integers(1, 7),
+       trigger=st.integers(2, 5), max_runs=st.integers(2, 5))
+def test_compact_step_preserves_reads(ops, flush_every, trigger, max_runs):
+    """Bounded steps, scheduled steps, and the full merge all resolve
+    every key exactly like an uncompacted store."""
+    def build(**kwargs):
+        store = LsmStore(merge_operator=CounterMergeOperator(),
+                         memtable_flush_bytes=1 << 30, **kwargs)
+        _apply_ops(store, ops, flush_every)
+        return store
+
+    # compaction_trigger doubles as the tier fanout, so a huge trigger
+    # with no flush pressure never compacts: the uncompacted baseline.
+    baseline = build(compaction_trigger=10_000)
+    expected = _snapshot(baseline)
+
+    stepped = build(compaction_trigger=trigger, max_compact_runs=max_runs)
+    while stepped.compact_step():
+        levels = stepped.levels
+        assert levels == sorted(levels, reverse=True), \
+            "levels must stay non-increasing oldest-to-newest"
+    assert _snapshot(stepped) == expected
+
+    scheduled = build(compaction_trigger=trigger, max_compact_runs=max_runs)
+    scheduler = Scheduler()
+    scheduled.schedule_compaction(scheduler, interval=1.0)
+    scheduler.run_until(200.0)
+    assert _snapshot(scheduled) == expected
+
+    full = build(compaction_trigger=trigger, max_compact_runs=max_runs)
+    full.compact()
+    assert full.num_sstables <= 1
+    assert _snapshot(full) == expected

@@ -121,3 +121,16 @@ class TestGuards:
         for i in range(5):
             scheduler.at(float(i + 1), lambda: None)
         assert scheduler.run() == 5
+
+
+class TestHandleBoundedness:
+    def test_recurring_handle_tracks_one_pending_event(self, scheduler):
+        handle = scheduler.every(1.0, lambda: None)
+        scheduler.run_until(10_000.0)
+        # Fired events are dead; only the next pending firing needs to
+        # stay reachable for cancel(), no matter how long the timer runs.
+        assert len(handle._events) == 1
+        handle.cancel()
+        before = scheduler.now()
+        scheduler.run_until(before + 10.0)
+        assert scheduler.pending() == 0

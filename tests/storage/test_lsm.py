@@ -185,3 +185,101 @@ class TestRecovery:
         store.write_batch(puts={"a": 1, "b": 2}, merges=[("c", 3)])
         assert store.get("a") == 1
         assert store.get("c") == 3
+
+
+class TestIncrementalCompaction:
+    def make(self, **kwargs):
+        kwargs.setdefault("merge_operator", CounterMergeOperator())
+        kwargs.setdefault("memtable_flush_bytes", 1 << 30)
+        return LsmStore(**kwargs)
+
+    def fill(self, store, runs, keys_per_run=4):
+        for run in range(runs):
+            for i in range(keys_per_run):
+                store.put(f"k{run:02d}-{i}", run)
+            store.flush()
+
+    def test_step_merges_bounded_group(self):
+        store = self.make(compaction_trigger=4, max_compact_runs=2)
+        self.fill(store, 4)  # a full level-0 tier, no auto step yet
+        merged = store.compact_step()
+        # The tier reached its fanout (= compaction_trigger), but a step
+        # only eats max_compact_runs of it, promoted one level up.
+        assert merged == 2
+        assert store.levels == [1, 0, 0]
+
+    def test_step_is_noop_when_no_tier_is_full(self):
+        store = self.make(compaction_trigger=4)
+        self.fill(store, 3)
+        assert store.compact_step() == 0
+        assert store.num_sstables == 3
+
+    def test_levels_stay_nonincreasing_under_steps(self):
+        store = self.make(compaction_trigger=2, max_compact_runs=2)
+        self.fill(store, 12)
+        while store.compact_step():
+            levels = store.levels
+            assert levels == sorted(levels, reverse=True)
+
+    def test_step_bound_caps_single_call_work(self):
+        store = self.make(compaction_trigger=4, max_compact_runs=4,
+                          row_cache_size=0)
+        self.fill(store, 8, keys_per_run=8)  # 64 distinct keys
+        total = sum(len(run) for run in store._sstables)
+        while store.compact_step():
+            pass
+        # No single call (auto or manual) touched anything close to the
+        # whole store — the point of incremental compaction.
+        assert store.stats.compact_steps > 0
+        assert store.stats.max_step_entries <= 4 * 8 < total
+
+    def test_step_collapses_merge_operands(self):
+        store = self.make(compaction_trigger=4, max_compact_runs=4)
+        for _ in range(4):
+            store.merge("c", 1)
+            store.flush()
+        assert store.compact_step() == 4
+        [run] = store._sstables
+        entry = run.get("c")
+        assert len(entry.operands) == 1  # collapsed via partial_merge
+        assert store.get("c") == 4
+
+    def test_tombstones_survive_non_bottom_steps(self):
+        store = self.make(compaction_trigger=2, max_compact_runs=2)
+        store.put("a", 1)
+        store.flush()
+        store.put("pad", 0)
+        store.flush()
+        assert store.compact_step() == 2  # "a" now lives in a level-1 run
+        store.delete("a")
+        store.flush()
+        store.put("y", 2)
+        store.flush()  # run-count pressure auto-steps the two newest runs
+        assert store.levels == [1, 1]
+        # That merge excluded the oldest run, so the tombstone had to
+        # survive it — otherwise the old "a" would resurrect here.
+        assert store.get("a") is None
+        store.compact()
+        assert store.get("a") is None
+
+    def test_scheduled_compaction_converges(self):
+        from repro.runtime.scheduler import Scheduler
+
+        store = self.make(compaction_trigger=2, max_compact_runs=4)
+        self.fill(store, 9)
+        scheduler = Scheduler()
+        handle = store.schedule_compaction(scheduler, interval=5.0)
+        scheduler.run_until(500.0)
+        assert store.num_sstables <= 2
+        assert store.stats.compact_steps > 0
+        handle.cancel()
+
+    def test_multi_get_walks_each_run_once(self):
+        store = self.make(compaction_trigger=10_000, row_cache_size=0)
+        self.fill(store, 5, keys_per_run=6)
+        store.stats.multi_get_run_walks = 0
+        keys = [f"k{run:02d}-{i}" for run in range(5) for i in range(6)]
+        result = store.multi_get(keys)
+        assert all(result[key] is not None for key in keys)
+        # One monotone walk per run, not one probe-sequence per key.
+        assert store.stats.multi_get_run_walks <= store.num_sstables
