@@ -125,7 +125,10 @@ class StreamBuilder:
             every_n_events=checkpoint_every_events)
 
     def source(self, category: str) -> "FStream":
-        self.scribe.ensure_category(category, self.num_buckets)
+        # An existing category (say, an upstream job's output) is attached
+        # as-is; the builder's num_buckets only applies when creating one.
+        if not self.scribe.has_category(category):
+            self.scribe.ensure_category(category, self.num_buckets)
         return FStream(self, category)
 
 

@@ -19,16 +19,20 @@ Its two paper use cases are both supported:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro import serde
-from repro.errors import ConfigError, LaserError
+from repro.errors import ConfigError, LaserError, StoreUnavailable
 from repro.hive.warehouse import HiveTable
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import Retrier, RetryPolicy
 from repro.scribe.reader import CategoryReader
 from repro.scribe.store import ScribeStore
 from repro.storage.lsm import LsmStore
+
+if TYPE_CHECKING:
+    from repro.runtime.failures import Network
 
 Row = dict[str, Any]
 
@@ -49,7 +53,9 @@ class LaserTable:
                  lifetime_seconds: float = float("inf"),
                  clock: Clock | None = None,
                  metrics: MetricsRegistry | None = None,
-                 batched: bool = True) -> None:
+                 batched: bool = True,
+                 network: "Network | None" = None,
+                 link: tuple[str, str] | None = None) -> None:
         if not key_columns:
             raise ConfigError("at least one key column is required")
         if not value_columns:
@@ -67,6 +73,53 @@ class LaserTable:
         self._readers: list[CategoryReader] = []
         self._writes_counter = self.metrics.counter(f"laser.{name}.writes")
         self._reads_counter = self.metrics.counter(f"laser.{name}.reads")
+        self._unavailable_counter = self.metrics.counter(
+            f"laser.{name}.unavailable_errors")
+        self._latched_down = False
+        self._slow_factor = 1.0
+        self._outages: list[tuple[float, float]] = []
+        self._network = network
+        self._link = link
+
+    # -- fault injection --------------------------------------------------------
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Mark ``[start, end)`` as a serving outage window."""
+        if end <= start:
+            raise ConfigError("outage end must be after start")
+        self._outages.append((start, end))
+
+    def set_available(self, available: bool) -> None:
+        """Latch the tier down (or heal it), independent of windows."""
+        self._latched_down = not available
+
+    def set_slow_factor(self, factor: float) -> None:
+        if factor < 1.0:
+            raise ConfigError("slow factor must be >= 1")
+        self._slow_factor = factor
+
+    @property
+    def slow_factor(self) -> float:
+        return self._slow_factor
+
+    def available(self) -> bool:
+        if self._latched_down:
+            return False
+        if (self._network is not None and self._link is not None
+                and not self._network.connected(*self._link)):
+            return False
+        if self._outages:
+            now = self.clock.now()
+            if any(start <= now < end for start, end in self._outages):
+                return False
+        return True
+
+    def _check_available(self, operation: str) -> None:
+        if not self.available():
+            self._unavailable_counter.increment()
+            raise StoreUnavailable(
+                f"laser table {self.name!r} unavailable during {operation}"
+            )
 
     # -- ingestion --------------------------------------------------------------
 
@@ -138,6 +191,7 @@ class LaserTable:
                 f"table {self.name!r} key has {len(self.key_columns)} "
                 f"columns; got {len(key_values)} values"
             )
+        self._check_available("get")
         composite = "\x1f".join(str(v) for v in key_values)
         stamped = self._store.get(composite)
         self._reads_counter.increment()
@@ -152,6 +206,7 @@ class LaserTable:
         SSTable run once for the whole (sorted) key set instead of once
         per key.
         """
+        self._check_available("multi_get")
         composites = []
         for key_values in keys:
             if len(key_values) != len(self.key_columns):
@@ -185,12 +240,29 @@ class ReplicatedLaserTable:
     replication. Reads hit the preferred (local) tier and fail over.
     """
 
-    def __init__(self, name: str, tiers: dict[str, LaserTable]) -> None:
+    def __init__(self, name: str, tiers: dict[str, LaserTable],
+                 metrics: MetricsRegistry | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         if not tiers:
             raise ConfigError("need at least one data center")
         self.name = name
         self.tiers = tiers
         self._down: set[str] = set()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        any_tier = next(iter(tiers.values()))
+        policy = retry if retry is not None else RetryPolicy.no_retries()
+        self._retrier = Retrier(policy, clock=any_tier.clock,
+                                metrics=self.metrics,
+                                scope=f"laser.{name}")
+        self._failover_counter = self.metrics.counter(
+            f"laser.{name}.failover_reads")
+        self._stale_counter = self.metrics.counter(
+            f"laser.{name}.stale_reads")
+        self._unavailable_counter = self.metrics.counter(
+            f"laser.{name}.unavailable_reads")
+        # Last successfully served row per key: the serve-stale fallback
+        # when every data center is unreachable.
+        self._stale_cache: dict[tuple, Row | None] = {}
 
     def pump(self, max_messages: int = 1000) -> int:
         """Every tier ingests independently (automatic multiplexing)."""
@@ -207,7 +279,41 @@ class ReplicatedLaserTable:
 
     def get(self, *key_values: Any, datacenter: str | None = None
             ) -> Row | None:
-        return self._serving_tier(datacenter).get(*key_values)
+        """Point lookup with retry, cross-datacenter failover, and a
+        serve-stale last resort.
+
+        The preferred tier is tried first (under the retry policy); an
+        unavailable tier fails the read over to the next data center
+        (``failover_reads``). If every tier is down, the last row served
+        for this key is returned (``stale_reads``) — the bus will
+        re-converge the tiers once they heal — and only a key never
+        served before raises (``unavailable_reads``).
+        """
+        order = []
+        if datacenter is not None and datacenter in self.tiers:
+            order.append(datacenter)
+        order.extend(n for n in sorted(self.tiers) if n not in order)
+        last_error: Exception | None = None
+        for position, tier_name in enumerate(order):
+            if tier_name in self._down:
+                continue
+            try:
+                row = self._retrier.call(self.tiers[tier_name].get,
+                                         *key_values)
+            except StoreUnavailable as exc:
+                last_error = exc
+                continue
+            if position > 0:
+                self._failover_counter.increment()
+            self._stale_cache[key_values] = row
+            return row
+        if key_values in self._stale_cache:
+            self._stale_counter.increment()
+            return self._stale_cache[key_values]
+        self._unavailable_counter.increment()
+        raise LaserError(
+            f"table {self.name!r}: every data center is down"
+        ) from last_error
 
     def fail_datacenter(self, datacenter: str) -> None:
         if datacenter not in self.tiers:
@@ -276,7 +382,8 @@ class LaserService:
                                 value_columns: list[str],
                                 data_centers: list[str],
                                 scribe_category: str,
-                                lifetime_seconds: float = float("inf")
+                                lifetime_seconds: float = float("inf"),
+                                retry: RetryPolicy | None = None
                                 ) -> ReplicatedLaserTable:
         """Deploy one app to several data centers, each tailing the bus."""
         if name in self._replicated or name in self._tables:
@@ -288,7 +395,8 @@ class LaserService:
                               clock=self.clock, metrics=self.metrics)
             tier.tail_scribe(self.scribe, scribe_category)
             tiers[datacenter] = tier
-        table = ReplicatedLaserTable(name, tiers)
+        table = ReplicatedLaserTable(name, tiers, metrics=self.metrics,
+                                     retry=retry)
         self._replicated[name] = table
         return table
 

@@ -131,7 +131,9 @@ class AutoScaler:
         if old <= 1:
             return None
         watch.idle_samples = 0
-        watch.last_action_at = now
+        # A recommendation changes nothing, so it must not start the
+        # cooldown — otherwise an idle job that suddenly spikes has its
+        # real scale-up blocked for cooldown_seconds by a no-op.
         action = ScalingAction(watch.job.name, "recommend_scale_down", now,
                                old, max(1, old // 2))
         self.actions.append(action)

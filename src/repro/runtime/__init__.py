@@ -8,15 +8,25 @@ on a controlled clock. This package provides:
 - :class:`~repro.runtime.scheduler.Scheduler`: a discrete-event loop.
 - :class:`~repro.runtime.cluster.Cluster` and
   :class:`~repro.runtime.cluster.Machine`: where simulated processes live.
-- :class:`~repro.runtime.failures.FailurePlan`: scripted crash injection.
+- :class:`~repro.runtime.failures.FailurePlan`: scripted crash, outage,
+  partition, and slow-node injection (with :class:`~repro.runtime.failures.Network`).
+- :class:`~repro.runtime.retry.RetryPolicy` /
+  :class:`~repro.runtime.retry.Retrier`: bounded retry with deterministic
+  backoff for every cross-tier call.
 - :class:`~repro.runtime.metrics.MetricsRegistry`: counters / gauges / timers.
 - :func:`~repro.runtime.rng.make_rng`: seeded random streams per component.
 """
 
 from repro.runtime.clock import Clock, SimClock, WallClock
 from repro.runtime.cluster import Cluster, Machine, Process, ProcessState
-from repro.runtime.failures import FailureEvent, FailurePlan
+from repro.runtime.failures import (
+    FailureEvent,
+    FailureKind,
+    FailurePlan,
+    Network,
+)
 from repro.runtime.metrics import Counter, Gauge, MetricsRegistry, Timer
+from repro.runtime.retry import RETRYABLE, Retrier, RetryPolicy
 from repro.runtime.rng import make_rng
 from repro.runtime.scheduler import Scheduler
 
@@ -25,12 +35,17 @@ __all__ = [
     "Cluster",
     "Counter",
     "FailureEvent",
+    "FailureKind",
     "FailurePlan",
     "Gauge",
     "Machine",
     "MetricsRegistry",
+    "Network",
     "Process",
     "ProcessState",
+    "RETRYABLE",
+    "Retrier",
+    "RetryPolicy",
     "Scheduler",
     "SimClock",
     "Timer",

@@ -1,10 +1,25 @@
 """Scripted and randomized failure injection.
 
-A :class:`FailurePlan` binds crash/restart/machine-failure events to a
+A :class:`FailurePlan` binds failure events to a
 :class:`~repro.runtime.scheduler.Scheduler`, so experiments like Figure 7
 ("a failure happens at time T, what does the counter output look like
-afterwards?") are reproducible, and hypothesis tests can generate random
-crash schedules and assert semantics invariants under all of them.
+afterwards?") are reproducible, and property tests can generate random
+fault schedules and assert semantics invariants under all of them.
+
+Three fault families are scriptable:
+
+- **process/machine faults** against a :class:`~repro.runtime.cluster.Cluster`
+  (crash, restart, fail-machine, revive-machine) — the original Figure 10
+  ladder;
+- **store faults** against any target exposing ``set_available`` /
+  ``set_slow_factor`` (:class:`~repro.storage.hdfs.HdfsBlobStore`,
+  :class:`~repro.storage.zippydb.ZippyDb`,
+  :class:`~repro.laser.service.LaserTable`): transient outage windows,
+  latched outages that hold until explicitly healed, and slow-node
+  injection that scales the store's modeled latency;
+- **network partitions** against a :class:`Network`, cutting the link
+  between two named tiers so every call across it raises
+  :class:`~repro.errors.StoreUnavailable` until the partition heals.
 """
 
 from __future__ import annotations
@@ -12,9 +27,54 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
+from typing import Mapping, Protocol
 
+from repro.errors import SimulationError, StoreUnavailable
 from repro.runtime.cluster import Cluster
 from repro.runtime.scheduler import Scheduler
+
+
+class Network:
+    """A symmetric partition map between named tiers.
+
+    Components that model a cross-tier call hold a ``(network, link)``
+    pair and ask :meth:`check` before the call; a cut link raises
+    :class:`~repro.errors.StoreUnavailable` exactly like a store outage,
+    because from the caller's side they are indistinguishable.
+    """
+
+    def __init__(self) -> None:
+        self._cut: set[frozenset[str]] = set()
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between tiers ``a`` and ``b`` (both directions)."""
+        self._cut.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._cut.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._cut.clear()
+
+    def connected(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) not in self._cut
+
+    def check(self, a: str, b: str, operation: str = "call") -> None:
+        if not self.connected(a, b):
+            raise StoreUnavailable(
+                f"network partition between {a!r} and {b!r} during {operation}"
+            )
+
+    def partitions(self) -> list[tuple[str, str]]:
+        return sorted(tuple(sorted(link)) for link in self._cut)
+
+
+class FaultTarget(Protocol):
+    """What a store must expose to be a fault-injection target."""
+
+    def set_available(self, available: bool) -> None: ...
+
+    def set_slow_factor(self, factor: float) -> None: ...
 
 
 class FailureKind(enum.Enum):
@@ -24,25 +84,76 @@ class FailureKind(enum.Enum):
     RESTART_PROCESS = "restart_process"
     FAIL_MACHINE = "fail_machine"
     REVIVE_MACHINE = "revive_machine"
+    STORE_DOWN = "store_down"
+    STORE_UP = "store_up"
+    PARTITION = "partition"
+    HEAL = "heal"
+    SLOW_START = "slow_start"
+    SLOW_END = "slow_end"
+
+
+#: Kinds resolved against the cluster; the rest need stores or a network.
+_CLUSTER_KINDS = frozenset({
+    FailureKind.CRASH_PROCESS, FailureKind.RESTART_PROCESS,
+    FailureKind.FAIL_MACHINE, FailureKind.REVIVE_MACHINE,
+})
 
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """One scripted event: do ``kind`` to ``target`` at time ``at``."""
+    """One scripted event: do ``kind`` to ``target`` at time ``at``.
+
+    ``peer`` names the other end of a partition link; ``factor`` is the
+    latency multiplier for slow-node events.
+    """
 
     at: float
     kind: FailureKind
     target: str
+    peer: str | None = None
+    factor: float = 1.0
 
-    def apply(self, cluster: Cluster) -> None:
-        if self.kind == FailureKind.CRASH_PROCESS:
-            cluster.crash_process(self.target)
-        elif self.kind == FailureKind.RESTART_PROCESS:
-            cluster.restart_process(self.target)
-        elif self.kind == FailureKind.FAIL_MACHINE:
-            cluster.fail_machine(self.target)
-        elif self.kind == FailureKind.REVIVE_MACHINE:
-            cluster.revive_machine(self.target)
+    def apply(self, cluster: Cluster | None = None,
+              stores: Mapping[str, FaultTarget] | None = None,
+              network: Network | None = None) -> None:
+        kind = self.kind
+        if kind in _CLUSTER_KINDS:
+            if cluster is None:
+                raise SimulationError(
+                    f"{kind.value} event for {self.target!r} needs a cluster"
+                )
+            if kind == FailureKind.CRASH_PROCESS:
+                cluster.crash_process(self.target)
+            elif kind == FailureKind.RESTART_PROCESS:
+                cluster.restart_process(self.target)
+            elif kind == FailureKind.FAIL_MACHINE:
+                cluster.fail_machine(self.target)
+            else:
+                cluster.revive_machine(self.target)
+            return
+        if kind in (FailureKind.PARTITION, FailureKind.HEAL):
+            if network is None:
+                raise SimulationError(
+                    f"{kind.value} event for {self.target!r} needs a network"
+                )
+            if kind == FailureKind.PARTITION:
+                network.partition(self.target, self.peer)
+            else:
+                network.heal(self.target, self.peer)
+            return
+        if stores is None or self.target not in stores:
+            raise SimulationError(
+                f"{kind.value} event targets unknown store {self.target!r}"
+            )
+        store = stores[self.target]
+        if kind == FailureKind.STORE_DOWN:
+            store.set_available(False)
+        elif kind == FailureKind.STORE_UP:
+            store.set_available(True)
+        elif kind == FailureKind.SLOW_START:
+            store.set_slow_factor(self.factor)
+        else:
+            store.set_slow_factor(1.0)
 
 
 class FailurePlan:
@@ -53,7 +164,7 @@ class FailurePlan:
             events or [], key=lambda event: event.at
         )
 
-    # -- builders ----------------------------------------------------------
+    # -- builders: cluster faults ------------------------------------------
 
     def crash(self, process: str, at: float) -> "FailurePlan":
         self.events.append(FailureEvent(at, FailureKind.CRASH_PROCESS, process))
@@ -76,6 +187,51 @@ class FailurePlan:
         self.events.append(FailureEvent(at, FailureKind.REVIVE_MACHINE, machine))
         return self
 
+    # -- builders: store faults --------------------------------------------
+
+    def store_outage(self, store: str, at: float,
+                     until: float) -> "FailurePlan":
+        """A transient outage: the store heals on schedule at ``until``."""
+        if until <= at:
+            raise SimulationError("outage end must be after start")
+        self.events.append(FailureEvent(at, FailureKind.STORE_DOWN, store))
+        self.events.append(FailureEvent(until, FailureKind.STORE_UP, store))
+        return self
+
+    def latch_store_down(self, store: str, at: float) -> "FailurePlan":
+        """A latched outage: the store stays down until scripted back up."""
+        self.events.append(FailureEvent(at, FailureKind.STORE_DOWN, store))
+        return self
+
+    def restore_store(self, store: str, at: float) -> "FailurePlan":
+        self.events.append(FailureEvent(at, FailureKind.STORE_UP, store))
+        return self
+
+    def slow_node(self, store: str, at: float, until: float,
+                  factor: float) -> "FailurePlan":
+        """Scale a store's modeled latency by ``factor`` over a window."""
+        if until <= at:
+            raise SimulationError("slow window end must be after start")
+        if factor < 1.0:
+            raise SimulationError("slow factor must be >= 1")
+        self.events.append(
+            FailureEvent(at, FailureKind.SLOW_START, store, factor=factor)
+        )
+        self.events.append(FailureEvent(until, FailureKind.SLOW_END, store))
+        return self
+
+    # -- builders: network faults ------------------------------------------
+
+    def partition(self, a: str, b: str, at: float,
+                  heal_at: float | None = None) -> "FailurePlan":
+        """Cut the ``a``-``b`` link at ``at``; heal at ``heal_at`` if given."""
+        self.events.append(FailureEvent(at, FailureKind.PARTITION, a, peer=b))
+        if heal_at is not None:
+            if heal_at <= at:
+                raise SimulationError("heal must be after the partition")
+            self.events.append(FailureEvent(heal_at, FailureKind.HEAL, a, peer=b))
+        return self
+
     @classmethod
     def random_crashes(cls, process: str, horizon: float, rate: float,
                        downtime: float, rng: random.Random) -> "FailurePlan":
@@ -94,20 +250,77 @@ class FailurePlan:
             t += downtime
         return plan
 
+    @classmethod
+    def random_chaos(cls, horizon: float, rng: random.Random,
+                     processes: list[str] | tuple[str, ...] = (),
+                     stores: list[str] | tuple[str, ...] = (),
+                     links: list[tuple[str, str]] | tuple = (),
+                     crash_rate: float = 0.05, downtime: float = 2.0,
+                     outage_rate: float = 0.04, mean_outage: float = 4.0,
+                     partition_rate: float = 0.03,
+                     mean_partition: float = 3.0) -> "FailurePlan":
+        """A whole chaos campaign schedule in one draw.
+
+        Poisson arrivals per target: crash/restart pairs for every process,
+        transient outage windows for every store, partition/heal windows
+        for every link. Every window is clamped to end by ``horizon``, so
+        a campaign that runs past the horizon is guaranteed to finish
+        with everything healed — the "fault-free tail" that recovery
+        invariants are asserted against.
+        """
+        plan = cls()
+        for process in processes:
+            t = 0.0
+            while True:
+                t += rng.expovariate(crash_rate)
+                if t + downtime >= horizon:
+                    break
+                plan.crash_and_restart(process, t, downtime)
+                t += downtime
+        for store in stores:
+            t = 0.0
+            while True:
+                t += rng.expovariate(outage_rate)
+                if t >= horizon:
+                    break
+                length = min(rng.expovariate(1.0 / mean_outage),
+                             horizon - t - 1e-9)
+                if length > 0:
+                    plan.store_outage(store, t, t + length)
+                t += length
+        for a, b in links:
+            t = 0.0
+            while True:
+                t += rng.expovariate(partition_rate)
+                if t >= horizon:
+                    break
+                length = min(rng.expovariate(1.0 / mean_partition),
+                             horizon - t - 1e-9)
+                if length > 0:
+                    plan.partition(a, b, t, heal_at=t + length)
+                t += length
+        return plan
+
     # -- installation ------------------------------------------------------
 
-    def install(self, scheduler: Scheduler, cluster: Cluster) -> None:
-        """Schedule every event onto ``scheduler`` against ``cluster``."""
+    def install(self, scheduler: Scheduler, cluster: Cluster | None = None,
+                stores: Mapping[str, FaultTarget] | None = None,
+                network: Network | None = None) -> None:
+        """Schedule every event onto ``scheduler`` against its targets."""
         for event in sorted(self.events, key=lambda e: e.at):
-            scheduler.at(event.at, _Applier(event, cluster))
+            scheduler.at(event.at, _Applier(event, cluster, stores, network))
 
 
 class _Applier:
     """Callable wrapper so each event closes over its own binding."""
 
-    def __init__(self, event: FailureEvent, cluster: Cluster) -> None:
+    def __init__(self, event: FailureEvent, cluster: Cluster | None,
+                 stores: Mapping[str, FaultTarget] | None,
+                 network: Network | None) -> None:
         self._event = event
         self._cluster = cluster
+        self._stores = stores
+        self._network = network
 
     def __call__(self) -> None:
-        self._event.apply(self._cluster)
+        self._event.apply(self._cluster, self._stores, self._network)

@@ -1,0 +1,153 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+The paper's tiers survive each other's outages because every cross-tier
+call is allowed to fail: "if HDFS is not available for writes, processing
+continues without remote backup copies" (Section 4.4.2). This module is
+the shared policy layer for those calls. A :class:`RetryPolicy` bounds
+the attempts and spaces them with exponential backoff; a :class:`Retrier`
+executes calls under a policy, charges backoff waits to the (simulated)
+clock, and reports every failure, recovery, and give-up through
+:class:`~repro.runtime.metrics.MetricsRegistry` counters so that no
+:class:`~repro.errors.StoreUnavailable` window is ever silently dropped.
+
+Jitter is drawn from :func:`~repro.runtime.rng.make_rng`, so two runs of
+the same experiment back off identically — chaos schedules stay
+reproducible down to the retry timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, StoreUnavailable, TransactionAborted
+from repro.runtime.clock import Clock
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.rng import make_rng
+
+#: Exceptions a retrier treats as transient by default. ``TransactionAborted``
+#: is included because ZippyDB wraps quorum loss in it (Section 4.3.2's
+#: high-latency transactions abort rather than block).
+RETRYABLE = (StoreUnavailable, TransactionAborted)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try a flaky call, and how long to wait between.
+
+    ``max_attempts`` counts the first call too: ``max_attempts=1`` means
+    no retries at all. The delay before retry *k* (1-based) is
+    ``base_delay * multiplier**(k-1)`` capped at ``max_delay``, scaled by
+    a jitter factor drawn uniformly from ``[1-jitter, 1+jitter]``.
+    ``timeout`` bounds the whole call: once the clock passes
+    ``start + timeout`` no further retry is attempted.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be positive")
+
+    @classmethod
+    def no_retries(cls) -> "RetryPolicy":
+        """Fail fast: one attempt, no waiting."""
+        return cls(max_attempts=1, base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+    def backoff_delay(self, failures: int,
+                      rng: random.Random | None = None) -> float:
+        """The wait before retrying after ``failures`` (>= 1) failures."""
+        if failures < 1:
+            raise ConfigError("backoff_delay needs failures >= 1")
+        raw = min(self.max_delay,
+                  self.base_delay * self.multiplier ** (failures - 1))
+        if self.jitter and rng is not None:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return raw
+
+
+class Retrier:
+    """Executes calls under a :class:`RetryPolicy`, with full accounting.
+
+    Counters (under ``{scope}.retry.``):
+
+    - ``attempts`` — every call made, including first tries;
+    - ``failures`` — every retryable exception seen;
+    - ``recoveries`` — calls that succeeded after at least one failure;
+    - ``give_ups`` — calls abandoned with the last error re-raised.
+
+    The invariant callers rely on: every retryable failure either ends in
+    a recovery or in a give-up, and give-ups re-raise — so the caller's
+    degraded-mode path runs (and counts) exactly once per abandoned call.
+
+    Backoff waits advance the clock when it supports ``advance`` (a
+    :class:`~repro.runtime.clock.SimClock`); under a wall clock the wait
+    is skipped rather than stalling the process with a real sleep.
+    """
+
+    def __init__(self, policy: RetryPolicy | None = None,
+                 clock: Clock | None = None,
+                 rng: random.Random | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 scope: str = "retry") -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock
+        self.rng = rng if rng is not None else make_rng(0, scope)
+        self.scope = scope
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._attempts = registry.counter(f"{scope}.retry.attempts")
+        self._failures = registry.counter(f"{scope}.retry.failures")
+        self._recoveries = registry.counter(f"{scope}.retry.recoveries")
+        self._give_ups = registry.counter(f"{scope}.retry.give_ups")
+
+    def call(self, fn, *args, retry_on=RETRYABLE, **kwargs):
+        """Run ``fn(*args, **kwargs)``, retrying ``retry_on`` exceptions.
+
+        Re-raises the last exception once attempts or the time budget are
+        exhausted (after incrementing ``give_ups``).
+        """
+        policy = self.policy
+        deadline = None
+        if policy.timeout is not None and self.clock is not None:
+            deadline = self.clock.now() + policy.timeout
+        failures = 0
+        while True:
+            self._attempts.increment()
+            try:
+                result = fn(*args, **kwargs)
+            except retry_on:
+                failures += 1
+                self._failures.increment()
+                if failures >= policy.max_attempts:
+                    self._give_ups.increment()
+                    raise
+                delay = policy.backoff_delay(failures, self.rng)
+                if (deadline is not None
+                        and self.clock.now() + delay > deadline):
+                    self._give_ups.increment()
+                    raise
+                self._wait(delay)
+            else:
+                if failures:
+                    self._recoveries.increment()
+                return result
+
+    def _wait(self, delay: float) -> None:
+        if delay <= 0.0:
+            return
+        advance = getattr(self.clock, "advance", None)
+        if advance is not None:
+            advance(delay)

@@ -131,7 +131,11 @@ class Scheduler:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self.clock.advance_to(event.timestamp)
+            # A callback may itself have advanced the clock past the next
+            # event's timestamp (retry backoff, modeled store latency);
+            # the event is late, not in the past — fire it now.
+            if event.timestamp > self.clock.now():
+                self.clock.advance_to(event.timestamp)
             event.fired = True
             event.callback()
             return True
@@ -155,7 +159,8 @@ class Scheduler:
                 if head.timestamp > timestamp:
                     break
                 heapq.heappop(self._queue)
-                self.clock.advance_to(head.timestamp)
+                if head.timestamp > self.clock.now():
+                    self.clock.advance_to(head.timestamp)
                 head.fired = True
                 head.callback()
             if timestamp > self.clock.now():

@@ -6,9 +6,11 @@ import zlib
 from typing import Any, Mapping
 
 from repro import serde
-from repro.errors import ConfigError, UnknownCategory
+from repro.errors import BackupNotFound, ConfigError, StoreUnavailable, \
+    UnknownCategory
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import Counter, MetricsRegistry
+from repro.runtime.retry import Retrier, RetryPolicy
 from repro.scribe.bucket import Bucket
 from repro.scribe.category import Category
 from repro.scribe.message import Message
@@ -57,11 +59,27 @@ class ScribeStore:
         self._categories[name] = category
         return category
 
-    def ensure_category(self, name: str, num_buckets: int = 1) -> Category:
-        """Create the category if missing, else return the existing one."""
-        if name in self._categories:
-            return self._categories[name]
-        return self.create_category(name, num_buckets)
+    def ensure_category(self, name: str,
+                        num_buckets: int | None = None) -> Category:
+        """Create the category if missing, else return the existing one.
+
+        When the category already exists and the caller asked for a
+        specific ``num_buckets``, a mismatch raises
+        :class:`~repro.errors.ConfigError`: silently handing back a
+        category with a different bucket count would scatter the
+        caller's shard keys onto buckets it never reads.
+        """
+        existing = self._categories.get(name)
+        if existing is not None:
+            if num_buckets is not None and existing.num_buckets != num_buckets:
+                raise ConfigError(
+                    f"category {name!r} exists with "
+                    f"{existing.num_buckets} buckets, not {num_buckets}"
+                )
+            return existing
+        return self.create_category(
+            name, num_buckets if num_buckets is not None else 1
+        )
 
     def category(self, name: str) -> Category:
         if name not in self._categories:
@@ -168,12 +186,17 @@ class ScribeStore:
     # -- durability ("Scribe provides data durability by storing it in
     # HDFS", Section 2.1) -------------------------------------------------------
 
-    def snapshot_to(self, hdfs, name: str = "scribe") -> int:
+    def snapshot_to(self, hdfs, name: str = "scribe",
+                    retry: RetryPolicy | None = None) -> int | None:
         """Persist every category's retained messages to the blob store.
 
-        Returns the number of messages persisted. Raises
-        :class:`~repro.errors.StoreUnavailable` if HDFS is down — callers
-        retry on the next cycle, as the backup engine does.
+        Returns the number of messages persisted. With no ``retry``
+        policy, an HDFS outage raises
+        :class:`~repro.errors.StoreUnavailable` and the caller retries
+        on the next cycle. With a policy, the put is retried under it;
+        exhausting the budget skips the snapshot, counts it in
+        ``scribe.snapshot.skipped``, and returns None — the degraded
+        mode matching the backup engine's.
         """
         blob: dict[str, Any] = {"categories": {}}
         count = 0
@@ -191,7 +214,16 @@ class ScribeStore:
                 "retention": category.retention_seconds,
                 "buckets": buckets,
             }
-        hdfs.put(f"{name}/state", blob)
+        if retry is None:
+            hdfs.put(f"{name}/state", blob)
+            return count
+        retrier = Retrier(retry, clock=self.clock, metrics=self.metrics,
+                          scope="scribe.snapshot")
+        try:
+            retrier.call(hdfs.put, f"{name}/state", blob)
+        except StoreUnavailable:
+            self.metrics.counter("scribe.snapshot.skipped").increment()
+            return None
         return count
 
     @classmethod
@@ -199,7 +231,10 @@ class ScribeStore:
                      clock: Clock | None = None,
                      delivery_delay: float = 0.0) -> "ScribeStore":
         """Rebuild a store (offsets included) from a snapshot."""
-        blob = hdfs.get(f"{name}/state")
+        try:
+            blob = hdfs.get(f"{name}/state")
+        except KeyError:
+            raise BackupNotFound(f"no scribe snapshot named {name!r}") from None
         store = cls(clock=clock, delivery_delay=delivery_delay)
         for category_name, data in blob["categories"].items():
             category = store.create_category(

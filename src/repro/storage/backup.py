@@ -3,10 +3,12 @@
 Models RocksDB's backup engine as used in the paper's Figure 10: the
 local database is "copied asynchronously to HDFS at a larger interval".
 Backups are full snapshots of the flushed runs plus the WAL tail, so a
-restore reproduces the store exactly as of the snapshot. If HDFS is down
-at snapshot time the backup is skipped — recovery then falls back to an
-older snapshot, losing the delta (which the at-least-once replay from
-Scribe re-creates).
+restore reproduces the store exactly as of the snapshot. HDFS outages
+are first retried under a :class:`~repro.runtime.retry.RetryPolicy`;
+when the retry budget is exhausted the backup is *skipped-and-counted*
+(``backup.skipped``) — recovery then falls back to an older snapshot,
+losing the delta (which the at-least-once replay from Scribe
+re-creates).
 """
 
 from __future__ import annotations
@@ -16,6 +18,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import BackupNotFound, StoreUnavailable
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import Retrier, RetryPolicy
 from repro.storage.hdfs import HdfsBlobStore
 from repro.storage.lsm import LsmStore
 
@@ -33,11 +37,18 @@ class BackupInfo:
 class BackupEngine:
     """Snapshot/restore bridge between an :class:`LsmStore` and HDFS."""
 
-    def __init__(self, hdfs: HdfsBlobStore, prefix: str = "backups") -> None:
+    def __init__(self, hdfs: HdfsBlobStore, prefix: str = "backups",
+                 retry: RetryPolicy | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.hdfs = hdfs
         self.prefix = prefix
         self._next_id: dict[str, int] = {}
         self._history: dict[str, list[BackupInfo]] = {}
+        registry = metrics if metrics is not None else MetricsRegistry()
+        policy = retry if retry is not None else RetryPolicy.no_retries()
+        self._retrier = Retrier(policy, clock=hdfs.clock,
+                                metrics=registry, scope="backup")
+        self._skipped = registry.counter("backup.skipped")
 
     def _blob_name(self, store_name: str, backup_id: int) -> str:
         return f"{self.prefix}/{store_name}/{backup_id:08d}"
@@ -45,10 +56,13 @@ class BackupEngine:
     # -- snapshot -----------------------------------------------------------------
 
     def create_backup(self, store: LsmStore) -> BackupInfo | None:
-        """Snapshot ``store`` to HDFS; returns None if HDFS is unavailable.
+        """Snapshot ``store`` to HDFS; returns None if HDFS stays unavailable.
 
         The store is flushed first so the snapshot is a consistent set of
         immutable runs (plus an empty WAL), matching RocksDB behaviour.
+        An outage is retried under the engine's policy; a final failure
+        is counted in ``backup.skipped`` and the engine moves on — the
+        paper's "continue without remote backup copies" degraded mode.
         """
         store.flush()
         state = store._disk_state()
@@ -59,8 +73,11 @@ class BackupEngine:
         }
         backup_id = self._next_id.get(store.name, 0)
         try:
-            self.hdfs.put(self._blob_name(store.name, backup_id), blob)
+            self._retrier.call(
+                self.hdfs.put, self._blob_name(store.name, backup_id), blob
+            )
         except StoreUnavailable:
+            self._skipped.increment()
             return None  # paper: continue without a remote copy
         self._next_id[store.name] = backup_id + 1
         info = BackupInfo(backup_id, store.name, self.hdfs.clock.now(),
@@ -80,13 +97,27 @@ class BackupEngine:
     def restore(self, store_name: str, disk: dict[str, Any],
                 backup_id: int | None = None,
                 merge_operator: Any = None) -> LsmStore:
-        """Materialize a store from a snapshot into a (new) disk namespace."""
+        """Materialize a store from a snapshot into a (new) disk namespace.
+
+        Raises :class:`~repro.errors.BackupNotFound` when the snapshot
+        does not exist (whether ``backup_id`` was explicit or inferred),
+        and :class:`~repro.errors.StoreUnavailable` when HDFS stays down
+        past the retry budget — the blob is fetched *before* the new
+        store is created, so a failed restore never leaves a
+        half-initialized store behind.
+        """
         if backup_id is None:
             info = self.latest_backup(store_name)
             if info is None:
                 raise BackupNotFound(f"no backups for store {store_name!r}")
             backup_id = info.backup_id
-        blob = self.hdfs.get(self._blob_name(store_name, backup_id))
+        blob_name = self._blob_name(store_name, backup_id)
+        try:
+            blob = self._retrier.call(self.hdfs.get, blob_name)
+        except KeyError:
+            raise BackupNotFound(
+                f"no backup {backup_id} for store {store_name!r}"
+            ) from None
         store = LsmStore(disk=disk, name=store_name,
                          merge_operator=merge_operator)
         state = store._disk_state()

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import ConfigError, StoreUnavailable, TransactionAborted
 from repro.runtime.clock import SimClock
 from repro.runtime.metrics import MetricsRegistry
 from repro.storage.merge import MergeOperator
+
+if TYPE_CHECKING:
+    from repro.runtime.failures import Network
 
 
 @dataclass(frozen=True)
@@ -98,7 +101,9 @@ class ZippyDb:
                  clock: SimClock | None = None,
                  latency: ZippyDbLatencyModel | None = None,
                  metrics: MetricsRegistry | None = None,
-                 name: str = "zippydb") -> None:
+                 name: str = "zippydb",
+                 network: "Network | None" = None,
+                 link: tuple[str, str] | None = None) -> None:
         if num_shards < 1:
             raise ConfigError("num_shards must be >= 1")
         if replication_factor < 1:
@@ -109,6 +114,12 @@ class ZippyDb:
         self.latency = latency if latency is not None else ZippyDbLatencyModel()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._shards = [_Shard(i, replication_factor) for i in range(num_shards)]
+        self._latched_down = False
+        self._slow_factor = 1.0
+        self._outages: list[tuple[float, float]] = []
+        self._network = network
+        self._link = link
+        self._unavailable = self.metrics.counter(f"{name}.unavailable_errors")
 
     # -- plumbing -------------------------------------------------------------
 
@@ -120,38 +131,98 @@ class ZippyDb:
         return zlib.crc32(key.encode("utf-8")) % len(self._shards)
 
     def _charge(self, seconds: float, metric: str, count: int = 1) -> None:
+        seconds *= self._slow_factor
         if self.clock is not None:
             self.clock.advance(seconds)
         self.metrics.counter(f"{self.name}.{metric}").increment(count)
         self.metrics.counter(f"{self.name}.simulated_seconds").increment(seconds)
 
+    # -- availability / fault injection -----------------------------------------
+
+    def add_outage(self, start: float, end: float) -> None:
+        """Mark ``[start, end)`` as an unavailability window (needs a clock)."""
+        if end <= start:
+            raise ConfigError("outage end must be after start")
+        self._outages.append((start, end))
+
+    def set_available(self, available: bool) -> None:
+        """Latch the whole store down (or heal it), independent of replicas."""
+        self._latched_down = not available
+
+    def set_slow_factor(self, factor: float) -> None:
+        """Scale every operation's modeled latency (1.0 = healthy)."""
+        if factor < 1.0:
+            raise ConfigError("slow factor must be >= 1")
+        self._slow_factor = factor
+
+    @property
+    def slow_factor(self) -> float:
+        return self._slow_factor
+
+    def available(self) -> bool:
+        if self._latched_down:
+            return False
+        if (self._network is not None and self._link is not None
+                and not self._network.connected(*self._link)):
+            return False
+        if self._outages and self.clock is not None:
+            now = self.clock.now()
+            if any(start <= now < end for start, end in self._outages):
+                return False
+        return True
+
+    def _check_available(self, operation: str) -> None:
+        if not self.available():
+            self._unavailable.increment()
+            raise StoreUnavailable(
+                f"{self.name} unavailable during {operation}"
+            )
+
+    def _writable(self, shard: _Shard) -> None:
+        try:
+            shard.check_writable()
+        except StoreUnavailable:
+            self._unavailable.increment()
+            raise
+
+    def _live_replica(self, shard: _Shard) -> dict[str, Any]:
+        try:
+            return shard.live_replica()
+        except StoreUnavailable:
+            self._unavailable.increment()
+            raise
+
     # -- single-key operations ---------------------------------------------------
 
     def get(self, key: str) -> Any:
+        self._check_available("get")
         self._charge(self.latency.read, "reads")
         shard = self._shards[self.shard_for(key)]
-        value = shard.live_replica().get(key)
+        value = self._live_replica(shard).get(key)
         return self._resolve(value)
 
     def put(self, key: str, value: Any) -> None:
+        self._check_available("put")
         self._charge(self.latency.write, "writes")
         shard = self._shards[self.shard_for(key)]
-        shard.check_writable()
+        self._writable(shard)
         shard.apply(key, _Stored(value, ()))
 
     def delete(self, key: str) -> None:
+        self._check_available("delete")
         self._charge(self.latency.write, "writes")
         shard = self._shards[self.shard_for(key)]
-        shard.check_writable()
+        self._writable(shard)
         shard.apply(key, _DELETED)
 
     def merge(self, key: str, operand: Any) -> None:
         """Append a merge operand server-side (no read round trip)."""
         if self.merge_operator is None:
             raise ConfigError(f"{self.name!r} has no merge operator")
+        self._check_available("merge")
         self._charge(self.latency.write, "merge_writes")
         shard = self._shards[self.shard_for(key)]
-        shard.check_writable()
+        self._writable(shard)
         existing = shard.live_replica().get(key)
         if isinstance(existing, _Stored):
             stored = _Stored(existing.base, existing.operands + (operand,))
@@ -162,6 +233,7 @@ class ZippyDb:
     # -- batched operations (one round trip per shard touched) ---------------------
 
     def multi_get(self, keys: list[str]) -> dict[str, Any]:
+        self._check_available("multi_get")
         by_shard = self._group(keys)
         self._charge(
             self.latency.batch_overhead * len(by_shard)
@@ -170,12 +242,13 @@ class ZippyDb:
         )
         result: dict[str, Any] = {}
         for shard_index, shard_keys in by_shard.items():
-            replica = self._shards[shard_index].live_replica()
+            replica = self._live_replica(self._shards[shard_index])
             for key in shard_keys:
                 result[key] = self._resolve(replica.get(key))
         return result
 
     def multi_put(self, items: dict[str, Any]) -> None:
+        self._check_available("multi_put")
         by_shard = self._group(list(items))
         self._charge(
             self.latency.batch_overhead * len(by_shard)
@@ -184,7 +257,7 @@ class ZippyDb:
         )
         for shard_index, shard_keys in by_shard.items():
             shard = self._shards[shard_index]
-            shard.check_writable()
+            self._writable(shard)
             for key in shard_keys:
                 shard.apply(key, _Stored(items[key], ()))
 
@@ -192,6 +265,7 @@ class ZippyDb:
         """Batched append-only merges: the Figure 12 fast path."""
         if self.merge_operator is None:
             raise ConfigError(f"{self.name!r} has no merge operator")
+        self._check_available("multi_merge")
         by_shard: dict[int, list[tuple[str, Any]]] = {}
         for key, operand in items:
             by_shard.setdefault(self.shard_for(key), []).append((key, operand))
@@ -202,7 +276,7 @@ class ZippyDb:
         )
         for shard_index, pairs in by_shard.items():
             shard = self._shards[shard_index]
-            shard.check_writable()
+            self._writable(shard)
             replica = shard.live_replica()
             for key, operand in pairs:
                 existing = replica.get(key)
@@ -228,11 +302,12 @@ class ZippyDb:
         if not keys:
             return
         shards_touched = {self.shard_for(key) for key in keys}
-        for shard_index in shards_touched:
-            try:
-                self._shards[shard_index].check_writable()
-            except StoreUnavailable as exc:
-                raise TransactionAborted(str(exc)) from exc
+        try:
+            self._check_available("transaction")
+            for shard_index in shards_touched:
+                self._writable(self._shards[shard_index])
+        except StoreUnavailable as exc:
+            raise TransactionAborted(str(exc)) from exc
         # prepare + commit rounds across the participant group
         self._charge(
             2 * self.latency.transaction_round

@@ -44,6 +44,7 @@ from repro.errors import CheckpointError, ProcessCrashed, ProcessingError
 from repro.serde import SerdeError
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RETRYABLE, Retrier, RetryPolicy
 from repro.scribe.message import Message
 from repro.scribe.reader import ScribeReader
 from repro.scribe.store import ScribeStore
@@ -87,7 +88,8 @@ class StylusTask:
                  cost_model: CostModel | None = None,
                  strategy: Strategy = Strategy.OVERLAPPED,
                  metrics: MetricsRegistry | None = None,
-                 max_batch_bytes: int | None = None) -> None:
+                 max_batch_bytes: int | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         self.name = name
         self.scribe = scribe
         self.processor = processor
@@ -118,6 +120,20 @@ class StylusTask:
             f"stylus.{name}.checkpoints")
         self._crashes_counter = registry.counter(f"stylus.{name}.crashes")
         self._lag_gauge = registry.gauge(f"stylus.{name}.lag")
+        self._deferred_counter = registry.counter(
+            f"stylus.{name}.checkpoints_deferred")
+        self._dropped_counter = registry.counter(
+            f"stylus.{name}.partials_dropped")
+        # State saves go through a retrier; backoff charges the sim clock.
+        # A second no-retry retrier (same scope, same counters) covers the
+        # one save that must not be re-driven after a partial failure.
+        policy = retry_policy if retry_policy is not None \
+            else RetryPolicy.no_retries()
+        scope = f"stylus.{name}.state"
+        self._retrier = Retrier(policy, clock=self.clock,
+                                metrics=registry, scope=scope)
+        self._once = Retrier(RetryPolicy.no_retries(), clock=self.clock,
+                             metrics=registry, scope=scope)
         # Test hook: force the per-message decode path even when the
         # batched fast path would apply (equivalence property tests).
         self._force_per_message = False
@@ -426,18 +442,22 @@ class StylusTask:
             self._pending_output.extend(periodic)
 
         offset = self._next_offset
-        if self.semantics.state == StateSemantics.EXACTLY_ONCE:
-            self._save_exactly_once(offset, index)
-        elif self.semantics.state == StateSemantics.AT_LEAST_ONCE:
-            self._save_payload()
-            self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
-                               self.name, now)
-            self.state_backend.save_offset(offset)
-        else:  # at-most-once: offset first, then state
-            self.state_backend.save_offset(offset)
-            self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
-                               self.name, now)
-            self._save_payload()
+        try:
+            if self.semantics.state == StateSemantics.EXACTLY_ONCE:
+                self._retrier.call(self._save_exactly_once, offset, index)
+            elif self.semantics.state == StateSemantics.AT_LEAST_ONCE:
+                self._retrier.call(self._save_payload)
+                self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
+                                   self.name, now)
+                self._retrier.call(self.state_backend.save_offset, offset)
+            else:  # at-most-once: offset first, then state
+                self._retrier.call(self.state_backend.save_offset, offset)
+                self.injector.fire(CrashPoint.AFTER_FIRST_SAVE, index,
+                                   self.name, now)
+                self._save_payload_at_most_once()
+        except RETRYABLE:
+            self._defer_checkpoint()
+            return
 
         self._checkpoint_index = index
         self.injector.fire(CrashPoint.AFTER_CHECKPOINT, index,
@@ -470,6 +490,45 @@ class StylusTask:
                     self._partials, self.processor.merge_operator()
                 )
                 self._partials = {}
+
+    def _save_payload_at_most_once(self) -> None:
+        """The at-most-once payload save, with its special failure rule.
+
+        A monoid flush that fails may have applied some deltas; driving
+        it again could double-count keys that did land, which at-most-once
+        forbids. So the flush gets exactly one attempt, and on failure the
+        partials are *dropped* and counted (``partials_dropped``) —
+        undercounting is the direction this policy is allowed to err in.
+        Stateful saves are absolute snapshots (idempotent), so they retry
+        normally.
+        """
+        if isinstance(self.processor, MonoidProcessor):
+            if not self._partials:
+                return
+            try:
+                self._once.call(self.state_backend.flush_partials,
+                                self._partials,
+                                self.processor.merge_operator())
+            except RETRYABLE:
+                self._partials = {}
+                self._dropped_counter.increment()
+                return
+            self._partials = {}
+        else:
+            self._retrier.call(self._save_payload)
+
+    def _defer_checkpoint(self) -> None:
+        """Degraded mode: the durable save stayed down past the retry budget.
+
+        Nothing was lost — pending output, monoid partials, and the
+        unadvanced checkpoint index all stay queued, and the next
+        checkpoint folds this interval in (queue-and-drain). Only the
+        cadence counters reset, so processing continues instead of
+        re-triggering a doomed checkpoint on the very next event.
+        """
+        self._deferred_counter.increment()
+        self._events_since_checkpoint = 0
+        self._last_checkpoint_at = self._now()
 
     def _save_exactly_once(self, offset: int, index: int) -> None:
         if isinstance(self.processor, MonoidProcessor):
@@ -520,9 +579,19 @@ class StylusTask:
         self._raw_buffer = []
         self._crashes_counter.increment()
 
+    def crash(self) -> None:
+        """Kill the task from outside (chaos schedules use this)."""
+        if not self.crashed:
+            self._die()
+
     def restart(self) -> None:
-        """Come back up from the last checkpoint (same machine)."""
-        state, offset = self.state_backend.load()
+        """Come back up from the last checkpoint (same machine).
+
+        The checkpoint load is retried under the task's policy; if the
+        backing store stays down past the budget, the task stays crashed
+        and the caller retries the restart later.
+        """
+        state, offset = self._retrier.call(self.state_backend.load)
         if isinstance(self.processor, StatefulProcessor):
             self._state = (state if state is not None
                            else self.processor.initial_state())

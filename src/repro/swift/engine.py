@@ -228,7 +228,13 @@ class SwiftApp:
         self._since_messages = 0
         self._since_bytes = 0
         saved = self.checkpoints.load(self.name, self.category, self.bucket)
-        self._reader.seek(saved.offset if saved is not None else 0)
+        if saved is not None:
+            self._reader.seek(saved.offset)
+        else:
+            # Offset 0 may already be trimmed by retention; an absolute
+            # seek there would overstate lag until the first read skips
+            # forward. Resume from the first retained offset instead.
+            self._reader.seek_to_start()
 
     def lag_messages(self) -> int:
         return self._reader.lag_messages()

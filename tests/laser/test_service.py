@@ -142,9 +142,18 @@ class TestReplicatedTables:
         table.fail_datacenter("dc-east")
         # Reads preferring the dead DC silently fail over.
         assert table.get("movies", datacenter="dc-east") == {"score": 9.0}
+        assert service.metrics.counter(
+            f"laser.{table.name}.failover_reads").value == 1
         table.fail_datacenter("dc-west")
+        # Every DC down: a key served before comes from the stale cache...
+        assert table.get("movies") == {"score": 9.0}
+        assert service.metrics.counter(
+            f"laser.{table.name}.stale_reads").value == 1
+        # ...and a key never served raises, visibly counted.
         with pytest.raises(LaserError):
-            table.get("movies")
+            table.get("never-seen")
+        assert service.metrics.counter(
+            f"laser.{table.name}.unavailable_reads").value == 1
         table.restore_datacenter("dc-west")
         assert table.get("movies") == {"score": 9.0}
 
@@ -168,3 +177,57 @@ class TestReplicatedTables:
         scribe.write_record("scores", {"topic": "news", "score": 1.0},
                             key="news")
         assert service.pump() == 2  # both tiers ingested the new record
+
+
+class TestFaultInjection:
+    """Outages, latches, and retries on the serving tiers themselves."""
+
+    def test_outage_window_blocks_reads_and_is_counted(self, clock):
+        from repro.errors import StoreUnavailable
+
+        table = LaserTable("t", ["k"], ["v"], clock=clock)
+        table.put_row({"k": "a", "v": 1})
+        table.add_outage(5.0, 10.0)
+        clock.advance(6.0)
+        with pytest.raises(StoreUnavailable):
+            table.get("a")
+        with pytest.raises(StoreUnavailable):
+            table.multi_get([("a",)])
+        assert table.metrics.counter(
+            "laser.t.unavailable_errors").value == 2
+        clock.advance(5.0)
+        assert table.get("a") == {"v": 1}
+
+    def test_latched_outage_until_restored(self, clock):
+        from repro.errors import StoreUnavailable
+
+        table = LaserTable("t", ["k"], ["v"], clock=clock)
+        table.put_row({"k": "a", "v": 1})
+        table.set_available(False)
+        with pytest.raises(StoreUnavailable):
+            table.get("a")
+        table.set_available(True)
+        assert table.get("a") == {"v": 1}
+
+    def test_replicated_read_retries_through_transient_outage(self, service,
+                                                              scribe, clock):
+        from repro.runtime.retry import RetryPolicy
+
+        scribe.create_category("scores", 1)
+        table = service.create_replicated_table(
+            "scores", ["topic"], ["score"],
+            data_centers=["dc-east", "dc-west"],
+            scribe_category="scores",
+            retry=RetryPolicy(max_attempts=4, base_delay=1.0,
+                              multiplier=2.0, jitter=0.0))
+        scribe.write_record("scores", {"topic": "movies", "score": 9.0},
+                            key="movies")
+        table.pump()
+        # Both tiers go dark briefly; the backoff (1s + 2s) outlives it.
+        for tier in table.tiers.values():
+            tier.add_outage(clock.now(), clock.now() + 2.5)
+        assert table.get("movies") == {"score": 9.0}
+        assert service.metrics.counter(
+            "laser.scores.retry.recoveries").value >= 1
+        assert service.metrics.counter(
+            f"laser.{table.name}.stale_reads").value == 0

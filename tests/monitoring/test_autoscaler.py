@@ -151,3 +151,23 @@ class TestPumaAppScaling:
         assert app.lag_messages() == 0
         rows = app.query("c")
         assert sum(r["n"] for r in rows) == 600
+
+
+class TestRecommendationDoesNotConsumeCooldown:
+    def test_scale_up_right_after_a_recommendation(self, world):
+        scribe, clock, job, scaler = world
+        # Three idle samples produce a no-op scale-down recommendation.
+        for _ in range(3):
+            clock.advance(30.0)
+            actions = scaler.sample()
+        assert actions[0].kind == "recommend_scale_down"
+        # Traffic spikes immediately afterwards. The recommendation
+        # changed nothing, so it must not have started the cooldown:
+        # the real scale-up fires as soon as the lag is sustained.
+        backlog(scribe, 1000)
+        clock.advance(20.0)
+        scaler.sample()                  # high sample 1 (not sustained)
+        clock.advance(20.0)              # still inside a would-be cooldown
+        actions = scaler.sample()        # high sample 2: scale up
+        assert [a.kind for a in actions] == ["scale_up"]
+        assert scribe.category("in").num_buckets == 4

@@ -1,0 +1,250 @@
+"""The chaos campaign: random fault schedules versus the paper invariants.
+
+Each run builds a small world — Scribe in, a Stylus counter task, a
+state backend, HDFS snapshots/backups, a network — subjects it to a
+seed-derived schedule of store outages, network partitions, slow nodes,
+and process crashes, then heals everything, drains, and checks:
+
+- at-least-once never loses an event (final count >= events written);
+- at-most-once never double-counts (final count <= events written);
+- exactly-once matches the fault-free answer (final count == written);
+- every injected ``StoreUnavailable`` is accounted for: the stores'
+  ``unavailable_errors`` equal the retry layers' ``failures``, and every
+  retry give-up surfaces as exactly one degraded-mode counter (skipped
+  backup/snapshot, deferred checkpoint, dropped partials, deferred
+  restart). Nothing is silently dropped.
+
+18 seeds x 3 semantics = 54 schedules, per the acceptance floor of 50.
+"""
+
+import pytest
+
+from repro.core.semantics import SemanticsPolicy
+from repro.errors import StoreUnavailable
+from repro.runtime.clock import SimClock
+from repro.runtime.failures import FailurePlan, Network
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RETRYABLE, RetryPolicy
+from repro.runtime.rng import make_rng
+from repro.runtime.scheduler import Scheduler
+from repro.scribe.store import ScribeStore
+from repro.storage.backup import BackupEngine
+from repro.storage.hdfs import HdfsBlobStore
+from repro.storage.merge import DictSumMergeOperator
+from repro.storage.zippydb import ZippyDb, ZippyDbLatencyModel
+from repro.stylus.checkpointing import (CheckpointPolicy, CrashInjector,
+                                        CrashPoint)
+from repro.stylus.engine import StylusTask
+from repro.stylus.state import (InMemoryStateBackend, LocalDbStateBackend,
+                                RemoteDbStateBackend)
+
+from tests.stylus.helpers import CountingProcessor, DimensionCounter
+
+TOTAL = 240
+HORIZON = 120.0
+FREE = ZippyDbLatencyModel(read=0.0, write=0.0, batch_overhead=0.0,
+                           per_item=0.0, transaction_round=0.0)
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.5, multiplier=2.0,
+                     max_delay=4.0, jitter=0.1)
+
+SEMANTICS = [SemanticsPolicy.at_least_once(), SemanticsPolicy.at_most_once(),
+             SemanticsPolicy.exactly_once()]
+
+
+def build_world(seed, semantics):
+    clock = SimClock()
+    scheduler = Scheduler(clock)
+    metrics = MetricsRegistry()
+    network = Network()
+    scribe = ScribeStore(clock=clock, metrics=metrics)
+    scribe.create_category("in", 1)
+    hdfs = HdfsBlobStore(clock=clock, metrics=metrics, name="hdfs",
+                         network=network, link=("app", "hdfs"))
+    db = ZippyDb(clock=clock, latency=FREE, metrics=metrics, name="zippydb",
+                 merge_operator=DictSumMergeOperator(),
+                 network=network, link=("app", "zippydb"))
+    engine = BackupEngine(hdfs, retry=POLICY, metrics=metrics)
+    variant = seed % 3
+    if variant == 0:
+        backend = InMemoryStateBackend("t")
+    elif variant == 1:
+        backend = LocalDbStateBackend("t", {}, backup_engine=engine,
+                                      merge_operator=DictSumMergeOperator())
+    else:
+        backend = RemoteDbStateBackend("t", db)
+    processor = CountingProcessor() if seed % 2 == 0 else DimensionCounter()
+    # Crash inside the vulnerable window between the two checkpoint
+    # saves (Figure 7's experiment) — this is where at-least-once can
+    # double-count and at-most-once can lose, so the invariants are
+    # stressed for real, not just by clean between-pump crashes.
+    injector = CrashInjector()
+    arm_rng = make_rng(seed, "armed")
+    for _ in range(2):
+        injector.arm(CrashPoint.AFTER_FIRST_SAVE, arm_rng.randrange(1, 10))
+    task = StylusTask("t", scribe, "in", 0, processor, semantics=semantics,
+                      state_backend=backend,
+                      checkpoint_policy=CheckpointPolicy(every_n_events=20),
+                      clock=clock, metrics=metrics, retry_policy=POLICY,
+                      crash_injector=injector)
+    return (clock, scheduler, metrics, network, scribe, hdfs, db, engine,
+            backend, task)
+
+
+def run_campaign(seed, semantics):
+    (clock, scheduler, metrics, network, scribe, hdfs, db, engine,
+     backend, task) = build_world(seed, semantics)
+    counts = {"restart_deferred": 0}
+
+    # Feed the input gradually so faults overlap live processing.
+    written = [0]
+
+    def feed():
+        for _ in range(8):
+            if written[0] >= TOTAL:
+                return
+            scribe.write_record(
+                "in", {"event_time": clock.now(), "seq": written[0]},
+                key=str(written[0]))
+            written[0] += 1
+
+    scheduler.every(3.0, feed)
+    scheduler.every(10.0, lambda: scribe.snapshot_to(hdfs, retry=POLICY))
+    if isinstance(backend, LocalDbStateBackend):
+        scheduler.every(15.0, backend.maybe_backup)
+
+    # Store outages, partitions, and slow nodes from one seeded draw.
+    plan = FailurePlan.random_chaos(
+        HORIZON - 10.0, make_rng(seed, "chaos"),
+        stores=("hdfs", "zippydb"),
+        links=[("app", "hdfs"), ("app", "zippydb")],
+        outage_rate=0.06, mean_outage=5.0,
+        partition_rate=0.04, mean_partition=4.0)
+    plan.install(scheduler, stores={"hdfs": hdfs, "zippydb": db},
+                 network=network)
+
+    # Process crashes, restarted with a retry-later loop: a restart that
+    # cannot load its checkpoint defers, visibly, and tries again.
+    crash_rng = make_rng(seed, "crashes")
+
+    def attempt_restart():
+        if not task.crashed:
+            return
+        try:
+            task.restart()
+        except RETRYABLE:
+            counts["restart_deferred"] += 1
+            scheduler.after(3.0, attempt_restart)
+
+    def pump():
+        if task.crashed:
+            attempt_restart()  # covers injector-fired mid-checkpoint crashes
+        else:
+            task.pump(60)
+
+    scheduler.every(2.5, pump)
+
+    def schedule_crash(at):
+        def fire():
+            task.crash()
+            scheduler.after(2.0, attempt_restart)
+        scheduler.at(at, fire)
+
+    for _ in range(1 + crash_rng.randrange(3)):
+        schedule_crash(crash_rng.uniform(5.0, HORIZON - 15.0))
+
+    scheduler.run_until(HORIZON)
+
+    # Guaranteed-healed tail: the plan closed every window by the
+    # horizon; clear latches/partitions defensively and drain.
+    network.heal_all()
+    hdfs.set_available(True)
+    db.set_available(True)
+    while task.crashed:
+        task.restart()
+    while True:
+        task.pump(10_000)
+        if task.crashed:
+            task.restart()
+            continue
+        if task.lag_messages() == 0:
+            task.checkpoint_now()
+            if task.crashed:  # a still-armed injector fired here
+                task.restart()
+                continue
+            break
+    assert written[0] == TOTAL
+    return metrics, counts, backend, task
+
+
+def final_count(backend, task):
+    if isinstance(task.processor, CountingProcessor):
+        state, _ = backend.load()
+        return state["count"]
+    return sum((backend.read_value(f"dim{i}") or {}).get("count", 0)
+               for i in range(10))
+
+
+def assert_accounting(metrics, counts):
+    snapshot = metrics.snapshot()
+
+    def total(suffix):
+        return sum(value for name, value in snapshot.items()
+                   if name.endswith(suffix))
+
+    injected = total(".unavailable_errors")
+    failures = total(".retry.failures")
+    assert injected == failures, (
+        f"{injected} StoreUnavailable raised but only {failures} seen by "
+        "a retry layer: some failure path is silent")
+    give_ups = total(".retry.give_ups")
+    degraded = (snapshot.get("backup.skipped", 0)
+                + snapshot.get("scribe.snapshot.skipped", 0)
+                + snapshot.get("stylus.t.checkpoints_deferred", 0)
+                + snapshot.get("stylus.t.partials_dropped", 0)
+                + counts["restart_deferred"])
+    assert give_ups == degraded, (
+        f"{give_ups} retry give-ups but {degraded} degraded-mode events "
+        "counted: a give-up vanished without a visible fallback")
+
+
+class TestChaosCampaign:
+    @pytest.mark.parametrize("seed", range(18))
+    def test_invariants_hold_under_random_fault_schedules(self, seed):
+        for semantics in SEMANTICS:
+            metrics, counts, backend, task = run_campaign(seed, semantics)
+            count = final_count(backend, task)
+            label = f"seed={seed} semantics={semantics.state.value}"
+            if semantics == SemanticsPolicy.at_least_once():
+                assert count >= TOTAL, f"{label}: lost events ({count})"
+            elif semantics == SemanticsPolicy.at_most_once():
+                assert count <= TOTAL, f"{label}: doubled events ({count})"
+            else:
+                assert count == TOTAL, f"{label}: expected exact ({count})"
+            assert_accounting(metrics, counts)
+
+    def test_campaign_actually_injects_faults(self):
+        """Meta-check: the schedules are not vacuous. Faults fired, some
+        retry budget was exhausted somewhere, and the semantics branches
+        discriminate — some schedule made at-least-once over-count and
+        some schedule made at-most-once under-count. If these stop
+        happening the campaign has gone soft and proves nothing."""
+        injected = 0
+        give_ups = 0
+        overcounts = 0
+        undercounts = 0
+        for seed in range(18):
+            metrics, _, backend, task = run_campaign(seed, SEMANTICS[0])
+            if final_count(backend, task) > TOTAL:
+                overcounts += 1
+            snapshot = metrics.snapshot()
+            injected += sum(v for n, v in snapshot.items()
+                            if n.endswith(".unavailable_errors"))
+            give_ups += sum(v for n, v in snapshot.items()
+                            if n.endswith(".retry.give_ups"))
+            _, _, backend, task = run_campaign(seed, SEMANTICS[1])
+            if final_count(backend, task) < TOTAL:
+                undercounts += 1
+        assert injected > 20, "chaos plans barely injected anything"
+        assert give_ups > 0, "no schedule ever exhausted a retry budget"
+        assert overcounts > 0, "no at-least-once replay ever double-counted"
+        assert undercounts > 0, "no at-most-once crash ever dropped events"

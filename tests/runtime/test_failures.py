@@ -3,7 +3,8 @@
 import pytest
 
 from repro.runtime.cluster import Cluster, ProcessState
-from repro.runtime.failures import FailureKind, FailurePlan
+from repro.errors import SimulationError, StoreUnavailable
+from repro.runtime.failures import FailureKind, FailurePlan, Network
 from repro.runtime.rng import make_rng
 from repro.runtime.scheduler import Scheduler
 
@@ -76,3 +77,124 @@ class TestRandomCrashes:
         for i in range(0, len(kinds) - 1, 2):
             assert kinds[i] == FailureKind.CRASH_PROCESS
             assert kinds[i + 1] == FailureKind.RESTART_PROCESS
+
+
+class FakeStore:
+    """Minimal FaultTarget for injection tests."""
+
+    def __init__(self):
+        self.available = True
+        self.slow_factor = 1.0
+
+    def set_available(self, available):
+        self.available = available
+
+    def set_slow_factor(self, factor):
+        self.slow_factor = factor
+
+
+class TestNetwork:
+    def test_partition_is_symmetric_and_heals(self):
+        net = Network()
+        net.partition("stylus", "zippydb")
+        assert not net.connected("zippydb", "stylus")
+        with pytest.raises(StoreUnavailable):
+            net.check("stylus", "zippydb", "put")
+        net.heal("zippydb", "stylus")
+        assert net.connected("stylus", "zippydb")
+        net.check("stylus", "zippydb")
+
+    def test_heal_all(self):
+        net = Network()
+        net.partition("a", "b")
+        net.partition("a", "c")
+        assert net.partitions() == [("a", "b"), ("a", "c")]
+        net.heal_all()
+        assert net.partitions() == []
+
+
+class TestStoreFaults:
+    def test_outage_window_schedules_down_and_up(self):
+        scheduler = Scheduler()
+        store = FakeStore()
+        FailurePlan().store_outage("hdfs", at=2.0, until=5.0) \
+            .install(scheduler, stores={"hdfs": store})
+        scheduler.run_until(3.0)
+        assert not store.available
+        scheduler.run_until(6.0)
+        assert store.available
+
+    def test_latched_outage_holds_until_restored(self):
+        scheduler = Scheduler()
+        store = FakeStore()
+        plan = FailurePlan().latch_store_down("db", at=1.0)
+        plan.restore_store("db", at=50.0)
+        plan.install(scheduler, stores={"db": store})
+        scheduler.run_until(40.0)
+        assert not store.available
+        scheduler.run_until(51.0)
+        assert store.available
+
+    def test_slow_node_window(self):
+        scheduler = Scheduler()
+        store = FakeStore()
+        FailurePlan().slow_node("db", at=1.0, until=4.0, factor=8.0) \
+            .install(scheduler, stores={"db": store})
+        scheduler.run_until(2.0)
+        assert store.slow_factor == 8.0
+        scheduler.run_until(5.0)
+        assert store.slow_factor == 1.0
+
+    def test_unknown_store_target_raises(self):
+        scheduler = Scheduler()
+        FailurePlan().latch_store_down("nope", at=1.0) \
+            .install(scheduler, stores={})
+        with pytest.raises(SimulationError):
+            scheduler.run_until(2.0)
+
+
+class TestPartitionEvents:
+    def test_partition_and_heal_on_schedule(self):
+        scheduler = Scheduler()
+        net = Network()
+        FailurePlan().partition("swift", "scribe", at=2.0, heal_at=4.0) \
+            .install(scheduler, network=net)
+        scheduler.run_until(3.0)
+        assert not net.connected("swift", "scribe")
+        scheduler.run_until(5.0)
+        assert net.connected("swift", "scribe")
+
+    def test_partition_needs_a_network(self):
+        scheduler = Scheduler()
+        FailurePlan().partition("a", "b", at=1.0).install(scheduler)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(2.0)
+
+
+class TestRandomChaos:
+    def test_deterministic_for_seed(self):
+        def draw():
+            return FailurePlan.random_chaos(
+                horizon=100.0, rng=make_rng(9, "chaos"),
+                processes=["p"], stores=["hdfs", "db"],
+                links=[("stylus", "db")])
+
+        assert [(e.at, e.kind, e.target) for e in draw().events] == \
+               [(e.at, e.kind, e.target) for e in draw().events]
+
+    def test_every_window_closed_by_horizon(self):
+        plan = FailurePlan.random_chaos(
+            horizon=60.0, rng=make_rng(3, "chaos"),
+            processes=["p"], stores=["hdfs"], links=[("a", "b")],
+            crash_rate=0.2, outage_rate=0.2, partition_rate=0.2)
+        assert plan.events, "expected some chaos at these rates"
+        assert all(e.at <= 60.0 for e in plan.events)
+        # Every down-ish event has a matching up-ish event, so running
+        # past the horizon always ends with everything healed.
+        downs = sum(1 for e in plan.events if e.kind in
+                    (FailureKind.CRASH_PROCESS, FailureKind.STORE_DOWN,
+                     FailureKind.PARTITION))
+        ups = sum(1 for e in plan.events if e.kind in
+                  (FailureKind.RESTART_PROCESS, FailureKind.STORE_UP,
+                   FailureKind.HEAL))
+        assert downs == ups

@@ -1,0 +1,139 @@
+"""Tests for the bounded-retry/backoff layer."""
+
+import pytest
+
+from repro.errors import ConfigError, StoreUnavailable
+from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import Retrier, RetryPolicy
+from repro.runtime.rng import make_rng
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds forever."""
+
+    def __init__(self, failures, exc=StoreUnavailable):
+        self.remaining = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc("injected")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout=0.0)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        delays = [policy.backoff_delay(k) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        a = [policy.backoff_delay(1, make_rng(7, "retry")) for _ in range(3)]
+        b = [policy.backoff_delay(1, make_rng(7, "retry")) for _ in range(3)]
+        assert a[0] == b[0]  # same stream, same first draw
+        assert all(0.5 <= d <= 1.5 for d in a)
+
+    def test_no_retries_factory(self):
+        policy = RetryPolicy.no_retries()
+        assert policy.max_attempts == 1
+
+
+class TestRetrier:
+    def make(self, policy, clock=None):
+        registry = MetricsRegistry()
+        retrier = Retrier(policy, clock=clock, rng=make_rng(1, "t"),
+                          metrics=registry, scope="t")
+        return retrier, registry
+
+    def test_recovers_after_transient_failures(self):
+        clock = SimClock()
+        retrier, registry = self.make(
+            RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0),
+            clock=clock)
+        flaky = Flaky(2)
+        assert retrier.call(flaky) == "ok"
+        assert flaky.calls == 3
+        assert registry.counter("t.retry.attempts").value == 3
+        assert registry.counter("t.retry.failures").value == 2
+        assert registry.counter("t.retry.recoveries").value == 1
+        assert registry.counter("t.retry.give_ups").value == 0
+        # Two backoff waits were charged to the simulated clock.
+        assert clock.now() == pytest.approx(0.1 + 0.2)
+
+    def test_gives_up_after_max_attempts(self):
+        retrier, registry = self.make(
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        flaky = Flaky(10)
+        with pytest.raises(StoreUnavailable):
+            retrier.call(flaky)
+        assert flaky.calls == 3
+        assert registry.counter("t.retry.give_ups").value == 1
+        assert registry.counter("t.retry.failures").value == 3
+
+    def test_every_failure_ends_in_recovery_or_give_up(self):
+        retrier, registry = self.make(
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0))
+        for failures in (0, 1, 2, 3, 4):
+            try:
+                retrier.call(Flaky(failures))
+            except StoreUnavailable:
+                pass
+        counters = {name: registry.counter(f"t.retry.{name}").value
+                    for name in ("failures", "recoveries", "give_ups")}
+        # 1+2 failures recovered; the 3- and 4-failure calls gave up after
+        # 3 failed attempts each.
+        assert counters["recoveries"] == 2
+        assert counters["give_ups"] == 2
+        assert counters["failures"] == 1 + 2 + 3 + 3
+
+    def test_timeout_bounds_the_whole_call(self):
+        clock = SimClock()
+        retrier, registry = self.make(
+            RetryPolicy(max_attempts=100, base_delay=1.0, multiplier=1.0,
+                        jitter=0.0, timeout=2.5),
+            clock=clock)
+        flaky = Flaky(100)
+        with pytest.raises(StoreUnavailable):
+            retrier.call(flaky)
+        # Attempts at t=0, 1, 2; the wait to t=3 would cross the deadline.
+        assert flaky.calls == 3
+        assert clock.now() == pytest.approx(2.0)
+        assert registry.counter("t.retry.give_ups").value == 1
+
+    def test_non_retryable_exceptions_pass_through(self):
+        retrier, registry = self.make(RetryPolicy(max_attempts=5))
+        with pytest.raises(ValueError):
+            retrier.call(Flaky(3, exc=ValueError))
+        assert registry.counter("t.retry.attempts").value == 1
+        assert registry.counter("t.retry.failures").value == 0
+
+    def test_identical_seeds_back_off_identically(self):
+        def run():
+            clock = SimClock()
+            retrier = Retrier(
+                RetryPolicy(max_attempts=5, base_delay=0.2, jitter=0.3),
+                clock=clock, rng=make_rng(42, "retry"),
+                metrics=MetricsRegistry(), scope="t")
+            with pytest.raises(StoreUnavailable):
+                retrier.call(Flaky(10))
+            return clock.now()
+
+        assert run() == run()

@@ -134,3 +134,24 @@ class TestHandleBoundedness:
         before = scheduler.now()
         scheduler.run_until(before + 10.0)
         assert scheduler.pending() == 0
+
+
+class TestClockAdvancingCallbacks:
+    def test_callback_advancing_past_next_event_does_not_crash(self, scheduler):
+        # A retry backoff (or modeled store latency) inside a callback can
+        # push the clock past the next event's timestamp; that event is
+        # then late, not "in the past", and must still fire.
+        order = []
+        scheduler.at(1.0, lambda: (order.append("a"),
+                                   scheduler.clock.advance(10.0)))
+        scheduler.at(2.0, lambda: order.append("b"))
+        scheduler.run_until(20.0)
+        assert order == ["a", "b"]
+        assert scheduler.clock.now() == 20.0
+
+    def test_step_also_tolerates_late_events(self, scheduler):
+        scheduler.at(1.0, lambda: scheduler.clock.advance(5.0))
+        scheduler.at(2.0, lambda: None)
+        assert scheduler.step()
+        assert scheduler.step()
+        assert scheduler.clock.now() == 6.0

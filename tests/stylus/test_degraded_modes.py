@@ -1,0 +1,179 @@
+"""Degraded-mode behavior when the remote state store misbehaves.
+
+A checkpoint that cannot reach its store must never crash the task or
+silently vanish: it is retried under the configured policy, and when
+the budget runs out the task defers (queue-and-drain) or — for
+at-most-once monoid partials, where a retry could double-count — drops
+with a counter.
+"""
+
+import pytest
+
+from repro.core.semantics import SemanticsPolicy
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RetryPolicy
+from repro.storage.zippydb import ZippyDb, ZippyDbLatencyModel
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+
+from tests.conftest import write_events
+from tests.stylus.helpers import CountingProcessor, DimensionCounter
+
+FREE = ZippyDbLatencyModel(read=0.0, write=0.0, batch_overhead=0.0,
+                           per_item=0.0, transaction_round=0.0)
+
+
+def make_task(scribe, db, processor, semantics, metrics,
+              retry=None, every=10):
+    from repro.stylus.state import RemoteDbStateBackend
+
+    scribe.ensure_category("in", 1)
+    return StylusTask("t", scribe, "in", 0, processor,
+                      semantics=semantics,
+                      state_backend=RemoteDbStateBackend("t", db),
+                      checkpoint_policy=CheckpointPolicy(every_n_events=every),
+                      clock=scribe.clock, metrics=metrics,
+                      retry_policy=retry)
+
+
+class TestDeferredCheckpoints:
+    def test_checkpoint_defers_while_store_is_down_then_drains(self, scribe,
+                                                               clock):
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE,
+                     merge_operator=None)
+        task = make_task(scribe, db, CountingProcessor(),
+                         SemanticsPolicy.at_least_once(), metrics)
+        write_events(scribe, "in", 30)
+        db.set_available(False)
+        assert task.pump(20) == 20        # two checkpoints both defer
+        assert metrics.counter("stylus.t.checkpoints_deferred").value == 2
+        assert metrics.counter("stylus.t.checkpoints").value == 0
+        # Nothing was lost: the store heals and the next checkpoint
+        # drains the full state and offset.
+        db.set_available(True)
+        task.pump(10)
+        assert metrics.counter("stylus.t.checkpoints").value == 1
+        _, offset = task.state_backend.load()
+        assert offset == 30
+
+    def test_deferral_survives_a_crash_without_losing_data(self, scribe,
+                                                           clock):
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE)
+        task = make_task(scribe, db, CountingProcessor(),
+                         SemanticsPolicy.at_least_once(), metrics)
+        write_events(scribe, "in", 20)
+        task.pump(10)                      # checkpoint 0 lands
+        db.set_available(False)
+        task.pump(10)                      # checkpoint 1 defers
+        assert metrics.counter("stylus.t.checkpoints_deferred").value == 1
+        db.set_available(True)
+        task.crash()
+        task.restart()                     # resumes from checkpoint 0
+        task.pump()
+        while task.lag_messages() > 0:
+            task.pump()
+        task.checkpoint_now()
+        state, offset = task.state_backend.load()
+        assert offset == 20
+        assert state["count"] >= 20        # at-least-once: no loss
+
+    def test_checkpoint_retries_through_a_transient_outage(self, scribe,
+                                                           clock):
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE)
+        task = make_task(scribe, db, CountingProcessor(),
+                         SemanticsPolicy.at_least_once(), metrics,
+                         retry=RetryPolicy(max_attempts=4, base_delay=1.0,
+                                           multiplier=2.0, jitter=0.0))
+        write_events(scribe, "in", 10)
+        db.add_outage(clock.now(), clock.now() + 2.5)
+        task.pump(10)                      # backoff carries past the outage
+        assert metrics.counter("stylus.t.state.retry.recoveries").value >= 1
+        assert metrics.counter("stylus.t.checkpoints_deferred").value == 0
+        _, offset = task.state_backend.load()
+        assert offset == 10
+
+
+class TestAtMostOncePartials:
+    def test_partials_dropped_not_retried_when_store_is_down(self, scribe,
+                                                             clock):
+        from repro.storage.merge import DictSumMergeOperator
+
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE,
+                     merge_operator=DictSumMergeOperator())
+        task = make_task(scribe, db, DimensionCounter(),
+                         SemanticsPolicy.at_most_once(), metrics,
+                         retry=RetryPolicy(max_attempts=5, base_delay=0.1,
+                                           jitter=0.0))
+        write_events(scribe, "in", 20)
+        db.set_available(False)
+        task.pump(10)
+        # The offset save already failed under at-most-once ordering, so
+        # the checkpoint deferred before partials were touched. Latch the
+        # offset path open but keep merges failing via a fresh window on
+        # the flush: simplest honest check is the healed run below.
+        assert metrics.counter("stylus.t.checkpoints_deferred").value == 1
+        db.set_available(True)
+        task.pump(10)
+        assert metrics.counter("stylus.t.checkpoints").value == 1
+        # At-most-once may undercount, never overcount.
+        total = sum((db.get(f"t:v:dim{i}") or {}).get("count", 0)
+                    for i in range(10))
+        assert total <= 20
+
+    def test_partial_flush_failure_drops_and_counts(self, scribe, clock,
+                                                    monkeypatch):
+        from repro.errors import StoreUnavailable
+        from repro.storage.merge import DictSumMergeOperator
+
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE,
+                     merge_operator=DictSumMergeOperator())
+        task = make_task(scribe, db, DimensionCounter(),
+                         SemanticsPolicy.at_most_once(), metrics)
+        write_events(scribe, "in", 20)
+        # The offset save succeeds; the flush itself hits a dead store.
+        real_flush = task.state_backend.flush_partials
+        state = {"fail": True}
+
+        def flaky_flush(partials, op):
+            if state["fail"]:
+                raise StoreUnavailable("injected")
+            return real_flush(partials, op)
+
+        monkeypatch.setattr(task.state_backend, "flush_partials",
+                            flaky_flush)
+        task.pump(10)
+        # One attempt only — a retry could double-apply a partially
+        # merged batch — then the partials are dropped, visibly.
+        assert metrics.counter("stylus.t.partials_dropped").value == 1
+        assert metrics.counter("stylus.t.checkpoints").value == 1
+        state["fail"] = False
+        task.pump(10)
+        total = sum((db.get(f"t:v:dim{i}") or {}).get("count", 0)
+                    for i in range(10))
+        # The first batch's counts are gone (undercount is allowed under
+        # at-most-once); the second batch landed.
+        assert total == 10
+
+
+class TestRestart:
+    def test_restart_retries_state_load(self, scribe, clock):
+        metrics = MetricsRegistry()
+        db = ZippyDb(clock=clock, latency=FREE)
+        task = make_task(scribe, db, CountingProcessor(),
+                         SemanticsPolicy.at_least_once(), metrics,
+                         retry=RetryPolicy(max_attempts=4, base_delay=1.0,
+                                           multiplier=2.0, jitter=0.0))
+        write_events(scribe, "in", 10)
+        task.pump(10)                      # checkpoint at offset 10
+        task.crash()
+        db.add_outage(clock.now(), clock.now() + 2.5)
+        task.restart()                     # load retried across the outage
+        assert not task.crashed
+        assert metrics.counter("stylus.t.state.retry.recoveries").value >= 1
+        _, offset = task.state_backend.load()
+        assert offset == 10

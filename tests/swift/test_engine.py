@@ -112,3 +112,35 @@ class TestAtLeastOnceReplay:
         assert app.lag_messages() == 7
         app.pump()
         assert app.lag_messages() == 0
+
+
+class TestRestartAfterRetention:
+    def test_restart_without_checkpoint_resumes_at_first_retained(
+            self, scribe, clock):
+        scribe.create_category("in", 1, retention_seconds=10.0)
+        app = make_app(scribe, lambda m: None)
+        write_events(scribe, "in", 5)
+        # Everything written so far ages out of the retention window.
+        clock.advance(100.0)
+        assert scribe.run_retention() == 5
+        first = scribe.first_retained_offset("in", 0)
+        assert first == 5
+        # No checkpoint was ever saved; a restart must not rewind to the
+        # absolute offset 0, which no longer exists.
+        app.restart()
+        assert app.position == first
+        assert app.lag_messages() == 0
+
+    def test_restart_interleaved_with_retention_counts_lag_correctly(
+            self, scribe, clock):
+        scribe.create_category("in", 1, retention_seconds=10.0)
+        app = make_app(scribe, lambda m: None)
+        write_events(scribe, "in", 8)
+        clock.advance(100.0)
+        scribe.run_retention()
+        write_events(scribe, "in", 3, start_time=clock.now())
+        app.restart()
+        # Only the 3 retained messages are pending; seeking to 0 would
+        # report a lag of 11 and trip lag-based alerting/autoscaling.
+        assert app.lag_messages() == 3
+        assert app.pump() == 3
