@@ -15,6 +15,12 @@ scanned (Scuba); eleven units per event for the write-time path (three
 apps, each hashing a group key and folding aggregate state, which costs
 several sequential-scan touches per update); one unit per result row
 served.
+
+The paper arm runs the row-scan engine on a row-tail table, so its cost
+is identical to the seed experiment. A third arm runs the same three
+panels on the columnar engine with the incremental query cache, charging
+only rows actually scanned — showing how far read-time aggregation
+itself closes the gap before any migration to write-time.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.runtime.clock import SimClock
 from repro.runtime.rng import make_rng
 from repro.scribe.store import ScribeStore
 from repro.scuba.ingest import ScubaIngester
-from repro.scuba.query import ScubaQuery
+from repro.scuba.query import ColumnFilter, ScubaQuery
 from repro.scuba.table import ScubaTable
 from repro.storage.hbase import HBaseTable
 
@@ -73,24 +79,46 @@ def run_experiment():
     scribe.create_category("requests", 2)
     events = generate_stream(scribe)
 
-    # Scuba arm: raw ingestion + read-time aggregation.
-    scuba_table = ScubaTable("requests")
+    # Scuba paper arm: row-tail storage + read-time row scans — the cost
+    # model of the seed experiment, unchanged.
+    scuba_table = ScubaTable("requests", columnar=False)
     ingest = ScubaIngester(scribe, "requests", scuba_table)
     ingest.pump(10 * events)
+
+    # Columnar arm: same table contents, vectorized engine + query cache.
+    # Segments of 256 rows (~2 minutes at 2 events/s) keep most of the
+    # 30-minute window fully covered by cacheable segments, so a refresh
+    # only scans the sliding edges.
+    columnar_table = ScubaTable("requests", columnar=True, segment_rows=256)
+    columnar_ingest = ScubaIngester(scribe, "requests", columnar_table)
+    columnar_ingest.pump(10 * events)
+    columnar_table.seal_tail()
+
+    def panel_specs(table, engine):
+        return [
+            ("by_endpoint", ScubaQuery(table, 0.0, WINDOW, engine=engine,
+                                       group_by=("endpoint",))),
+            ("errors", ScubaQuery(table, 0.0, WINDOW, engine=engine,
+                                  group_by=("status",),
+                                  filters=(ColumnFilter("status", ">=",
+                                                        500),))),
+            ("latency", ScubaQuery(table, 0.0, WINDOW, engine=engine,
+                                   aggregation="avg",
+                                   value_column="latency_ms",
+                                   group_by=("endpoint",))),
+        ]
+
     scuba_dashboard = Dashboard("ops-scuba", WINDOW, clock=clock)
     metrics_holder = []
-    panels = [
-        ("by_endpoint", ScubaQuery(scuba_table, 0.0, WINDOW,
-                                   group_by=("endpoint",))),
-        ("errors", ScubaQuery(scuba_table, 0.0, WINDOW, group_by=("status",),
-                              where=lambda r: r["status"] >= 500)),
-        ("latency", ScubaQuery(scuba_table, 0.0, WINDOW, aggregation="avg",
-                               value_column="latency_ms",
-                               group_by=("endpoint",))),
-    ]
-    for name, query in panels:
+    for name, query in panel_specs(scuba_table, "rows"):
         metrics_holder.append(query.metrics)
         scuba_dashboard.add_panel(DashboardPanel.from_scuba(name, query))
+
+    columnar_dashboard = Dashboard("ops-scuba-columnar", WINDOW, clock=clock)
+    columnar_metrics = []
+    for name, query in panel_specs(columnar_table, "columnar"):
+        columnar_metrics.append(query.metrics)
+        columnar_dashboard.add_panel(DashboardPanel.from_scuba(name, query))
 
     # Puma arm: write-time aggregation, read from pre-computed windows.
     puma_app = PumaApp(plan(parse(PUMA_SOURCE)), scribe, HBaseTable("s"),
@@ -109,6 +137,7 @@ def run_experiment():
     while clock.now() + REFRESH <= DURATION:
         clock.advance(REFRESH)
         scuba_dashboard.refresh()
+        columnar_dashboard.refresh()
         for panel_rows in puma_dashboard.refresh().values():
             served_rows += len(panel_rows)
         refreshes += 1
@@ -117,28 +146,42 @@ def run_experiment():
         m.counter("scuba.requests.rows_scanned").value
         for m in metrics_holder
     )
+    columnar_cpu = sum(
+        m.counter("scuba.requests.rows_scanned").value
+        for m in columnar_metrics
+    )
+    cache_hits = sum(
+        m.counter("scuba.requests.cache.hits").value
+        for m in columnar_metrics
+    )
+    assert cache_hits > 0, "columnar dashboard arm never hit the cache"
     puma_cpu = (puma_app.metrics.counter("puma.dashboards.events").value
                 * UPDATE_UNITS + served_rows * SERVE_UNITS)
-    return events, refreshes, scuba_cpu, puma_cpu
+    return events, refreshes, scuba_cpu, columnar_cpu, puma_cpu
 
 
 def test_sec52_dashboard_migration_cpu(benchmark):
-    events, refreshes, scuba_cpu, puma_cpu = benchmark.pedantic(
+    events, refreshes, scuba_cpu, columnar_cpu, puma_cpu = benchmark.pedantic(
         run_experiment, rounds=1, iterations=1)
 
     ratio = puma_cpu / scuba_cpu
+    columnar_ratio = columnar_cpu / scuba_cpu
     print_table(
         "Section 5.2: CPU to serve the same dashboard "
         f"({refreshes} refreshes over {DURATION / 3600:.0f}h, "
         "paper: Puma ~= 14% of Scuba)",
         ["arm", "CPU units", "relative"],
         [
-            ["Scuba (read-time aggregation)", round(scuba_cpu), "100%"],
+            ["Scuba (read-time row scans)", round(scuba_cpu), "100%"],
+            ["Scuba (columnar + query cache)", round(columnar_cpu),
+             f"{columnar_ratio:.1%}"],
             ["Puma (write-time aggregation)", round(puma_cpu),
              f"{ratio:.1%}"],
         ],
     )
 
     assert 0.05 <= ratio <= 0.30  # the paper's ~14%, within a loose band
+    assert columnar_cpu < scuba_cpu  # caching must strictly reduce scans
     benchmark.extra_info["puma_over_scuba"] = round(ratio, 3)
+    benchmark.extra_info["columnar_over_scuba"] = round(columnar_ratio, 3)
     benchmark.extra_info["paper_ratio"] = 0.14

@@ -146,6 +146,18 @@ _RATE_RULES: list[tuple[str, str]] = [
 _COUNTER_RULES: list[tuple[str, str]] = [
     ("probes_per_absent_read", "lower"),
     ("modeled_seconds_per_event", "lower"),
+    ("cache_hits_per_refresh", "higher"),
+]
+#: (benchmark, metric, floor): absolute acceptance bars checked on the
+#: *current* run alone. Speedup ratios are size-dependent (a quick run's
+#: ratio is legitimately smaller than the full-size baseline's), so a
+#: relative diff would misfire — but dropping below the bar the feature
+#: was accepted at is a regression at any size. Metrics are looked up
+#: top-level first, then under ``counters``.
+_FLOOR_RULES: list[tuple[str, str, float]] = [
+    ("scuba_query", "columnar_speedup", 3.0),
+    ("dashboard_refresh", "cached_refresh_speedup", 5.0),
+    ("dashboard_refresh", "cache_hits_per_refresh", 1.0),
 ]
 
 
@@ -197,4 +209,13 @@ def diff_reports(current: dict[str, Any], baseline: dict[str, Any],
                                    direction, COUNTER_TOLERANCE)
                     if found:
                         regressions.append(found)
+    for bench_name, metric, floor in _FLOOR_RULES:
+        bench = current.get("benchmarks", {}).get(bench_name)
+        if bench is None:
+            continue
+        value = bench.get(metric, bench.get("counters", {}).get(metric))
+        if value is not None and value < floor:
+            regressions.append(Regression(bench_name, metric,
+                                          baseline=floor, current=value,
+                                          threshold=0.0))
     return regressions

@@ -17,6 +17,8 @@ from typing import Any, Callable
 from repro.errors import ConfigError
 from repro.puma.app import PumaApp
 from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.scuba.ingest import ScubaIngester
 from repro.scuba.query import ScubaQuery
 
 Row = dict[str, Any]
@@ -64,17 +66,43 @@ class DashboardPanel:
 
         return cls(name, run, backend="puma")
 
+    @classmethod
+    def from_ingester(cls, name: str,
+                      ingester: ScubaIngester) -> "DashboardPanel":
+        """Plot ingestion health next to query cost.
+
+        Surfaces the ingester's lag gauge and rows/sec throughput so an
+        operator sees "is the data current?" beside every query panel —
+        a Scuba query over a lagging table is answering about the past.
+        """
+        def run(start: float, end: float) -> list[Row]:
+            snapshot = ingester.metrics.find(f"{ingester.name}.")
+            prefix_len = len(ingester.name) + 1
+            rows = [{"metric": key[prefix_len:], "value": value}
+                    for key, value in sorted(snapshot.items())]
+            rows.append({"metric": "lag_messages",
+                         "value": float(ingester.lag_messages())})
+            return rows
+
+        return cls(name, run, backend="ingest")
+
 
 class Dashboard:
     """A set of panels refreshed together over a sliding window."""
 
     def __init__(self, name: str, window_seconds: float,
-                 clock: Clock | None = None) -> None:
+                 clock: Clock | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         if window_seconds <= 0:
             raise ConfigError("window must be positive")
         self.name = name
         self.window_seconds = window_seconds
         self.clock = clock if clock is not None else WallClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._refresh_counter = self.metrics.counter(
+            f"dashboard.{name}.refreshes")
+        self._served_counter = self.metrics.counter(
+            f"dashboard.{name}.rows_served")
         self._panels: dict[str, DashboardPanel] = {}
 
     def add_panel(self, panel: DashboardPanel) -> None:
@@ -93,6 +121,8 @@ class Dashboard:
         for panel in self._panels.values():
             results[panel.name] = panel.runner(start, now)
             panel.refresh_count += 1
+            self._served_counter.increment(len(results[panel.name]))
+        self._refresh_counter.increment()
         return results
 
     def view(self, panel_name: str) -> None:

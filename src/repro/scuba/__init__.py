@@ -5,10 +5,19 @@ query time** by scanning them — flexible but CPU-intensive, which is the
 tradeoff behind the Section 5.2 dashboard migration to Puma. Queries
 charge their scanned-row work to a metrics registry so the migration
 experiment can compare read-time versus write-time CPU directly.
+
+Storage is columnar (sealed time-sorted segments + a mutable row tail,
+:mod:`repro.scuba.columns`), execution is vectorized with an incremental
+dashboard-refresh cache (:mod:`repro.scuba.cache`); the per-row scan
+engine survives as ``ScubaQuery(engine="rows")`` — the paper-faithful
+cost-model baseline.
 """
 
+from repro.scuba.cache import ScubaQueryCache
+from repro.scuba.columns import Segment
 from repro.scuba.ingest import ScubaIngester
-from repro.scuba.query import ScubaQuery, TimeSeriesPoint
+from repro.scuba.query import ColumnFilter, ScubaQuery, TimeSeriesPoint
 from repro.scuba.table import ScubaTable
 
-__all__ = ["ScubaIngester", "ScubaQuery", "ScubaTable", "TimeSeriesPoint"]
+__all__ = ["ColumnFilter", "ScubaIngester", "ScubaQuery", "ScubaQueryCache",
+           "ScubaTable", "Segment", "TimeSeriesPoint"]

@@ -19,6 +19,7 @@ in one :func:`repro.serde.decode_batch` call and stored with one
 from __future__ import annotations
 
 import random
+import time
 
 from repro import serde
 from repro.errors import ConfigError
@@ -50,15 +51,26 @@ class ScubaIngester:
         self._poison_counter = self.metrics.counter(f"{self.name}.poison")
         self._sampled_out_counter = self.metrics.counter(
             f"{self.name}.sampled_out")
+        # Ingestion-health metrics so dashboards can plot ingest lag and
+        # throughput next to query cost (Section 6.4's "built-in
+        # monitoring"): a lag gauge refreshed every pump and a rows/sec
+        # gauge over the most recent pump's wall time.
+        self._lag_gauge = self.metrics.gauge(f"{self.name}.ingest_lag")
+        self._rate_gauge = self.metrics.gauge(f"{self.name}.rows_per_sec")
 
     def pump(self, max_messages: int = 1000) -> int:
         """Ingest up to ``max_messages``; returns rows actually stored."""
+        started = time.perf_counter()
         messages = self._reader.read_batch(max_messages)
         if self.batched:
             stored = self._store_batched(messages)
         else:
             stored = self._store_per_message(messages)
         self._rows_counter.increment(stored)
+        elapsed = time.perf_counter() - started
+        self._lag_gauge.set(float(self._reader.lag_messages()))
+        if stored and elapsed > 0:
+            self._rate_gauge.set(stored / elapsed)
         return stored
 
     def _store_per_message(self, messages: list[Message]) -> int:

@@ -3,10 +3,28 @@
 "Scuba was designed for interactive, slice-and-dice queries. It does
 aggregation at query time by reading all of the raw event data"
 (Section 5.2). A :class:`ScubaQuery` is a time range, optional filters,
-optional group-by columns, and aggregations; every run scans the raw
-rows in range and charges one CPU unit per row examined to the metrics
-registry — the currency the dashboard-migration experiment compares
-against Puma's write-time cost.
+optional group-by columns, and aggregations.
+
+Two execution engines share one semantics (property-tested identical):
+
+- ``engine="rows"`` — the paper-faithful baseline: scan every raw row in
+  range as a dict, one CPU unit per row examined. This is the currency
+  the Section 5.2 dashboard-migration experiment compares against Puma's
+  write-time cost.
+- ``engine="columnar"`` (default) — vectorized execution over the
+  table's sealed segments: group-by runs on dictionary codes, filters
+  are evaluated once per dictionary entry and projected through the code
+  arrays as selection masks, and count/sum/avg/min/max fold whole column
+  slices through the columnar kernels in :mod:`repro.puma.functions`.
+  Per-segment partial aggregates and closed time-series buckets are
+  monoid states, so repeated dashboard refreshes over ``shifted()``
+  windows reuse them through the table's
+  :class:`~repro.scuba.cache.ScubaQueryCache` instead of rescanning.
+
+Filters come in two shapes: declarative :class:`ColumnFilter` predicates
+(vectorizable, participate in the cache's query shape) and an opaque
+``where`` callable (always evaluated per materialized row, and disables
+caching because its identity cannot be part of a shape key).
 
 Queries carry a ``limit`` defaulting to 7: "Most Scuba queries have a
 limit of 7: it only makes sense to visualize up to 7 lines in a chart."
@@ -14,11 +32,16 @@ limit of 7: it only makes sense to visualize up to 7 lines in a chart."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+import operator
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
 
 from repro.errors import ScubaError
-from repro.puma.functions import get_aggregate
+from repro.puma.functions import (
+    AggregateFunction,
+    get_aggregate,
+    get_columnar_kernel,
+)
 from repro.runtime.metrics import MetricsRegistry
 from repro.scuba.table import Row, ScubaTable
 
@@ -30,6 +53,47 @@ class TimeSeriesPoint:
     bucket_start: float
     group: tuple
     value: Any
+
+
+_FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda value, operand: value in operand,
+}
+
+
+@dataclass(frozen=True)
+class ColumnFilter:
+    """A declarative predicate: ``column <op> operand``.
+
+    Rows where the column is null or missing never pass (SQL-style
+    three-valued logic collapsed to false), and neither do rows whose
+    value is not comparable to the operand. Being plain data, filters
+    hash into the query-shape key, so filtered dashboard queries cache.
+    """
+
+    column: str
+    op: str
+    operand: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _FILTER_OPS:
+            raise ScubaError(
+                f"unknown filter op {self.op!r}; "
+                f"one of {sorted(_FILTER_OPS)}"
+            )
+
+    def passes(self, value: Any) -> bool:
+        if value is None:
+            return False
+        try:
+            return bool(_FILTER_OPS[self.op](value, self.operand))
+        except TypeError:
+            return False
 
 
 @dataclass
@@ -46,13 +110,13 @@ class ScubaQuery:
     limit: int = 7
     bucket_seconds: float | None = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    filters: tuple[ColumnFilter, ...] = ()
+    engine: str = "columnar"  # "columnar" | "rows"
+    use_cache: bool = True
 
     def shifted(self, delta: float) -> "ScubaQuery":
         """The same query over a slid time window (dashboard refresh)."""
-        return ScubaQuery(self.table, self.start + delta, self.end + delta,
-                          self.aggregation, self.value_column, self.group_by,
-                          self.where, self.limit, self.bucket_seconds,
-                          self.metrics)
+        return replace(self, start=self.start + delta, end=self.end + delta)
 
     # -- execution -------------------------------------------------------------
 
@@ -61,26 +125,21 @@ class ScubaQuery:
         if self.end <= self.start:
             raise ScubaError("query range is empty")
         function = get_aggregate(self.aggregation)
-        states: dict[tuple, Any] = {}
-        scanned = 0
-        for row in self.table.rows_between(self.start, self.end):
-            scanned += 1
-            if self.where is not None and not self.where(row):
-                continue
-            group = tuple(row.get(c) for c in self.group_by)
-            state = states.get(group)
-            if state is None:
-                state = function.create()
-            value = (row.get(self.value_column)
-                     if self.value_column is not None else 1)
-            states[group] = function.update(state, value)
-        self._charge(scanned)
+        if self.engine == "rows":
+            states = self._run_rows(function)
+        else:
+            states = self._run_columnar(function)
         results = [
             {**{c: g for c, g in zip(self.group_by, group)},
              "value": function.result(state)}
             for group, state in states.items()
         ]
-        results.sort(key=lambda r: (_sortable(r["value"]),), reverse=True)
+        # Two stable passes: group key ascending, then value descending —
+        # equal-valued groups therefore order deterministically by key
+        # instead of by dict insertion (i.e. ingest) order.
+        results.sort(key=lambda r: tuple(_sortable(r[c])
+                                         for c in self.group_by))
+        results.sort(key=lambda r: _sortable(r["value"]), reverse=True)
         return results[:self.limit]
 
     def run_time_series(self) -> list[TimeSeriesPoint]:
@@ -88,37 +147,335 @@ class ScubaQuery:
         if self.bucket_seconds is None or self.bucket_seconds <= 0:
             raise ScubaError("time-series queries need bucket_seconds")
         function = get_aggregate(self.aggregation)
-        states: dict[tuple[float, tuple], Any] = {}
-        scanned = 0
-        for row in self.table.rows_between(self.start, self.end):
-            scanned += 1
-            if self.where is not None and not self.where(row):
-                continue
-            time_value = float(row[self.table.time_column])
-            bucket = (time_value // self.bucket_seconds) * self.bucket_seconds
-            group = tuple(row.get(c) for c in self.group_by)
-            key = (bucket, group)
-            state = states.get(key)
-            if state is None:
-                state = function.create()
-            value = (row.get(self.value_column)
-                     if self.value_column is not None else 1)
-            states[key] = function.update(state, value)
-        self._charge(scanned)
+        if self.engine == "rows":
+            states = self._run_rows_time_series(function)
+        else:
+            states = self._run_columnar_time_series(function)
         return sorted(
             (TimeSeriesPoint(bucket, group, function.result(state))
              for (bucket, group), state in states.items()),
             key=lambda p: (p.bucket_start, repr(p.group)),
         )
 
-    def _charge(self, scanned: int) -> None:
-        self.metrics.counter(f"scuba.{self.table.name}.rows_scanned").increment(
-            scanned
-        )
-        self.metrics.counter(f"scuba.{self.table.name}.queries").increment()
+    # -- the paper-faithful row-scan engine --------------------------------------
+
+    def _row_passes(self, row: Row) -> bool:
+        for column_filter in self.filters:
+            if not column_filter.passes(row.get(column_filter.column)):
+                return False
+        return self.where is None or bool(self.where(row))
+
+    def _run_rows(self, function: AggregateFunction) -> dict[tuple, Any]:
+        states: dict[tuple, Any] = {}
+        scanned = 0
+        value_column = self.value_column
+        for row in self.table.rows_between(self.start, self.end):
+            scanned += 1
+            if not self._row_passes(row):
+                continue
+            group = tuple(row.get(c) for c in self.group_by)
+            state = states.get(group)
+            if state is None:
+                state = function.create()
+            value = row.get(value_column) if value_column is not None else 1
+            states[group] = function.update(state, value)
+        self._charge(scanned)
+        return states
+
+    def _run_rows_time_series(
+            self, function: AggregateFunction) -> dict[tuple, Any]:
+        states: dict[tuple[float, tuple], Any] = {}
+        scanned = 0
+        bucket_seconds = self.bucket_seconds
+        value_column = self.value_column
+        time_column = self.table.time_column
+        for row in self.table.rows_between(self.start, self.end):
+            scanned += 1
+            if not self._row_passes(row):
+                continue
+            time_value = float(row[time_column])
+            bucket = (time_value // bucket_seconds) * bucket_seconds
+            group = tuple(row.get(c) for c in self.group_by)
+            key = (bucket, group)
+            state = states.get(key)
+            if state is None:
+                state = function.create()
+            value = row.get(value_column) if value_column is not None else 1
+            states[key] = function.update(state, value)
+        self._charge(scanned)
+        return states
+
+    # -- the vectorized columnar engine -------------------------------------------
+
+    def _cache_shape(self) -> tuple | None:
+        """Hashable identity of this query's fixed part, or None if the
+        query cannot participate in the cache (opaque ``where``,
+        unhashable filter operand, caching disabled)."""
+        if self.where is not None or not self.use_cache:
+            return None
+        shape = (self.aggregation, self.value_column, self.group_by,
+                 self.filters)
+        try:
+            hash(shape)
+        except TypeError:
+            return None
+        return shape
+
+    def _run_columnar(self, function: AggregateFunction) -> dict[tuple, Any]:
+        shape = self._cache_shape()
+        cache = self.table.query_cache
+        totals: dict[tuple, Any] = {}
+        scanned = 0
+        cached_rows = 0
+        hits = misses = 0
+        for segment, lo, hi, full in self.table.segments_overlapping(
+                self.start, self.end):
+            if shape is not None and full:
+                partial = cache.get_run_partial(shape, segment.seg_id)
+                if partial is None:
+                    partial = self._segment_states(segment, 0,
+                                                   segment.length, function)
+                    cache.put_run_partial(shape, segment.seg_id, partial)
+                    scanned += segment.length
+                    misses += 1
+                else:
+                    cached_rows += segment.length
+                    hits += 1
+                _merge_states(totals, partial, function)
+            else:
+                partial = self._segment_states(segment, lo, hi, function)
+                scanned += hi - lo
+                _merge_states(totals, partial, function)
+        scanned += self._fold_tail(totals, function)
+        self._charge(scanned, cached_rows=cached_rows, hits=hits,
+                     misses=misses)
+        return totals
+
+    def _fold_tail(self, totals: dict[tuple, Any],
+                   function: AggregateFunction) -> int:
+        """Per-row fold over the mutable tail slice; returns rows scanned."""
+        rows = self.table.tail_between(self.start, self.end)
+        value_column = self.value_column
+        for row in rows:
+            if not self._row_passes(row):
+                continue
+            group = tuple(row.get(c) for c in self.group_by)
+            state = totals.get(group)
+            if state is None:
+                state = function.create()
+            value = row.get(value_column) if value_column is not None else 1
+            totals[group] = function.update(state, value)
+        return len(rows)
+
+    def _segment_states(self, segment, lo: int, hi: int,
+                        function: AggregateFunction) -> dict[tuple, Any]:
+        """Vectorized fold of one segment slice into per-group states."""
+        mask: list[bool] | None = None
+        for column_filter in self.filters:
+            step = segment.filter_mask(column_filter.column,
+                                       column_filter.passes, lo, hi)
+            mask = step if mask is None else [
+                a and b for a, b in zip(mask, step)]
+        if self.where is not None:
+            rows = segment.rows(lo, hi)
+            step = [bool(self.where(row)) for row in rows]
+            mask = step if mask is None else [
+                a and b for a, b in zip(mask, step)]
+
+        if self.group_by:
+            codes, groups = segment.group_codes(self.group_by, lo, hi)
+        else:
+            codes, groups = None, [()]
+        values = (segment.values(self.value_column, lo, hi)
+                  if self.value_column is not None else None)
+        n = hi - lo
+        if mask is not None:
+            if codes is not None:
+                codes = [c for c, keep in zip(codes, mask) if keep]
+            if values is not None:
+                values = [v for v, keep in zip(values, mask) if keep]
+            n = (len(codes) if codes is not None
+                 else len(values) if values is not None
+                 else sum(mask))
+
+        kernel = get_columnar_kernel(self.aggregation)
+        if kernel is not None:
+            coded = kernel.fold(codes, values, n)
+        else:
+            coded = _generic_fold(function, codes, values, n)
+        return {groups[code]: state for code, state in coded.items()}
+
+    def _run_columnar_time_series(
+            self, function: AggregateFunction) -> dict[tuple, Any]:
+        bucket_seconds = self.bucket_seconds
+        shape = self._cache_shape()
+        if shape is not None:
+            shape = shape + (bucket_seconds,)
+        cache = self.table.query_cache
+        live_ids = self.table.live_segment_ids()
+        sealed_high = self.table.sealed_high()
+        states: dict[tuple[float, tuple], Any] = {}
+        scanned = 0
+        cached_rows = 0
+        hits = misses = 0
+
+        bucket = (self.start // bucket_seconds) * bucket_seconds
+        while bucket < self.end:
+            bucket_end = bucket + bucket_seconds
+            lo = max(bucket, self.start)
+            hi = min(bucket_end, self.end)
+            # A bucket is "closed" when it lies entirely inside both the
+            # query range and the sealed region: its contents can only
+            # change by segment replacement, which the seg-id stamp sees.
+            closed = (shape is not None and lo == bucket and hi == bucket_end
+                      and bucket_end <= sealed_high)
+            if closed:
+                cached = cache.get_bucket(shape, bucket, live_ids)
+                if cached is not None:
+                    for group, state in cached.items():
+                        states[(bucket, group)] = state
+                    cached_rows += sum(
+                        seg_hi - seg_lo for _, seg_lo, seg_hi, _ in
+                        self.table.segments_overlapping(lo, hi))
+                    hits += 1
+                    bucket = bucket_end
+                    continue
+            bucket_states: dict[tuple, Any] = {}
+            seg_ids = set()
+            for segment, seg_lo, seg_hi, _ in self.table.segments_overlapping(
+                    lo, hi):
+                partial = self._segment_states(segment, seg_lo, seg_hi,
+                                               function)
+                scanned += seg_hi - seg_lo
+                seg_ids.add(segment.seg_id)
+                _merge_states(bucket_states, partial, function)
+            scanned += self._fold_tail_bucket(bucket_states, function, lo, hi)
+            if closed:
+                cache.put_bucket(shape, bucket, frozenset(seg_ids),
+                                 bucket_states)
+                misses += 1
+            for group, state in bucket_states.items():
+                states[(bucket, group)] = state
+            bucket = bucket_end
+        self._charge(scanned, cached_rows=cached_rows, hits=hits,
+                     misses=misses)
+        return states
+
+    def _fold_tail_bucket(self, totals: dict[tuple, Any],
+                          function: AggregateFunction, start: float,
+                          end: float) -> int:
+        rows = self.table.tail_between(start, end)
+        value_column = self.value_column
+        for row in rows:
+            if not self._row_passes(row):
+                continue
+            group = tuple(row.get(c) for c in self.group_by)
+            state = totals.get(group)
+            if state is None:
+                state = function.create()
+            value = row.get(value_column) if value_column is not None else 1
+            totals[group] = function.update(state, value)
+        return len(rows)
+
+    # -- accounting ------------------------------------------------------------
+
+    def _charge(self, scanned: int, cached_rows: int = 0, hits: int = 0,
+                misses: int = 0) -> None:
+        prefix = f"scuba.{self.table.name}"
+        self.metrics.counter(f"{prefix}.rows_scanned").increment(scanned)
+        self.metrics.counter(f"{prefix}.queries").increment()
+        if cached_rows:
+            self.metrics.counter(f"{prefix}.rows_cached").increment(
+                cached_rows)
+        if hits:
+            self.metrics.counter(f"{prefix}.cache.hits").increment(hits)
+        if misses:
+            self.metrics.counter(f"{prefix}.cache.misses").increment(misses)
+        if hits and (scanned or misses):
+            # The signature dashboard-refresh pattern: part of the window
+            # was served from cached partials, the rest scanned fresh.
+            self.metrics.counter(f"{prefix}.cache.partial_reuse").increment()
 
 
-def _sortable(value: Any) -> Any:
+def _merge_states(totals: dict[tuple, Any], partial: dict[tuple, Any],
+                  function: AggregateFunction) -> None:
+    """Monoid-merge ``partial`` into ``totals`` (never mutates states)."""
+    for group, state in partial.items():
+        existing = totals.get(group)
+        totals[group] = (state if existing is None
+                         else function.merge(existing, state))
+
+
+def _generic_fold(function: AggregateFunction, codes, values,
+                  n: int) -> dict[int, Any]:
+    """Per-row monoid fallback for aggregates without a columnar kernel
+    (topk, approx_distinct, stddev, ...) — still column-driven, so it
+    caches and merges like the kernel paths."""
+    states: dict[int, Any] = {}
+    if codes is None:
+        codes = [0] * n
+    if values is None:
+        values = [1] * n
+    for code, value in zip(codes, values):
+        state = states.get(code)
+        if state is None:
+            state = function.create()
+        states[code] = function.update(state, value)
+    return states
+
+
+# -- result ordering ----------------------------------------------------------
+
+#: Category order for values that raise TypeError when compared directly.
+_TYPE_RANKS: list[type] = [bool, int, float, str, bytes, tuple, list, dict]
+
+
+class _SortKey:
+    """Total order over arbitrary aggregate values.
+
+    Comparable values (numbers with numbers, strings with strings) keep
+    their natural order; ``None`` sorts below everything; a mixed-type
+    comparison that raises ``TypeError`` falls back to ``(type rank,
+    repr)`` so ordering stays deterministic instead of crashing — e.g. a
+    ``min`` whose groups yield both strings and numbers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _rank(self) -> tuple[int, str]:
+        value = self.value
+        for index, kind in enumerate(_TYPE_RANKS):
+            if isinstance(value, kind):
+                return index + 1, repr(value)
+        return len(_TYPE_RANKS) + 1, f"{type(value).__name__}:{value!r}"
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return b is not None
+        if b is None:
+            return False
+        try:
+            return bool(a < b)
+        except TypeError:
+            return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        try:
+            return bool(self.value == other.value)
+        except TypeError:
+            return False
+
+    def __hash__(self) -> int:  # pragma: no cover - keys aren't hashed
+        return hash(id(self))
+
+
+def _sortable(value: Any) -> _SortKey:
     if isinstance(value, list):
-        return value[0] if value else float("-inf")
-    return value if value is not None else float("-inf")
+        value = value[0] if value else None
+    return _SortKey(value)

@@ -1,13 +1,39 @@
-"""Scuba's row store: time-ordered raw events, kept for a bounded window."""
+"""Scuba's row store: time-ordered raw events, kept for a bounded window.
+
+The store is columnar: older rows live in sealed, immutable, time-sorted
+:class:`~repro.scuba.columns.Segment` objects (per-column arrays —
+``array('d')`` floats, dictionary-encoded small-cardinality values),
+while recent rows stay in a mutable row-dict *tail* that absorbs
+out-of-order arrivals cheaply. The row-facing API (``add``,
+``add_rows``, ``rows_between``, ``trim``) is unchanged; sealed rows are
+materialized back into dicts lazily on demand.
+
+Invariants:
+
+- global time order: every tail row's time >= the last sealed segment's
+  max time (``sealed_high``); segments are mutually time-sorted;
+- a row arriving *below* ``sealed_high`` (deep out-of-order) is folded
+  into the segment it belongs to by rebuilding that one segment under a
+  fresh ``seg_id`` — which is also what invalidates cached partials
+  computed from the old segment;
+- ``trim`` drops whole expired segments and slices the boundary segment
+  into a new ``seg_id``.
+
+``columnar=False`` keeps every row in the tail forever — byte-for-byte
+the seed's behavior — and is the paper-faithful baseline the Section 5.2
+experiment charges one CPU unit per raw row against.
+"""
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from itertools import islice
 from operator import le
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import ScubaError
+from repro.scuba.cache import ScubaQueryCache
+from repro.scuba.columns import Segment
 
 Row = dict[str, Any]
 
@@ -22,14 +48,27 @@ class ScubaTable:
     """
 
     def __init__(self, name: str, time_column: str = "event_time",
-                 retention_seconds: float = 7 * 24 * 3600.0) -> None:
+                 retention_seconds: float = 7 * 24 * 3600.0,
+                 columnar: bool = True, segment_rows: int = 2048) -> None:
         if retention_seconds <= 0:
             raise ScubaError("retention must be positive")
+        if segment_rows < 1:
+            raise ScubaError("segment_rows must be positive")
         self.name = name
         self.time_column = time_column
         self.retention_seconds = retention_seconds
-        self._times: list[float] = []
+        self.columnar = columnar
+        self.segment_rows = segment_rows
+        self._segments: list[Segment] = []
+        self._seg_maxes: list[float] = []  # per-segment max time, sorted
+        self._live_seg_ids: set[int] = set()
+        self._sealed_rows = 0
+        self._next_seg_id = 0
+        self._times: list[float] = []  # the tail (all rows if not columnar)
         self._rows: list[Row] = []
+        self.query_cache = ScubaQueryCache()
+
+    # -- writes ----------------------------------------------------------------
 
     def add(self, row: Row) -> None:
         time_value = row.get(self.time_column)
@@ -38,6 +77,9 @@ class ScubaTable:
                 f"row lacks time column {self.time_column!r}"
             )
         time_value = float(time_value)
+        if self._segments and time_value < self._seg_maxes[-1]:
+            self._insert_sealed(time_value, row)
+            return
         if self._times and time_value >= self._times[-1]:
             self._times.append(time_value)
             self._rows.append(row)
@@ -45,6 +87,7 @@ class ScubaTable:
             index = bisect_right(self._times, time_value)
             self._times.insert(index, time_value)
             self._rows.insert(index, row)
+        self._maybe_seal()
 
     def add_rows(self, rows: list[Row]) -> None:
         """Insert a batch of rows; equivalent to :meth:`add` in order.
@@ -70,12 +113,20 @@ class ScubaTable:
                     ) from None
             raise
         times = self._times
-        if (not times or new_times[0] >= times[-1]) and all(
-                map(le, new_times, islice(new_times, 1, None))):
+        tail_floor = (self._seg_maxes[-1] if self._segments
+                      else float("-inf"))
+        if ((not times or new_times[0] >= times[-1])
+                and new_times[0] >= tail_floor
+                and all(map(le, new_times, islice(new_times, 1, None)))):
             times.extend(new_times)
             self._rows.extend(rows)
+            self._maybe_seal()
             return
         for time_value, row in zip(new_times, rows):
+            if time_value < tail_floor:
+                self._insert_sealed(time_value, row)
+                tail_floor = self._seg_maxes[-1]
+                continue
             if times and time_value >= times[-1]:
                 times.append(time_value)
                 self._rows.append(row)
@@ -83,27 +134,151 @@ class ScubaTable:
                 index = bisect_right(times, time_value)
                 times.insert(index, time_value)
                 self._rows.insert(index, row)
+        self._maybe_seal()
+
+    # -- sealing ---------------------------------------------------------------
+
+    def _maybe_seal(self) -> None:
+        # Keep a full segment's worth of recent rows mutable so ordinary
+        # out-of-order arrivals stay cheap bisect inserts.
+        if not self.columnar:
+            return
+        while len(self._times) >= 2 * self.segment_rows:
+            self._seal_prefix(self.segment_rows)
+
+    def seal_tail(self) -> int:
+        """Seal every tail row into a segment; returns rows sealed.
+
+        Useful for benchmarks and maintenance ticks that want the whole
+        table vectorizable/cacheable immediately instead of waiting for
+        the tail to fill.
+        """
+        if not self.columnar or not self._times:
+            return 0
+        count = len(self._times)
+        self._seal_prefix(count)
+        return count
+
+    def _seal_prefix(self, count: int) -> None:
+        segment = Segment.seal(self._next_seg_id, self._times[:count],
+                               self._rows[:count])
+        self._next_seg_id += 1
+        del self._times[:count]
+        del self._rows[:count]
+        self._segments.append(segment)
+        self._seg_maxes.append(segment.times[-1])
+        self._live_seg_ids.add(segment.seg_id)
+        self._sealed_rows += segment.length
+
+    def _insert_sealed(self, time_value: float, row: Row) -> None:
+        """Fold a deep out-of-order row into its sealed segment."""
+        index = bisect_right(self._seg_maxes, time_value)
+        old = self._segments[index]
+        times = list(old.times)
+        rows = old.rows(0, old.length)
+        at = bisect_right(times, time_value)
+        times.insert(at, time_value)
+        rows.insert(at, row)
+        rebuilt = Segment.seal(self._next_seg_id, times, rows)
+        self._next_seg_id += 1
+        self._segments[index] = rebuilt
+        self._seg_maxes[index] = rebuilt.times[-1]
+        self._live_seg_ids.discard(old.seg_id)
+        self._live_seg_ids.add(rebuilt.seg_id)
+        self._sealed_rows += 1
+        self.query_cache.drop_segment(old.seg_id)
+
+    # -- reads -----------------------------------------------------------------
 
     def rows_between(self, start: float, end: float) -> list[Row]:
         """Rows with time in ``[start, end)``."""
+        out: list[Row] = []
+        for segment, lo, hi, _ in self.segments_overlapping(start, end):
+            out.extend(segment.rows(lo, hi))
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        out.extend(self._rows[lo:hi])
+        return out
+
+    def segments_overlapping(
+            self, start: float,
+            end: float) -> Iterator[tuple[Segment, int, int, bool]]:
+        """Yield ``(segment, lo, hi, fully_covered)`` for the range.
+
+        ``fully_covered`` means every row of the segment falls inside
+        ``[start, end)`` — the condition under which a cached whole-
+        segment partial is usable.
+        """
+        index = bisect_left(self._seg_maxes, start)
+        while index < len(self._segments):
+            segment = self._segments[index]
+            if segment.times[0] >= end:
+                break
+            lo = bisect_left(segment.times, start)
+            hi = bisect_left(segment.times, end)
+            if hi > lo:
+                yield segment, lo, hi, (lo == 0 and hi == segment.length)
+            index += 1
+
+    def tail_between(self, start: float, end: float) -> list[Row]:
+        """The mutable-tail slice of ``[start, end)`` (newest rows)."""
         lo = bisect_left(self._times, start)
         hi = bisect_left(self._times, end)
         return self._rows[lo:hi]
 
+    def sealed_high(self) -> float:
+        """Max time of the sealed region; tail rows are all at/after it."""
+        return self._seg_maxes[-1] if self._seg_maxes else float("-inf")
+
+    def live_segment_ids(self) -> set[int]:
+        return self._live_seg_ids
+
+    def segment_count(self) -> int:
+        return len(self._segments)
+
     def row_count(self) -> int:
-        return len(self._rows)
+        return self._sealed_rows + len(self._rows)
+
+    # -- retention -------------------------------------------------------------
 
     def trim(self, now: float) -> int:
         """Drop rows older than the retention window; return count."""
         cutoff = now - self.retention_seconds
+        dropped = 0
+        while self._segments and self._segments[0].times[-1] < cutoff:
+            segment = self._segments.pop(0)
+            self._seg_maxes.pop(0)
+            self._live_seg_ids.discard(segment.seg_id)
+            self._sealed_rows -= segment.length
+            dropped += segment.length
+            self.query_cache.drop_segment(segment.seg_id)
+        if self._segments:
+            first = self._segments[0]
+            cut = bisect_left(first.times, cutoff)
+            if cut:
+                sliced = first.sliced(cut, self._next_seg_id)
+                self._next_seg_id += 1
+                self._segments[0] = sliced
+                self._live_seg_ids.discard(first.seg_id)
+                self._live_seg_ids.add(sliced.seg_id)
+                self._sealed_rows -= cut
+                dropped += cut
+                self.query_cache.drop_segment(first.seg_id)
         drop = bisect_left(self._times, cutoff)
         if drop:
             del self._times[:drop]
             del self._rows[:drop]
-        return drop
+            dropped += drop
+        return dropped
+
+    # -- bounds ----------------------------------------------------------------
 
     def min_time(self) -> float | None:
+        if self._segments:
+            return self._segments[0].times[0]
         return self._times[0] if self._times else None
 
     def max_time(self) -> float | None:
-        return self._times[-1] if self._times else None
+        if self._times:
+            return self._times[-1]
+        return self._seg_maxes[-1] if self._seg_maxes else None
