@@ -5,6 +5,13 @@ evaluation and prints the same rows/series the paper reports (run with
 ``pytest benchmarks/ --benchmark-only -s`` to see them). Reproduced
 numbers also land in each benchmark's ``extra_info`` so they appear in
 ``--benchmark-json`` output. EXPERIMENTS.md records paper-vs-measured.
+
+Lint contract: ``benchmarks/`` is exempt from reprolint's R001
+(no-wall-clock) because measuring real elapsed time is this harness's
+job — ``time.perf_counter`` is fine here. Every other rule still
+applies; in particular workload randomness must flow through
+``repro.runtime.rng.make_rng`` (R002) so a benchmark's input stream is
+identical run-to-run and only the measured time varies.
 """
 
 from __future__ import annotations

@@ -64,7 +64,7 @@ def main() -> None:
     job.checkpoint_now()
     streaming: dict[str, int] = {}
     for task in job.tasks:
-        for event_type in {"post", "like", "share", "click", "comment"}:
+        for event_type in ("post", "like", "share", "click", "comment"):
             value = task.state_backend.read_value(event_type)
             if value:
                 streaming[event_type] = (streaming.get(event_type, 0)

@@ -26,6 +26,16 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid internal state."""
 
 
+class DeterminismViolation(SimulationError):
+    """Two runs of the same seeded experiment diverged.
+
+    Raised by the determinism sanitizer (:mod:`repro.lint.sanitizer`)
+    when metric snapshots, Scribe offsets, or Stylus state digests differ
+    between identically seeded runs — some component is reading wall
+    clock, global randomness, or unordered-collection iteration order.
+    """
+
+
 class ProcessCrashed(ReproError):
     """A simulated process crashed (normally injected by a failure plan)."""
 

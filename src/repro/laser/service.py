@@ -300,7 +300,9 @@ class ReplicatedLaserTable:
             try:
                 row = self._retrier.call(self.tiers[tier_name].get,
                                          *key_values)
-            except StoreUnavailable as exc:
+            # Accounted below, not here: every tier-miss ends in exactly
+            # one of failover_reads / stale_reads / unavailable_reads.
+            except StoreUnavailable as exc:  # lint: ignore[R004]
                 last_error = exc
                 continue
             if position > 0:

@@ -1,0 +1,47 @@
+"""reprolint: AST-based invariant checker + determinism sanitizer.
+
+Static rules (``python -m repro.lint``):
+
+======  ==============================================================
+R001    no wall-clock time outside ``runtime/clock.py`` and benchmarks
+R002    no random-module (global generator) calls outside ``runtime/rng.py``
+R003    metric names are stable ``component.noun[.verb]`` literals
+R004    no bare/broad except; ``StoreUnavailable`` handlers must account
+R005    no unordered set iteration feeding deterministic outputs
+R006    no mutable default arguments
+======  ==============================================================
+
+Suppress a justified finding with a same-line pragma::
+
+    except StoreUnavailable as exc:  # lint: ignore[R004] counted by caller
+
+Pre-existing findings live in a committed baseline (``lint-baseline.json``)
+so the checker gates *new* violations; ``--write-baseline`` regenerates it.
+
+The dynamic half (``python -m repro.lint --sanitize``) runs the same
+seeded chaos campaign twice and fails on any divergence in metric
+snapshots, Scribe offsets, or Stylus state digests — the runtime check
+the static rules exist to protect.
+"""
+
+from repro.lint.engine import (
+    BaselineDiff,
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    diff_against_baseline,
+    load_baseline,
+    register,
+    registered_rules,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.sanitizer import SanitizerReport, run_sanitizer
+
+__all__ = [
+    "BaselineDiff", "FileContext", "Finding", "LintReport", "Rule",
+    "diff_against_baseline", "load_baseline", "register",
+    "registered_rules", "run_lint", "write_baseline",
+    "SanitizerReport", "run_sanitizer",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Exit codes: 0 clean (all findings grandfathered or suppressed), 1 new
+violations (or a determinism divergence under ``--sanitize``), 2 usage
+or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.engine import (diff_against_baseline, format_human,
+                               format_json, load_baseline, registered_rules,
+                               run_lint, write_baseline)
+from repro.lint.sanitizer import format_report, run_sanitizer
+
+
+def _find_root(start: Path) -> Path:
+    """The nearest ancestor holding pyproject.toml (else ``start``)."""
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprolint: AST invariant checker + determinism "
+                    "sanitizer for the repro ecosystem")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: src/, "
+                             "benchmarks/, examples/ under the repo root)")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: nearest ancestor with "
+                             "pyproject.toml)")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: same behaviour, spelled explicitly")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--select", default=None, metavar="R001,R003",
+                        help="run only these rule ids")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: <root>/"
+                             "lint-baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding "
+                             "as new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="grandfather the current findings and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the seeded campaign twice and diff "
+                             "metric/offset/state digests")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed for --sanitize (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in registered_rules().items():
+            print(f"{rule_id}  {cls.summary}")
+        return 0
+
+    if args.sanitize:
+        report = run_sanitizer(seed=args.seed)
+        print(format_report(report))
+        return 0 if report.deterministic else 1
+
+    root = (args.root if args.root is not None
+            else _find_root(Path.cwd().resolve()))
+    paths = [p if p.is_absolute() else root / p
+             for p in args.paths] or None
+    select = (None if args.select is None
+              else [s.strip() for s in args.select.split(",") if s.strip()])
+    try:
+        report = run_lint(root, paths=paths, select=select)
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = (args.baseline if args.baseline is not None
+                     else root / "lint-baseline.json")
+    if args.write_baseline:
+        write_baseline(baseline_path, report)
+        print(f"reprolint: wrote {len(report.findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    diff = diff_against_baseline(report, baseline)
+    print(format_json(report, diff) if args.as_json
+          else format_human(report, diff))
+    if report.parse_errors:
+        return 2
+    return 1 if diff.new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""The reprolint engine: file walking, rule registry, pragmas, baselines.
+
+The reproduction rests on invariants nothing used to enforce mechanically:
+all time flows through :mod:`repro.runtime.clock`, all randomness through
+:mod:`repro.runtime.rng`, every ``StoreUnavailable`` is accounted for, and
+metric names are stable dotted literals that dashboards and the chaos
+property suite key on. This module is the scaffolding that lets small
+AST-based rules (:mod:`repro.lint.rules`) enforce those invariants on
+every future PR:
+
+- :func:`run_lint` walks a tree, parses each file once, and hands a
+  :class:`FileContext` to every registered rule;
+- ``# lint: ignore[R004]`` pragmas suppress findings on their own line
+  (justified exceptions stay visible in the diff, not in reviewer memory);
+- a committed baseline file grandfathers pre-existing findings so the
+  checker can gate *new* violations from day one (see :func:`diff_against_
+  baseline`); fingerprints hash the line *text*, not the line *number*,
+  so unrelated edits above a grandfathered finding do not un-grandfather
+  it.
+
+The engine is dependency-free on purpose: this repo runs offline with
+``dependencies = []``, so the linter has to be one of ours.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding", "FileContext", "Rule", "LintReport", "BaselineDiff",
+    "register", "registered_rules", "run_lint", "iter_python_files",
+    "load_baseline", "write_baseline", "diff_against_baseline",
+    "format_human", "format_json",
+]
+
+#: ``# lint: ignore[R001]`` or ``# lint: ignore[R001,R005]`` — suppresses
+#: findings of the named rules on the same source line.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9_,\s]+)\]")
+
+#: Directories never worth parsing.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path relative to the lint root
+    line: int
+    message: str
+    snippet: str = ""
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+
+def _fingerprint(finding: Finding, occurrence: int) -> str:
+    """Stable identity for baselining: rule + file + line *text* (not
+    line number, which shifts on every unrelated edit) + an occurrence
+    index to tell identical lines in the same file apart."""
+    payload = "|".join([finding.rule, finding.path,
+                        finding.snippet.strip(), str(occurrence)])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST) -> None:
+        self.path = path  # posix relpath, e.g. "src/repro/scribe/store.py"
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(rule=rule, path=self.path, line=lineno,
+                       message=message,
+                       snippet=self.line_text(lineno).strip())
+
+    def path_endswith(self, suffix: str) -> bool:
+        return self.path.endswith(suffix)
+
+    def in_directory(self, name: str) -> bool:
+        parts = self.path.split("/")
+        return name in parts[:-1]
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`.
+
+    ``check_file`` runs once per file; ``finalize`` runs once per lint
+    invocation after every file was seen, for cross-file rules (metric
+    near-duplicate detection). A fresh rule instance is built per
+    :func:`run_lint` call, so rules may keep state across files.
+    """
+
+    rule_id: str = "R000"
+    summary: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self) -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_cls.rule_id
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> dict[str, type[Rule]]:
+    # Import for the registration side effect; cheap after the first call.
+    from repro.lint import rules as _rules  # noqa: F401
+    return dict(sorted(_REGISTRY.items()))
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    def fingerprints(self) -> dict[str, Finding]:
+        """Map fingerprint -> finding, disambiguating identical lines."""
+        seen: dict[tuple[str, str, str], int] = {}
+        out: dict[str, Finding] = {}
+        for finding in sorted(self.findings, key=Finding.sort_key):
+            key = (finding.rule, finding.path, finding.snippet.strip())
+            occurrence = seen.get(key, 0)
+            seen[key] = occurrence + 1
+            out[_fingerprint(finding, occurrence)] = finding
+        return out
+
+
+def iter_python_files(roots: Iterable[Path]) -> Iterator[Path]:
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            yield root
+            continue
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in path.parts):
+                yield path
+
+
+def _parse_pragmas(source: str) -> dict[int, set[str]]:
+    """Line number -> set of rule ids suppressed on that line."""
+    pragmas: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            pragmas[lineno] = {rule for rule in rules if rule}
+    return pragmas
+
+
+def run_lint(root: Path, paths: Iterable[Path] | None = None,
+             select: Iterable[str] | None = None) -> LintReport:
+    """Lint every python file under ``paths`` (relative to ``root``).
+
+    ``select`` restricts to a subset of rule ids. Findings on a line
+    carrying a matching ``# lint: ignore[...]`` pragma are dropped and
+    counted in ``report.suppressed``.
+    """
+    root = Path(root)
+    if paths is None:
+        paths = [candidate for name in ("src", "benchmarks", "examples")
+                 if (candidate := root / name).is_dir()]
+    rule_classes = registered_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - rule_classes.keys()
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        rule_classes = {rule_id: cls for rule_id, cls in rule_classes.items()
+                        if rule_id in wanted}
+    rules = [cls() for cls in rule_classes.values()]
+
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            relpath = file_path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=relpath)
+        except (OSError, SyntaxError) as exc:
+            report.parse_errors.append((relpath, str(exc)))
+            continue
+        report.files_scanned += 1
+        ctx = FileContext(relpath, source, tree)
+        pragmas = _parse_pragmas(source)
+        for rule in rules:
+            for finding in rule.check_file(ctx):
+                if finding.rule in pragmas.get(finding.line, ()):
+                    report.suppressed += 1
+                else:
+                    report.findings.append(finding)
+    for rule in rules:
+        report.findings.extend(rule.finalize())
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+# -- baseline ---------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def write_baseline(path: Path, report: LintReport) -> None:
+    """Persist the current findings as grandfathered."""
+    entries = [
+        {"fingerprint": fingerprint, "rule": finding.rule,
+         "path": finding.path, "message": finding.message,
+         "snippet": finding.snippet.strip()}
+        for fingerprint, finding in sorted(report.fingerprints().items(),
+                                           key=lambda kv: kv[1].sort_key())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """Fingerprint -> baseline entry; empty when the file is absent."""
+    if not path.is_file():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    return {entry["fingerprint"]: entry for entry in payload["findings"]}
+
+
+@dataclass
+class BaselineDiff:
+    """New findings vs grandfathered vs fixed-since-baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+
+def diff_against_baseline(report: LintReport,
+                          baseline: dict[str, dict]) -> BaselineDiff:
+    diff = BaselineDiff()
+    current = report.fingerprints()
+    for fingerprint, finding in current.items():
+        if fingerprint in baseline:
+            diff.grandfathered.append(finding)
+        else:
+            diff.new.append(finding)
+    for fingerprint, entry in baseline.items():
+        if fingerprint not in current:
+            diff.stale.append(entry)
+    diff.new.sort(key=Finding.sort_key)
+    diff.grandfathered.sort(key=Finding.sort_key)
+    return diff
+
+
+# -- output -----------------------------------------------------------------
+
+def format_human(report: LintReport, diff: BaselineDiff) -> str:
+    lines: list[str] = []
+    for finding in diff.new:
+        lines.append(f"{finding.path}:{finding.line}: {finding.rule} "
+                     f"{finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    summary = (f"reprolint: {report.files_scanned} files, "
+               f"{len(diff.new)} new finding(s), "
+               f"{len(diff.grandfathered)} grandfathered, "
+               f"{report.suppressed} suppressed by pragma")
+    if diff.stale:
+        summary += (f", {len(diff.stale)} stale baseline entr"
+                    f"{'y' if len(diff.stale) == 1 else 'ies'} "
+                    "(fixed — re-run with --write-baseline)")
+    for relpath, error in report.parse_errors:
+        lines.append(f"{relpath}: parse error: {error}")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport, diff: BaselineDiff) -> str:
+    def encode(findings: list[Finding]) -> list[dict]:
+        return [{"rule": f.rule, "path": f.path, "line": f.line,
+                 "message": f.message, "snippet": f.snippet}
+                for f in findings]
+
+    payload = {
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "new": encode(diff.new),
+        "grandfathered": encode(diff.grandfathered),
+        "stale_baseline": diff.stale,
+        "parse_errors": [{"path": p, "error": e}
+                         for p, e in report.parse_errors],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,591 @@
+"""The repo-specific rule catalogue (R001-R006).
+
+Each rule enforces one invariant the simulated ecosystem depends on; see
+DESIGN.md ("Static analysis & determinism sanitizer") for the catalogue
+with rationale. Rules are registered into :mod:`repro.lint.engine`'s
+global registry on import.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.lint.engine import FileContext, Finding, Rule, register
+
+# ---------------------------------------------------------------------------
+# R001 — no wall clock
+# ---------------------------------------------------------------------------
+
+#: ``time`` module functions that read (or block on) real time.
+_WALL_TIME_FNS = frozenset({
+    "time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
+    "perf_counter_ns", "sleep", "localtime", "gmtime",
+})
+#: ``datetime``/``date`` constructors that read real time.
+_WALL_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class NoWallClock(Rule):
+    """All time must flow through ``Clock``/``SimClock``.
+
+    Wall-clock reads make simulated runs unreproducible: two runs of the
+    same seeded experiment would see different timestamps, so checkpoint
+    intervals, retention trims, and latency measurements would diverge.
+    Allowed only in ``repro/runtime/clock.py`` (the one place WallClock
+    is implemented) and under ``benchmarks/`` (which measure real
+    throughput by design).
+    """
+
+    rule_id = "R001"
+    summary = "no wall-clock time outside runtime/clock.py and benchmarks/"
+
+    _ALLOWED_SUFFIX = "repro/runtime/clock.py"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_endswith(self._ALLOWED_SUFFIX):
+            return
+        if ctx.path.startswith("benchmarks/") or ctx.in_directory("benchmarks"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name is None:
+                    continue
+                if (name.startswith("time.")
+                        and name.split(".", 1)[1] in _WALL_TIME_FNS):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"wall-clock call {name}(); take a Clock and use "
+                        "clock.now() so simulated runs stay deterministic")
+                elif (name.split(".")[-1] in _WALL_DATETIME_FNS
+                      and name.split(".")[0] in ("datetime", "date")):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"wall-clock call {name}(); take a Clock and use "
+                        "clock.now() so simulated runs stay deterministic")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALL_TIME_FNS:
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            f"importing time.{alias.name} invites "
+                            "wall-clock reads; route time through a Clock")
+
+
+# ---------------------------------------------------------------------------
+# R002 — no unseeded randomness
+# ---------------------------------------------------------------------------
+
+#: Module-level functions on ``random`` that draw from the shared,
+#: process-global (and therefore unseeded-by-us) generator.
+_RANDOM_MODULE_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "getstate", "setstate", "randbytes",
+})
+
+
+@register
+class NoUnseededRandomness(Rule):
+    """All randomness must flow through seeded ``repro.runtime.rng``.
+
+    Calls on the ``random`` *module* use the process-global generator:
+    any other component (or the test runner) touching it perturbs every
+    draw after, so experiments stop being reproducible. ``make_rng(seed,
+    stream)`` gives each component an independent seeded stream instead.
+    Allowed only in ``repro/runtime/rng.py``. Annotating with
+    ``random.Random`` or constructing a *seeded* ``random.Random(x)`` is
+    fine; a bare ``random.Random()`` seeds from the OS and is flagged.
+    """
+
+    rule_id = "R002"
+    summary = "no random-module calls outside runtime/rng.py"
+
+    _ALLOWED_SUFFIX = "repro/runtime/rng.py"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_endswith(self._ALLOWED_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name is None or not name.startswith("random."):
+                    continue
+                fn = name.split(".", 1)[1]
+                if fn in _RANDOM_MODULE_FNS:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"{name}() draws from the process-global generator;"
+                        " use repro.runtime.rng.make_rng(seed, stream)")
+                elif fn == "Random" and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "random.Random() with no seed is OS-seeded; use "
+                        "make_rng(seed, stream)")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _RANDOM_MODULE_FNS:
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            f"importing random.{alias.name} invites global-"
+                            "generator draws; use make_rng(seed, stream)")
+
+
+# ---------------------------------------------------------------------------
+# R003 — metric-name discipline
+# ---------------------------------------------------------------------------
+
+#: Pure-literal names: lowercase dotted segments, 2-4 deep
+#: (``component.noun`` or ``component.noun.verb``; one extra level for
+#: families like ``scuba.<table>.cache.hits``).
+_METRIC_LITERAL_RE = re.compile(
+    r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,3}$")
+#: Same shape with ``*`` standing in for f-string placeholders.
+_METRIC_SEGMENT_RE = re.compile(r"^[a-z0-9_*]+$")
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "timer", "time"})
+
+
+def _edit_distance(a: str, b: str, cap: int = 2) -> int:
+    """Levenshtein distance, early-exiting once it exceeds ``cap``."""
+    if abs(len(a) - len(b)) > cap:
+        return cap + 1
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        best = i
+        for j, cb in enumerate(b, start=1):
+            cost = min(previous[j] + 1, current[j - 1] + 1,
+                       previous[j - 1] + (ca != cb))
+            current.append(cost)
+            best = min(best, cost)
+        if best > cap:
+            return cap + 1
+        previous = current
+    return previous[-1]
+
+
+@register
+class MetricNameDiscipline(Rule):
+    """Metric names are stable dotted literals in ``component.noun[.verb]``
+    shape.
+
+    Dashboards, the chaos property suite, and ``MetricsRegistry.find``
+    key on these exact strings; a typo'd or free-form name silently
+    splits a counter family. The rule harvests every ``.counter("...")``
+    / ``.gauge("...")`` / ``.timer("...")`` / ``.time("...")`` literal
+    and f-string across the tree, enforces the dotted-lowercase shape,
+    flags fully dynamic names (a plain variable — unharvestable, so
+    invisible to this audit), and cross-file near-duplicates (edit
+    distance 1) that are almost certainly typos.
+    """
+
+    rule_id = "R003"
+    summary = "metric names must be stable component.noun[.verb] literals"
+
+    _ALLOWED_SUFFIX = "repro/runtime/metrics.py"  # the registry itself
+
+    def __init__(self) -> None:
+        # literal name -> first (ctx-path, finding-anchor) seen
+        self._literals: dict[str, Finding] = {}
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_endswith(self._ALLOWED_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _METRIC_METHODS
+                    and len(node.args) == 1 and not node.keywords):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                if not _METRIC_LITERAL_RE.match(name):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"metric name {name!r} does not match "
+                        "component.noun[.verb] (lowercase dotted "
+                        "segments, 2-4 deep)")
+                else:
+                    anchor = ctx.finding(self.rule_id, node, name)
+                    self._literals.setdefault(name, anchor)
+            elif isinstance(arg, ast.JoinedStr):
+                shape = self._fstring_shape(arg)
+                segments = shape.split(".")
+                bad = (not 2 <= len(segments) <= 4
+                       or any(not seg or not _METRIC_SEGMENT_RE.match(seg)
+                              for seg in segments))
+                if bad:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"metric f-string shape {shape!r} does not match "
+                        "component.noun[.verb] (lowercase dotted "
+                        "segments, 2-4 deep)")
+            else:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "dynamic metric name (not a string literal or "
+                    "f-string): dashboards and tests cannot key on it")
+
+    @staticmethod
+    def _fstring_shape(node: ast.JoinedStr) -> str:
+        parts: list[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:  # FormattedValue -> wildcard segment content
+                parts.append("*")
+        return "".join(parts)
+
+    def finalize(self) -> Iterator[Finding]:
+        names = sorted(self._literals)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if _edit_distance(a, b, cap=1) == 1:
+                    anchor = self._literals[b]
+                    yield Finding(
+                        rule=self.rule_id, path=anchor.path,
+                        line=anchor.line,
+                        message=(f"metric name {b!r} is one edit away from "
+                                 f"{a!r} (declared at "
+                                 f"{self._literals[a].path}:"
+                                 f"{self._literals[a].line}) — typo, or "
+                                 "unify the family"),
+                        snippet=anchor.snippet)
+
+
+# ---------------------------------------------------------------------------
+# R004 — exception discipline
+# ---------------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+#: Names that include StoreUnavailable when caught (RETRYABLE is the
+#: shared tuple from repro.runtime.retry).
+_UNAVAILABLE_NAMES = frozenset({"StoreUnavailable", "RETRYABLE"})
+
+
+def _exception_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+    return names
+
+
+#: Method-name vocabulary that marks a handler as routing the failure
+#: into visible accounting: counting it directly, or delegating to a
+#: degraded-mode helper (defer/skip/drop) that counts on its own.
+_ACCOUNTING_WORDS = ("increment", "counter", "retrier", "retry",
+                     "defer", "skip", "drop")
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise, count, or route through a retrier
+    or a degraded-mode helper?"""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr.lower()
+            if any(word in attr for word in _ACCOUNTING_WORDS):
+                return True
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            identifier = node.id if isinstance(node, ast.Name) else node.attr
+            if "retrier" in identifier.lower():
+                return True
+    return False
+
+
+@register
+class ExceptionDiscipline(Rule):
+    """No bare/broad ``except``; ``StoreUnavailable`` is never swallowed
+    silently.
+
+    The chaos suite's core invariant is that every injected outage is
+    *accounted for*: ``unavailable_errors`` match retry-layer failures
+    and every give-up surfaces as exactly one degraded-mode counter. A
+    handler that catches ``StoreUnavailable`` (or the shared RETRYABLE
+    tuple) and neither re-raises, nor increments a counter, nor routes
+    through a ``Retrier`` breaks that chain of custody. Bare and
+    ``except Exception`` handlers are flagged unconditionally: they also
+    swallow ``ProcessCrashed``, which must always propagate to the
+    failure model.
+    """
+
+    rule_id = "R004"
+    summary = "no bare/broad except; StoreUnavailable handlers must account"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _exception_names(node)
+            if node.type is None:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "bare except: catches ProcessCrashed and "
+                    "KeyboardInterrupt; name the exceptions you mean")
+                continue
+            broad = sorted(set(names) & _BROAD_EXCEPTIONS)
+            if broad:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"broad except {', '.join(broad)}: swallows "
+                    "ProcessCrashed and masks bugs; name the exceptions "
+                    "you mean")
+                continue
+            if set(names) & _UNAVAILABLE_NAMES and not _handler_accounts(node):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    "StoreUnavailable caught but neither re-raised, "
+                    "counted, nor routed through a Retrier — the outage "
+                    "vanishes from the chaos accounting")
+
+
+# ---------------------------------------------------------------------------
+# R005 — iteration-order nondeterminism
+# ---------------------------------------------------------------------------
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+#: Iterating consumers that preserve (and therefore leak) element order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "iter", "enumerate"})
+#: Consumers whose result does not depend on element order: iterating a
+#: set directly inside these is fine.
+_ORDER_INSENSITIVE_CALLS = frozenset({
+    "sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset",
+})
+
+
+def _annotation_is_set(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    return False
+
+
+class _SetOriginTracker:
+    """Which names/attributes in one scope are (probably) sets."""
+
+    def __init__(self, self_attrs: frozenset[str]) -> None:
+        self.names: set[str] = set()
+        self.self_attrs = self_attrs
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SET_BUILTINS:
+                return True
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _SET_METHODS
+                    and self.is_set_expr(func.value)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr in self.self_attrs
+        return False
+
+    def observe_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and self.is_set_expr(stmt.value):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if _annotation_is_set(stmt.annotation) or (
+                    stmt.value is not None and self.is_set_expr(stmt.value)):
+                if isinstance(stmt.target, ast.Name):
+                    self.names.add(stmt.target.id)
+
+
+@register
+class IterationOrderNondeterminism(Rule):
+    """Don't iterate sets where order can leak into outputs.
+
+    Set iteration order depends on insertion history and — for strings —
+    on ``PYTHONHASHSEED``, so it differs *between processes* even with
+    identical inputs. When such an iteration feeds scheduler callbacks,
+    checkpoint payloads, or serde output, two runs of the same seeded
+    experiment produce different bytes and replay-based debugging (the
+    MillWheel discipline) breaks. Wrap the set in ``sorted(...)`` or use
+    an insertion-ordered dict; order-insensitive consumers (``len``,
+    ``sum``, ``min``, ``max``, membership) are fine and not flagged.
+    """
+
+    rule_id = "R005"
+    summary = "no unordered set iteration (wrap in sorted())"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        self_attrs = self._set_typed_self_attrs(ctx.tree)
+        for scope in self._scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope, self_attrs)
+
+    @staticmethod
+    def _set_typed_self_attrs(tree: ast.AST) -> frozenset[str]:
+        attrs: set[str] = set()
+        probe = _SetOriginTracker(frozenset())
+        for node in ast.walk(tree):
+            target_value = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, target_value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, target_value = node.target, node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+                    node.annotation):
+                attrs.add(target.attr)
+            elif target_value is not None and probe.is_set_expr(target_value):
+                attrs.add(target.attr)
+        return frozenset(attrs)
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+        yield list(getattr(tree, "body", []))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node.body
+
+    @staticmethod
+    def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk a scope's nodes without descending into nested functions
+        (each nested function gets its own scope pass via _scopes)."""
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_scope(self, ctx: FileContext, body: list[ast.stmt],
+                     self_attrs: frozenset[str]) -> Iterator[Finding]:
+        tracker = _SetOriginTracker(self_attrs)
+        nodes = list(self._walk_scope(body))
+        # Comprehensions handed straight to an order-insensitive consumer
+        # (``sorted(x for x in s)``) cannot leak order: exempt them.
+        safe_comprehensions: set[int] = set()
+        for node in nodes:
+            if isinstance(node, ast.stmt):
+                tracker.observe_statement(node)
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_INSENSITIVE_CALLS):
+                for arg in node.args:
+                    safe_comprehensions.add(id(arg))
+        for node in nodes:
+            yield from self._check_node(ctx, node, tracker,
+                                        safe_comprehensions)
+
+    def _check_node(self, ctx: FileContext, node: ast.AST,
+                    tracker: _SetOriginTracker,
+                    safe_comprehensions: set[int]) -> Iterator[Finding]:
+        message = ("iterates a set whose order is insertion- and "
+                   "hash-dependent; wrap in sorted() so downstream "
+                   "callbacks/checkpoints/serde stay deterministic")
+        if isinstance(node, (ast.For, ast.AsyncFor)) \
+                and tracker.is_set_expr(node.iter):
+            yield ctx.finding(self.rule_id, node, message)
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            # SetComp output is itself unordered, so iterating a set to
+            # build another set cannot leak order — not checked at all.
+            if id(node) in safe_comprehensions:
+                return
+            for gen in node.generators:
+                if tracker.is_set_expr(gen.iter):
+                    yield ctx.finding(self.rule_id, node, message)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            order_sensitive = (
+                (isinstance(func, ast.Name)
+                 and func.id in _ORDER_SENSITIVE_CALLS)
+                or (isinstance(func, ast.Attribute) and func.attr == "join"))
+            if order_sensitive and node.args \
+                    and tracker.is_set_expr(node.args[0]):
+                yield ctx.finding(self.rule_id, node, message)
+
+
+# ---------------------------------------------------------------------------
+# R006 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+@register
+class MutableDefaultArguments(Rule):
+    """No mutable default arguments.
+
+    A ``def f(cache={})`` default is created once and shared across every
+    call — state leaks between supposedly independent tasks and between
+    the two runs the determinism sanitizer compares. Use ``None`` and
+    materialize inside the function.
+    """
+
+    rule_id = "R006"
+    summary = "no mutable default arguments"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                        ast.ListComp, ast.DictComp,
+                                        ast.SetComp)):
+                    yield ctx.finding(
+                        self.rule_id, default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and materialize in the body")
+                elif (isinstance(default, ast.Call)
+                      and isinstance(default.func, ast.Name)
+                      and default.func.id in _MUTABLE_CALLS):
+                    yield ctx.finding(
+                        self.rule_id, default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and materialize in the body")

@@ -1,0 +1,268 @@
+"""Determinism sanitizer: one seeded campaign, run twice, diffed.
+
+The static rules (R001-R006) exist so that a seeded experiment is a pure
+function of its seed. This module is the runtime check of that claim: it
+builds a small end-to-end world — Scribe in, two Stylus counter tasks,
+local LSM state with HDFS backups, a chaos schedule of outages and
+partitions — runs it to completion twice from fresh state, and compares
+
+- the full metric snapshot (every counter/gauge/timer, via
+  :meth:`~repro.runtime.metrics.MetricsRegistry.digest`),
+- every Scribe bucket's ``(first_retained, end)`` offsets,
+- a digest of every task's durable Stylus state ``(state, offset)``.
+
+Any divergence means some component read wall clock, the global random
+generator, or unordered-iteration order — exactly what the static rules
+forbid — and raises/reports :class:`~repro.errors.DeterminismViolation`.
+
+Within one process, set iteration order is stable, so the double run
+mostly guards clock/randomness leaks; ``PYTHONHASHSEED``-dependent
+iteration is caught by comparing the printed digest *across* processes —
+CI runs ``python -m repro.lint --sanitize`` twice and diffs the output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.event import Event
+from repro.core.semantics import SemanticsPolicy
+from repro.errors import DeterminismViolation
+from repro.runtime.clock import SimClock
+from repro.runtime.failures import FailurePlan, Network
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.rng import make_rng
+from repro.runtime.scheduler import Scheduler
+from repro.scribe.store import ScribeStore
+from repro.storage.backup import BackupEngine
+from repro.storage.hdfs import HdfsBlobStore
+from repro.storage.merge import DictSumMergeOperator
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.stylus.processor import Output, StatefulProcessor
+from repro.stylus.state import LocalDbStateBackend
+
+__all__ = ["SanitizerReport", "SanitizerRun", "run_once", "run_sanitizer",
+           "format_report"]
+
+_TOTAL_EVENTS = 160
+_HORIZON = 90.0
+_BUCKETS = 2
+_RETRY = RetryPolicy(max_attempts=3, base_delay=0.5, multiplier=2.0,
+                     max_delay=4.0, jitter=0.1)
+
+
+class _DimensionSum(StatefulProcessor):
+    """Counts events and sums a payload value per dimension — enough
+    state shape (nested dict, float accumulation) to expose ordering or
+    float-accumulation divergence in the digest."""
+
+    def initial_state(self):
+        return {"count": 0, "dims": {}}
+
+    def process(self, event: Event, state) -> list[Output]:
+        state["count"] += 1
+        dim = f"dim{int(event['seq']) % 7}"
+        state["dims"][dim] = state["dims"].get(dim, 0.0) + float(
+            event["value"])
+        return []
+
+    def on_checkpoint(self, state, now: float) -> list[Output]:
+        return [Output({"event_time": now, "count": state["count"]})]
+
+
+def _canonical_digest(payload: object) -> str:
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                         default=repr)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SanitizerRun:
+    """Everything one campaign run exposes for comparison."""
+
+    metrics_digest: str
+    metrics_snapshot: dict[str, float]
+    scribe_offsets: dict[str, tuple[int, int]]
+    state_digests: dict[str, str]
+
+    def combined_digest(self) -> str:
+        return _canonical_digest({
+            "metrics": self.metrics_digest,
+            "offsets": {k: list(v) for k, v in self.scribe_offsets.items()},
+            "state": self.state_digests,
+        })
+
+
+def run_once(seed: int = 0) -> SanitizerRun:
+    """Build a fresh seeded world, run the campaign, return its digests."""
+    clock = SimClock()
+    scheduler = Scheduler(clock)
+    metrics = MetricsRegistry(clock)
+    network = Network()
+    scribe = ScribeStore(clock=clock, delivery_delay=0.5, metrics=metrics)
+    scribe.create_category("events", _BUCKETS)
+    hdfs = HdfsBlobStore(clock=clock, metrics=metrics, name="hdfs",
+                         network=network, link=("app", "hdfs"))
+    engine = BackupEngine(hdfs, retry=_RETRY, metrics=metrics)
+
+    payload_rng = make_rng(seed, "sanitizer-payload")
+    tasks: list[StylusTask] = []
+    backends: list[LocalDbStateBackend] = []
+    for bucket in range(_BUCKETS):
+        backend = LocalDbStateBackend(f"sanitizer{bucket}", {},
+                                      backup_engine=engine,
+                                      merge_operator=DictSumMergeOperator())
+        backends.append(backend)
+        tasks.append(StylusTask(
+            f"sanitizer{bucket}", scribe, "events", bucket, _DimensionSum(),
+            semantics=SemanticsPolicy.at_least_once(), state_backend=backend,
+            checkpoint_policy=CheckpointPolicy(every_n_events=16),
+            clock=clock, metrics=metrics, retry_policy=_RETRY))
+
+    written = [0]
+
+    def feed() -> None:
+        for _ in range(6):
+            if written[0] >= _TOTAL_EVENTS:
+                return
+            scribe.write_record(
+                "events",
+                {"event_time": clock.now(), "seq": written[0],
+                 "value": round(payload_rng.uniform(0.0, 10.0), 6)},
+                key=str(written[0]))
+            written[0] += 1
+
+    scheduler.every(1.5, feed)
+    scheduler.every(7.0, lambda: scribe.snapshot_to(hdfs, retry=_RETRY))
+    for backend in backends:
+        scheduler.every(9.0, backend.maybe_backup)
+    scheduler.every(11.0, scribe.run_retention)
+
+    def pump_all() -> None:
+        for task in tasks:
+            task.pump(50)
+
+    scheduler.every(2.0, pump_all)
+
+    plan = FailurePlan.random_chaos(
+        _HORIZON - 10.0, make_rng(seed, "sanitizer-chaos"),
+        stores=("hdfs",), links=[("app", "hdfs")],
+        outage_rate=0.05, mean_outage=4.0,
+        partition_rate=0.04, mean_partition=3.0)
+    plan.install(scheduler, stores={"hdfs": hdfs}, network=network)
+
+    scheduler.run_until(_HORIZON)
+
+    # Fault-free tail: heal, drain every task, land a final checkpoint.
+    network.heal_all()
+    hdfs.set_available(True)
+    clock.advance(1.0)  # past the delivery delay of the last writes
+    for task in tasks:
+        while task.lag_messages() > 0:
+            task.pump(10_000)
+        task.checkpoint_now()
+
+    offsets: dict[str, tuple[int, int]] = {}
+    for category in scribe.categories():
+        for bucket in range(scribe.category(category).num_buckets):
+            offsets[f"{category}[{bucket}]"] = (
+                scribe.first_retained_offset(category, bucket),
+                scribe.end_offset(category, bucket),
+            )
+    state_digests = {
+        task.name: _canonical_digest(list(backend.load()))
+        for task, backend in zip(tasks, backends)
+    }
+    return SanitizerRun(metrics_digest=metrics.digest(),
+                        metrics_snapshot=metrics.snapshot(),
+                        scribe_offsets=offsets,
+                        state_digests=state_digests)
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of the double run."""
+
+    seed: int
+    runs: int
+    combined_digest: str
+    differences: list[str] = field(default_factory=list)
+
+    @property
+    def deterministic(self) -> bool:
+        return not self.differences
+
+
+def _diff_runs(first: SanitizerRun, other: SanitizerRun,
+               label: str) -> list[str]:
+    differences: list[str] = []
+    keys = sorted(first.metrics_snapshot.keys()
+                  | other.metrics_snapshot.keys())
+    for key in keys:
+        a = first.metrics_snapshot.get(key)
+        b = other.metrics_snapshot.get(key)
+        if a != b:
+            differences.append(f"{label}: metric {key!r}: {a!r} != {b!r}")
+    for key in sorted(first.scribe_offsets.keys()
+                      | other.scribe_offsets.keys()):
+        a = first.scribe_offsets.get(key)
+        b = other.scribe_offsets.get(key)
+        if a != b:
+            differences.append(
+                f"{label}: scribe offsets {key}: {a!r} != {b!r}")
+    for key in sorted(first.state_digests.keys()
+                      | other.state_digests.keys()):
+        a = first.state_digests.get(key)
+        b = other.state_digests.get(key)
+        if a != b:
+            differences.append(
+                f"{label}: stylus state digest {key}: {a} != {b}")
+    return differences
+
+
+def run_sanitizer(seed: int = 0, runs: int = 2,
+                  raise_on_divergence: bool = False) -> SanitizerReport:
+    """Run the campaign ``runs`` times from fresh state and compare.
+
+    Returns a report; with ``raise_on_divergence`` a mismatch raises
+    :class:`~repro.errors.DeterminismViolation` naming the first
+    diverging keys instead.
+    """
+    if runs < 2:
+        raise ValueError("sanitizer needs at least two runs to compare")
+    results = [run_once(seed) for _ in range(runs)]
+    differences: list[str] = []
+    for index, result in enumerate(results[1:], start=2):
+        differences.extend(_diff_runs(results[0], result,
+                                      f"run1 vs run{index}"))
+    report = SanitizerReport(seed=seed, runs=runs,
+                             combined_digest=results[0].combined_digest(),
+                             differences=differences)
+    if differences and raise_on_divergence:
+        preview = "; ".join(differences[:5])
+        raise DeterminismViolation(
+            f"seeded campaign diverged across {runs} runs (seed={seed}): "
+            f"{preview}")
+    return report
+
+
+def format_report(report: SanitizerReport) -> str:
+    lines = [
+        f"sanitizer: seed={report.seed} runs={report.runs} "
+        f"digest={report.combined_digest}",
+    ]
+    if report.deterministic:
+        lines.append("sanitizer: PASS — runs byte-identical (metrics, "
+                     "scribe offsets, stylus state)")
+    else:
+        lines.extend(f"sanitizer: DIVERGED {diff}"
+                     for diff in report.differences[:20])
+        remaining = len(report.differences) - 20
+        if remaining > 0:
+            lines.append(f"sanitizer: ... and {remaining} more difference(s)")
+        lines.append("sanitizer: FAIL")
+    return "\n".join(lines)

@@ -8,6 +8,8 @@ and the benchmark harnesses read from it.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.runtime.clock import Clock, WallClock
@@ -112,6 +114,18 @@ class MetricsRegistry:
             flat[f"{timer.name}.count"] = float(timer.count)
             flat[f"{timer.name}.total_seconds"] = timer.total_seconds
         return flat
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical snapshot.
+
+        The determinism sanitizer's hook: two runs of the same seeded
+        experiment must produce byte-identical digests. Names are sorted
+        and floats rendered by ``json`` (repr-based), so the digest does
+        not depend on metric creation order.
+        """
+        canonical = json.dumps(sorted(self.snapshot().items()),
+                               separators=(",", ":"), allow_nan=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def find(self, prefix: str) -> dict[str, float]:
         """Return the snapshot entries whose name starts with ``prefix``.

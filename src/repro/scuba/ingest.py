@@ -19,7 +19,6 @@ in one :func:`repro.serde.decode_batch` call and stored with one
 from __future__ import annotations
 
 import random
-import time
 
 from repro import serde
 from repro.errors import ConfigError
@@ -40,10 +39,14 @@ class ScubaIngester:
                  batched: bool = True) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ConfigError("sample_rate must be in (0, 1]")
-        self.name = f"scuba-ingest:{table.name}"
+        self.name = f"scuba.ingest.{table.name}"
         self.table = table
         self.sample_rate = sample_rate
         self.batched = batched
+        # Rates and lag are measured on the bus's clock, never the wall
+        # clock: a SimClock run is a pure function of its seed (R001),
+        # so the rows/sec gauge only updates when modeled time passes.
+        self.clock = scribe.clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._reader = CategoryReader(scribe, category)
         self._rng: random.Random = make_rng(seed, f"scuba:{category}")
@@ -60,14 +63,14 @@ class ScubaIngester:
 
     def pump(self, max_messages: int = 1000) -> int:
         """Ingest up to ``max_messages``; returns rows actually stored."""
-        started = time.perf_counter()
+        started = self.clock.now()
         messages = self._reader.read_batch(max_messages)
         if self.batched:
             stored = self._store_batched(messages)
         else:
             stored = self._store_per_message(messages)
         self._rows_counter.increment(stored)
-        elapsed = time.perf_counter() - started
+        elapsed = self.clock.now() - started
         self._lag_gauge.set(float(self._reader.lag_messages()))
         if stored and elapsed > 0:
             self._rate_gauge.set(stored / elapsed)

@@ -6,8 +6,8 @@ Backups are full snapshots of the flushed runs plus the WAL tail, so a
 restore reproduces the store exactly as of the snapshot. HDFS outages
 are first retried under a :class:`~repro.runtime.retry.RetryPolicy`;
 when the retry budget is exhausted the backup is *skipped-and-counted*
-(``backup.skipped``) — recovery then falls back to an older snapshot,
-losing the delta (which the at-least-once replay from Scribe
+(``backup.snapshot.skipped``) — recovery then falls back to an older
+snapshot, losing the delta (which the at-least-once replay from Scribe
 re-creates).
 """
 
@@ -48,7 +48,7 @@ class BackupEngine:
         policy = retry if retry is not None else RetryPolicy.no_retries()
         self._retrier = Retrier(policy, clock=hdfs.clock,
                                 metrics=registry, scope="backup")
-        self._skipped = registry.counter("backup.skipped")
+        self._skipped = registry.counter("backup.snapshot.skipped")
 
     def _blob_name(self, store_name: str, backup_id: int) -> str:
         return f"{self.prefix}/{store_name}/{backup_id:08d}"
@@ -61,8 +61,8 @@ class BackupEngine:
         The store is flushed first so the snapshot is a consistent set of
         immutable runs (plus an empty WAL), matching RocksDB behaviour.
         An outage is retried under the engine's policy; a final failure
-        is counted in ``backup.skipped`` and the engine moves on — the
-        paper's "continue without remote backup copies" degraded mode.
+        is counted in ``backup.snapshot.skipped`` and the engine moves
+        on — the paper's "continue without remote backup copies" mode.
         """
         store.flush()
         state = store._disk_state()

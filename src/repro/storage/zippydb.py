@@ -304,7 +304,9 @@ class ZippyDb:
         shards_touched = {self.shard_for(key) for key in keys}
         try:
             self._check_available("transaction")
-            for shard_index in shards_touched:
+            # Sorted so the participant checks (and which shard raises
+            # first) are deterministic regardless of key hash order (R005).
+            for shard_index in sorted(shards_touched):
                 self._writable(self._shards[shard_index])
         except StoreUnavailable as exc:
             raise TransactionAborted(str(exc)) from exc

@@ -1,0 +1,29 @@
+"""Shared fixture: lint a source snippet as if it lived in the repo."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import run_lint
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """lint(source, filename=..., select=[...]) -> LintReport.
+
+    Writes the (dedented) snippet under ``tmp_path`` so per-rule path
+    exemptions (``repro/runtime/clock.py``, ``benchmarks/`` ...) can be
+    exercised by choosing ``filename``.
+    """
+
+    def _lint(source, filename="src/repro/mod.py", select=None):
+        file = tmp_path / filename
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint(tmp_path, paths=[file], select=select)
+
+    return _lint
+
+
+def rules_hit(report):
+    return sorted({finding.rule for finding in report.findings})

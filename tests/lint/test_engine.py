@@ -1,0 +1,152 @@
+"""Engine behaviour: pragmas, baselines, fingerprints, CLI exit codes."""
+
+import json
+import textwrap
+
+from repro.lint.__main__ import main as lint_main
+from repro.lint.engine import (diff_against_baseline, load_baseline, run_lint,
+                               write_baseline)
+
+DIRTY = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def write(tmp_path, source, filename="src/repro/mod.py"):
+    file = tmp_path / filename
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source), encoding="utf-8")
+    return file
+
+
+class TestPragmas:
+    def test_pragma_suppresses_exactly_one_finding(self, tmp_path):
+        file = write(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[R001]
+
+            def stamp2():
+                return time.time()
+            """)
+        report = run_lint(tmp_path, paths=[file], select=["R001"])
+        assert report.suppressed == 1
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 7
+
+    def test_pragma_is_rule_specific(self, tmp_path):
+        # An R006 pragma does not excuse the R001 violation on the line.
+        file = write(tmp_path, """\
+            import time
+            t = time.time()  # lint: ignore[R006]
+            """)
+        report = run_lint(tmp_path, paths=[file], select=["R001"])
+        assert report.suppressed == 0
+        assert len(report.findings) == 1
+
+    def test_pragma_takes_a_rule_list(self, tmp_path):
+        file = write(tmp_path, """\
+            import time
+
+            def f(items=[]):
+                return time.time()  # lint: ignore[R001, R006]
+            """)
+        report = run_lint(tmp_path, paths=[file])
+        # R006 anchors on the def line, so only R001 is suppressed here —
+        # but the list form must parse and match.
+        assert report.suppressed == 1
+        assert all(f.rule != "R001" for f in report.findings)
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_everything(self, tmp_path):
+        file = write(tmp_path, DIRTY)
+        report = run_lint(tmp_path, paths=[file])
+        assert report.findings
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, report)
+        baseline = load_baseline(baseline_path)
+        diff = diff_against_baseline(report, baseline)
+        assert diff.new == []
+        assert len(diff.grandfathered) == len(report.findings)
+        assert diff.stale == []
+
+    def test_new_violation_not_covered_by_baseline(self, tmp_path):
+        file = write(tmp_path, DIRTY)
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, run_lint(tmp_path, paths=[file]))
+        write(tmp_path, DIRTY + "\nx = time.monotonic()\n")
+        diff = diff_against_baseline(
+            run_lint(tmp_path, paths=[file]), load_baseline(baseline_path))
+        assert len(diff.new) == 1
+        assert "monotonic" in diff.new[0].snippet
+
+    def test_fixed_finding_reported_stale(self, tmp_path):
+        file = write(tmp_path, DIRTY)
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, run_lint(tmp_path, paths=[file]))
+        write(tmp_path, "def stamp(clock):\n    return clock.now()\n")
+        diff = diff_against_baseline(
+            run_lint(tmp_path, paths=[file]), load_baseline(baseline_path))
+        assert diff.new == []
+        assert len(diff.stale) == 1
+
+    def test_fingerprints_survive_unrelated_line_shifts(self, tmp_path):
+        file = write(tmp_path, DIRTY)
+        before = run_lint(tmp_path, paths=[file]).fingerprints()
+        write(tmp_path, "# a new comment\n\n" + DIRTY)
+        after = run_lint(tmp_path, paths=[file]).fingerprints()
+        assert set(before) == set(after)
+
+    def test_repo_baseline_matches_format(self, tmp_path):
+        # The committed baseline must stay loadable (version pinned).
+        write_baseline(tmp_path / "b.json", run_lint(tmp_path, paths=[]))
+        payload = json.loads((tmp_path / "b.json").read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "def f(clock):\n    return clock.now()\n")
+        code = lint_main(["--root", str(tmp_path), "--no-baseline"])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_synthetic_violation_exits_nonzero(self, tmp_path, capsys):
+        write(tmp_path, DIRTY)
+        code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                          "--check"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "R001" in out
+
+    def test_write_baseline_then_check_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, DIRTY)
+        assert lint_main(["--root", str(tmp_path), "--write-baseline"]) == 0
+        assert lint_main(["--root", str(tmp_path), "--check"]) == 0
+        capsys.readouterr()
+
+    def test_json_output_lists_new_findings(self, tmp_path, capsys):
+        write(tmp_path, DIRTY)
+        code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                          "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["new"][0]["rule"] == "R001"
+
+    def test_unknown_rule_select_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "x = 1\n")
+        code = lint_main(["--root", str(tmp_path), "--select", "R999"])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "def broken(:\n")
+        code = lint_main(["--root", str(tmp_path), "--no-baseline"])
+        capsys.readouterr()
+        assert code == 2

@@ -1,0 +1,254 @@
+"""Per-rule unit tests: each checker over small good/bad snippets."""
+
+from tests.lint.conftest import rules_hit
+
+
+class TestNoWallClockR001:
+    def test_time_time_flagged(self, lint):
+        report = lint("""\
+            import time
+            t = time.time()
+            """, select=["R001"])
+        assert rules_hit(report) == ["R001"]
+        assert report.findings[0].line == 2
+
+    def test_datetime_now_and_from_import_flagged(self, lint):
+        report = lint("""\
+            import datetime
+            from time import monotonic
+            stamp = datetime.datetime.now()
+            """, select=["R001"])
+        assert len(report.findings) == 2
+
+    def test_clock_api_is_clean(self, lint):
+        report = lint("""\
+            def tick(clock):
+                return clock.now()
+            """, select=["R001"])
+        assert report.findings == []
+
+    def test_clock_module_is_exempt(self, lint):
+        report = lint("""\
+            import time
+            t = time.monotonic()
+            """, filename="src/repro/runtime/clock.py", select=["R001"])
+        assert report.findings == []
+
+    def test_benchmarks_are_exempt(self, lint):
+        report = lint("""\
+            import time
+            t = time.perf_counter()
+            """, filename="benchmarks/bench_x.py", select=["R001"])
+        assert report.findings == []
+
+
+class TestNoUnseededRandomnessR002:
+    def test_module_level_random_flagged(self, lint):
+        report = lint("""\
+            import random
+            x = random.random()
+            random.shuffle([1, 2])
+            """, select=["R002"])
+        assert len(report.findings) == 2
+
+    def test_unseeded_random_instance_flagged(self, lint):
+        report = lint("""\
+            import random
+            rng = random.Random()
+            """, select=["R002"])
+        assert rules_hit(report) == ["R002"]
+
+    def test_seeded_instance_and_make_rng_clean(self, lint):
+        report = lint("""\
+            import random
+            from repro.runtime.rng import make_rng
+
+            rng = random.Random(42)
+            other = make_rng(7, "stream")
+            """, select=["R002"])
+        assert report.findings == []
+
+    def test_rng_module_is_exempt(self, lint):
+        report = lint("""\
+            import random
+            x = random.getrandbits(32)
+            """, filename="src/repro/runtime/rng.py", select=["R002"])
+        assert report.findings == []
+
+
+class TestMetricNameDisciplineR003:
+    def test_good_dotted_literal_clean(self, lint):
+        report = lint("""\
+            def wire(metrics):
+                metrics.counter("scribe.records.written")
+                metrics.gauge("scuba.ingest.rows_per_sec")
+            """, select=["R003"])
+        assert report.findings == []
+
+    def test_bad_shapes_flagged(self, lint):
+        report = lint("""\
+            def wire(metrics):
+                metrics.counter("BadName")
+                metrics.counter("justonesegment")
+                metrics.gauge("scribe..reads")
+            """, select=["R003"])
+        assert len(report.findings) == 3
+
+    def test_dynamic_name_flagged(self, lint):
+        report = lint("""\
+            def wire(metrics, name):
+                metrics.counter(name + ".reads")
+            """, select=["R003"])
+        assert rules_hit(report) == ["R003"]
+
+    def test_fstring_with_placeholder_prefix_clean(self, lint):
+        report = lint("""\
+            def wire(metrics, name):
+                metrics.counter(f"{name}.unavailable_errors")
+            """, select=["R003"])
+        assert report.findings == []
+
+    def test_near_duplicates_flagged_in_finalize(self, lint):
+        report = lint("""\
+            def wire(metrics):
+                metrics.counter("scribe.reads")
+                metrics.counter("scribe.read")
+            """, select=["R003"])
+        assert any("one edit away" in finding.message
+                   for finding in report.findings)
+
+
+class TestExceptionDisciplineR004:
+    def test_bare_and_broad_except_flagged(self, lint):
+        report = lint("""\
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+
+            def h():
+                try:
+                    g()
+                except Exception:
+                    pass
+            """, select=["R004"])
+        assert len(report.findings) == 2
+
+    def test_silent_store_unavailable_flagged(self, lint):
+        report = lint("""\
+            from repro.errors import StoreUnavailable
+
+            def f(store):
+                try:
+                    store.get("k")
+                except StoreUnavailable:
+                    pass
+            """, select=["R004"])
+        assert rules_hit(report) == ["R004"]
+
+    def test_counted_store_unavailable_clean(self, lint):
+        report = lint("""\
+            from repro.errors import StoreUnavailable
+
+            def f(self, store):
+                try:
+                    store.get("k")
+                except StoreUnavailable:
+                    self.metrics.counter("laser.failover_reads").increment()
+            """, select=["R004"])
+        assert report.findings == []
+
+    def test_reraise_and_narrow_except_clean(self, lint):
+        report = lint("""\
+            from repro.errors import StoreUnavailable
+
+            def f(store):
+                try:
+                    store.get("k")
+                except KeyError:
+                    return None
+                except StoreUnavailable:
+                    raise
+            """, select=["R004"])
+        assert report.findings == []
+
+
+class TestIterationOrderR005:
+    def test_for_over_set_literal_flagged(self, lint):
+        report = lint("""\
+            def f(out):
+                names = {"b", "a"}
+                for name in names:
+                    out.append(name)
+            """, select=["R005"])
+        assert rules_hit(report) == ["R005"]
+
+    def test_list_of_set_and_join_flagged(self, lint):
+        report = lint("""\
+            def f(keys):
+                pending = set(keys)
+                ordered = list(pending)
+                return ",".join(pending)
+            """, select=["R005"])
+        assert len(report.findings) == 2
+
+    def test_self_attribute_set_flagged(self, lint):
+        report = lint("""\
+            class Router:
+                def __init__(self):
+                    self.targets = set()
+
+                def dump(self):
+                    return [t for t in self.targets]
+            """, select=["R005"])
+        assert rules_hit(report) == ["R005"]
+
+    def test_sorted_wrapper_is_clean(self, lint):
+        report = lint("""\
+            def f(keys):
+                pending = set(keys)
+                for key in sorted(pending):
+                    yield key
+                return sum(1 for k in pending)
+            """, select=["R005"])
+        assert report.findings == []
+
+    def test_order_insensitive_consumers_clean(self, lint):
+        report = lint("""\
+            def f(keys):
+                pending = set(keys)
+                return len(pending), max(pending), min(pending)
+            """, select=["R005"])
+        assert report.findings == []
+
+    def test_plain_list_iteration_clean(self, lint):
+        report = lint("""\
+            def f(rows):
+                items = [r for r in rows]
+                for item in items:
+                    yield item
+            """, select=["R005"])
+        assert report.findings == []
+
+
+class TestMutableDefaultsR006:
+    def test_mutable_defaults_flagged(self, lint):
+        report = lint("""\
+            def f(items=[]):
+                return items
+
+            def g(index={}):
+                return index
+
+            def h(seen=set()):
+                return seen
+            """, select=["R006"])
+        assert len(report.findings) == 3
+
+    def test_none_default_clean(self, lint):
+        report = lint("""\
+            def f(items=None, name="x", count=0):
+                return items or []
+            """, select=["R006"])
+        assert report.findings == []

@@ -197,7 +197,7 @@ def assert_accounting(metrics, counts):
         f"{injected} StoreUnavailable raised but only {failures} seen by "
         "a retry layer: some failure path is silent")
     give_ups = total(".retry.give_ups")
-    degraded = (snapshot.get("backup.skipped", 0)
+    degraded = (snapshot.get("backup.snapshot.skipped", 0)
                 + snapshot.get("scribe.snapshot.skipped", 0)
                 + snapshot.get("stylus.t.checkpoints_deferred", 0)
                 + snapshot.get("stylus.t.partials_dropped", 0)

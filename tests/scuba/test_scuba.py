@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError, ScubaError
 from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.store import ScribeStore
 from repro.scuba.ingest import ScubaIngester
 from repro.scuba.query import ColumnFilter, ScubaQuery
 from repro.scuba.table import ScubaTable
@@ -167,10 +168,27 @@ class TestScubaIngester:
         name = ingester.name
         assert metrics.counter(f"{name}.rows").value == 10
         assert metrics.gauge(f"{name}.ingest_lag").value == 20
-        assert metrics.gauge(f"{name}.rows_per_sec").value > 0
+        # On a SimClock the pump consumes zero modeled time, so the
+        # rows/sec gauge must stay untouched (a rate over zero time is
+        # undefined) — and, per R001, the ingester must not fall back to
+        # the wall clock to fake one.
+        assert metrics.gauge(f"{name}.rows_per_sec").value == 0
         ingester.pump(1000)
         assert metrics.gauge(f"{name}.ingest_lag").value == 0
         assert metrics.counter(f"{name}.rows").value == 30
+
+    def test_rows_per_sec_on_wall_clock(self):
+        """Under a real clock (the production-style default) the rate
+        gauge reports rows over elapsed seconds."""
+        scribe = ScribeStore()  # default WallClock
+        scribe.create_category("raw", 1)
+        metrics = MetricsRegistry()
+        table = ScubaTable("t")
+        ingester = ScubaIngester(scribe, "raw", table, metrics=metrics)
+        for i in range(50):
+            scribe.write_record("raw", {"event_time": float(i)})
+        ingester.pump(1000)
+        assert metrics.gauge(f"{ingester.name}.rows_per_sec").value > 0
 
 
 class TestResultOrdering:

@@ -158,7 +158,7 @@ class TestBackupEngineFailurePaths:
         hdfs.add_outage(0.0, 2.5)  # heals while the engine is backing off
         assert engine.create_backup(self.make_store()) is not None
         assert registry.counter("backup.retry.recoveries").value == 1
-        assert registry.counter("backup.skipped").value == 0
+        assert registry.counter("backup.snapshot.skipped").value == 0
 
     def test_backup_exhausting_retries_is_counted_not_silent(self, clock,
                                                              hdfs):
@@ -170,7 +170,7 @@ class TestBackupEngineFailurePaths:
         hdfs.add_outage(0.0, 1000.0)
         assert engine.create_backup(self.make_store()) is None
         assert registry.counter("backup.retry.give_ups").value == 1
-        assert registry.counter("backup.skipped").value == 1
+        assert registry.counter("backup.snapshot.skipped").value == 1
         # Every StoreUnavailable the store raised is accounted for by the
         # retry layer: nothing was silently dropped.
         assert registry.counter("hdfs.unavailable_errors").value == 0  # separate registry

@@ -103,6 +103,29 @@ class TestTransactions:
         with pytest.raises(TransactionAborted):
             db.commit_transaction(puts={key: 1})
 
+    def test_participant_checks_run_in_shard_order(self, db, monkeypatch):
+        # Regression for an R005 finding: the participant loop iterated a
+        # set of shard indices, so which shard aborted first depended on
+        # hash order. The loop must visit shards in sorted index order.
+        keys = {}
+        for i in range(1000):
+            key = f"t{i}"
+            keys.setdefault(db.shard_for(key), key)
+            if len(keys) == db.num_shards:
+                break
+        assert len(keys) == db.num_shards
+        visited = []
+        original = db._writable
+
+        def spy(shard):
+            visited.append(shard.index)
+            return original(shard)
+
+        monkeypatch.setattr(db, "_writable", spy)
+        db.commit_transaction(puts={key: 1 for key in keys.values()})
+        assert visited == sorted(visited)
+        assert len(visited) == db.num_shards
+
 
 class TestReplication:
     def find_key_on_shard(self, db, shard):
