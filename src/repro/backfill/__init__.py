@@ -7,6 +7,13 @@ application code, two runtimes. This package runs Stylus processors
 (:mod:`repro.puma.hive_udf`) over Hive partitions via the MapReduce
 framework, and provides the hybrid realtime/batch pipeline scheduler of
 Section 5.3.
+
+For Puma the equivalence holds at the *lowered-program* level: the Hive
+path consumes the same compiled :class:`~repro.puma.compiler.ExecutablePlan`
+(fused fold/project programs, monoid merge closures) that the streaming
+runtime executes — pass the streaming service's ``PlanCache`` to
+:func:`~repro.puma.hive_udf.run_puma_backfill` and the backfill reuses
+the deployed app's cached program verbatim.
 """
 
 from repro.backfill.hybrid import HybridPipeline, PipelineStage

@@ -139,6 +139,28 @@ class LaserTable:
         self._store.put(self._composite_key(row), _Stamped(value, expires))
         self._writes_counter.increment()
 
+    def put_rows(self, rows: list[Row]) -> None:
+        """Store many rows in one WAL/memtable batch.
+
+        The incremental-view path (``PumaApp.attach_laser_view``) pushes
+        each checkpoint's flushed cells through here, so a view refresh
+        costs one batched write per flush, not one put per cell.
+        Duplicate keys collapse to the last write, same as sequential
+        :meth:`put_row` calls.
+        """
+        if not rows:
+            return
+        expires = self.clock.now() + self.lifetime_seconds
+        value_columns = self.value_columns
+        composite = self._composite_key
+        puts = {
+            composite(row): _Stamped(
+                {c: row.get(c) for c in value_columns}, expires)
+            for row in rows
+        }
+        self._store.write_batch(puts=puts)
+        self._writes_counter.increment(len(rows))
+
     def tail_scribe(self, scribe: ScribeStore, category: str) -> None:
         """Continuously ingest a category (realtime source)."""
         self._readers.append(CategoryReader(scribe, category))

@@ -3,9 +3,11 @@
 A :class:`PumaApp` executes a compiled :class:`~repro.puma.planner.AppPlan`
 against its input Scribe category:
 
-- **aggregation tables** maintain per-(window, group) monoid states in
-  memory, checkpoint them to an HBase-style store with at-least-once
-  semantics (state rows first, then offsets — Section 4.3.2: "Puma
+- **aggregation tables** maintain per-(window, group) monoid *deltas* in
+  memory — the unflushed change since the last checkpoint, starting from
+  the aggregate's identity — checkpoint them to an HBase-style store by
+  monoid-merging each dirty delta into its durable base (at-least-once
+  by default, state rows first, then offsets — Section 4.3.2: "Puma
   guarantees at-least-once state and output semantics with checkpoints
   to HBase"), and serve pre-computed results through :meth:`query`
   (the paper's Thrift API);
@@ -13,17 +15,41 @@ against its input Scribe category:
   to the output Scribe category named after the table, so the result
   "can then be the input to another Puma app, any other realtime stream
   processor, or a data store" (Section 2.2).
+
+Three executors share the delta representation and are property-tested
+observably identical (``tests/property/``):
+
+- ``"compiled"`` (default): the :mod:`repro.puma.compiler` fused batch
+  programs — monomorphic folds, shared value columns, columnar kernels;
+- ``"batch"``: the interpreted batch path — per-row
+  ``AggregateFunction.update`` dispatch over grouped chunks (the
+  pre-compiler executor, kept as the benchmark baseline);
+- ``"row"``: the event-at-a-time oracle.
+
+Because in-memory state is a delta, recovery loads only offsets (the
+durable base stays in HBase until queried or merged), a checkpoint
+writes only the cells that actually changed, and attached Laser views
+(:meth:`attach_laser_view`) are refreshed incrementally from exactly
+those flushed cells.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from bisect import insort
+from typing import Any, Callable
 
 from repro import serde
+from repro.core.semantics import StateSemantics
 from repro.core.windows import TumblingWindow, aligned_start
-from repro.errors import PlanningError, ProcessCrashed
+from repro.errors import ConfigError, PlanningError, ProcessCrashed
 from repro.serde import SerdeError
+from repro.puma.compiler import (
+    GLOBAL_WINDOW,
+    CompiledTable,
+    ExecutablePlan,
+    PlanCache,
+)
 from repro.puma.planner import AppPlan, TablePlan
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import MetricsRegistry
@@ -34,8 +60,7 @@ from repro.storage.hbase import HBaseTable
 
 Row = dict[str, Any]
 
-#: Window key used for tables without a window clause (all-time totals).
-GLOBAL_WINDOW = 0.0
+_EXECUTORS = ("compiled", "batch", "row")
 
 
 class PumaApp:
@@ -53,7 +78,11 @@ class PumaApp:
                  retain_windows: int | None = None,
                  clock: Clock | None = None,
                  metrics: MetricsRegistry | None = None,
-                 batched: bool = True) -> None:
+                 batched: bool = True,
+                 executor: str | None = None,
+                 plan_cache: PlanCache | None = None,
+                 semantics: StateSemantics = StateSemantics.AT_LEAST_ONCE
+                 ) -> None:
         self.plan = plan
         self.name = plan.name
         self.scribe = scribe
@@ -61,19 +90,64 @@ class PumaApp:
         self.clock = clock if clock is not None else WallClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.checkpoint_every_events = checkpoint_every_events
-        #: Batch-at-a-time execution (decode the whole Scribe batch in
-        #: one serde pass, then run each table's filter/project/aggregate
-        #: as a vectorized loop over the chunk). Observably identical to
-        #: the per-message path — the property suite asserts it — but a
-        #: crash raised by a predicate/projection lands at a coarser
-        #: point, so crash-*scheduling* tests may force batched=False.
-        self.batched = batched
+        #: Execution mode. ``batched=False`` is kept as shorthand for the
+        #: per-message oracle ("row"); ``executor`` wins when given.
+        #: Batch modes decode the whole Scribe batch in one serde pass
+        #: and run each table's program over the chunk. Observably
+        #: identical to the per-message path — the property suite
+        #: asserts it — but a crash raised by a predicate/projection
+        #: lands at a coarser point, so crash-*scheduling* tests may
+        #: force the row executor.
+        if executor is None:
+            executor = "compiled" if batched else "row"
+        if executor not in _EXECUTORS:
+            raise ConfigError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        self.executor = executor
+        self.batched = executor != "row"
+        #: Checkpoint ordering (Section 4.3): at-least-once is the
+        #: paper's Puma guarantee; the other two are supported so the
+        #: semantics lattice can be property-tested on this runtime too.
+        self.checkpoint_semantics = semantics
+        #: Test hook invoked between the two checkpoint phases (state
+        #: flush and offset save) for the non-atomic semantics; raising
+        #: ProcessCrashed here simulates a crash landing exactly between
+        #: them. EXACTLY_ONCE has no such point — the two phases commit
+        #: atomically (which real HBase cannot do across rows; that is
+        #: why the paper's Puma stops at at-least-once).
+        self.checkpoint_fault_hook: Callable[[], None] | None = None
         # Memory bound for long-running apps: keep only the newest N
         # windows per table in memory; evicted windows live in HBase and
         # are still served by query() (apps "run for months or years",
         # Section 2.2 — unbounded window state would not).
         self.retain_windows = retain_windows
         self.crashed = False
+
+        # Every executor runs off the compiled program: the fused batch
+        # path executes through it, and the interpreted paths share its
+        # per-aggregate create/merge/result closures for state plumbing
+        # (flush, query, views). Cached per app name; a redefinition
+        # under the same name invalidates (see compiler.PlanCache).
+        self.plan_cache = (plan_cache if plan_cache is not None
+                           else PlanCache(metrics=self.metrics))
+        self._executable: ExecutablePlan = self.plan_cache.get(plan)
+        self._compiled_tables: dict[str, CompiledTable] = {
+            table.name: table for table in self._executable.tables
+            if table.kind == "aggregation"
+        }
+        # Per-message oracle specs: (alias, update, arg, extra_args)
+        # resolved once per app, not per row (the ABC lookups are pure
+        # per-event tax).
+        self._row_specs: dict[str, tuple] = {
+            table.name: tuple(
+                (bound.alias, bound.function.update, bound.arg,
+                 bound.extra_args)
+                for bound in table.aggregates
+            )
+            for table in plan.tables if table.kind == "aggregation"
+        }
+        self._time_column = plan.time_column
 
         category = scribe.category(plan.scribe_category)
         if buckets is None:
@@ -89,13 +163,30 @@ class PumaApp:
                 scribe.ensure_category(table.name)
                 self._writers[table.name] = ScribeWriter(scribe, table.name)
 
-        # (table, window_start, group_key) -> {alias: aggregate state}
+        # (table, window_start, group_key) -> {alias: delta state}.
+        # Deltas start from the identity; the durable base lives in
+        # HBase and the two meet only at flush (merge) or query (merge).
         self._state: dict[tuple[str, float, tuple], dict[str, Any]] = {}
         self._dirty: set[tuple[str, float, tuple]] = set()
+        # Incremental eviction index: per-table sorted window starts
+        # plus the member cells of each (table, window) — so eviction
+        # never re-derives (or re-sorts) anything from the full keyset.
+        self._window_starts: dict[str, list[float]] = {}
+        self._window_cells: dict[tuple[str, float],
+                                 set[tuple[str, float, tuple]]] = {}
         # Per-table tumbling-window handles, so assigning a row to its
         # window does not allocate a TumblingWindow per row.
         self._windows: dict[str, TumblingWindow] = {}
         self._events_since_checkpoint = 0
+        # (bucket, position) for the message batch currently being
+        # processed: ``read_batch`` advances the reader past the whole
+        # batch up front, so a mid-batch checkpoint must save the offset
+        # of the last *processed* message, not the reader's read-ahead
+        # position — otherwise a crash loses the tail of the batch and
+        # breaks at-least-once.
+        self._inflight: tuple[int, int] | None = None
+        # Laser tables maintained incrementally from flushed deltas.
+        self._views: dict[str, list[Any]] = {}
 
         # Metric handles resolved once — re-resolving through the
         # registry (plus an f-string) per event is pure per-event tax.
@@ -104,6 +195,12 @@ class PumaApp:
         self._poison_counter = registry.counter(f"puma.{self.name}.poison")
         self._checkpoints_counter = registry.counter(
             f"puma.{self.name}.checkpoints")
+        self._evicted_counter = registry.counter(
+            f"puma.{self.name}.windows_evicted")
+        self._flushes_counter = registry.counter(
+            f"puma.{self.name}.state_flushes")
+        self._view_updates_counter = registry.counter(
+            f"puma.{self.name}.view_updates")
         self._lag_gauge = registry.gauge(f"puma.{self.name}.lag")
         self._out_counters = {
             table.name: registry.counter(
@@ -112,7 +209,7 @@ class PumaApp:
         }
         self._recover()
 
-    # -- recovery / checkpointing (at-least-once, Section 4.3.2) ----------------
+    # -- recovery / checkpointing (Section 4.3) ---------------------------------
 
     def _offset_row(self, bucket: int) -> str:
         return f"__offset__|{self.name}|{bucket:06d}"
@@ -123,37 +220,116 @@ class PumaApp:
                 f"{json.dumps(list(group_key), sort_keys=True)}")
 
     def _recover(self) -> None:
-        """Load saved offsets and state rows from HBase."""
+        """Load saved offsets from HBase.
+
+        State rows deliberately stay on disk: in-memory cells are
+        deltas, so a restart begins from the identity and the durable
+        base is consulted lazily (query merges it in, flushes merge
+        onto it). Recovery cost is therefore proportional to the bucket
+        count, not to the app's entire aggregation history.
+        """
         for bucket, reader in self._readers.items():
             saved = self.hbase.get_column(self._offset_row(bucket), "offset")
             if saved is not None:
                 reader.seek(saved)
-        prefix = f"{self.name}|"
-        for row_key, columns in self.hbase.scan(prefix, prefix + "￿"):
-            _, table, window_text, key_json = row_key.split("|", 3)
-            group_key = tuple(json.loads(key_json))
-            self._state[(table, float(window_text), group_key)] = dict(columns)
 
     def checkpoint(self) -> None:
-        """At-least-once order: dirty state rows first, then offsets."""
-        for state_key in sorted(self._dirty):
-            table, window_start, group_key = state_key
-            self.hbase.put(
-                self._state_row(table, window_start, group_key),
-                dict(self._state[state_key]),
-            )
-        self._dirty.clear()
-        for bucket, reader in self._readers.items():
-            self.hbase.put(self._offset_row(bucket),
-                           {"offset": reader.position})
+        """Flush dirty deltas and offsets, ordered by the semantics.
+
+        AT_LEAST_ONCE (the paper's guarantee): state first, then
+        offsets — a crash between them replays input onto saved state.
+        AT_MOST_ONCE: offsets first — a crash between them loses the
+        unflushed deltas. EXACTLY_ONCE: both phases commit with no
+        fault point between them (an atomicity real HBase cannot give
+        across rows, which is why the paper's Puma does not offer it).
+        """
+        semantics = self.checkpoint_semantics
+        if semantics is StateSemantics.AT_MOST_ONCE:
+            self._checkpoint_offsets()
+            self._fault_point()
+            self._flush_state_rows()
+        elif semantics is StateSemantics.EXACTLY_ONCE:
+            self._flush_state_rows()
+            self._checkpoint_offsets()
+        else:
+            self._flush_state_rows()
+            self._fault_point()
+            self._checkpoint_offsets()
         self._events_since_checkpoint = 0
         self._checkpoints_counter.increment()
+
+    def _fault_point(self) -> None:
+        hook = self.checkpoint_fault_hook
+        if hook is not None:
+            hook()
+
+    def _flush_state_rows(self) -> None:
+        """Merge every dirty delta into its durable HBase base.
+
+        Only cells touched since the last flush are written; each
+        in-memory delta then resets to the identity (the cell itself
+        stays resident, so the retention window is unaffected).
+        Attached Laser views receive exactly the flushed cells.
+        """
+        if not self._dirty:
+            return
+        flushed: dict[str, list[tuple[float, tuple, dict[str, Any]]]] = {}
+        for state_key in sorted(self._dirty):
+            table_name, window_start, group_key = state_key
+            merged = self._merge_into_hbase(state_key)
+            self._state[state_key] = self._identity_state(table_name)
+            if table_name in self._views:
+                flushed.setdefault(table_name, []).append(
+                    (window_start, group_key, merged))
+        self._flushes_counter.increment(len(self._dirty))
+        self._dirty.clear()
+        for table_name, cells in flushed.items():
+            self._refresh_views(table_name, cells)
+
+    def _merge_into_hbase(self, state_key: tuple[str, float, tuple]
+                          ) -> dict[str, Any]:
+        """Write one cell's delta merged onto its saved base; returns
+        the merged (total) state."""
+        table_name, window_start, group_key = state_key
+        delta = self._state[state_key]
+        row_key = self._state_row(table_name, window_start, group_key)
+        saved = self.hbase.get(row_key)
+        if saved is None:
+            merged = dict(delta)
+        else:
+            merged = {}
+            for aggregate in self._compiled_tables[table_name].aggregates:
+                alias = aggregate.alias
+                if alias in saved:
+                    merged[alias] = aggregate.merge(saved[alias],
+                                                    delta[alias])
+                else:
+                    merged[alias] = delta[alias]
+        self.hbase.put(row_key, merged)
+        return merged
+
+    def _identity_state(self, table_name: str) -> dict[str, Any]:
+        return {
+            aggregate.alias: aggregate.create()
+            for aggregate in self._compiled_tables[table_name].aggregates
+        }
+
+    def _checkpoint_offsets(self) -> None:
+        inflight = self._inflight
+        for bucket, reader in self._readers.items():
+            position = reader.position
+            if inflight is not None and inflight[0] == bucket:
+                position = inflight[1]
+            self.hbase.put(self._offset_row(bucket), {"offset": position})
 
     def crash(self) -> None:
         """Lose the process: in-memory state and positions are gone."""
         self.crashed = True
         self._state = {}
         self._dirty = set()
+        self._window_starts = {}
+        self._window_cells = {}
+        self._inflight = None
 
     def restart(self) -> None:
         """Recover from HBase (replays uncheckpointed input: at-least-once)."""
@@ -163,7 +339,11 @@ class PumaApp:
         }
         self._state = {}
         self._dirty = set()
+        self._window_starts = {}
+        self._window_cells = {}
         self._events_since_checkpoint = 0
+        self._inflight = None
+        self._executable = self.plan_cache.get(self.plan)
         self._recover()
         self.crashed = False
 
@@ -174,28 +354,30 @@ class PumaApp:
         if self.crashed:
             return 0
         processed = 0
-        batched = self.batched
+        per_message = self.executor == "row"
         try:
-            for reader in self._readers.values():
+            for bucket, reader in self._readers.items():
                 while processed < max_messages:
                     batch = reader.read_batch(
                         min(100, max_messages - processed)
                     )
                     if not batch:
                         break
-                    if batched:
-                        processed += self._process_batch(batch)
+                    if per_message:
+                        processed += self._process_per_message(bucket, batch)
                     else:
-                        processed += self._process_per_message(batch)
+                        processed += self._process_batch(bucket, batch)
+                    self._inflight = None
         except ProcessCrashed:
             self.crash()
         self._lag_gauge.set(self.lag_messages())
         return processed
 
-    def _process_per_message(self, batch) -> int:
-        """The seed's event-at-a-time path (kept for equivalence tests)."""
+    def _process_per_message(self, bucket: int, batch) -> int:
+        """The seed's event-at-a-time path (kept as the oracle)."""
         processed = 0
         for message in batch:
+            self._inflight = (bucket, message.offset + 1)
             try:
                 row = message.decode()
             except SerdeError:
@@ -211,8 +393,8 @@ class PumaApp:
                 self.checkpoint()
         return processed
 
-    def _process_batch(self, batch) -> int:
-        """Batch-at-a-time: one serde pass, vectorized per-table loops.
+    def _process_batch(self, bucket: int, batch) -> int:
+        """Batch-at-a-time: one serde pass, one table program per chunk.
 
         The batch is split into chunks aligned with the checkpoint
         cadence (poison messages count toward it, exactly as in the
@@ -221,9 +403,6 @@ class PumaApp:
         decoded = serde.decode_batch(
             [message.payload for message in batch], errors="none"
         )
-        poison = sum(1 for row in decoded if row is None)
-        if poison:
-            self._poison_counter.increment(poison)
         index = 0
         total = len(batch)
         every = self.checkpoint_every_events
@@ -242,6 +421,13 @@ class PumaApp:
                     checkpoint_after = True
                     break
             rows = [row for row in decoded[index:end] if row is not None]
+            self._inflight = (bucket, batch[end - 1].offset + 1)
+            # Poison is counted per chunk, not per read batch: a crash
+            # replays whole chunks, so counting ahead of the chunk being
+            # processed would double-count on recovery.
+            poison = (end - index) - len(rows)
+            if poison:
+                self._poison_counter.increment(poison)
             if rows:
                 self._process_rows(rows)
             self._events_since_checkpoint += end - index
@@ -261,7 +447,7 @@ class PumaApp:
                 self._aggregate_row(table, row)
 
     def _process_rows(self, rows: list[Row]) -> None:
-        """Vectorized chunk processing: per-table loops over row lists.
+        """One chunk through the batch executor.
 
         Tables are independent, per-group fold order preserves row
         order, and evicted windows continue from their durable HBase
@@ -269,6 +455,22 @@ class PumaApp:
         row-major per-message path.
         """
         self._events_counter.increment(len(rows))
+        if self.executor == "compiled":
+            for ctable in self._executable.tables:
+                if ctable.kind == "filter":
+                    projected = ctable.project_batch(rows)
+                    if projected:
+                        self._emit_projected(ctable.name, projected)
+                else:
+                    deltas = ctable.fold_batch(rows)
+                    if deltas:
+                        self._merge_deltas(ctable, deltas)
+                    if self.retain_windows is not None:
+                        self._evict_old_windows(ctable.name)
+            return
+        # Interpreted batch: the pre-compiler executor (per-row ABC
+        # dispatch over grouped chunks), kept as the benchmark baseline
+        # and a second equivalence point for the property suite.
         for table in self.plan.tables:
             predicate = table.predicate
             passing = (rows if predicate is None
@@ -283,7 +485,7 @@ class PumaApp:
     def _emit_filtered(self, table: TablePlan, row: Row) -> None:
         record = {alias: evaluator(row)
                   for alias, evaluator in table.projections}
-        time_column = self.plan.time_column
+        time_column = self._time_column
         record.setdefault(time_column, row.get(time_column))
         key = str(record.get(table.projections[0][0], ""))
         self._writers[table.name].write(record, key=key)
@@ -291,7 +493,7 @@ class PumaApp:
 
     def _emit_filtered_rows(self, table: TablePlan, rows: list[Row]) -> None:
         projections = table.projections
-        time_column = self.plan.time_column
+        time_column = self._time_column
         key_alias = projections[0][0]
         write = self._writers[table.name].write
         for row in rows:
@@ -301,35 +503,31 @@ class PumaApp:
             write(record, key=str(record.get(key_alias, "")))
         self._out_counters[table.name].increment(len(rows))
 
+    def _emit_projected(self, table_name: str,
+                        projected: list[tuple[Row, str]]) -> None:
+        write = self._writers[table_name].write
+        for record, key in projected:
+            write(record, key=key)
+        self._out_counters[table_name].increment(len(projected))
+
     def _aggregate_row(self, table: TablePlan, row: Row) -> None:
-        event_time = row.get(self.plan.time_column)
+        event_time = row.get(self._time_column)
         if event_time is None:
             return  # rows without an event time cannot be windowed
         window_start = self._window_start(table, float(event_time))
-        group_key = table.group_key(row)
-        state_key = (table.name, window_start, group_key)
+        table_name = table.name
+        state_key = (table_name, window_start, table.group_key(row))
         group_state = self._state.get(state_key)
         if group_state is None:
-            # A previously evicted (or checkpointed-then-restarted) cell
-            # must continue from its durable base, not restart from the
-            # identity — otherwise late traffic into an old window would
-            # erase the evicted counts.
-            saved = self.hbase.get(
-                self._state_row(table.name, window_start, group_key)
-            )
-            group_state = saved if saved is not None else {
-                bound.alias: bound.function.create(bound.extra_args)
-                for bound in table.aggregates
-            }
+            group_state = self._identity_state(table_name)
             self._state[state_key] = group_state
-        for bound in table.aggregates:
-            value = bound.arg(row) if bound.arg is not None else 1
-            group_state[bound.alias] = bound.function.update(
-                group_state[bound.alias], value, bound.extra_args
-            )
+            self._register_window(table_name, window_start, state_key)
+        for alias, update, arg, extra in self._row_specs[table_name]:
+            value = 1 if arg is None else arg(row)
+            group_state[alias] = update(group_state[alias], value, extra)
         self._dirty.add(state_key)
         if self.retain_windows is not None:
-            self._evict_old_windows(table.name)
+            self._evict_old_windows(table_name)
 
     def _aggregate_rows(self, table: TablePlan, rows: list[Row]) -> None:
         """Fold a chunk's rows with one state touch per (window, group).
@@ -339,9 +537,10 @@ class PumaApp:
         runs once per chunk, which is equivalent because evicted windows
         always continue from their durable HBase base.
         """
-        time_column = self.plan.time_column
+        time_column = self._time_column
         window_seconds = table.window_seconds
         group_key_of = table.group_key
+        table_name = table.name
         groups: dict[tuple[float, tuple], list[Row]] = {}
         for row in rows:
             event_time = row.get(time_column)
@@ -360,17 +559,12 @@ class PumaApp:
         state = self._state
         dirty = self._dirty
         for (window_start, group_key), grouped in groups.items():
-            state_key = (table.name, window_start, group_key)
+            state_key = (table_name, window_start, group_key)
             group_state = state.get(state_key)
             if group_state is None:
-                saved = self.hbase.get(
-                    self._state_row(table.name, window_start, group_key)
-                )
-                group_state = saved if saved is not None else {
-                    bound.alias: bound.function.create(bound.extra_args)
-                    for bound in table.aggregates
-                }
+                group_state = self._identity_state(table_name)
                 state[state_key] = group_state
+                self._register_window(table_name, window_start, state_key)
             for bound in table.aggregates:
                 update = bound.function.update
                 arg = bound.arg
@@ -385,28 +579,72 @@ class PumaApp:
                 group_state[bound.alias] = acc
             dirty.add(state_key)
         if self.retain_windows is not None:
-            self._evict_old_windows(table.name)
+            self._evict_old_windows(table_name)
+
+    def _merge_deltas(self, ctable: CompiledTable,
+                      deltas: dict[tuple[float, tuple], dict[str, Any]]
+                      ) -> None:
+        """Monoid-merge one chunk's compiled deltas into window state."""
+        table_name = ctable.name
+        state = self._state
+        dirty = self._dirty
+        aggregates = ctable.aggregates
+        for (window_start, group_key), delta in deltas.items():
+            state_key = (table_name, window_start, group_key)
+            existing = state.get(state_key)
+            if existing is None:
+                # fold_batch built the delta dict fresh: adopt it.
+                state[state_key] = delta
+                self._register_window(table_name, window_start, state_key)
+            else:
+                for aggregate in aggregates:
+                    alias = aggregate.alias
+                    existing[alias] = aggregate.merge(existing[alias],
+                                                      delta[alias])
+            dirty.add(state_key)
+
+    # -- window eviction ---------------------------------------------------------
+
+    def _register_window(self, table_name: str, window_start: float,
+                         state_key: tuple[str, float, tuple]) -> None:
+        """Index a cell under its window (incremental eviction order)."""
+        cells = self._window_cells.get((table_name, window_start))
+        if cells is None:
+            self._window_cells[(table_name, window_start)] = {state_key}
+            insort(self._window_starts.setdefault(table_name, []),
+                   window_start)
+        else:
+            cells.add(state_key)
 
     def _evict_old_windows(self, table_name: str) -> None:
-        """Flush and drop in-memory windows beyond the retention count."""
-        starts = sorted({
-            start for (name, start, _) in self._state if name == table_name
-        })
-        while len(starts) > self.retain_windows:
+        """Flush and drop in-memory windows beyond the retention count.
+
+        The per-table sorted window list is maintained incrementally by
+        :meth:`_register_window`, so this never re-sorts the state
+        keyset; only still-dirty cells are written (a clean cell's
+        delta is the identity — its durable base is already current).
+        """
+        starts = self._window_starts.get(table_name)
+        if starts is None:
+            return
+        retain = self.retain_windows
+        dirty = self._dirty
+        while len(starts) > retain:
             victim_start = starts.pop(0)
-            victims = [key for key in self._state
-                       if key[0] == table_name and key[1] == victim_start]
-            for state_key in victims:
-                _, window_start, group_key = state_key
-                # Durable first, then drop: eviction must never lose data.
-                self.hbase.put(
-                    self._state_row(table_name, window_start, group_key),
-                    dict(self._state[state_key]),
-                )
-                self._dirty.discard(state_key)
+            cells = self._window_cells.pop((table_name, victim_start))
+            flushed: list[tuple[float, tuple, dict[str, Any]]] = []
+            for state_key in sorted(cells):
+                if state_key in dirty:
+                    # Durable first, then drop: eviction never loses data.
+                    merged = self._merge_into_hbase(state_key)
+                    dirty.discard(state_key)
+                    self._flushes_counter.increment()
+                    if table_name in self._views:
+                        flushed.append((state_key[1], state_key[2], merged))
                 del self._state[state_key]
-            self.metrics.counter(
-                f"puma.{self.name}.windows_evicted").increment()
+            self._evicted_counter.increment()
+            if flushed:
+                self._refresh_views(table_name, flushed)
 
     def _window_start(self, table: TablePlan, event_time: float) -> float:
         if table.window_seconds is None:
@@ -416,6 +654,55 @@ class PumaApp:
             window = self._windows[table.name] = TumblingWindow(
                 table.window_seconds)
         return window.window_containing(event_time).start
+
+    # -- Laser-facing incremental views (Section 2.5 use case one) ---------------
+
+    def attach_laser_view(self, table_name: str, laser_table: Any) -> None:
+        """Maintain a Laser table incrementally from this app's deltas.
+
+        Every flush (checkpoint or eviction) pushes the flushed cells'
+        finalized rows — ``window_start`` plus the group columns as
+        keys, aggregate results as values — into the Laser table in one
+        write batch. The view is only ever touched for cells whose
+        state actually changed; it is never recomputed from a full
+        query. It therefore converges to the *durable* (checkpointed)
+        state, exactly what a serving tier fed from checkpoints sees.
+        """
+        table = self.plan.table(table_name)
+        if table.kind != "aggregation":
+            raise PlanningError(
+                f"table {table_name!r} is not an aggregation")
+        ctable = self._compiled_tables[table_name]
+        produced = set(ctable.group_columns) | {"window_start"}
+        produced.update(aggregate.alias for aggregate in ctable.aggregates)
+        missing = [column for column in laser_table.key_columns
+                   if column not in produced]
+        if missing:
+            raise ConfigError(
+                f"laser table {laser_table.name!r} keys on {missing}, "
+                f"which table {table_name!r} does not produce "
+                f"(columns: {sorted(produced)})"
+            )
+        self._views.setdefault(table_name, []).append(laser_table)
+
+    def _refresh_views(self, table_name: str,
+                       cells: list[tuple[float, tuple, dict[str, Any]]]
+                       ) -> None:
+        ctable = self._compiled_tables[table_name]
+        group_columns = ctable.group_columns
+        aggregates = ctable.aggregates
+        rows: list[Row] = []
+        for window_start, group_key, merged in cells:
+            row: Row = {"window_start": window_start}
+            for column, value in zip(group_columns, group_key):
+                row[column] = value
+            for aggregate in aggregates:
+                row[aggregate.alias] = aggregate.result(
+                    merged[aggregate.alias])
+            rows.append(row)
+        for laser_table in self._views[table_name]:
+            laser_table.put_rows(rows)
+        self._view_updates_counter.increment(len(rows))
 
     # -- the query API (the paper's "Thrift API") ---------------------------------------
 
@@ -429,30 +716,43 @@ class PumaApp:
         table = self.plan.table(table_name)
         if table.kind != "aggregation":
             raise PlanningError(f"table {table_name!r} is not an aggregation")
+        ctable = self._compiled_tables[table_name]
+        aggregates = ctable.aggregates
         cells: dict[tuple[float, tuple], dict[str, Any]] = {}
-        # Evicted windows are served from HBase ...
+        # The durable base: checkpointed and evicted cells ...
         prefix = f"{self.name}|{table_name}|"
         for row_key, columns in self.hbase.scan(prefix, prefix + "￿"):
             _, _, window_text, key_json = row_key.split("|", 3)
             cells[(float(window_text), tuple(json.loads(key_json)))] = columns
-        # ... and in-memory state (strictly newer) overrides them.
-        for (name, start, group_key), state in self._state.items():
-            if name == table_name:
-                cells[(start, group_key)] = state
+        # ... and the in-memory deltas monoid-merge on top of it.
+        for (name, start, group_key), delta in self._state.items():
+            if name != table_name:
+                continue
+            saved = cells.get((start, group_key))
+            if saved is None:
+                cells[(start, group_key)] = delta
+            else:
+                cells[(start, group_key)] = {
+                    aggregate.alias: (
+                        aggregate.merge(saved[aggregate.alias],
+                                        delta[aggregate.alias])
+                        if aggregate.alias in saved
+                        else delta[aggregate.alias])
+                    for aggregate in aggregates
+                }
         rows: list[Row] = []
         for (start, group_key), state in cells.items():
             if window_start is not None and start != window_start:
                 continue
             row: Row = {"window_start": start}
-            for (column, _), value in zip(table.group_keys, group_key):
+            for column, value in zip(ctable.group_columns, group_key):
                 row[column] = value
-            for bound in table.aggregates:
-                row[bound.alias] = bound.function.result(
-                    state[bound.alias], bound.extra_args
-                )
+            for aggregate in aggregates:
+                row[aggregate.alias] = aggregate.result(state[aggregate.alias])
             rows.append(row)
         rows.sort(key=lambda r: (r["window_start"],
-                                 json.dumps([r[c] for c, _ in table.group_keys])))
+                                 json.dumps([r[c]
+                                             for c in ctable.group_columns])))
         return rows
 
     def query_top_k(self, table_name: str, metric: str, k: int,
@@ -482,7 +782,13 @@ class PumaApp:
     # -- parallel-process support (Section 5.2) ---------------------------------------------
 
     def partial_states(self, table_name: str) -> dict[tuple, dict[str, Any]]:
-        """Raw (window, group) -> aggregate-state map for this process."""
+        """(window, group) -> unflushed delta states for this process.
+
+        Deltas are monoid partials, so :func:`combine_partial_states`
+        merges them across shard processes exactly as before; note that
+        cells flushed by a checkpoint have reset to the identity (their
+        flushed portion lives in HBase).
+        """
         return {
             (start, group_key): dict(state)
             for (name, start, group_key), state in self._state.items()

@@ -46,6 +46,19 @@ class AggregateFunction(ABC):
     def result(self, state: Any, extra_args: tuple = ()) -> Any:
         """The user-visible result for a finished state."""
 
+    def fold(self, state: Any, values: Any, extra_args: tuple = ()) -> Any:
+        """Fold many values into ``state`` in order.
+
+        Identical to chaining :meth:`update` per value — the plan
+        compiler calls this once per (batch, group) so aggregates can
+        provide a bulk implementation that skips per-value state
+        round-trips (sorts, sketch materialization, dict copies).
+        """
+        update = self.update
+        for value in values:
+            state = update(state, value, extra_args)
+        return state
+
 
 class CountAggregate(AggregateFunction):
     """``count(*)`` / ``count(col)`` (null column values are skipped)."""
@@ -177,6 +190,18 @@ class TopKAggregate(AggregateFunction):
     def result(self, state: list, extra_args: tuple = ()) -> list:
         return list(state)
 
+    def fold(self, state: list, values: Any, extra_args: tuple = ()) -> list:
+        """One sort over the whole batch instead of one per value.
+
+        Truncating once at the end keeps the same top-K multiset as
+        truncating after every value, so the state is identical.
+        """
+        present = [value for value in values if value is not None]
+        if not present:
+            return state
+        merged = sorted(state + present, reverse=True)
+        return merged[:self._k(extra_args)]
+
 
 class ApproxDistinctAggregate(AggregateFunction):
     """``approx_distinct(expr)``: HyperLogLog distinct-count estimate."""
@@ -199,6 +224,16 @@ class ApproxDistinctAggregate(AggregateFunction):
 
     def result(self, state: dict, extra_args: tuple = ()) -> int:
         return round(HyperLogLog.from_state(state).cardinality())
+
+    def fold(self, state: dict, values: Any, extra_args: tuple = ()) -> dict:
+        """Materialize the sketch once per batch, not once per value."""
+        present = [value for value in values if value is not None]
+        if not present:
+            return state
+        sketch = HyperLogLog.from_state(state)
+        for value in present:
+            sketch.add(value)
+        return sketch.to_state()
 
 
 class StddevAggregate(AggregateFunction):
@@ -301,6 +336,18 @@ class ApproxPercentileAggregate(AggregateFunction):
             running += count
         last = max(state, key=int)
         return (int(last) + 1) * width
+
+    def fold(self, state: dict, values: Any, extra_args: tuple = ()) -> dict:
+        """One histogram copy per batch instead of one per value."""
+        width = self._width(extra_args)
+        floor = math.floor
+        state = dict(state)
+        for value in values:
+            if value is None:
+                continue
+            bucket = str(int(floor(value / width)))
+            state[bucket] = state.get(bucket, 0) + 1
+        return state
 
 
 # -- columnar kernels --------------------------------------------------------

@@ -2,10 +2,14 @@
 
 "Puma applications can run in Hive's environment as Hive UDFs and UDAFs.
 The Puma app code remains unchanged, whether it is running over
-streaming or batch data." This module takes the *same compiled plan* the
-streaming runtime executes and runs it through MapReduce over Hive rows:
-the PQL aggregation functions are the UDAFs (their monoid merge is the
-combiner), and the compiled filter/projection expressions are the UDFs.
+streaming or batch data." This module takes the *same compiled program*
+the streaming runtime executes — the :class:`ExecutablePlan` lowered by
+:mod:`repro.puma.compiler` — and runs it through MapReduce over Hive
+rows: each map task folds its rows through the compiled table program
+(``fold_batch`` / ``project_batch``), the monoid ``merge`` closures are
+the combiner/reducer UDAFs, and the compiled filter/projection
+expressions are the UDFs. Streaming and backfill therefore share one
+lowered program, not merely one source plan.
 """
 
 from __future__ import annotations
@@ -13,73 +17,67 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
-from repro.core.windows import TumblingWindow
 from repro.errors import PlanningError
 from repro.hive.mapreduce import MapReduceJob, run_map_reduce
-from repro.puma.planner import AppPlan, TablePlan
+from repro.puma.compiler import CompiledTable, ExecutablePlan, PlanCache
+from repro.puma.planner import AppPlan
 
 Row = dict[str, Any]
 
 
-def run_puma_backfill(plan: AppPlan, table_name: str,
-                      rows: Iterable[Row]) -> list[Row]:
+def run_puma_backfill(plan: AppPlan | ExecutablePlan, table_name: str,
+                      rows: Iterable[Row],
+                      plan_cache: PlanCache | None = None) -> list[Row]:
     """Run one table of a Puma app over batch rows.
 
-    Returns the same rows :meth:`repro.puma.app.PumaApp.query` would
-    return after streaming the same data — the stream/batch equivalence
-    tests assert exactly that.
+    Accepts either the planner's :class:`AppPlan` (lowered here, through
+    ``plan_cache`` when given — so a backfill of a deployed app reuses
+    the streaming runtime's compiled program) or an already-compiled
+    :class:`ExecutablePlan`. Returns the same rows
+    :meth:`repro.puma.app.PumaApp.query` would return after streaming
+    the same data — the stream/batch equivalence tests assert exactly
+    that.
     """
-    table = plan.table(table_name)
+    if isinstance(plan, ExecutablePlan):
+        executable = plan
+    elif plan_cache is not None:
+        executable = plan_cache.get(plan)
+    else:
+        executable = ExecutablePlan(plan)
+    table = executable.table(table_name)
     if table.kind == "filter":
-        return _run_filter(plan, table, rows)
-    return _run_aggregation(plan, table, rows)
+        return _run_filter(table, rows)
+    return _run_aggregation(table, rows)
 
 
-def _run_filter(plan: AppPlan, table: TablePlan,
-                rows: Iterable[Row]) -> list[Row]:
+def _run_filter(table: CompiledTable, rows: Iterable[Row]) -> list[Row]:
+    time_column = table.time_column
+
+    def mapper(row: Row) -> list[tuple[Any, Row]]:
+        projected = table.project_batch([row])
+        return [(row.get(time_column), record) for record, _ in projected]
+
     job = MapReduceJob(
-        mapper=lambda row: _filter_map(plan, table, row),
+        mapper=mapper,
         reducer=lambda key, values: list(values),
         num_map_tasks=4,
     )
     return run_map_reduce(job, rows)
 
 
-def _filter_map(plan: AppPlan, table: TablePlan,
-                row: Row) -> list[tuple[Any, Row]]:
-    if table.predicate is not None and not table.predicate(row):
-        return []
-    record = {alias: evaluator(row) for alias, evaluator in table.projections}
-    record.setdefault(plan.time_column, row.get(plan.time_column))
-    return [(row.get(plan.time_column), record)]
-
-
-def _run_aggregation(plan: AppPlan, table: TablePlan,
-                     rows: Iterable[Row]) -> list[Row]:
-    time_column = plan.time_column
+def _run_aggregation(table: CompiledTable, rows: Iterable[Row]) -> list[Row]:
+    if not table.aggregates:
+        raise PlanningError(f"table {table.name!r} has no aggregates")
 
     def mapper(row: Row) -> list[tuple[str, dict[str, Any]]]:
-        if table.predicate is not None and not table.predicate(row):
-            return []
-        event_time = row.get(time_column)
-        if event_time is None:
-            return []
-        if table.window_seconds is None:
-            window_start = 0.0
-        else:
-            window_start = TumblingWindow(
-                table.window_seconds
-            ).window_containing(float(event_time)).start
-        group_key = table.group_key(row)
-        key = json.dumps([window_start, list(group_key)], sort_keys=True)
-        update = {}
-        for bound in table.aggregates:
-            value = bound.arg(row) if bound.arg is not None else 1
-            state = bound.function.create(bound.extra_args)
-            update[bound.alias] = bound.function.update(
-                state, value, bound.extra_args
-            )
-        return [(key, update)]
+        # The compiled program does filter → window → group → fold in
+        # one pass; a single-row chunk yields that row's delta state.
+        deltas = table.fold_batch([row])
+        return [
+            (json.dumps([window_start, list(group_key)], sort_keys=True),
+             delta)
+            for (window_start, group_key), delta in deltas.items()
+        ]
 
     def combiner(key: str, partials: list[dict[str, Any]]) -> dict[str, Any]:
         return _merge_states(table, partials)
@@ -88,33 +86,30 @@ def _run_aggregation(plan: AppPlan, table: TablePlan,
         merged = _merge_states(table, partials)
         window_start, group_values = json.loads(key)
         row: Row = {"window_start": window_start}
-        for (column, _), value in zip(table.group_keys, group_values):
+        for column, value in zip(table.group_columns, group_values):
             row[column] = value
-        for bound in table.aggregates:
-            row[bound.alias] = bound.function.result(
-                merged[bound.alias], bound.extra_args
-            )
+        for aggregate in table.aggregates:
+            row[aggregate.alias] = aggregate.result(merged[aggregate.alias])
         return [row]
 
-    if not table.aggregates:
-        raise PlanningError(f"table {table.name!r} has no aggregates")
     job = MapReduceJob(mapper=mapper, reducer=reducer, combiner=combiner,
                        num_map_tasks=4)
     output = run_map_reduce(job, rows)
     output.sort(key=lambda r: (r["window_start"],
-                               json.dumps([r[c] for c, _ in table.group_keys])))
+                               json.dumps([r[c]
+                                           for c in table.group_columns])))
     return output
 
 
-def _merge_states(table: TablePlan,
+def _merge_states(table: CompiledTable,
                   partials: list[dict[str, Any]]) -> dict[str, Any]:
     merged = {
-        bound.alias: bound.function.create(bound.extra_args)
-        for bound in table.aggregates
+        aggregate.alias: aggregate.create()
+        for aggregate in table.aggregates
     }
     for partial in partials:
-        for bound in table.aggregates:
-            merged[bound.alias] = bound.function.merge(
-                merged[bound.alias], partial[bound.alias], bound.extra_args
+        for aggregate in table.aggregates:
+            merged[aggregate.alias] = aggregate.merge(
+                merged[aggregate.alias], partial[aggregate.alias]
             )
     return merged

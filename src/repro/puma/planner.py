@@ -111,12 +111,20 @@ def _compile_binary(expression: BinaryOp,
 
 @dataclass(frozen=True)
 class BoundAggregate:
-    """One aggregate projection, bound to its function object."""
+    """One aggregate projection, bound to its function object.
+
+    ``arg_expr`` keeps the argument's source AST next to its compiled
+    evaluator: AST nodes are frozen dataclasses with structural
+    equality, so the plan compiler can recognize aggregates that read
+    the same expression (``sum(ms), avg(ms), max(ms)``) and evaluate it
+    once per row instead of once per aggregate.
+    """
 
     alias: str
     function: AggregateFunction
     arg: Evaluator | None  # None for count(*)
     extra_args: tuple
+    arg_expr: Expression | None = None
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,9 @@ class TablePlan:
     group_keys: tuple[tuple[str, Evaluator], ...]
     aggregates: tuple[BoundAggregate, ...]
     projections: tuple[tuple[str, Evaluator], ...]  # filter mode only
+    #: Source ASTs for ``group_keys`` (same order); lets the plan
+    #: compiler specialize plain-column keys into direct dict reads.
+    group_key_exprs: tuple[Expression, ...] = ()
 
     def group_key(self, row: Row) -> tuple:
         return tuple(evaluator(row) for _, evaluator in self.group_keys)
@@ -200,6 +211,7 @@ def _plan_aggregation(name: str, select: Select, columns: tuple[str, ...],
                       predicate: Evaluator | None) -> TablePlan:
     aggregates = []
     plain: list[tuple[str, Evaluator]] = []
+    plain_exprs: list[Expression] = []
     for projection in select.projections:
         expr = projection.expression
         if isinstance(expr, Aggregate):
@@ -207,16 +219,18 @@ def _plan_aggregation(name: str, select: Select, columns: tuple[str, ...],
                    if expr.arg is not None else None)
             aggregates.append(BoundAggregate(
                 projection.alias, get_aggregate(expr.name), arg,
-                expr.extra_args,
+                expr.extra_args, arg_expr=expr.arg,
             ))
         else:
             plain.append((projection.alias, compile_expression(expr, columns)))
+            plain_exprs.append(expr)
 
     if select.group_by:
         group_keys = tuple(
             (column, compile_expression(Column(column), columns))
             for column in select.group_by
         )
+        group_key_exprs = tuple(Column(c) for c in select.group_by)
         declared = {alias for alias, _ in plain}
         missing = [c for c in select.group_by if c not in declared]
         if missing and plain:
@@ -226,6 +240,7 @@ def _plan_aggregation(name: str, select: Select, columns: tuple[str, ...],
     else:
         # Puma convention: non-aggregate projections are the group key.
         group_keys = tuple(plain)
+        group_key_exprs = tuple(plain_exprs)
 
     return TablePlan(
         name=name,
@@ -236,6 +251,7 @@ def _plan_aggregation(name: str, select: Select, columns: tuple[str, ...],
         group_keys=group_keys,
         aggregates=tuple(aggregates),
         projections=(),
+        group_key_exprs=group_key_exprs,
     )
 
 

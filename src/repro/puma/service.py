@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.puma.app import PumaApp
+from repro.puma.compiler import PlanCache
 from repro.puma.parser import parse
 from repro.puma.planner import AppPlan, plan
 from repro.runtime.clock import Clock
@@ -53,6 +54,10 @@ class PumaService:
         self._next_diff_id = 1
         # The shared HBase cluster Puma aggregation apps store state in.
         self.hbase = HBaseTable("puma_shared_state")
+        # One compiled-program cache for the whole fleet: redeploying an
+        # app under the same name recompiles (invalidation on
+        # redefinition), restarts of a deployed app hit the cache.
+        self.plan_cache = PlanCache(metrics=self.metrics)
 
     # -- deployment ---------------------------------------------------------------
 
@@ -71,7 +76,8 @@ class PumaService:
             )
         app = PumaApp(app_plan, self.scribe, self.hbase,
                       checkpoint_every_events=checkpoint_every_events,
-                      clock=self.clock, metrics=self.metrics)
+                      clock=self.clock, metrics=self.metrics,
+                      plan_cache=self.plan_cache)
         self._apps[app_plan.name] = app
         return app
 
@@ -79,6 +85,7 @@ class PumaService:
         if name not in self._apps:
             raise ConfigError(f"no deployed app named {name!r}")
         del self._apps[name]
+        self.plan_cache.invalidate(name)
 
     # -- the reviewed path (Section 6.3) -------------------------------------
 
