@@ -44,11 +44,19 @@ from repro.puma.compiler import PlanCache  # noqa: E402
 from repro.puma.parser import parse  # noqa: E402
 from repro.puma.planner import plan  # noqa: E402
 from repro.runtime.clock import SimClock  # noqa: E402
+from repro.runtime.cluster import Cluster  # noqa: E402
 from repro.runtime.metrics import MetricsRegistry  # noqa: E402
+from repro.runtime.topology import (  # noqa: E402
+    ShardedTopology,
+    stylus_worker_factory,
+)
 from repro.scribe.checkpoints import CheckpointStore  # noqa: E402
 from repro.scribe.message import Message  # noqa: E402
+from repro.scribe.reader import ScribeReader  # noqa: E402
 from repro.scribe.store import ScribeStore  # noqa: E402
 from repro.scribe.writer import ScribeWriter  # noqa: E402
+from repro.storage.backup import BackupEngine  # noqa: E402
+from repro.storage.hdfs import HdfsBlobStore  # noqa: E402
 from repro.scuba.ingest import ScubaIngester  # noqa: E402
 from repro.scuba.query import ColumnFilter, ScubaQuery  # noqa: E402
 from repro.scuba.table import ScubaTable  # noqa: E402
@@ -732,6 +740,122 @@ def bench_compaction(num_keys: int, num_runs: int) -> BenchResult:
     )
 
 
+def bench_shard_scaling(n: int) -> BenchResult:
+    """Throughput scaling at 1/2/4/8 shards on the modeled timeline.
+
+    The same pre-written input is drained by topologies of increasing
+    shard counts; each shard's work is charged to its own process
+    timeline, so the makespan is the busiest shard and the efficiency
+    ratios are deterministic (consistent hashing's residual skew is the
+    only thing between the measured ratio and the ideal N). Input is
+    written through ``write_batch(keys=...)``, the vectorized
+    ``shards_for_keys`` path.
+    """
+    clock = SimClock()
+    scribe = ScribeStore(clock=clock)
+    scribe.create_category("sharded", num_buckets=64)
+    writer = ScribeWriter(scribe, "sharded")
+    batch = 1000
+    for start in range(0, n, batch):
+        records = [_record(i) for i in range(start, min(start + batch, n))]
+        writer.write_batch(records,
+                           keys=[str(r["seq"]) for r in records])
+
+    cost = CostModel()
+    elapsed: dict[int, float] = {}
+
+    def build(num_shards: int) -> ShardedTopology:
+        cluster = Cluster()
+        for i in range(8):
+            cluster.add_machine(f"m{i}")
+        factory = stylus_worker_factory(
+            scribe, "sharded", _Passthrough,
+            BackupEngine(HdfsBlobStore(clock=clock)),
+            state_prefix=f"scale{num_shards}",
+            checkpoint_policy=CheckpointPolicy(every_n_events=1 << 30),
+            clock=clock)
+        return ShardedTopology(
+            f"scaling{num_shards}", cluster, scribe, "sharded",
+            num_shards, factory, cost_model=cost, ring_replicas=128)
+
+    # Time the drain alone (the hot path); topology construction is a
+    # fixed cost that would otherwise dominate the quick-size run and
+    # make us_per_op incomparable with the full-size baseline.
+    total_wall = 0.0
+    ops = 0
+    for num_shards in (1, 2, 4, 8):
+        best = float("inf")
+        done = 0
+        for _ in range(3):
+            topology = build(num_shards)
+            start = time.perf_counter()
+            done = topology.drain()
+            best = min(best, time.perf_counter() - start)
+        elapsed[num_shards] = topology.modeled_elapsed()
+        total_wall += best
+        ops += done
+    base = elapsed[1]
+    return BenchResult(
+        "shard_scaling", total_wall, ops,
+        metrics={
+            "scaling_efficiency_2x": base / elapsed[2],
+            "scaling_efficiency_4x": base / elapsed[4],
+            "scaling_efficiency_8x": base / elapsed[8],
+        },
+        counters={f"modeled_seconds_{c}shard": elapsed[c]
+                  for c in (1, 2, 4, 8)},
+    )
+
+
+def bench_backpressure(n: int) -> BenchResult:
+    """A 10x-faster producer against a credit-gated bucket.
+
+    The producer attempts ten writes per consumer read; without flow
+    control the bucket would grow toward 9n. With the credit gate the
+    depth is capped at the credit limit: ``max_depth`` and the
+    ``depth_within_bound`` flag are the acceptance counters, and
+    ``credits_blocked`` proves the gate actually engaged.
+    """
+    limit = 64
+    stats = {"max_depth": 0, "blocked": 0.0}
+
+    def run() -> int:
+        scribe = ScribeStore(clock=SimClock())
+        scribe.create_category("bp", num_buckets=1)
+        scribe.enable_backpressure("bp", max_outstanding=limit)
+        writer = ScribeWriter(scribe, "bp")
+        reader = ScribeReader(scribe, "bp", 0)
+        end_offset = scribe.end_offset
+        consumed = 0
+        attempts = 0
+        max_depth = 0
+        while consumed < n:
+            for _ in range(10):
+                writer.try_write(_record(attempts))
+                attempts += 1
+            consumed += len(reader.read_batch(1))
+            depth = end_offset("bp", 0) - reader.position
+            if depth > max_depth:
+                max_depth = depth
+        stats["max_depth"] = max_depth
+        stats["blocked"] = scribe.metrics.snapshot()[
+            "scribe.credits.blocked"]
+        return consumed
+
+    wall, ops = timed(run)
+    return BenchResult(
+        "backpressure", wall, ops,
+        metrics={"blocked_writes_per_event": stats["blocked"] / n},
+        counters={
+            "credits_blocked": stats["blocked"],
+            "max_depth": float(stats["max_depth"]),
+            "credit_limit": float(limit),
+            "depth_within_bound":
+                1.0 if stats["max_depth"] <= limit else 0.0,
+        },
+    )
+
+
 # -- driver ------------------------------------------------------------------
 
 
@@ -753,6 +877,8 @@ def run_hotpath(quick: bool = False) -> dict:
         bench_dashboard_refresh(40_000 // scale),
         bench_windowed_agg(12_000 // scale),
         bench_compaction(16_000 // scale, 32),
+        bench_shard_scaling(8_000 // scale),
+        bench_backpressure(6_000 // scale),
     ]
     return collect(results, quick)
 
@@ -811,6 +937,17 @@ def main(argv: list[str] | None = None) -> int:
           f"{compaction['max_incremental_pause_ms']:.1f}ms "
           f"(max step touches "
           f"{compaction['counters']['max_step_fraction']:.0%} of the store)")
+    scaling = report["benchmarks"]["shard_scaling"]
+    print(f"  shard scaling: "
+          f"{scaling['scaling_efficiency_2x']:.2f}x / "
+          f"{scaling['scaling_efficiency_4x']:.2f}x / "
+          f"{scaling['scaling_efficiency_8x']:.2f}x modeled throughput "
+          f"at 2/4/8 shards")
+    bp = report["benchmarks"]["backpressure"]
+    print(f"  backpressure: 10x producer capped at depth "
+          f"{bp['counters']['max_depth']:.0f} (limit "
+          f"{bp['counters']['credit_limit']:.0f}, "
+          f"{bp['counters']['credits_blocked']:.0f} writes blocked)")
     return 0
 
 
@@ -925,6 +1062,23 @@ if pytest is not None:
         result = bench_compaction(8_000, 32)
         assert result.counters["compact_steps"] > 0
         assert result.counters["max_step_fraction"] <= 0.5
+
+    @pytest.mark.perf_smoke
+    def test_shard_scaling_efficiency():
+        """The acceptance bar: >= 2.5x modeled throughput at 4 shards.
+
+        The ratio is measured on the simulated timeline, so it is
+        deterministic — no retry needed."""
+        result = bench_shard_scaling(4_000)
+        assert result.metrics["scaling_efficiency_4x"] >= 2.5
+
+    @pytest.mark.perf_smoke
+    def test_backpressure_caps_bucket_depth():
+        """A 10x-faster producer must block, and the bucket depth must
+        never exceed the credit limit."""
+        result = bench_backpressure(3_000)
+        assert result.counters["credits_blocked"] > 0
+        assert result.counters["depth_within_bound"] == 1.0
 
 
 if __name__ == "__main__":

@@ -161,6 +161,9 @@ _FLOOR_RULES: list[tuple[str, str, float]] = [
     ("puma_compiled", "compiled_speedup", 2.0),
     ("puma_compiled", "plan_cache_hit_rate", 0.5),
     ("delta_checkpoint", "restart_speedup", 5.0),
+    ("shard_scaling", "scaling_efficiency_4x", 2.5),
+    ("backpressure", "credits_blocked", 1.0),
+    ("backpressure", "depth_within_bound", 1.0),
 ]
 
 

@@ -58,6 +58,27 @@ class UnknownCategory(ScribeError):
     """A reader or writer referenced a category that was never created."""
 
 
+class Backpressure(ScribeError):
+    """A write was refused because the bucket is out of credits.
+
+    Raised by :class:`~repro.scribe.store.ScribeStore` when credit-based
+    flow control is enabled for a category and the target bucket already
+    holds ``max_outstanding`` unconsumed messages. The producer should
+    back off and retry once consumers grant credits (drain the bucket).
+    """
+
+    def __init__(self, category: str, bucket: int, outstanding: int,
+                 max_outstanding: int) -> None:
+        super().__init__(
+            f"bucket {category}[{bucket}] is out of credits: "
+            f"{outstanding} outstanding >= limit {max_outstanding}"
+        )
+        self.category = category
+        self.bucket = bucket
+        self.outstanding = outstanding
+        self.max_outstanding = max_outstanding
+
+
 class OffsetOutOfRange(ScribeError):
     """A read targeted an offset that fell outside the retained window."""
 

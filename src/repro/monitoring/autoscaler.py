@@ -6,22 +6,37 @@ time and machine resources by being able to change it easily; we can get
 started with some initial level and then adapt quickly" and "We would
 also like to scale the apps automatically."
 
-The autoscaler samples each watched app's processing lag. Sustained lag
-above the high-water mark doubles the app's Scribe bucket count (the
-paper's scaling lever) and asks the job to grow into the new buckets;
-sustained zero lag records a scale-down recommendation (bucket counts
-cannot shrink in place — as in Scribe, shrinking means redeploying — so
-the recommendation is surfaced rather than applied).
+The autoscaler samples each watched app's processing lag. Two modes:
+
+- **Bucket mode** (no topology): sustained lag above the high-water mark
+  doubles the app's Scribe bucket count (the paper's scaling lever) and
+  asks the job to grow into the new buckets; sustained zero lag records
+  a scale-down *recommendation* (bucket counts cannot shrink in place —
+  as in Scribe, shrinking means redeploying — so the recommendation is
+  surfaced rather than applied).
+- **Topology mode** (watched with a
+  :class:`~repro.runtime.topology.ShardedTopology`): the same hysteresis
+  drives the *shard count* instead — sustained lag splits (doubling
+  shards, capped at the bucket count), sustained idleness actually
+  merges (halving shards). Both are applied live through the topology's
+  pause/transfer/resume rebalance. A decision that lands while a
+  rebalance is already in flight is **deferred, not dropped**: it is
+  counted in ``autoscaler.deferred`` and applied on the first sample
+  after the topology is free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
 
 from repro.errors import ConfigError
 from repro.runtime.clock import Clock, WallClock
+from repro.runtime.metrics import MetricsRegistry
 from repro.scribe.store import ScribeStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.topology import ShardedTopology
 
 
 class ScalableJob(Protocol):
@@ -40,10 +55,14 @@ class ScalableJob(Protocol):
 
 @dataclass(frozen=True)
 class ScalingAction:
-    """One decision the autoscaler took (or recommends)."""
+    """One decision the autoscaler took (or recommends).
+
+    In topology mode ``old_buckets``/``new_buckets`` carry the shard
+    counts (the thing being scaled); the Scribe bucket count is fixed.
+    """
 
     job: str
-    kind: str  # "scale_up" | "recommend_scale_down"
+    kind: str  # "scale_up" | "scale_down" | "recommend_scale_down"
     at: float
     old_buckets: int
     new_buckets: int
@@ -52,13 +71,15 @@ class ScalingAction:
 @dataclass
 class _Watch:
     job: ScalableJob
+    topology: "ShardedTopology | None" = None
     high_lag_samples: int = 0
     idle_samples: int = 0
-    last_action_at: float = float("-inf")
+    last_action_at: float = field(default=float("-inf"))
+    deferred_kind: str | None = None
 
 
 class AutoScaler:
-    """Lag-driven bucket scaling with hysteresis and a cooldown."""
+    """Lag-driven bucket/shard scaling with hysteresis and a cooldown."""
 
     def __init__(self, scribe: ScribeStore,
                  clock: Clock | None = None,
@@ -66,7 +87,8 @@ class AutoScaler:
                  sustain_samples: int = 3,
                  idle_samples_for_downscale: int = 10,
                  cooldown_seconds: float = 300.0,
-                 max_buckets: int = 64) -> None:
+                 max_buckets: int = 64,
+                 metrics: MetricsRegistry | None = None) -> None:
         if high_lag < 1 or sustain_samples < 1 or max_buckets < 1:
             raise ConfigError("invalid autoscaler thresholds")
         self.scribe = scribe
@@ -76,17 +98,32 @@ class AutoScaler:
         self.idle_samples_for_downscale = idle_samples_for_downscale
         self.cooldown_seconds = cooldown_seconds
         self.max_buckets = max_buckets
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._deferred_counter = self.metrics.counter("autoscaler.deferred")
         self._watches: dict[str, _Watch] = {}
         self.actions: list[ScalingAction] = []
 
-    def watch(self, job: ScalableJob) -> None:
-        self._watches[job.name] = _Watch(job)
+    def watch(self, job: ScalableJob,
+              topology: "ShardedTopology | None" = None) -> None:
+        """Watch ``job``; with ``topology``, decisions drive its shard
+        count (a topology watches itself: ``watch(topo, topology=topo)``)."""
+        self._watches[job.name] = _Watch(job, topology)
 
     def sample(self) -> list[ScalingAction]:
-        """Take one lag sample of every watched job; apply scale-ups."""
+        """Take one lag sample of every watched job; apply what's due."""
         now = self.clock.now()
         taken: list[ScalingAction] = []
         for watch in self._watches.values():
+            # A decision deferred by an in-flight rebalance applies as
+            # soon as the topology is free — before this sample's lag
+            # reading, so the deferral never starves behind fresh input.
+            if (watch.deferred_kind is not None and watch.topology is not None
+                    and not watch.topology.rebalancing):
+                kind, watch.deferred_kind = watch.deferred_kind, None
+                action = self._apply_topology(watch, kind, now)
+                if action is not None:
+                    taken.append(action)
+
             lag = watch.job.lag_messages()
             if lag > self.high_lag:
                 watch.high_lag_samples += 1
@@ -102,14 +139,56 @@ class AutoScaler:
                 continue
 
             if watch.high_lag_samples >= self.sustain_samples:
-                action = self._scale_up(watch, now)
+                if watch.topology is not None:
+                    action = self._decide_topology(watch, "scale_up", now)
+                else:
+                    action = self._scale_up(watch, now)
                 if action is not None:
                     taken.append(action)
             elif watch.idle_samples >= self.idle_samples_for_downscale:
-                action = self._recommend_down(watch, now)
+                if watch.topology is not None:
+                    action = self._decide_topology(watch, "scale_down", now)
+                else:
+                    action = self._recommend_down(watch, now)
                 if action is not None:
                     taken.append(action)
         return taken
+
+    # -- topology mode -------------------------------------------------------
+
+    def _decide_topology(self, watch: _Watch, kind: str,
+                         now: float) -> ScalingAction | None:
+        topology = watch.topology
+        if topology.rebalancing:
+            # Mid-rebalance (e.g. this sample fired from a scheduler
+            # callback inside a long handoff): park the decision instead
+            # of dropping it on the floor.
+            self._deferred_counter.increment()
+            watch.deferred_kind = kind
+            watch.high_lag_samples = 0
+            watch.idle_samples = 0
+            return None
+        return self._apply_topology(watch, kind, now)
+
+    def _apply_topology(self, watch: _Watch, kind: str,
+                        now: float) -> ScalingAction | None:
+        topology = watch.topology
+        old = topology.num_shards
+        if kind == "scale_up":
+            new = min(old * 2, topology.num_buckets)
+        else:
+            new = max(1, old // 2)
+        if new == old:
+            return None
+        topology.rebalance(new)
+        watch.high_lag_samples = 0
+        watch.idle_samples = 0
+        watch.last_action_at = now
+        action = ScalingAction(watch.job.name, kind, now, old, new)
+        self.actions.append(action)
+        return action
+
+    # -- bucket mode ---------------------------------------------------------
 
     def _scale_up(self, watch: _Watch, now: float) -> ScalingAction | None:
         category = self.scribe.category(watch.job.input_category())

@@ -821,6 +821,42 @@ class PumaApp:
                 self._readers[bucket].seek(saved)
         return len(self._readers)
 
+    # -- shard handoff (live rebalancing) --------------------------------------
+
+    def release_bucket(self, bucket: int) -> None:
+        """Detach ``bucket`` so a sibling instance can adopt it.
+
+        Puma state is monoid deltas over a shared HBase namespace (state
+        rows are keyed by group, offset rows by bucket), so the whole
+        handoff is: flush what this instance holds, drop the reader. The
+        adopting instance picks up the durable offset and merges onto
+        the same state rows. A crashed instance has nothing in memory to
+        flush — its last checkpoint is already the durable truth.
+        """
+        if bucket not in self._readers:
+            raise ConfigError(
+                f"app {self.name!r} does not own bucket {bucket}"
+            )
+        if not self.crashed:
+            self.checkpoint()
+        self.buckets.remove(bucket)
+        del self._readers[bucket]
+        if self._inflight is not None and self._inflight[0] == bucket:
+            self._inflight = None
+
+    def adopt_bucket(self, bucket: int) -> int:
+        """Attach ``bucket`` released by a sibling; resume at its saved
+        offset. Returns the new reader count."""
+        if bucket in self._readers:
+            raise ConfigError(f"app {self.name!r} already owns bucket {bucket}")
+        self.buckets.append(bucket)
+        reader = ScribeReader(self.scribe, self.plan.scribe_category, bucket)
+        saved = self.hbase.get_column(self._offset_row(bucket), "offset")
+        if saved is not None:
+            reader.seek(saved)
+        self._readers[bucket] = reader
+        return len(self._readers)
+
 
 def combine_partial_states(table: TablePlan,
                            partials: list[dict[tuple, dict[str, Any]]]

@@ -145,6 +145,23 @@ class Cluster:
             )
         process._restart()
 
+    def stop_process(self, name: str) -> None:
+        """Stop a process gracefully: no crash callbacks fire."""
+        process = self.process(name)
+        if process.state == ProcessState.RUNNING:
+            process.state = ProcessState.STOPPED
+
+    def terminate_process(self, name: str) -> None:
+        """Decommission a process entirely, freeing its name for reuse.
+
+        Graceful (no crash callbacks): the caller is expected to have
+        drained or handed off the process's state first — this is the
+        shard-merge retirement path, not a failure injection.
+        """
+        process = self.process(name)
+        process.state = ProcessState.STOPPED
+        del process.machine.processes[name]
+
     def fail_machine(self, name: str) -> None:
         """Take a machine down: crash its processes and wipe its disk."""
         machine = self.machine(name)

@@ -1,0 +1,544 @@
+"""Sharded multi-process topologies over the simulated cluster.
+
+Every system in the paper's ecosystem parallelizes the same way: split
+the input Scribe category into buckets and fan the buckets out to
+independent processes (Section 2.1). This module builds that shape on
+the simulated :class:`~repro.runtime.cluster.Cluster`:
+
+- a :class:`ShardedTopology` owns N *shards*, each a cluster
+  :class:`~repro.runtime.cluster.Process` placed by the
+  :class:`~repro.runtime.loadbalancer.LoadBalancer` and running one
+  worker (a set of Stylus tasks, or a Puma app instance pinned to a
+  bucket subset);
+- buckets map to shards through a consistent-hash
+  :class:`~repro.core.sharding.HashRing`, so changing the shard count
+  moves only ~1/N of the buckets;
+- splits and merges run a **pause → transfer → resume** protocol
+  (the elasticity literature's standard reconfiguration): the losing
+  shard checkpoints and releases each moving bucket, durable state
+  hands off through the :class:`~repro.storage.backup.BackupEngine`
+  (Stylus) or the shared HBase namespace (Puma), and the gaining shard
+  adopts the bucket at its saved offset. A ``rebalance_fault_hook``
+  fires between release and adopt so chaos schedules can kill an owner
+  mid-handoff;
+- per-process work is charged to a modeled
+  :class:`~repro.core.costs.ResourceTimeline` (one per shard), so
+  throughput scaling is measured on the deterministic simulated
+  timeline rather than noisy wall clocks: the makespan is the busiest
+  shard's elapsed time, and near-linear scaling means the makespan
+  shrinks almost as 1/N.
+
+Workers implement a small duck-typed contract (:class:`ShardWorker`).
+Two implementations ship here: :class:`StylusShardWorker` (one
+:class:`~repro.stylus.engine.StylusTask` per bucket, each with a
+:class:`~repro.stylus.state.LocalDbStateBackend` on the owning
+machine's disk) and :class:`PumaShardWorker` (one
+:class:`~repro.puma.app.PumaApp` pinned to the shard's buckets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.core.costs import CostModel, ResourceTimeline
+from repro.core.sharding import HashRing
+from repro.errors import (BackupNotFound, ConfigError, SimulationError,
+                          StoreUnavailable)
+from repro.runtime.cluster import Cluster, Process
+from repro.runtime.loadbalancer import JobSpec, LoadBalancer
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.scheduler import Scheduler
+from repro.scribe.store import ScribeStore
+from repro.storage.backup import BackupEngine
+from repro.stylus.engine import StylusTask
+from repro.stylus.processor import MonoidProcessor
+from repro.stylus.state import LocalDbStateBackend
+
+
+class ShardWorker(Protocol):
+    """What a topology needs from the thing running inside each shard."""
+
+    def pump(self, max_messages: int = 1000) -> int: ...
+
+    def lag_messages(self) -> int: ...
+
+    def buckets(self) -> list[int]: ...
+
+    def checkpoint_all(self) -> None: ...
+
+    def release_bucket(self, bucket: int) -> Any:
+        """Flush the bucket's durable state and detach it; returns an
+        opaque handoff token passed to the adopter."""
+        ...
+
+    def adopt_bucket(self, bucket: int, token: Any) -> None:
+        """Attach a released bucket, resuming from its durable state."""
+        ...
+
+    def handle_crash(self) -> None: ...
+
+    def handle_restart(self) -> None: ...
+
+
+WorkerFactory = Callable[[str, Process, list[int]], ShardWorker]
+
+
+@dataclass
+class _Shard:
+    name: str
+    process: Process
+    worker: ShardWorker
+
+
+class ShardedTopology:
+    """N worker processes over one category's buckets, rebalanceable live."""
+
+    def __init__(self, name: str, cluster: Cluster, scribe: ScribeStore,
+                 category: str, num_shards: int,
+                 worker_factory: WorkerFactory,
+                 balancer: LoadBalancer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 cost_model: CostModel | None = None,
+                 pump_overhead_seconds: float = 0.0,
+                 ring_replicas: int = 64) -> None:
+        if num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if pump_overhead_seconds < 0:
+            raise ConfigError("pump_overhead_seconds must be >= 0")
+        self.name = name
+        self.cluster = cluster
+        self.scribe = scribe
+        self.category = category
+        self.num_buckets = scribe.category(category).num_buckets
+        if num_shards > self.num_buckets:
+            raise ConfigError(
+                f"{num_shards} shards over {self.num_buckets} buckets: "
+                "shards beyond the bucket count would sit idle"
+            )
+        self.balancer = balancer if balancer is not None \
+            else LoadBalancer(cluster)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._worker_factory = worker_factory
+        self._cost_model = cost_model
+        self._pump_overhead = pump_overhead_seconds
+        self._shards: dict[str, _Shard] = {}
+        # Modeled per-process timelines survive shard retirement so a
+        # re-created shard (merge then split) continues its history and
+        # the makespan never forgets work already performed.
+        self._timelines: dict[str, ResourceTimeline] = {}
+        #: True while a split/merge is in flight. The autoscaler checks
+        #: this to defer rather than drop actions that land mid-handoff.
+        self.rebalancing = False
+        #: Chaos hook fired with the phase name ("transfer") between the
+        #: release and adopt phases of a rebalance — the window in which
+        #: killing a shard owner must still lose nothing.
+        self.rebalance_fault_hook: Callable[[str], None] | None = None
+
+        self._rebalances_counter = self.metrics.counter(
+            f"topology.{name}.rebalances")
+        self._moved_counter = self.metrics.counter(
+            f"topology.{name}.buckets_moved")
+        self._shards_gauge = self.metrics.gauge(f"topology.{name}.shards")
+
+        self._ring = HashRing(replicas=ring_replicas)
+        for index in range(num_shards):
+            self._ring.add_node(self._shard_name(index))
+        self._assignment = self._ring.assign_buckets(self.num_buckets)
+        self.num_shards = num_shards
+        for index in range(num_shards):
+            shard_name = self._shard_name(index)
+            buckets = sorted(b for b, owner in self._assignment.items()
+                             if owner == shard_name)
+            self._create_shard(shard_name, buckets)
+        self._shards_gauge.set(num_shards)
+
+    # -- shape --------------------------------------------------------------
+
+    def _shard_name(self, index: int) -> str:
+        return f"{self.name}-s{index:03d}"
+
+    def shard_names(self) -> list[str]:
+        return sorted(self._shards)
+
+    def worker(self, shard_name: str) -> ShardWorker:
+        return self._shards[shard_name].worker
+
+    def process(self, shard_name: str) -> Process:
+        return self._shards[shard_name].process
+
+    def owner_of(self, bucket: int) -> str:
+        if bucket not in self._assignment:
+            raise ConfigError(f"bucket {bucket} out of range")
+        return self._assignment[bucket]
+
+    def assignment(self) -> dict[int, str]:
+        return dict(self._assignment)
+
+    def _create_shard(self, shard_name: str, buckets: list[int]) -> _Shard:
+        machine = self.balancer.place(
+            JobSpec(shard_name, load=float(len(buckets)) or 1.0)
+        )
+        process = self.cluster.spawn(shard_name, machine)
+        worker = self._worker_factory(shard_name, process, buckets)
+        process.on_crash(worker.handle_crash)
+        process.on_restart(worker.handle_restart)
+        shard = _Shard(shard_name, process, worker)
+        self._shards[shard_name] = shard
+        self._timelines.setdefault(shard_name, ResourceTimeline())
+        return shard
+
+    def _retire_shard(self, shard_name: str) -> None:
+        del self._shards[shard_name]
+        self.balancer.remove(shard_name)
+        self.cluster.terminate_process(shard_name)
+
+    # -- driving ------------------------------------------------------------
+
+    def pump_all(self, max_messages: int = 1000) -> int:
+        """One pump round across every live shard; crashed shards skip.
+
+        With a cost model attached, each shard's work is charged to its
+        own process timeline — shards run on different machines, so the
+        modeled makespan is the *max* over shards, which is what makes
+        N-shard scaling measurable deterministically.
+        """
+        total = 0
+        cost = self._cost_model
+        for shard_name in sorted(self._shards):
+            shard = self._shards[shard_name]
+            if not shard.process.running:
+                continue
+            pumped = shard.worker.pump(max_messages)
+            total += pumped
+            if cost is not None and pumped:
+                self._timelines[shard_name].charge(
+                    "cpu",
+                    pumped * cost.cpu_per_event + self._pump_overhead,
+                )
+        return total
+
+    def drain(self, batch: int = 10_000) -> int:
+        """Pump until no live shard has lag; returns messages processed."""
+        total = 0
+        while True:
+            pumped = self.pump_all(batch)
+            total += pumped
+            if pumped == 0:
+                return total
+
+    def schedule_on(self, scheduler: Scheduler, interval: float,
+                    max_messages: int = 1000) -> None:
+        """Drive every shard from the deterministic scheduler."""
+        scheduler.every(interval, lambda: self.pump_all(max_messages))
+
+    def lag_messages(self) -> int:
+        return sum(shard.worker.lag_messages()
+                   for _, shard in sorted(self._shards.items()))
+
+    def checkpoint_all(self) -> None:
+        for shard_name in sorted(self._shards):
+            self._shards[shard_name].worker.checkpoint_all()
+
+    def modeled_elapsed(self) -> float:
+        """The simulated makespan: the busiest process's elapsed time."""
+        return max((timeline.elapsed()
+                    for timeline in self._timelines.values()), default=0.0)
+
+    # -- the autoscaler contract (Section 6.4) ------------------------------
+
+    def input_category(self) -> str:
+        return self.category
+
+    # -- live rebalancing (pause -> transfer -> resume) ---------------------
+
+    def rebalance(self, new_num_shards: int) -> list[int]:
+        """Split or merge to ``new_num_shards``; returns moved buckets.
+
+        The losing shard checkpoints-and-releases each moving bucket
+        (pause), durable state travels through the backup engine or the
+        shared state namespace (transfer), and the gaining shard adopts
+        at the saved offset (resume). Only buckets whose ring owner
+        changed move — the consistent-hashing guarantee. Shards left
+        with no buckets after a merge are retired from the cluster.
+        """
+        if new_num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if new_num_shards > self.num_buckets:
+            raise ConfigError(
+                f"{new_num_shards} shards over {self.num_buckets} buckets: "
+                "shards beyond the bucket count would sit idle"
+            )
+        if self.rebalancing:
+            raise SimulationError(
+                f"topology {self.name!r}: a rebalance is already in flight"
+            )
+        new_names = [self._shard_name(i) for i in range(new_num_shards)]
+        if new_num_shards == self.num_shards:
+            return []
+        self.rebalancing = True
+        try:
+            new_ring = HashRing(new_names, replicas=self._ring.replicas)
+            new_assignment = new_ring.assign_buckets(self.num_buckets)
+            moved = sorted(bucket for bucket, owner in new_assignment.items()
+                           if owner != self._assignment[bucket])
+
+            # Pause + release: the current owner flushes each moving
+            # bucket's state and detaches it.
+            tokens: dict[int, Any] = {}
+            for bucket in moved:
+                source = self._shards[self._assignment[bucket]]
+                tokens[bucket] = source.worker.release_bucket(bucket)
+
+            # Transfer window: state is durable, nobody owns the bucket.
+            hook = self.rebalance_fault_hook
+            if hook is not None:
+                hook("transfer")
+
+            # Resume: spawn shards a split added, then adopt.
+            for shard_name in new_names:
+                if shard_name not in self._shards:
+                    self._create_shard(shard_name, [])
+            for bucket in moved:
+                target = self._shards[new_assignment[bucket]]
+                target.worker.adopt_bucket(bucket, tokens[bucket])
+
+            # Retire shards a merge emptied.
+            for shard_name in sorted(set(self._shards) - set(new_names)):
+                self._retire_shard(shard_name)
+
+            self._ring = new_ring
+            self._assignment = new_assignment
+            self.num_shards = new_num_shards
+            self._rebalances_counter.increment()
+            self._moved_counter.increment(len(moved))
+            self._shards_gauge.set(new_num_shards)
+            return moved
+        finally:
+            self.rebalancing = False
+
+
+class StylusShardWorker:
+    """One Stylus task per owned bucket, state in per-bucket local DBs.
+
+    Each bucket's state lives in a :class:`LocalDbStateBackend` named
+    after the bucket (stable across shards) on the owning machine's
+    disk. Handoff is therefore checkpoint → HDFS backup → restore on
+    the adopter's machine: exactly the paper's machine-failure recovery
+    path (Figure 10), reused for planned moves.
+    """
+
+    def __init__(self, shard_name: str, process: Process,
+                 scribe: ScribeStore, input_category: str,
+                 processor_factory: Callable[[], Any],
+                 backup_engine: BackupEngine, state_prefix: str,
+                 buckets: list[int],
+                 task_kwargs: dict[str, Any] | None = None) -> None:
+        self.shard_name = shard_name
+        self.process = process
+        self.scribe = scribe
+        self.input_category = input_category
+        self.processor_factory = processor_factory
+        self.backup_engine = backup_engine
+        self.state_prefix = state_prefix
+        self.task_kwargs = dict(task_kwargs or {})
+        registry = self.task_kwargs.get("metrics")
+        if registry is None:
+            registry = MetricsRegistry()
+        # Degraded-mode accounting: adoptions that found no restorable
+        # backup and fell back to a fresh replay-from-start.
+        self._fallback_counter = registry.counter(
+            f"topology.{state_prefix}.adopt_fallbacks")
+        self._tasks: dict[int, StylusTask] = {}
+        for bucket in sorted(buckets):
+            processor = processor_factory()
+            backend = LocalDbStateBackend(
+                self._store_name(bucket), process.machine.disk,
+                backup_engine=backup_engine,
+                merge_operator=self._merge_operator(processor),
+            )
+            self._tasks[bucket] = self._make_task(bucket, processor, backend)
+
+    def _store_name(self, bucket: int) -> str:
+        return f"{self.state_prefix}[{bucket}]"
+
+    @staticmethod
+    def _merge_operator(processor: Any):
+        if isinstance(processor, MonoidProcessor):
+            return processor.merge_operator()
+        return None
+
+    def _make_task(self, bucket: int, processor: Any,
+                   backend: LocalDbStateBackend) -> StylusTask:
+        return StylusTask(self._store_name(bucket), self.scribe,
+                          self.input_category, bucket, processor,
+                          state_backend=backend, **self.task_kwargs)
+
+    # -- ShardWorker contract -----------------------------------------------
+
+    def buckets(self) -> list[int]:
+        return sorted(self._tasks)
+
+    def task(self, bucket: int) -> StylusTask:
+        return self._tasks[bucket]
+
+    def pump(self, max_messages: int = 1000) -> int:
+        return sum(self._tasks[bucket].pump(max_messages)
+                   for bucket in sorted(self._tasks))
+
+    def lag_messages(self) -> int:
+        return sum(task.lag_messages() for task in self._tasks.values())
+
+    def checkpoint_all(self) -> None:
+        for bucket in sorted(self._tasks):
+            task = self._tasks[bucket]
+            if not task.crashed:
+                task.checkpoint_now()
+
+    def release_bucket(self, bucket: int) -> Any:
+        """Checkpoint the bucket's task and snapshot its store to HDFS.
+
+        A crashed owner releases too: its in-memory state is gone, but
+        the local DB on the (surviving) machine disk holds the last
+        checkpoint, which is exactly what each semantics is entitled to.
+        Returns the :class:`~repro.storage.backup.BackupInfo` token, or
+        None when HDFS refused the snapshot — the adopter then falls
+        back to the newest earlier backup.
+        """
+        if bucket not in self._tasks:
+            raise ConfigError(
+                f"shard {self.shard_name!r} does not own bucket {bucket}"
+            )
+        task = self._tasks.pop(bucket)
+        if not task.crashed:
+            task.checkpoint_now()
+        backend = task.state_backend
+        assert isinstance(backend, LocalDbStateBackend)
+        return self.backup_engine.create_backup(backend.store)
+
+    def adopt_bucket(self, bucket: int, token: Any) -> None:
+        """Restore the bucket's store onto this machine and resume.
+
+        With no backup reachable — HDFS lost every snapshot attempt
+        (:class:`BackupNotFound`) or is down past the retry budget
+        (:class:`StoreUnavailable`, counted by the engine's retry
+        layer) — the adopter starts fresh and replays the bucket from
+        the beginning. State and offset reset *together*, so the replay
+        recounts exactly; only the recovery cost degrades.
+        """
+        if bucket in self._tasks:
+            raise ConfigError(
+                f"shard {self.shard_name!r} already owns bucket {bucket}"
+            )
+        processor = self.processor_factory()
+        merge_operator = self._merge_operator(processor)
+        disk = self.process.machine.disk
+        try:
+            backend = LocalDbStateBackend.adopt(
+                self._store_name(bucket), disk, self.backup_engine,
+                merge_operator=merge_operator,
+                backup_id=token.backup_id if token is not None else None,
+            )
+        except (BackupNotFound, StoreUnavailable):
+            # The engine's retry layer already counted the outage; this
+            # records the visible degradation it caused here.
+            self._fallback_counter.increment()
+            backend = LocalDbStateBackend(
+                self._store_name(bucket), disk,
+                backup_engine=self.backup_engine,
+                merge_operator=merge_operator,
+            )
+        task = self._make_task(bucket, processor, backend)
+        task.restart()  # seek to the restored offset, load restored state
+        if not self.process.running:
+            # Adopted into a crashed process: the task holds no live
+            # memory until the process restarts and recovers it.
+            task.crash()
+        self._tasks[bucket] = task
+
+    def handle_crash(self) -> None:
+        for bucket in sorted(self._tasks):
+            self._tasks[bucket].crash()
+
+    def handle_restart(self) -> None:
+        for bucket in sorted(self._tasks):
+            task = self._tasks[bucket]
+            if task.crashed:
+                task.restart()
+
+
+class PumaShardWorker:
+    """One :class:`~repro.puma.app.PumaApp` pinned to the shard's buckets.
+
+    Puma instances of the same plan share one HBase namespace — offset
+    rows are per-bucket, state rows merge monoidally — so a handoff is
+    just flush-then-reattach; no bulk state copy ever moves.
+    """
+
+    def __init__(self, shard_name: str, process: Process, plan: Any,
+                 scribe: ScribeStore, hbase: Any, buckets: list[int],
+                 app_kwargs: dict[str, Any] | None = None) -> None:
+        from repro.puma.app import PumaApp  # avoid a runtime import cycle
+
+        self.shard_name = shard_name
+        self.process = process
+        self.app = PumaApp(plan, scribe, hbase, buckets=sorted(buckets),
+                           **(app_kwargs or {}))
+
+    # -- ShardWorker contract -----------------------------------------------
+
+    def buckets(self) -> list[int]:
+        return sorted(self.app.buckets)
+
+    def pump(self, max_messages: int = 1000) -> int:
+        return self.app.pump(max_messages)
+
+    def lag_messages(self) -> int:
+        return self.app.lag_messages()
+
+    def checkpoint_all(self) -> None:
+        if not self.app.crashed:
+            self.app.checkpoint()
+
+    def release_bucket(self, bucket: int) -> Any:
+        self.app.release_bucket(bucket)
+        return None  # durable state is shared; nothing travels
+
+    def adopt_bucket(self, bucket: int, token: Any) -> None:
+        self.app.adopt_bucket(bucket)
+
+    def handle_crash(self) -> None:
+        if not self.app.crashed:
+            self.app.crash()
+
+    def handle_restart(self) -> None:
+        if self.app.crashed:
+            self.app.restart()
+
+
+def stylus_worker_factory(scribe: ScribeStore, input_category: str,
+                          processor_factory: Callable[[], Any],
+                          backup_engine: BackupEngine, state_prefix: str,
+                          **task_kwargs: Any) -> WorkerFactory:
+    """Worker factory for :class:`ShardedTopology` running Stylus tasks."""
+
+    def factory(shard_name: str, process: Process,
+                buckets: list[int]) -> StylusShardWorker:
+        return StylusShardWorker(shard_name, process, scribe, input_category,
+                                 processor_factory, backup_engine,
+                                 state_prefix, buckets, task_kwargs)
+
+    return factory
+
+
+def puma_worker_factory(plan: Any, scribe: ScribeStore, hbase: Any,
+                        **app_kwargs: Any) -> WorkerFactory:
+    """Worker factory for :class:`ShardedTopology` running one Puma app
+    instance per shard."""
+
+    def factory(shard_name: str, process: Process,
+                buckets: list[int]) -> PumaShardWorker:
+        return PumaShardWorker(shard_name, process, plan, scribe, hbase,
+                               buckets, app_kwargs)
+
+    return factory

@@ -1,0 +1,72 @@
+"""Credit-based flow control for Scribe categories.
+
+The paper's bus decouples producers from consumers (Section 4.2.2), but
+decoupling alone lets a producer that outruns its consumers grow a
+bucket without bound until retention trims data the consumer never saw.
+Credit-based backpressure closes the loop the way hardware flow control
+does: each bucket carries a budget of *credits* (messages a producer may
+have in flight beyond what consumers have read); a write spends one, a
+consumer read grants them back. When a bucket's outstanding count hits
+the limit the store refuses the write with
+:class:`~repro.errors.Backpressure` — the producer blocks (or sheds)
+instead of the bucket growing unbounded.
+
+Accounting is deliberately conservative under replay: a reader that
+seeks backwards after a crash re-reads — and therefore re-grants —
+messages it already granted, so the outstanding count clamps at zero
+rather than going negative. Backpressure may under-throttle briefly
+after a replay; it never deadlocks a producer on credits that no future
+read would grant.
+
+Counters (registered by the store when backpressure is enabled):
+
+- ``scribe.credits.granted`` — credits returned by consumer reads;
+- ``scribe.credits.blocked`` — writes refused for lack of credits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.runtime.metrics import Counter
+
+
+class CreditGate:
+    """Per-bucket outstanding-message accounting for one category."""
+
+    def __init__(self, category: str, max_outstanding: int,
+                 granted: Counter, blocked: Counter) -> None:
+        if max_outstanding < 1:
+            raise ConfigError("max_outstanding must be >= 1")
+        self.category = category
+        self.max_outstanding = max_outstanding
+        self._granted = granted
+        self._blocked = blocked
+        self._outstanding: dict[int, int] = {}
+
+    def outstanding(self, bucket: int) -> int:
+        return self._outstanding.get(bucket, 0)
+
+    def available(self, bucket: int) -> int:
+        return max(0, self.max_outstanding - self.outstanding(bucket))
+
+    def try_acquire(self, bucket: int) -> bool:
+        """Spend one credit on ``bucket``; False (and counted) if none left."""
+        held = self._outstanding.get(bucket, 0)
+        if held >= self.max_outstanding:
+            self._blocked.increment()
+            return False
+        self._outstanding[bucket] = held + 1
+        return True
+
+    def grant(self, bucket: int, count: int) -> None:
+        """Return ``count`` credits after a consumer read ``count`` messages.
+
+        Clamped at zero: replayed reads after a consumer crash re-grant
+        messages that were already granted once (see module docstring).
+        """
+        if count <= 0:
+            return
+        self._granted.increment(count)
+        held = self._outstanding.get(bucket, 0)
+        if held:
+            self._outstanding[bucket] = max(0, held - count)

@@ -55,6 +55,13 @@ class ScribeReader:
                                          max_messages, max_bytes)
         if batch:
             self.position = batch[-1].offset + 1
+            # Consuming messages grants their credits back to producers
+            # (see repro.scribe.flow). peek() deliberately does not: it
+            # leaves the position — and therefore the consumption
+            # accounting — untouched.
+            gate = self.store.gate_for(self.category)
+            if gate is not None:
+                gate.grant(self.bucket, len(batch))
         return batch
 
     def peek(self, max_messages: int = 100,

@@ -6,13 +6,14 @@ import zlib
 from typing import Any, Mapping
 
 from repro import serde
-from repro.errors import BackupNotFound, ConfigError, StoreUnavailable, \
-    UnknownCategory
+from repro.errors import Backpressure, BackupNotFound, ConfigError, \
+    StoreUnavailable, UnknownCategory
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.metrics import Counter, MetricsRegistry
 from repro.runtime.retry import Retrier, RetryPolicy
 from repro.scribe.bucket import Bucket
 from repro.scribe.category import Category
+from repro.scribe.flow import CreditGate
 from repro.scribe.message import Message
 
 
@@ -48,6 +49,10 @@ class ScribeStore:
         # the write path must not pay an f-string + registry lookup per
         # message (Figure 9 is about exactly this kind of per-event tax).
         self._write_counters: dict[str, tuple[Counter, Counter]] = {}
+        # Credit gates for categories with backpressure enabled. Empty
+        # for most stores; the write path guards on the dict itself so
+        # ungated deployments pay nothing.
+        self._gates: dict[str, CreditGate] = {}
 
     # -- category management -------------------------------------------------
 
@@ -92,6 +97,37 @@ class ScribeStore:
     def categories(self) -> list[str]:
         return sorted(self._categories)
 
+    # -- backpressure (credit-based flow control) ----------------------------
+
+    def enable_backpressure(self, category_name: str,
+                            max_outstanding: int) -> CreditGate:
+        """Gate writes to ``category_name`` behind per-bucket credits.
+
+        Each bucket may hold at most ``max_outstanding`` messages that no
+        consumer has read yet; further writes raise
+        :class:`~repro.errors.Backpressure` until reads grant credits
+        back. Enabling twice reconfigures the limit but keeps the
+        outstanding accounting.
+        """
+        self.category(category_name)  # validate eagerly
+        gate = self._gates.get(category_name)
+        if gate is not None:
+            if max_outstanding < 1:
+                raise ConfigError("max_outstanding must be >= 1")
+            gate.max_outstanding = max_outstanding
+            return gate
+        gate = CreditGate(
+            category_name, max_outstanding,
+            granted=self.metrics.counter("scribe.credits.granted"),
+            blocked=self.metrics.counter("scribe.credits.blocked"),
+        )
+        self._gates[category_name] = gate
+        return gate
+
+    def gate_for(self, category_name: str) -> CreditGate | None:
+        """The category's credit gate, or None when ungated."""
+        return self._gates.get(category_name) if self._gates else None
+
     # -- writes ---------------------------------------------------------------
 
     def _counters_for(self, category_name: str) -> tuple[Counter, Counter]:
@@ -126,6 +162,12 @@ class ScribeStore:
                 bucket = default_bucketer(key, category.num_buckets)
             else:
                 bucket = 0
+        if self._gates:
+            gate = self._gates.get(category.name)
+            if gate is not None and not gate.try_acquire(bucket):
+                raise Backpressure(category.name, bucket,
+                                   gate.outstanding(bucket),
+                                   gate.max_outstanding)
         now = self.clock.now()
         offset = category.bucket(bucket).append(
             payload, write_time=now, visible_at=now + self.delivery_delay

@@ -5,6 +5,8 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro import serde
+from repro.core.sharding import shards_for_keys
+from repro.errors import Backpressure
 from repro.scribe.store import ScribeStore, default_bucketer
 
 
@@ -32,17 +34,43 @@ class ScribeWriter:
         return self.store.write_to(self._category, serde.encode(record),
                                    key=key)
 
+    def try_write(self, record: Mapping[str, Any],
+                  key: str | None = None) -> int | None:
+        """Like :meth:`write`, but returns None when backpressured.
+
+        The polling form of producer blocking: a scheduled producer that
+        gets None keeps the record and retries next tick, so the
+        simulated process blocks without exception control flow in its
+        steady-state loop.
+        """
+        try:
+            return self.write(record, key=key)
+        except Backpressure:
+            return None
+
     def write_batch(self, records: list[Mapping[str, Any]],
-                    key: str | None = None) -> list[int]:
+                    key: str | None = None,
+                    keys: list[str] | None = None) -> list[int]:
         """Serialize and append many records; return their offsets.
 
         One serde call and one handle resolution for the whole batch —
-        the write-side twin of :func:`repro.serde.decode_batch`.
+        the write-side twin of :func:`repro.serde.decode_batch`. With
+        ``keys`` (one per record), the per-record buckets come from one
+        vectorized :func:`~repro.core.sharding.shards_for_keys` pass
+        instead of a hash-and-validate call per record.
         """
         write_to = self.store.write_to
         category = self._category
-        return [write_to(category, payload, key=key)
-                for payload in serde.encode_batch(records)]
+        payloads = serde.encode_batch(records)
+        if keys is not None:
+            if len(keys) != len(records):
+                raise ValueError(
+                    f"{len(records)} records but {len(keys)} keys"
+                )
+            buckets = shards_for_keys(keys, category.num_buckets)
+            return [write_to(category, payload, bucket=bucket)
+                    for payload, bucket in zip(payloads, buckets)]
+        return [write_to(category, payload, key=key) for payload in payloads]
 
     def write_bytes(self, payload: bytes, key: str | None = None) -> int:
         return self.store.write_to(self._category, payload, key=key)

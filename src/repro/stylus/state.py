@@ -203,6 +203,31 @@ class LocalDbStateBackend(StateBackend):
     def store(self) -> LsmStore:
         return self._store
 
+    @classmethod
+    def adopt(cls, name: str, disk: dict[str, Any],
+              backup_engine: BackupEngine,
+              merge_operator: MergeOperator | None = None,
+              backup_id: int | None = None) -> "LocalDbStateBackend":
+        """Build a backend on a (possibly new) machine from an HDFS backup.
+
+        The shard-handoff path: the releasing owner snapshotted the
+        store, the adopter materializes it here. Same mechanics as
+        :meth:`recover_after_machine_failure`, but as a constructor —
+        the adopter never had a store object to begin with. Raises
+        :class:`~repro.errors.BackupNotFound` when no snapshot exists.
+        """
+        backend = cls(name, disk, backup_engine=backup_engine,
+                      merge_operator=merge_operator)
+        backend._store = backup_engine.restore(
+            name, disk, backup_id=backup_id, merge_operator=merge_operator
+        )
+        entries = backend._store.approximate_key_count()
+        backend.last_recovery = RecoveryCost(
+            cls.HDFS_RESTORE_FIXED + entries * cls.HDFS_RESTORE_PER_ENTRY,
+            entries, "hdfs-backup",
+        )
+        return backend
+
     # -- checkpoint primitives --------------------------------------------------
 
     def save_state(self, state: Any) -> None:

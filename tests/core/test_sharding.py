@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.sharding import Resharder, ShardAssignment, shard_for_key
+from repro.core.sharding import (HashRing, Resharder, ShardAssignment,
+                                 shard_for_key, shards_for_keys)
 from repro.errors import ConfigError
 
 
@@ -43,6 +44,107 @@ class TestShardAssignment:
             assignment.buckets_for(2)
         with pytest.raises(ConfigError):
             assignment.process_for(4)
+
+
+class TestShardsForKeys:
+    def test_matches_scalar_helper(self):
+        keys = [f"user{i}" for i in range(500)]
+        assert shards_for_keys(keys, 16) == \
+            [shard_for_key(key, 16) for key in keys]
+
+    def test_empty_batch(self):
+        assert shards_for_keys([], 4) == []
+
+    def test_invalid_count_rejected_once(self):
+        with pytest.raises(ConfigError):
+            shards_for_keys(["k"], 0)
+
+
+class TestShardAssignmentEdgeCases:
+    def test_fewer_buckets_than_processes(self):
+        # 3 buckets over 5 processes: two processes legitimately idle.
+        assignment = ShardAssignment(num_buckets=3, num_processes=5)
+        owned = [assignment.buckets_for(p) for p in range(5)]
+        assert sorted(b for buckets in owned for b in buckets) == [0, 1, 2]
+        assert sum(1 for buckets in owned if not buckets) == 2
+        low, high = assignment.balance()
+        assert (low, high) == (0, 1)
+
+    def test_single_bucket_single_process(self):
+        assignment = ShardAssignment(1, 1)
+        assert assignment.buckets_for(0) == [0]
+        assert assignment.process_for(0) == 0
+
+    def test_assignment_stable_under_process_restart(self):
+        # An assignment is a pure function of (buckets, processes): a
+        # process that restarts recomputes it and gets its old buckets.
+        before = ShardAssignment(16, 5)
+        after = ShardAssignment(16, 5)
+        for process in range(5):
+            assert before.buckets_for(process) == after.buckets_for(process)
+
+
+class TestHashRing:
+    def test_assignment_covers_every_bucket(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        assignment = ring.assign_buckets(64)
+        assert sorted(assignment) == list(range(64))
+        assert set(assignment.values()) <= {"s0", "s1", "s2"}
+
+    def test_deterministic_across_instances(self):
+        first = HashRing(["a", "b", "c"], replicas=32).assign_buckets(40)
+        second = HashRing(["c", "a", "b"], replicas=32).assign_buckets(40)
+        assert first == second  # node *set* decides, not insertion order
+
+    def test_remove_moves_only_the_removed_nodes_buckets(self):
+        ring = HashRing(["a", "b", "c"])
+        with_c = ring.assign_buckets(64)
+        ring.remove_node("c")
+        without_c = ring.assign_buckets(64)
+        for bucket in range(64):
+            if with_c[bucket] != "c":
+                assert without_c[bucket] == with_c[bucket]
+            else:
+                assert without_c[bucket] in {"a", "b"}
+
+    def test_stable_under_node_restart(self):
+        # A node that leaves and rejoins gets exactly its old buckets —
+        # the property that makes shard-process restarts cheap.
+        ring = HashRing(["a", "b", "c", "d"])
+        before = ring.assign_buckets(64)
+        ring.remove_node("b")
+        ring.add_node("b")
+        assert ring.assign_buckets(64) == before
+
+    def test_add_moves_roughly_one_over_n(self):
+        ring = HashRing([f"s{i}" for i in range(4)], replicas=128)
+        before = ring.assign_buckets(256)
+        ring.add_node("s4")
+        after = ring.assign_buckets(256)
+        moved = sum(1 for b in range(256) if before[b] != after[b])
+        # The newcomer should take ~1/5 of the buckets; far less means it
+        # is starved, far more means unrelated buckets churned.
+        assert 256 * 0.08 < moved < 256 * 0.40
+        for bucket in range(256):
+            if before[bucket] != after[bucket]:
+                assert after[bucket] == "s4"  # only moves *to* the new node
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ConfigError):
+            ring.add_node("a")
+        with pytest.raises(ConfigError):
+            ring.remove_node("zz")
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ConfigError):
+            HashRing().node_for_key("k")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            HashRing(replicas=0)
+        with pytest.raises(ConfigError):
+            HashRing(["a"]).assign_buckets(0)
 
 
 class TestResharder:

@@ -153,6 +153,121 @@ class TestPumaAppScaling:
         assert sum(r["n"] for r in rows) == 600
 
 
+class TestTopologyMode:
+    """Watched with a topology, decisions drive the shard count live."""
+
+    @pytest.fixture
+    def sharded(self, scribe, clock):
+        from repro.runtime.cluster import Cluster
+        from repro.runtime.metrics import MetricsRegistry
+        from repro.runtime.topology import (ShardedTopology,
+                                            stylus_worker_factory)
+        from repro.storage.backup import BackupEngine
+        from repro.storage.hdfs import HdfsBlobStore
+
+        scribe.create_category("sharded", 8)
+        cluster = Cluster()
+        for i in range(4):
+            cluster.add_machine(f"m{i}")
+        factory = stylus_worker_factory(
+            scribe, "sharded", CountingProcessor,
+            BackupEngine(HdfsBlobStore(clock=clock)),
+            state_prefix="t", clock=clock)
+        topology = ShardedTopology("t", cluster, scribe, "sharded", 2,
+                                   factory)
+        metrics = MetricsRegistry()
+        scaler = AutoScaler(scribe, clock=clock, high_lag=100,
+                            sustain_samples=2, idle_samples_for_downscale=3,
+                            cooldown_seconds=60.0, metrics=metrics)
+        scaler.watch(topology, topology=topology)
+        return topology, scaler, metrics
+
+    def feed(self, scribe, count):
+        for i in range(count):
+            scribe.write_record("sharded", {"event_time": float(i),
+                                            "seq": i}, key=str(i))
+
+    def test_sustained_lag_splits_shards(self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        self.feed(scribe, 1000)
+        assert scaler.sample() == []
+        clock.advance(30.0)
+        actions = scaler.sample()
+        assert [a.kind for a in actions] == ["scale_up"]
+        assert (actions[0].old_buckets, actions[0].new_buckets) == (2, 4)
+        assert topology.num_shards == 4
+        # The Scribe bucket count is the fixed substrate in this mode.
+        assert scribe.category("sharded").num_buckets == 8
+        topology.drain()
+        assert topology.lag_messages() == 0
+
+    def test_sustained_idle_actually_merges(self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        topology.rebalance(4)
+        for _ in range(3):
+            clock.advance(30.0)
+            actions = scaler.sample()
+        assert [a.kind for a in actions] == ["scale_down"]
+        assert topology.num_shards == 2
+
+    def test_scale_up_caps_at_bucket_count(self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        topology.rebalance(8)  # == num_buckets
+        self.feed(scribe, 1000)
+        scaler.sample()
+        clock.advance(30.0)
+        assert scaler.sample() == []  # nowhere to grow
+        assert topology.num_shards == 8
+
+    def test_decision_mid_rebalance_is_deferred_not_dropped(
+            self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        self.feed(scribe, 1000)
+        scaler.sample()
+        clock.advance(30.0)
+        mid_actions = []
+
+        def hook(phase):
+            # A scheduler tick lands while the handoff is in flight: the
+            # second sustained-high sample decides to scale up but the
+            # topology is busy.
+            mid_actions.extend(scaler.sample())
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(4)  # operator-initiated split
+        topology.rebalance_fault_hook = None
+        assert mid_actions == []
+        assert metrics.snapshot()["autoscaler.deferred"] == 1
+        assert topology.num_shards == 4
+        # The parked decision applies on the first free sample, before
+        # any fresh lag reading.
+        actions = scaler.sample()
+        assert [a.kind for a in actions] == ["scale_up"]
+        assert topology.num_shards == 8
+
+    def test_deferred_merge_is_a_no_op_at_one_shard(
+            self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        # Two idle samples: one short of the downscale decision.
+        for _ in range(2):
+            clock.advance(30.0)
+            assert scaler.sample() == []
+
+        def hook(phase):
+            # The third idle sample fires mid-merge: the scale_down
+            # decision is due but the topology is busy, so it parks.
+            assert scaler.sample() == []
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(1)  # operator merges to 1 shard meanwhile
+        topology.rebalance_fault_hook = None
+        assert metrics.snapshot()["autoscaler.deferred"] == 1
+        # Applying the parked merge would halve 1 -> max(1, 0): nothing
+        # to do, so the deferral dissolves without an action.
+        assert scaler.sample() == []
+        assert topology.num_shards == 1
+
+
 class TestRecommendationDoesNotConsumeCooldown:
     def test_scale_up_right_after_a_recommendation(self, world):
         scribe, clock, job, scaler = world

@@ -1,0 +1,274 @@
+"""Tests for the sharded multi-process topology and live rebalancing."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.errors import ConfigError, SimulationError
+from repro.puma.parser import parse
+from repro.puma.planner import plan
+from repro.runtime.cluster import Cluster
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.topology import (ShardedTopology, puma_worker_factory,
+                                    stylus_worker_factory)
+from repro.storage.backup import BackupEngine
+from repro.storage.hbase import HBaseTable
+from repro.storage.hdfs import HdfsBlobStore
+from tests.conftest import write_events
+from tests.stylus.helpers import CountingProcessor
+
+NUM_BUCKETS = 8
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    cluster = Cluster()
+    for i in range(4):
+        cluster.add_machine(f"m{i}")
+    return cluster
+
+
+def make_topology(cluster, scribe, num_shards=2, name="t",
+                  num_buckets=NUM_BUCKETS, **kwargs):
+    scribe.ensure_category("events", num_buckets)
+    hdfs = HdfsBlobStore(clock=scribe.clock)
+    factory = stylus_worker_factory(
+        scribe, "events", CountingProcessor, BackupEngine(hdfs),
+        state_prefix=name, clock=scribe.clock,
+    )
+    return ShardedTopology(name, cluster, scribe, "events", num_shards,
+                           factory, **kwargs)
+
+
+def total_count(topology) -> int:
+    """Durable event count summed over every bucket's state store."""
+    topology.checkpoint_all()
+    total = 0
+    for shard_name in topology.shard_names():
+        worker = topology.worker(shard_name)
+        for bucket in worker.buckets():
+            state, _ = worker.task(bucket).state_backend.load()
+            if state is not None:
+                total += state["count"]
+    return total
+
+
+class TestShape:
+    def test_initial_assignment_partitions_buckets(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=3)
+        assert topology.shard_names() == ["t-s000", "t-s001", "t-s002"]
+        owned = []
+        for shard_name in topology.shard_names():
+            buckets = topology.worker(shard_name).buckets()
+            owned.extend(buckets)
+            for bucket in buckets:
+                assert topology.owner_of(bucket) == shard_name
+        assert sorted(owned) == list(range(NUM_BUCKETS))
+
+    def test_every_shard_is_a_cluster_process(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        for shard_name in topology.shard_names():
+            process = cluster.process(shard_name)
+            assert process.running
+            assert topology.process(shard_name) is process
+
+    def test_shard_count_bounds(self, cluster, scribe):
+        with pytest.raises(ConfigError):
+            make_topology(cluster, scribe, num_shards=0)
+        with pytest.raises(ConfigError):
+            make_topology(cluster, scribe, num_shards=NUM_BUCKETS + 1)
+
+    def test_owner_of_rejects_unknown_bucket(self, cluster, scribe):
+        topology = make_topology(cluster, scribe)
+        with pytest.raises(ConfigError):
+            topology.owner_of(NUM_BUCKETS)
+
+    def test_shards_gauge_tracks_count(self, cluster, scribe):
+        metrics = MetricsRegistry()
+        topology = make_topology(cluster, scribe, num_shards=2,
+                                 metrics=metrics)
+        assert metrics.snapshot()["topology.t.shards"] == 2
+        topology.rebalance(4)
+        assert metrics.snapshot()["topology.t.shards"] == 4
+
+
+class TestPumping:
+    def test_drain_processes_everything_once(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        write_events(scribe, "events", 200)
+        assert topology.lag_messages() == 200
+        assert topology.drain() == 200
+        assert topology.lag_messages() == 0
+        assert total_count(topology) == 200
+
+    def test_scheduler_drives_pumps(self, cluster, scribe, clock):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        scheduler = Scheduler(clock)
+        topology.schedule_on(scheduler, interval=1.0, max_messages=50)
+        write_events(scribe, "events", 120)
+        scheduler.run_until(5.0)
+        assert topology.lag_messages() == 0
+        assert total_count(topology) == 120
+
+    def test_crashed_shard_is_skipped_then_catches_up(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        write_events(scribe, "events", 100)
+        cluster.crash_process("t-s000")
+        pumped = topology.drain()
+        assert pumped < 100  # the dead shard's buckets wait
+        assert topology.lag_messages() > 0
+        cluster.restart_process("t-s000")
+        topology.drain()
+        assert topology.lag_messages() == 0
+        assert total_count(topology) == 100
+
+
+class TestRebalance:
+    def test_split_moves_only_reassigned_buckets(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        before = topology.assignment()
+        moved = topology.rebalance(4)
+        after = topology.assignment()
+        assert topology.num_shards == 4
+        assert moved == sorted(b for b in before if before[b] != after[b])
+        assert 0 < len(moved) < NUM_BUCKETS  # some moved, not all
+        for bucket in moved:
+            assert after[bucket] in {"t-s002", "t-s003"}
+
+    def test_split_preserves_counts_mid_stream(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        write_events(scribe, "events", 150)
+        topology.drain()
+        topology.rebalance(4)
+        write_events(scribe, "events", 150, start_time=150.0)
+        topology.drain()
+        assert total_count(topology) == 300
+
+    def test_merge_retires_emptied_shards(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=4)
+        write_events(scribe, "events", 100)
+        topology.drain()
+        topology.rebalance(2)
+        assert topology.shard_names() == ["t-s000", "t-s001"]
+        assert cluster.find_process("t-s002") is None
+        assert cluster.find_process("t-s003") is None
+        topology.drain()
+        assert total_count(topology) == 100
+
+    def test_merge_then_split_reuses_shard_names(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=4)
+        write_events(scribe, "events", 80)
+        topology.drain()
+        topology.rebalance(1)
+        topology.rebalance(4)  # respawns t-s001..t-s003
+        assert topology.shard_names() == [
+            "t-s000", "t-s001", "t-s002", "t-s003"]
+        write_events(scribe, "events", 80, start_time=80.0)
+        topology.drain()
+        assert total_count(topology) == 160
+
+    def test_same_count_is_a_no_op(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        assert topology.rebalance(2) == []
+
+    def test_bounds_enforced(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        with pytest.raises(ConfigError):
+            topology.rebalance(0)
+        with pytest.raises(ConfigError):
+            topology.rebalance(NUM_BUCKETS + 1)
+
+    def test_rebalance_during_rebalance_rejected(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        phases = []
+
+        def hook(phase):
+            phases.append(phase)
+            with pytest.raises(SimulationError):
+                topology.rebalance(2)
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(4)
+        assert phases == ["transfer"]
+        assert topology.num_shards == 4  # outer rebalance completed
+
+    def test_counters_track_rebalances(self, cluster, scribe):
+        metrics = MetricsRegistry()
+        topology = make_topology(cluster, scribe, num_shards=2,
+                                 metrics=metrics)
+        moved = topology.rebalance(4)
+        snapshot = metrics.snapshot()
+        assert snapshot["topology.t.rebalances"] == 1
+        assert snapshot["topology.t.buckets_moved"] == len(moved)
+
+    def test_owner_killed_mid_transfer_loses_nothing(self, cluster, scribe):
+        topology = make_topology(cluster, scribe, num_shards=2)
+        write_events(scribe, "events", 120)
+        topology.pump_all(30)  # partial progress, some of it uncheckpointed
+
+        def hook(phase):
+            # Kill a surviving owner inside the handoff window.
+            cluster.crash_process("t-s000")
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(4)
+        topology.rebalance_fault_hook = None
+        cluster.restart_process("t-s000")
+        topology.drain()
+        assert total_count(topology) == 120
+
+
+class TestModeledScaling:
+    def test_more_shards_shrink_the_makespan(self, cluster, scribe):
+        # The same input drained by 1 shard vs 4: per-process timelines
+        # make the makespan the busiest shard, so 4 shards should cut it
+        # by well over half (consistent hashing leaves some skew).
+        cost = CostModel()
+        scribe.ensure_category("events", 32)
+        write_events(scribe, "events", 1200)
+        single = make_topology(cluster, scribe, num_shards=1, name="one",
+                               num_buckets=32, cost_model=cost,
+                               ring_replicas=128)
+        quad = make_topology(cluster, scribe, num_shards=4, name="four",
+                             num_buckets=32, cost_model=cost,
+                             ring_replicas=128)
+        single.drain()
+        quad.drain()
+        assert single.modeled_elapsed() == pytest.approx(
+            1200 * cost.cpu_per_event)
+        assert single.modeled_elapsed() / quad.modeled_elapsed() > 2.0
+
+
+PUMA_SOURCE = """
+CREATE APPLICATION counts;
+CREATE INPUT TABLE clicks(event_time, page, user) FROM SCRIBE("clicks")
+TIME event_time;
+CREATE TABLE clicks_1min AS
+SELECT page, count(*) AS n FROM clicks [1 minute];
+"""
+
+
+class TestPumaWorkers:
+    def test_split_preserves_aggregates(self, cluster, scribe):
+        scribe.create_category("clicks", NUM_BUCKETS)
+        hbase = HBaseTable("state")
+        factory = puma_worker_factory(plan(parse(PUMA_SOURCE)), scribe, hbase,
+                                      clock=scribe.clock)
+        topology = ShardedTopology("p", cluster, scribe, "clicks", 2, factory)
+        for i in range(90):
+            scribe.write_record("clicks", {
+                "event_time": float(i % 30), "page": "home", "user": f"u{i}",
+            }, key=str(i))
+        topology.drain()
+        topology.rebalance(4)
+        for i in range(90):
+            scribe.write_record("clicks", {
+                "event_time": float(i % 30), "page": "home", "user": f"u{i}",
+            }, key=str(i))
+        topology.drain()
+        topology.checkpoint_all()
+        # Same-plan apps share the HBase namespace: any worker sees the
+        # merged whole once deltas are flushed.
+        worker = topology.worker("p-s000")
+        [row] = worker.app.query("clicks_1min", window_start=0.0)
+        assert row["n"] == 180

@@ -1,0 +1,135 @@
+"""Tests for credit-based flow control between writers and readers."""
+
+import pytest
+
+from repro.errors import Backpressure, ConfigError
+from repro.runtime.metrics import MetricsRegistry
+from repro.scribe.flow import CreditGate
+from repro.scribe.reader import ScribeReader
+from repro.scribe.writer import ScribeWriter
+
+
+def make_gate(max_outstanding: int = 4) -> tuple[CreditGate, MetricsRegistry]:
+    metrics = MetricsRegistry()
+    gate = CreditGate("e", max_outstanding,
+                      granted=metrics.counter("scribe.credits.granted"),
+                      blocked=metrics.counter("scribe.credits.blocked"))
+    return gate, metrics
+
+
+class TestCreditGate:
+    def test_acquire_until_exhausted(self):
+        gate, metrics = make_gate(max_outstanding=3)
+        assert [gate.try_acquire(0) for _ in range(4)] == [
+            True, True, True, False]
+        assert gate.outstanding(0) == 3
+        assert gate.available(0) == 0
+        assert metrics.snapshot()["scribe.credits.blocked"] == 1
+
+    def test_grant_replenishes(self):
+        gate, metrics = make_gate(max_outstanding=2)
+        gate.try_acquire(0)
+        gate.try_acquire(0)
+        gate.grant(0, 1)
+        assert gate.available(0) == 1
+        assert gate.try_acquire(0)
+        assert metrics.snapshot()["scribe.credits.granted"] == 1
+
+    def test_buckets_are_independent(self):
+        gate, _ = make_gate(max_outstanding=1)
+        assert gate.try_acquire(0)
+        assert gate.try_acquire(1)
+        assert not gate.try_acquire(0)
+        assert gate.outstanding(1) == 1
+
+    def test_overgrant_clamps_at_zero(self):
+        # Replay after a crash can re-deliver a batch, granting credits
+        # twice; outstanding must not go negative and blow the cap.
+        gate, _ = make_gate(max_outstanding=2)
+        gate.try_acquire(0)
+        gate.grant(0, 5)
+        assert gate.outstanding(0) == 0
+        assert gate.available(0) == 2
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            make_gate(max_outstanding=0)
+
+    def test_zero_grant_is_a_no_op(self):
+        gate, metrics = make_gate()
+        gate.try_acquire(0)
+        gate.grant(0, 0)
+        assert gate.outstanding(0) == 1
+        assert metrics.snapshot().get("scribe.credits.granted", 0) == 0
+
+
+class TestStoreBackpressure:
+    def test_write_blocks_at_limit(self, scribe):
+        scribe.create_category("e", 1)
+        scribe.enable_backpressure("e", max_outstanding=2)
+        scribe.write("e", b"a")
+        scribe.write("e", b"b")
+        with pytest.raises(Backpressure) as excinfo:
+            scribe.write("e", b"c")
+        assert excinfo.value.bucket == 0
+        assert excinfo.value.outstanding == 2
+        assert scribe.metrics.snapshot()["scribe.credits.blocked"] == 1
+        # The blocked write was not appended.
+        assert scribe.end_offset("e", 0) == 2
+
+    def test_read_grants_credits_and_unblocks(self, scribe):
+        scribe.create_category("e", 1)
+        scribe.enable_backpressure("e", max_outstanding=2)
+        scribe.write("e", b"a")
+        scribe.write("e", b"b")
+        reader = ScribeReader(scribe, "e", 0)
+        assert len(reader.read_batch(10)) == 2
+        assert scribe.metrics.snapshot()["scribe.credits.granted"] == 2
+        scribe.write("e", b"c")  # no longer blocked
+
+    def test_peek_does_not_grant(self, scribe):
+        scribe.create_category("e", 1)
+        gate = scribe.enable_backpressure("e", max_outstanding=1)
+        scribe.write("e", b"a")
+        reader = ScribeReader(scribe, "e", 0)
+        assert reader.peek() is not None
+        assert gate.outstanding(0) == 1
+
+    def test_gate_for_unconfigured_category(self, scribe):
+        scribe.create_category("e", 1)
+        assert scribe.gate_for("e") is None
+        scribe.write("e", b"a")  # no gate, no backpressure
+
+    def test_reconfigure_limit_in_place(self, scribe):
+        scribe.create_category("e", 1)
+        first = scribe.enable_backpressure("e", max_outstanding=1)
+        second = scribe.enable_backpressure("e", max_outstanding=5)
+        assert first is second
+        assert second.max_outstanding == 5
+        with pytest.raises(ConfigError):
+            scribe.enable_backpressure("e", max_outstanding=0)
+
+    def test_writer_try_write_returns_none_when_blocked(self, scribe):
+        scribe.create_category("e", 1)
+        scribe.enable_backpressure("e", max_outstanding=1)
+        writer = ScribeWriter(scribe, "e")
+        assert writer.try_write({"seq": 0}) == 0
+        assert writer.try_write({"seq": 1}) is None
+
+    def test_fast_producer_depth_stays_bounded(self, scribe):
+        # A producer 10x faster than its consumer must not grow the
+        # bucket beyond the credit limit: depth is capped, not memory.
+        scribe.create_category("e", 1)
+        limit = 8
+        scribe.enable_backpressure("e", max_outstanding=limit)
+        writer = ScribeWriter(scribe, "e")
+        reader = ScribeReader(scribe, "e", 0)
+        max_depth = 0
+        for round_no in range(50):
+            for i in range(10):
+                writer.try_write({"round": round_no, "i": i})
+            reader.read_batch(1)
+            depth = scribe.end_offset("e", 0) - reader.position
+            max_depth = max(max_depth, depth)
+        assert max_depth <= limit
+        assert scribe.metrics.snapshot()["scribe.credits.blocked"] > 0
