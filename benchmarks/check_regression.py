@@ -12,6 +12,14 @@ Usage::
     python benchmarks/check_regression.py --threshold 0.10
     python benchmarks/check_regression.py --full      # full-size run
     python benchmarks/check_regression.py --update    # rewrite baseline
+    python benchmarks/check_regression.py --macro     # scenario pack
+    python benchmarks/check_regression.py --macro --only hot_key_skew
+
+``--macro`` switches to the end-to-end scenario pack: it diffs a fresh
+``benchmarks/bench_macro.py`` run against ``BENCH_macro.json``, where
+only the absolute floor rules apply (macro reports carry no wall-clock
+metrics). ``--only`` restricts the macro run to one scenario — the CI
+smoke job runs the cheapest one; floors skip absent benchmarks.
 
 The same check is available as a pytest marker::
 
@@ -45,12 +53,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="full-size run instead of quick mode")
     parser.add_argument("--update", action="store_true",
                         help="write the fresh run to the baseline and exit")
+    parser.add_argument("--macro", action="store_true",
+                        help="check the macro scenario pack instead")
+    parser.add_argument("--only", default=None,
+                        help="with --macro: run a single scenario")
     args = parser.parse_args(argv)
 
-    from bench_hotpath import run_hotpath
-
     start = time.perf_counter()
-    current = run_hotpath(quick=not args.full)
+    if args.macro:
+        from bench_macro import MACRO_BASELINE_PATH, run_macro
+
+        if args.baseline == BASELINE_PATH:  # not overridden on the CLI
+            args.baseline = MACRO_BASELINE_PATH
+        current = run_macro(quick=not args.full, only=args.only)
+    else:
+        from bench_hotpath import run_hotpath
+
+        current = run_hotpath(quick=not args.full)
     elapsed = time.perf_counter() - start
 
     if args.update:

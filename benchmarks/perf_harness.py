@@ -164,6 +164,22 @@ _FLOOR_RULES: list[tuple[str, str, float]] = [
     ("shard_scaling", "scaling_efficiency_4x", 2.5),
     ("backpressure", "credits_blocked", 1.0),
     ("backpressure", "depth_within_bound", 1.0),
+    # Macro scenarios (BENCH_macro.json, benchmarks/bench_macro.py):
+    # every acceptance check green, and the headline behaviors — the
+    # flash crowd sheds and triggers scaling, the hot key shows up in
+    # the imbalance gauge, the join is exact, the noisy tenant is the
+    # one that blocks — hold at any scale.
+    ("macro_ad_click_join", "checks_passed_fraction", 1.0),
+    ("macro_diurnal_flash_crowd", "checks_passed_fraction", 1.0),
+    ("macro_hot_key_skew", "checks_passed_fraction", 1.0),
+    ("macro_multi_tenant", "checks_passed_fraction", 1.0),
+    ("macro_session_trending", "checks_passed_fraction", 1.0),
+    ("macro_ad_click_join", "join_exactness", 1.0),
+    ("macro_diurnal_flash_crowd", "events_shed", 1.0),
+    ("macro_diurnal_flash_crowd", "scaling_actions", 2.0),
+    ("macro_hot_key_skew", "shard_cost_imbalance", 1.5),
+    ("macro_multi_tenant", "b_shed", 1.0),
+    ("macro_session_trending", "joiner_cache_hit_rate", 0.8),
 ]
 
 

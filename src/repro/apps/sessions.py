@@ -1,0 +1,115 @@
+"""Gap-based sessionization — the canonical stateful streaming app.
+
+The paper's motivation for stateful processors (Section 4.5.2) is
+aggregation whose answer depends on *history*, and user sessions are the
+textbook case: a session is a maximal run of one user's events with no
+gap longer than ``gap_seconds`` between consecutive events. Nothing in
+the input marks a session boundary — the processor must remember, per
+user, the session currently open and decide in retrospect that it ended.
+
+Closing is watermark-driven, like every event-time decision in this
+codebase: an open session whose last event is older than
+``max_event_time - gap_seconds`` can no longer be extended (any event
+that could extend it would have to be older than the watermark), so it
+closes and the session record is emitted at checkpoint time. Events
+arriving out of order *within* the gap simply stretch the open session
+in both directions.
+
+State is plain dicts/lists, so the full semantics lattice and crash
+machinery apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.event import Event
+from repro.errors import ConfigError
+from repro.stylus.processor import Output, StatefulProcessor
+
+
+class SessionizeProcessor(StatefulProcessor):
+    """Close per-user sessions after ``gap_seconds`` of event-time silence.
+
+    Emits one record per closed session, keyed by the user: the session
+    bounds, its event count, and its duration. Sessions close either
+    inline (a new event from the same user lands beyond the gap) or at
+    checkpoint time (the watermark passed the gap with no new event).
+    """
+
+    def __init__(self, gap_seconds: float = 30.0,
+                 key_field: str = "user") -> None:
+        if gap_seconds <= 0:
+            raise ConfigError("gap_seconds must be > 0")
+        self.gap_seconds = gap_seconds
+        self.key_field = key_field
+
+    # -- StatefulProcessor contract -----------------------------------------
+
+    def initial_state(self) -> dict[str, Any]:
+        # Open sessions are [start, last, count] triples per user.
+        return {"open": {}, "max_event_time": None, "closed": 0}
+
+    def process(self, event: Event, state: dict[str, Any]) -> list[Output]:
+        user = str(event[self.key_field])
+        event_time = event.event_time
+        outputs: list[Output] = []
+        session = state["open"].get(user)
+        if session is None:
+            state["open"][user] = [event_time, event_time, 1]
+        elif event_time - session[1] > self.gap_seconds:
+            # The gap elapsed in event time: the old session is over and
+            # this event opens the next one.
+            outputs.append(self._closed(user, session, state))
+            state["open"][user] = [event_time, event_time, 1]
+        else:
+            # In or near the open session; out-of-order arrivals within
+            # the gap stretch it backwards as well as forwards.
+            session[0] = min(session[0], event_time)
+            session[1] = max(session[1], event_time)
+            session[2] += 1
+        high = state["max_event_time"]
+        if high is None or event_time > high:
+            state["max_event_time"] = event_time
+        return outputs
+
+    def on_checkpoint(self, state: dict[str, Any],
+                      now: float) -> list[Output]:
+        """Close sessions the watermark can no longer extend."""
+        high = state["max_event_time"]
+        if high is None:
+            return []
+        horizon = high - self.gap_seconds
+        outputs: list[Output] = []
+        open_sessions = state["open"]
+        for user in list(open_sessions):
+            session = open_sessions[user]
+            if session[1] < horizon:
+                outputs.append(self._closed(user, session, state))
+                del open_sessions[user]
+        return outputs
+
+    # -- helpers -------------------------------------------------------------
+
+    def _closed(self, user: str, session: list,
+                state: dict[str, Any]) -> Output:
+        start, last, count = session
+        state["closed"] += 1
+        return Output({
+            "event_time": last,
+            self.key_field: user,
+            "session_start": start,
+            "session_end": last,
+            "events": count,
+            "duration": last - start,
+        }, key=user)
+
+    # -- observability --------------------------------------------------------
+
+    @staticmethod
+    def open_sessions(state: dict[str, Any]) -> int:
+        return len(state["open"])
+
+    @staticmethod
+    def closed_sessions(state: dict[str, Any]) -> int:
+        return state["closed"]

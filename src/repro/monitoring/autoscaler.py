@@ -22,7 +22,10 @@ The autoscaler samples each watched app's processing lag. Two modes:
   pause/transfer/resume rebalance. A decision that lands while a
   rebalance is already in flight is **deferred, not dropped**: it is
   counted in ``autoscaler.deferred`` and applied on the first sample
-  after the topology is free.
+  after the topology is free — *if* the lag it was decided on still
+  warrants it. A deferred split whose lag has since drained (or a
+  deferred merge whose input picked back up) is discarded and counted
+  in ``autoscaler.deferred_stale`` instead of being applied blindly.
 """
 
 from __future__ import annotations
@@ -100,6 +103,7 @@ class AutoScaler:
         self.max_buckets = max_buckets
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._deferred_counter = self.metrics.counter("autoscaler.deferred")
+        self._stale_counter = self.metrics.counter("autoscaler.deferred_stale")
         self._watches: dict[str, _Watch] = {}
         self.actions: list[ScalingAction] = []
 
@@ -117,12 +121,24 @@ class AutoScaler:
             # A decision deferred by an in-flight rebalance applies as
             # soon as the topology is free — before this sample's lag
             # reading, so the deferral never starves behind fresh input.
+            # But it was made on pre-rebalance lag: if the condition that
+            # justified it no longer holds (the handoff itself, or the
+            # interim pumping, absorbed the pressure), applying it now
+            # would thrash — split an already-drained topology or merge
+            # one that is busy again. Stale decisions are discarded and
+            # counted instead.
             if (watch.deferred_kind is not None and watch.topology is not None
                     and not watch.topology.rebalancing):
                 kind, watch.deferred_kind = watch.deferred_kind, None
-                action = self._apply_topology(watch, kind, now)
-                if action is not None:
-                    taken.append(action)
+                lag_now = watch.job.lag_messages()
+                stale = (lag_now <= self.high_lag if kind == "scale_up"
+                         else lag_now > 0)
+                if stale:
+                    self._stale_counter.increment()
+                else:
+                    action = self._apply_topology(watch, kind, now)
+                    if action is not None:
+                        taken.append(action)
 
             lag = watch.job.lag_messages()
             if lag > self.high_lag:

@@ -857,6 +857,14 @@ class PumaApp:
         self._readers[bucket] = reader
         return len(self._readers)
 
+    def bucket_position(self, bucket: int) -> int:
+        """The read position of an owned bucket's reader."""
+        if bucket not in self._readers:
+            raise ConfigError(
+                f"app {self.name!r} does not own bucket {bucket}"
+            )
+        return self._readers[bucket].position
+
 
 def combine_partial_states(table: TablePlan,
                            partials: list[dict[tuple, dict[str, Any]]]

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from repro.core.costs import CostModel, ResourceTimeline
+from repro.core.semantics import OutputSemantics
 from repro.core.sharding import HashRing
 from repro.errors import (BackupNotFound, ConfigError, SimulationError,
                           StoreUnavailable)
@@ -74,6 +75,10 @@ class ShardWorker(Protocol):
 
     def adopt_bucket(self, bucket: int, token: Any) -> None:
         """Attach a released bucket, resuming from its durable state."""
+        ...
+
+    def bucket_position(self, bucket: int) -> int:
+        """The consumer read position for an owned bucket."""
         ...
 
     def handle_crash(self) -> None: ...
@@ -140,6 +145,16 @@ class ShardedTopology:
         self._moved_counter = self.metrics.counter(
             f"topology.{name}.buckets_moved")
         self._shards_gauge = self.metrics.gauge(f"topology.{name}.shards")
+        # Per-shard cost distribution. modeled_elapsed() reports only the
+        # makespan; a hot-key workload that buries one shard is invisible
+        # in the max alone, so the spread is surfaced too (see
+        # shard_costs()).
+        self._cost_p99_gauge = self.metrics.gauge(
+            f"topology.{name}.shard_cost_p99")
+        self._cost_max_gauge = self.metrics.gauge(
+            f"topology.{name}.shard_cost_max")
+        self._cost_imbalance_gauge = self.metrics.gauge(
+            f"topology.{name}.shard_cost_imbalance")
 
         self._ring = HashRing(replicas=ring_replicas)
         for index in range(num_shards):
@@ -216,6 +231,8 @@ class ShardedTopology:
                     "cpu",
                     pumped * cost.cpu_per_event + self._pump_overhead,
                 )
+        if cost is not None and total:
+            self._update_cost_gauges()
         return total
 
     def drain(self, batch: int = 10_000) -> int:
@@ -244,6 +261,26 @@ class ShardedTopology:
         """The simulated makespan: the busiest process's elapsed time."""
         return max((timeline.elapsed()
                     for timeline in self._timelines.values()), default=0.0)
+
+    def shard_costs(self) -> dict[str, float]:
+        """Modeled cumulative cost per *live* shard.
+
+        Retired shards' timelines still count toward the makespan (their
+        work happened) but drop out of the distribution gauges: the
+        question those answer is "how skewed is the cluster right now".
+        """
+        return {name: self._timelines[name].elapsed()
+                for name in sorted(self._shards)}
+
+    def _update_cost_gauges(self) -> None:
+        costs = sorted(self.shard_costs().values())
+        if not costs:
+            return
+        rank = max(0, -(-len(costs) * 99 // 100) - 1)  # ceil, 1-indexed
+        self._cost_p99_gauge.set(costs[rank])
+        self._cost_max_gauge.set(costs[-1])
+        mean = sum(costs) / len(costs)
+        self._cost_imbalance_gauge.set(costs[-1] / mean if mean > 0 else 1.0)
 
     # -- the autoscaler contract (Section 6.4) ------------------------------
 
@@ -307,6 +344,20 @@ class ShardedTopology:
             for shard_name in sorted(set(self._shards) - set(new_names)):
                 self._retire_shard(shard_name)
 
+            # Credit accounting across the handoff: the adopter may
+            # resume behind the old owner's read position (re-reads will
+            # re-grant, clamped) or *ahead* of trimmed history no reader
+            # will ever grant. Reset each moved bucket's outstanding
+            # count to the adopter's true unread tail, so a producer can
+            # never block forever on credits the old owner took to its
+            # grave (see repro.scribe.flow).
+            if self.scribe.gate_for(self.category) is not None:
+                for bucket in moved:
+                    worker = self._shards[new_assignment[bucket]].worker
+                    self.scribe.reconcile_credits(
+                        self.category, bucket,
+                        worker.bucket_position(bucket))
+
             self._ring = new_ring
             self._assignment = new_assignment
             self.num_shards = new_num_shards
@@ -349,6 +400,9 @@ class StylusShardWorker:
         # backup and fell back to a fresh replay-from-start.
         self._fallback_counter = registry.counter(
             f"topology.{state_prefix}.adopt_fallbacks")
+        # Messages an at-most-once fallback gave up rather than re-emit.
+        self._skipped_counter = registry.counter(
+            f"topology.{state_prefix}.messages_skipped")
         self._tasks: dict[int, StylusTask] = {}
         for bucket in sorted(buckets):
             processor = processor_factory()
@@ -425,6 +479,13 @@ class StylusShardWorker:
         layer) — the adopter starts fresh and replays the bucket from
         the beginning. State and offset reset *together*, so the replay
         recounts exactly; only the recovery cost degrades.
+
+        Exception: a task whose *output* semantics is at-most-once must
+        not replay — the old owner already published that history, and a
+        fresh replay would emit it a second time (loss is the direction
+        at-most-once may err in; duplication never is). Such a task
+        resumes at the bucket's tail instead, and the span it gave up is
+        counted in ``topology.<prefix>.messages_skipped``.
         """
         if bucket in self._tasks:
             raise ConfigError(
@@ -433,6 +494,7 @@ class StylusShardWorker:
         processor = self.processor_factory()
         merge_operator = self._merge_operator(processor)
         disk = self.process.machine.disk
+        fresh = False
         try:
             backend = LocalDbStateBackend.adopt(
                 self._store_name(bucket), disk, self.backup_engine,
@@ -443,18 +505,28 @@ class StylusShardWorker:
             # The engine's retry layer already counted the outage; this
             # records the visible degradation it caused here.
             self._fallback_counter.increment()
+            fresh = True
             backend = LocalDbStateBackend(
                 self._store_name(bucket), disk,
                 backup_engine=self.backup_engine,
                 merge_operator=merge_operator,
             )
         task = self._make_task(bucket, processor, backend)
+        if fresh and task.semantics.output is OutputSemantics.AT_MOST_ONCE:
+            tail = self.scribe.end_offset(self.input_category, bucket)
+            first = self.scribe.first_retained_offset(self.input_category,
+                                                      bucket)
+            backend.save_offset(tail)
+            self._skipped_counter.increment(tail - first)
         task.restart()  # seek to the restored offset, load restored state
         if not self.process.running:
             # Adopted into a crashed process: the task holds no live
             # memory until the process restarts and recovers it.
             task.crash()
         self._tasks[bucket] = task
+
+    def bucket_position(self, bucket: int) -> int:
+        return self._tasks[bucket].position
 
     def handle_crash(self) -> None:
         for bucket in sorted(self._tasks):
@@ -506,6 +578,9 @@ class PumaShardWorker:
 
     def adopt_bucket(self, bucket: int, token: Any) -> None:
         self.app.adopt_bucket(bucket)
+
+    def bucket_position(self, bucket: int) -> int:
+        return self.app.bucket_position(bucket)
 
     def handle_crash(self) -> None:
         if not self.app.crashed:

@@ -1,0 +1,19 @@
+"""Macro scenarios: whole workloads, end to end, on the simulated clock.
+
+Importing this package registers all five scenarios; run them with
+:func:`run_scenario` or from the command line::
+
+    python -m repro.scenarios all --scale smoke
+"""
+
+from repro.scenarios.base import (SCALES, ScenarioResult, run_scenario,
+                                  scenario_names)
+
+# Importing the modules registers each scenario with the base registry.
+from repro.scenarios import adjoin as _adjoin  # noqa: F401
+from repro.scenarios import diurnal as _diurnal  # noqa: F401
+from repro.scenarios import hotkey as _hotkey  # noqa: F401
+from repro.scenarios import multitenant as _multitenant  # noqa: F401
+from repro.scenarios import sessions_trending as _sessions  # noqa: F401
+
+__all__ = ["SCALES", "ScenarioResult", "run_scenario", "scenario_names"]

@@ -1,0 +1,53 @@
+"""CLI for the macro scenarios.
+
+``python -m repro.scenarios all --scale smoke`` runs everything and
+prints one result block per scenario; ``--digest`` prints one
+``name digest`` line per run instead (what the determinism suite and CI
+diff against a second run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios import SCALES, run_scenario, scenario_names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run the end-to-end macro scenarios.")
+    parser.add_argument("scenario",
+                        help="a scenario name, or 'all'")
+    parser.add_argument("--scale", choices=SCALES, default="smoke")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--digest", action="store_true",
+                        help="print only 'name digest' lines (for diffing)")
+    options = parser.parse_args(argv)
+
+    if options.scenario == "all":
+        names = scenario_names()
+    elif options.scenario in scenario_names():
+        names = [options.scenario]
+    else:
+        parser.error(f"unknown scenario {options.scenario!r}; "
+                     f"known: {', '.join(scenario_names())} (or 'all')")
+
+    failed = []
+    for name in names:
+        result = run_scenario(name, scale=options.scale, seed=options.seed)
+        if options.digest:
+            print(f"{name} {result.digest()}")
+        else:
+            print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        if not result.ok:
+            failed.append((name, result.failed_checks()))
+    for name, checks in failed:
+        print(f"FAILED {name}: {', '.join(checks)}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

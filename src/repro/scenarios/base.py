@@ -1,0 +1,154 @@
+"""The macro-scenario harness: registry, result shape, digests.
+
+The unit suites prove each layer in isolation; the scenarios in this
+package compose the layers the way the paper's Figure 1 does — Scribe
+between everything, Puma/Stylus over it, Laser/Scuba downstream — and
+run *whole workloads* end to end on the simulated clock: a diurnal
+traffic curve with a flash crowd, a Zipf hot key burying one shard, an
+ads impression×click join, sessionization feeding trending topics, and
+two tenants sharing one bus while one misbehaves.
+
+Every scenario is a pure function of ``(scale, seed)``: simulated time
+only, named RNG streams only, and a :class:`ScenarioResult` whose
+:meth:`~ScenarioResult.digest` is stable across processes and
+``PYTHONHASHSEED`` values. The determinism suite runs each scenario
+twice and diffs the digests; the macro benchmark persists the measures
+into ``BENCH_macro.json`` where ``benchmarks/check_regression.py``
+enforces absolute floors (backpressure engaged, autoscaler acted, skew
+visible, joins exact, tenants isolated).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.event import Event
+from repro.errors import ConfigError
+from repro.stylus.processor import Output, StatefulProcessor
+
+#: The two supported sizes. ``smoke`` is the CI size (a few seconds per
+#: scenario); ``full`` is the overnight size for local investigation.
+SCALES = ("smoke", "full")
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run produced.
+
+    ``checks`` are pass/fail invariants (the scenario's acceptance
+    criteria); ``measures`` are the interesting magnitudes (peak lag,
+    imbalance, shed counts) that the macro benchmark persists and floors.
+    ``metrics_digest`` fingerprints the full metrics registry so two
+    runs that agree on headline numbers but diverge in any counter still
+    produce different digests.
+    """
+
+    name: str
+    scale: str
+    seed: int
+    events_in: int
+    events_processed: int
+    modeled_elapsed: float
+    final_lag: int
+    checks: dict[str, bool] = field(default_factory=dict)
+    measures: dict[str, float] = field(default_factory=dict)
+    metrics_digest: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return sorted(name for name, passed in self.checks.items()
+                      if not passed)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "scale": self.scale,
+            "seed": self.seed,
+            "events_in": self.events_in,
+            "events_processed": self.events_processed,
+            "modeled_elapsed": round(self.modeled_elapsed, 9),
+            "final_lag": self.final_lag,
+            "checks": {name: bool(value)
+                       for name, value in sorted(self.checks.items())},
+            "measures": {name: round(float(value), 9)
+                         for name, value in sorted(self.measures.items())},
+            "metrics_digest": self.metrics_digest,
+        }
+
+    def digest(self) -> str:
+        """A stable fingerprint of the entire result."""
+        payload = json.dumps(self.as_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.blake2b(payload.encode("utf-8"),
+                               digest_size=16).hexdigest()
+
+
+ScenarioFn = Callable[[str, int], ScenarioResult]
+
+_REGISTRY: dict[str, ScenarioFn] = {}
+
+
+def scenario(name: str) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a scenario under ``name`` (module import registers it)."""
+
+    def register(fn: ScenarioFn) -> ScenarioFn:
+        if name in _REGISTRY:
+            raise ConfigError(f"scenario {name!r} registered twice")
+        _REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def run_scenario(name: str, scale: str = "smoke",
+                 seed: int = 0) -> ScenarioResult:
+    if scale not in SCALES:
+        raise ConfigError(f"unknown scale {scale!r}; pick from {SCALES}")
+    if name not in _REGISTRY:
+        raise ConfigError(
+            f"unknown scenario {name!r}; known: {scenario_names()}")
+    return _REGISTRY[name](scale, seed)
+
+
+def pick(scale: str, smoke: Any, full: Any) -> Any:
+    """The per-scale parameter helper scenarios size themselves with."""
+    if scale == "smoke":
+        return smoke
+    if scale == "full":
+        return full
+    raise ConfigError(f"unknown scale {scale!r}; pick from {SCALES}")
+
+
+class CountProcessor(StatefulProcessor):
+    """The Figure 6 counter, shared by scenarios that need ground truth:
+    state is exactly how many events this bucket's task folded in."""
+
+    def initial_state(self) -> dict[str, int]:
+        return {"count": 0}
+
+    def process(self, event: Event, state: dict[str, int]) -> list[Output]:
+        state["count"] += 1
+        return []
+
+
+def topology_count(topology) -> int:
+    """Total processed count across a CountProcessor topology's buckets."""
+    topology.checkpoint_all()
+    total = 0
+    for shard_name in topology.shard_names():
+        worker = topology.worker(shard_name)
+        for bucket in worker.buckets():
+            state, _ = worker.task(bucket).state_backend.load()
+            if state is not None:
+                total += state["count"]
+    return total

@@ -1,0 +1,96 @@
+"""Scenario 2: Zipf hot-key skew burying one shard.
+
+Real analytics traffic is Zipfian — a handful of pages/posts dominate —
+and consistent hashing balances *keys*, not *load*. Here a steep Zipf
+draw routes a large fraction of all events through one bucket, so one
+shard of a four-shard topology does several times the cluster-average
+work. Splitting cannot fix it (the hot bucket is indivisible), which is
+exactly why the per-shard cost gauges exist: the makespan alone reads as
+"cluster busy", while ``topology.hotkey.shard_cost_imbalance`` names the
+problem.
+
+Checks: counts stay exact despite the skew, the hottest bucket really
+received a dominant share, and the imbalance/p99 gauges expose it.
+"""
+
+from __future__ import annotations
+
+from repro.core.costs import CostModel
+from repro.runtime.clock import SimClock
+from repro.runtime.cluster import Cluster
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.rng import make_rng
+from repro.runtime.topology import ShardedTopology, stylus_worker_factory
+from repro.scenarios.base import (CountProcessor, ScenarioResult, pick,
+                                  scenario, topology_count)
+from repro.scribe.store import ScribeStore, default_bucketer
+from repro.storage.backup import BackupEngine
+from repro.storage.hdfs import HdfsBlobStore
+from repro.workloads.zipf import ZipfSampler
+
+
+@scenario("hot_key_skew")
+def run(scale: str, seed: int) -> ScenarioResult:
+    num_events = pick(scale, 4000, 40_000)
+    num_keys = pick(scale, 500, 5000)
+    num_buckets = 16
+    exponent = 1.4
+
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    scribe = ScribeStore(clock=clock, metrics=metrics)
+    scribe.create_category("events", num_buckets)
+    hdfs = HdfsBlobStore(clock=clock, metrics=metrics)
+    cluster = Cluster()
+    for i in range(4):
+        cluster.add_machine(f"m{i}")
+    topology = ShardedTopology(
+        "hotkey", cluster, scribe, "events", 4,
+        stylus_worker_factory(scribe, "events", CountProcessor,
+                              BackupEngine(hdfs), state_prefix="hotkey",
+                              clock=clock, metrics=metrics),
+        metrics=metrics, cost_model=CostModel(),
+    )
+
+    rng = make_rng(seed, "scenario:hotkey")
+    sampler = ZipfSampler(num_keys, exponent, rng)
+    bucket_hits = [0] * num_buckets
+    for i in range(num_events):
+        key = f"k{sampler.sample()}"
+        bucket_hits[default_bucketer(key, num_buckets)] += 1
+        scribe.write_record("events",
+                            {"event_time": float(i), "page": key}, key=key)
+        clock.advance(1.0 / 200.0)  # a steady modeled arrival rate
+
+    topology.drain()
+    processed = topology_count(topology)
+    costs = topology.shard_costs()
+    snapshot = metrics.snapshot()
+    imbalance = snapshot.get("topology.hotkey.shard_cost_imbalance", 0.0)
+    hottest_share = max(bucket_hits) / num_events
+
+    return ScenarioResult(
+        name="hot_key_skew", scale=scale, seed=seed,
+        events_in=num_events,
+        events_processed=processed,
+        modeled_elapsed=topology.modeled_elapsed(),
+        final_lag=topology.lag_messages(),
+        checks={
+            "exactly_once_counts": processed == num_events,
+            "one_bucket_dominates": hottest_share > 2.0 / num_buckets,
+            "skew_visible_in_imbalance_gauge": imbalance > 1.5,
+            "p99_tracks_the_hot_shard": (
+                snapshot.get("topology.hotkey.shard_cost_p99", 0.0)
+                == snapshot.get("topology.hotkey.shard_cost_max", -1.0)),
+            "lag_drained": topology.lag_messages() == 0,
+        },
+        measures={
+            "hottest_bucket_share": hottest_share,
+            "shard_cost_imbalance": imbalance,
+            "shard_cost_p99": snapshot.get(
+                "topology.hotkey.shard_cost_p99", 0.0),
+            "shard_cost_spread": (max(costs.values())
+                                  - min(costs.values())),
+        },
+        metrics_digest=metrics.digest(),
+    )

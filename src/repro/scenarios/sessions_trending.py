@@ -1,0 +1,170 @@
+"""Scenario 4: user sessionization feeding trending topics.
+
+Two product apps on one bus, both driven to a known answer:
+
+* **Trending** (Figure 3): the four-node Filterer → Joiner → Scorer →
+  Ranker DAG over a generated event stream with one scripted burst. The
+  check is the product check — the burst topic ranks first in the last
+  window — plus the Section 3 cache claim (sharding the Joiner input by
+  dimension id keeps its lookup cache hot).
+* **Sessionization**: a generated visit log with known session structure
+  (bursts separated by more than the gap), folded by
+  :class:`~repro.apps.sessions.SessionizeProcessor`. The check is exact:
+  every scripted session closes, with the right event counts, and
+  nothing else.
+
+Both run on the same simulated clock and the same ScribeStore, the way
+Figure 1 shares Scribe between every producer and consumer.
+"""
+
+from __future__ import annotations
+
+from repro.apps.sessions import SessionizeProcessor
+from repro.apps.trending import TrendingPipeline
+from repro.laser.service import LaserTable
+from repro.runtime.clock import SimClock
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.rng import make_rng
+from repro.scenarios.base import ScenarioResult, pick, scenario
+from repro.scribe.reader import CategoryReader
+from repro.scribe.store import ScribeStore
+from repro.scribe.writer import ScribeWriter
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusJob
+
+
+@scenario("session_trending")
+def run(scale: str, seed: int) -> ScenarioResult:
+    duration = pick(scale, 300.0, 900.0)
+    rate = pick(scale, 60.0, 150.0)
+    burst_topic = "science"
+    num_users = pick(scale, 40, 400)
+    sessions_per_user = 3
+    gap = 30.0
+
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    scribe = ScribeStore(clock=clock, metrics=metrics)
+
+    # -- part A: the trending DAG chasing a scripted burst -----------------
+    from repro.workloads.events import TrendBurst, TrendingEventsWorkload
+
+    workload = TrendingEventsWorkload(
+        seed=seed + 1,
+        rate_per_second=rate,
+        bursts=(TrendBurst(burst_topic, duration * 0.5, duration,
+                           multiplier=30.0),),
+    )
+    dimensions = LaserTable("dims", ["dim_id"], ["language", "country"],
+                            clock=clock)
+    for row in workload.dimension_rows():
+        dimensions.put_row(row)
+    pipeline = TrendingPipeline(scribe, dimensions, clock=clock,
+                                checkpoint_interval=30.0)
+
+    writer = ScribeWriter(scribe, "trend_input")
+    events = list(workload.generate(duration))
+    index = 0
+    for chunk_end in range(30, int(duration) + 60, 30):
+        while (index < len(events)
+               and events[index]["event_time"] <= chunk_end - 30):
+            writer.write(events[index], key=events[index]["dim_id"])
+            index += 1
+        clock.advance_to(float(chunk_end))
+        pipeline.pump()
+    while index < len(events):
+        writer.write(events[index], key=events[index]["dim_id"])
+        index += 1
+    pipeline.run_until_quiescent()
+    pipeline.checkpoint_all()
+    pipeline.run_until_quiescent()
+
+    last_window = max(pipeline.ranker.windows("top_events_5min"))
+    top = pipeline.ranker.top_events(3, last_window)
+    # topk() aggregates materialize as score lists; the head is the max.
+    top_score = float(top[0]["score"][0]) if top and top[0]["score"] else 0.0
+    cache_hit_rate = pipeline.joiner_cache_hit_rate()
+
+    # -- part B: sessionization with scripted session structure ------------
+    scribe.create_category("visits", 4)
+    scribe.create_category("sessions", 4)
+    rng = make_rng(seed, "scenario:sessions")
+    session_writer = ScribeWriter(scribe, "visits")
+    visits = 0
+    expected_events: dict[str, list[int]] = {}
+    for u in range(num_users):
+        user = f"u{u}"
+        expected_events[user] = []
+        start = rng.uniform(0.0, 60.0)
+        for _ in range(sessions_per_user):
+            count = rng.randrange(2, 6)
+            t = start
+            for _ in range(count):
+                session_writer.write({"event_time": round(t, 3),
+                                      "user": user}, key=user)
+                visits += 1
+                t += rng.uniform(1.0, gap * 0.5)
+            expected_events[user].append(count)
+            start = t + gap * rng.uniform(1.5, 3.0)  # well past the gap
+    # A probe visit far in the future pushes every bucket's watermark
+    # past the last scripted session so the final checkpoint closes it.
+    # Probe keys are chosen so every bucket really receives one.
+    from repro.scribe.store import default_bucketer
+
+    needed = set(range(4))
+    candidate = 0
+    while needed:
+        key = f"probe{candidate}"
+        candidate += 1
+        if default_bucketer(key, 4) not in needed:
+            continue
+        needed.discard(default_bucketer(key, 4))
+        session_writer.write({"event_time": 100_000.0, "user": key}, key=key)
+        visits += 1
+
+    sessions_job = StylusJob.create(
+        "sessions", scribe, "visits",
+        lambda: SessionizeProcessor(gap_seconds=gap),
+        output_category="sessions", clock=clock, metrics=metrics,
+        checkpoint_policy=CheckpointPolicy(every_n_events=500),
+    )
+    while sessions_job.pump(10_000):
+        pass
+    sessions_job.checkpoint_now()
+
+    closed: dict[str, list[int]] = {}
+    for message in CategoryReader(scribe, "sessions").read_all():
+        record = message.decode()
+        closed.setdefault(record["user"], []).append(record["events"])
+    for lists in closed.values():
+        lists.sort()
+    expected_sorted = {user: sorted(counts)
+                       for user, counts in expected_events.items()}
+    total_closed = sum(len(counts) for counts in closed.values())
+
+    return ScenarioResult(
+        name="session_trending", scale=scale, seed=seed,
+        events_in=len(events) + visits,
+        events_processed=total_closed,
+        modeled_elapsed=clock.now(),
+        final_lag=pipeline.scorer.lag_messages() + sessions_job.lag_messages(),
+        checks={
+            "burst_topic_ranks_first": bool(top)
+            and top[0]["event"] == burst_topic,
+            "joiner_cache_stays_hot": cache_hit_rate > 0.8,
+            "all_scripted_sessions_closed": closed == expected_sorted,
+            "session_count_exact": (
+                total_closed == num_users * sessions_per_user),
+            "lag_drained": (pipeline.scorer.lag_messages() == 0
+                            and sessions_job.lag_messages() == 0),
+        },
+        measures={
+            "trending_events": float(len(events)),
+            "visits": float(visits),
+            "sessions_closed": float(total_closed),
+            "joiner_cache_hit_rate": cache_hit_rate,
+            "burst_top_score": top_score,
+            "classifier_calls": float(pipeline.classifier.calls),
+        },
+        metrics_digest=metrics.digest(),
+    )

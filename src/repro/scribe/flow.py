@@ -18,10 +18,23 @@ rather than going negative. Backpressure may under-throttle briefly
 after a replay; it never deadlocks a producer on credits that no future
 read would grant.
 
+The conservative clamp handles *over*-granting; the opposite defect —
+credits that no surviving reader will ever grant — needs
+:meth:`CreditGate.reconcile`. Retention can trim messages no consumer
+read (their credits were acquired at write time and nothing will read
+them), and a bucket handed between shard owners can resume past trimmed
+history. Without reconciliation the outstanding count wedges at the
+limit and the producer blocks forever on a bucket that is actually
+empty. Owners of the consumer position (the topology's rebalance path,
+the reader's retention skip) therefore re-derive the true unread count
+and reset the gate to it.
+
 Counters (registered by the store when backpressure is enabled):
 
 - ``scribe.credits.granted`` — credits returned by consumer reads;
-- ``scribe.credits.blocked`` — writes refused for lack of credits.
+- ``scribe.credits.blocked`` — writes refused for lack of credits;
+- ``scribe.credits.reconciled`` — credits freed (or restored) by
+  reconciliation after a handoff or a retention skip.
 """
 
 from __future__ import annotations
@@ -34,13 +47,15 @@ class CreditGate:
     """Per-bucket outstanding-message accounting for one category."""
 
     def __init__(self, category: str, max_outstanding: int,
-                 granted: Counter, blocked: Counter) -> None:
+                 granted: Counter, blocked: Counter,
+                 reconciled: Counter | None = None) -> None:
         if max_outstanding < 1:
             raise ConfigError("max_outstanding must be >= 1")
         self.category = category
         self.max_outstanding = max_outstanding
         self._granted = granted
         self._blocked = blocked
+        self._reconciled = reconciled
         self._outstanding: dict[int, int] = {}
 
     def outstanding(self, bucket: int) -> int:
@@ -70,3 +85,25 @@ class CreditGate:
         held = self._outstanding.get(bucket, 0)
         if held:
             self._outstanding[bucket] = max(0, held - count)
+
+    def reconcile(self, bucket: int, unread: int) -> int:
+        """Reset ``bucket``'s outstanding count to the true ``unread`` tail.
+
+        Called after a consumer-position discontinuity — a bucket
+        adopted by a new shard owner, or a reader that skipped forward
+        past retention-trimmed history. ``unread`` is the number of
+        retained messages the surviving consumer has yet to read: every
+        one of them will be granted by a future read, and nothing else
+        ever will be. Returns the adjustment applied (positive frees
+        credits); the absolute adjustment is counted in
+        ``scribe.credits.reconciled``.
+        """
+        if unread < 0:
+            raise ConfigError("unread count must be >= 0")
+        held = self._outstanding.get(bucket, 0)
+        if held == unread:
+            return 0
+        self._outstanding[bucket] = unread
+        if self._reconciled is not None:
+            self._reconciled.increment(abs(held - unread))
+        return held - unread

@@ -51,6 +51,13 @@ class ScribeReader:
             if self.position >= first:
                 raise  # position beyond the end: a real bug, don't mask it
             self.position = first
+            # The skipped messages are gone — retention trimmed them
+            # before this consumer saw them — so no future read will
+            # ever grant their credits. Reconcile the gate to the true
+            # unread tail, or a producer under backpressure would block
+            # forever on a bucket that lost its backlog (see
+            # repro.scribe.flow).
+            self.store.reconcile_credits(self.category, self.bucket, first)
             batch = self.store.read_from(self._bucket, self.position,
                                          max_messages, max_bytes)
         if batch:

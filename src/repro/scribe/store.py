@@ -120,6 +120,7 @@ class ScribeStore:
             category_name, max_outstanding,
             granted=self.metrics.counter("scribe.credits.granted"),
             blocked=self.metrics.counter("scribe.credits.blocked"),
+            reconciled=self.metrics.counter("scribe.credits.reconciled"),
         )
         self._gates[category_name] = gate
         return gate
@@ -127,6 +128,22 @@ class ScribeStore:
     def gate_for(self, category_name: str) -> CreditGate | None:
         """The category's credit gate, or None when ungated."""
         return self._gates.get(category_name) if self._gates else None
+
+    def reconcile_credits(self, category_name: str, bucket: int,
+                          consumer_position: int) -> int:
+        """Reset a gated bucket's outstanding count from its consumer.
+
+        ``consumer_position`` is the surviving consumer's read position
+        after a discontinuity (bucket handoff, retention skip): the true
+        unread tail is everything written past it, including messages
+        not yet visible. No-op for ungated categories; returns the
+        credit adjustment applied (see :meth:`CreditGate.reconcile`).
+        """
+        gate = self.gate_for(category_name)
+        if gate is None:
+            return 0
+        end = self.category(category_name).bucket(bucket).end_offset
+        return gate.reconcile(bucket, max(0, end - consumer_position))
 
     # -- writes ---------------------------------------------------------------
 

@@ -592,6 +592,12 @@ class StylusTask:
         and the caller retries the restart later.
         """
         state, offset = self._retrier.call(self.state_backend.load)
+        # The backend is the source of truth for checkpoint numbering:
+        # an adopted or failed-over task that restarted at index 0 would
+        # overwrite the previous owner's committed output rows.
+        self._checkpoint_index = self._retrier.call(
+            self.state_backend.last_checkpoint_index
+        )
         if isinstance(self.processor, StatefulProcessor):
             self._state = (state if state is not None
                            else self.processor.initial_state())

@@ -1,0 +1,148 @@
+"""Stream-stream join with watermark-bounded buffers.
+
+The paper's Chorus example joins two live streams (Section 3 pairs a
+Filterer with a Joiner; Section 5 discusses the general problem of
+joining streams whose events arrive out of order). The processor here
+implements the standard interval join: two co-partitioned streams arrive
+interleaved on one Scribe category — each record tagged with the stream
+it belongs to, bucketed by the join key — and a left/right pair joins
+when their event times lie within ``window_seconds`` of each other.
+
+Buffering is the crux. An impression may arrive seconds before or after
+its click, so both sides buffer; unbounded buffers would grow forever on
+unmatched traffic. The buffers are therefore watermark-bounded: at every
+checkpoint, entries older than ``max_event_time - window_seconds`` are
+evicted — no future in-window event can match them, by the low-watermark
+assumption the engine's estimator quantifies (Section 2.4). Evicted
+left-side entries that never matched can optionally be emitted as
+``unmatched`` records (impressions with no click are exactly what an ads
+pipeline bills on).
+
+State is plain serializable data (dicts and lists), so every semantics
+policy and the checkpoint machinery apply unchanged: the join is as
+crash-recoverable as any counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.event import Event
+from repro.errors import ConfigError, ProcessingError
+from repro.stylus.processor import Output, StatefulProcessor
+
+
+class StreamStreamJoinProcessor(StatefulProcessor):
+    """Interval join of two co-partitioned streams on one category.
+
+    Records carry the side they belong to in ``stream_field``; the join
+    key is ``key_field`` (also the Scribe shard key, so both sides of a
+    key land in the same bucket). Joined outputs carry the key, the
+    later of the two event times, and both sides' remaining fields
+    prefixed ``left_`` / ``right_``.
+    """
+
+    def __init__(self, left_stream: str, right_stream: str, key_field: str,
+                 window_seconds: float, stream_field: str = "stream",
+                 emit_unmatched_left: bool = False) -> None:
+        if window_seconds <= 0:
+            raise ConfigError("window_seconds must be > 0")
+        if left_stream == right_stream:
+            raise ConfigError("join sides must be distinct streams")
+        self.left_stream = left_stream
+        self.right_stream = right_stream
+        self.key_field = key_field
+        self.window_seconds = window_seconds
+        self.stream_field = stream_field
+        self.emit_unmatched_left = emit_unmatched_left
+
+    # -- StatefulProcessor contract -----------------------------------------
+
+    def initial_state(self) -> dict[str, Any]:
+        # Buffer entries are [event_time, fields, matched] triples in
+        # arrival order; plain lists so checkpoints serialize them.
+        return {"left": {}, "right": {}, "max_event_time": None}
+
+    def process(self, event: Event, state: dict[str, Any]) -> list[Output]:
+        side = event[self.stream_field]
+        if side == self.left_stream:
+            own, other = "left", "right"
+        elif side == self.right_stream:
+            own, other = "right", "left"
+        else:
+            raise ProcessingError(
+                f"event stream {side!r} is neither "
+                f"{self.left_stream!r} nor {self.right_stream!r}"
+            )
+        key = str(event[self.key_field])
+        event_time = event.event_time
+        fields = {name: value for name, value in event.fields.items()
+                  if name not in (self.stream_field, self.key_field)}
+        entry = [event_time, fields, False]
+
+        outputs: list[Output] = []
+        for candidate in state[other].get(key, ()):
+            if abs(event_time - candidate[0]) <= self.window_seconds:
+                candidate[2] = True
+                entry[2] = True
+                if own == "left":
+                    outputs.append(self._joined(key, entry, candidate))
+                else:
+                    outputs.append(self._joined(key, candidate, entry))
+        state[own].setdefault(key, []).append(entry)
+
+        high = state["max_event_time"]
+        if high is None or event_time > high:
+            state["max_event_time"] = event_time
+        return outputs
+
+    def on_checkpoint(self, state: dict[str, Any],
+                      now: float) -> list[Output]:
+        """Evict entries no future in-window event can match."""
+        high = state["max_event_time"]
+        if high is None:
+            return []
+        horizon = high - self.window_seconds
+        outputs: list[Output] = []
+        for side in ("left", "right"):
+            buffers = state[side]
+            for key in list(buffers):
+                entries = buffers[key]
+                kept = [entry for entry in entries if entry[0] >= horizon]
+                if self.emit_unmatched_left and side == "left":
+                    for event_time, fields, matched in entries:
+                        if event_time < horizon and not matched:
+                            record = dict(fields)
+                            record["event_time"] = event_time
+                            record[self.key_field] = key
+                            record["unmatched"] = True
+                            outputs.append(Output(record, key=key))
+                if kept:
+                    buffers[key] = kept
+                else:
+                    del buffers[key]
+        return outputs
+
+    # -- helpers -------------------------------------------------------------
+
+    def _joined(self, key: str, left: list, right: list) -> Output:
+        record: dict[str, Any] = {
+            "event_time": max(left[0], right[0]),
+            self.key_field: key,
+            "left_event_time": left[0],
+            "right_event_time": right[0],
+        }
+        for name, value in left[1].items():
+            record[f"left_{name}"] = value
+        for name, value in right[1].items():
+            record[f"right_{name}"] = value
+        return Output(record, key=key)
+
+    # -- observability --------------------------------------------------------
+
+    @staticmethod
+    def buffered_entries(state: dict[str, Any]) -> int:
+        """How many records the buffers currently hold (both sides)."""
+        return sum(len(entries)
+                   for side in ("left", "right")
+                   for entries in state[side].values())

@@ -108,6 +108,17 @@ class StateBackend(ABC):
             "monoid flushes"
         )
 
+    def last_checkpoint_index(self) -> int:
+        """Index of the newest durable checkpoint (0 when none).
+
+        Tasks resume numbering from here after a restart or a shard
+        adoption. A backend that stores committed output keyed by
+        checkpoint index MUST derive this from durable data, not from
+        instance memory: a freshly adopted task that restarted at index
+        0 would overwrite the previous owner's committed output rows.
+        """
+        return 0
+
     def committed_outputs(self) -> list:
         """Every output committed transactionally, in checkpoint order."""
         raise CheckpointError(
@@ -170,6 +181,9 @@ class InMemoryStateBackend(StateBackend):
         for index in sorted(self._outputs):
             result.extend(self._outputs[index])
         return result
+
+    def last_checkpoint_index(self) -> int:
+        return max(self._outputs, default=0)
 
 
 class LocalDbStateBackend(StateBackend):
@@ -284,6 +298,12 @@ class LocalDbStateBackend(StateBackend):
             result.extend(records)
         return result
 
+    def last_checkpoint_index(self) -> int:
+        # Derived from the durable rows, so an adopter resumes numbering
+        # where the releasing owner stopped instead of overwriting.
+        return max((int(key[4:]) for key, _ in
+                    self._store.scan("out:", "out:￿")), default=0)
+
     # -- backup & recovery ----------------------------------------------------------
 
     def maybe_backup(self) -> bool:
@@ -339,7 +359,6 @@ class RemoteDbStateBackend(StateBackend):
         self.db = db
         self.write_mode = write_mode
         self.last_recovery: RecoveryCost | None = None
-        self._output_indexes: set[int] = set()
 
     def _key(self, suffix: str) -> str:
         return f"{self.name}:{suffix}"
@@ -394,11 +413,11 @@ class RemoteDbStateBackend(StateBackend):
         self.db.commit_transaction(puts={
             self._key("state"): copy.deepcopy(state),
             self._key("offset"): offset,
+            self._key("ckpt_index"): checkpoint_index,
             self._key(f"out:{checkpoint_index:012d}"): [
                 o.record for o in outputs
             ],
         })
-        self._output_indexes.add(checkpoint_index)
 
     def flush_partials_atomic(self, partials: Mapping[str, Any],
                               operator: MergeOperator, offset: int,
@@ -412,19 +431,27 @@ class RemoteDbStateBackend(StateBackend):
             for key, db_key in db_keys.items()
         }
         puts[self._key("offset")] = offset
+        puts[self._key("ckpt_index")] = checkpoint_index
         puts[self._key(f"out:{checkpoint_index:012d}")] = [
             o.record for o in outputs
         ]
         self.db.commit_transaction(puts=puts)
-        self._output_indexes.add(checkpoint_index)
 
     def committed_outputs(self) -> list:
+        # Checkpoint indexes are assigned contiguously from 1, and the
+        # newest one rides in every commit, so the rows are enumerable
+        # from durable data alone — a failed-over instance sees the same
+        # output history its predecessor committed.
         result = []
-        for index in sorted(self._output_indexes):
+        for index in range(1, self.last_checkpoint_index() + 1):
             records = self.db.get(self._key(f"out:{index:012d}"))
             if records:
                 result.extend(records)
         return result
+
+    def last_checkpoint_index(self) -> int:
+        stored = self.db.get(self._key("ckpt_index"))
+        return int(stored) if stored is not None else 0
 
     # -- recovery ---------------------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""Tests for gap-based sessionization."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.errors import ConfigError
+from repro.scribe.reader import CategoryReader
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.apps.sessions import SessionizeProcessor
+
+
+def visit(t: float, user: str) -> Event:
+    return Event(t, {"user": user})
+
+
+class TestSessionBoundaries:
+    def test_gap_closes_session_inline(self):
+        proc = SessionizeProcessor(gap_seconds=30.0)
+        state = proc.initial_state()
+        assert proc.process(visit(0.0, "u1"), state) == []
+        assert proc.process(visit(10.0, "u1"), state) == []
+        [closed] = proc.process(visit(100.0, "u1"), state)
+        assert closed.record["session_start"] == 0.0
+        assert closed.record["session_end"] == 10.0
+        assert closed.record["events"] == 2
+        assert closed.record["duration"] == 10.0
+        assert closed.key == "u1"
+        # The triggering event opened the next session.
+        assert proc.open_sessions(state) == 1
+        assert proc.closed_sessions(state) == 1
+
+    def test_watermark_closes_idle_session_at_checkpoint(self):
+        proc = SessionizeProcessor(gap_seconds=30.0)
+        state = proc.initial_state()
+        proc.process(visit(0.0, "u1"), state)
+        proc.process(visit(100.0, "u2"), state)  # advances the watermark
+        [closed] = proc.on_checkpoint(state, now=0.0)
+        assert closed.record["user"] == "u1"
+        assert proc.open_sessions(state) == 1  # u2 still open
+
+    def test_session_within_gap_stays_open(self):
+        proc = SessionizeProcessor(gap_seconds=30.0)
+        state = proc.initial_state()
+        proc.process(visit(0.0, "u1"), state)
+        proc.process(visit(29.0, "u1"), state)
+        assert proc.on_checkpoint(state, now=0.0) == []
+        assert state["open"]["u1"] == [0.0, 29.0, 2]
+
+    def test_out_of_order_arrival_stretches_session_backwards(self):
+        proc = SessionizeProcessor(gap_seconds=30.0)
+        state = proc.initial_state()
+        proc.process(visit(50.0, "u1"), state)
+        proc.process(visit(40.0, "u1"), state)
+        assert state["open"]["u1"] == [40.0, 50.0, 2]
+
+    def test_users_are_independent(self):
+        proc = SessionizeProcessor(gap_seconds=30.0)
+        state = proc.initial_state()
+        proc.process(visit(0.0, "u1"), state)
+        proc.process(visit(5.0, "u2"), state)
+        assert proc.open_sessions(state) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SessionizeProcessor(gap_seconds=0.0)
+
+
+class TestEndToEnd:
+    def test_sessions_flow_through_a_stylus_task(self, scribe):
+        scribe.create_category("visits", 1)
+        scribe.create_category("sessions", 1)
+        # Two bursts per user separated by more than the gap.
+        for user in ("u1", "u2"):
+            offset = 0.0 if user == "u1" else 2.0
+            for t in (0.0, 5.0, 10.0, 200.0, 210.0):
+                scribe.write_record("visits", {
+                    "event_time": t + offset, "user": user,
+                }, key=user)
+        scribe.write_record("visits", {"event_time": 1000.0, "user": "probe"},
+                            key="probe")
+        task = StylusTask(
+            "sessions", scribe, "visits", 0,
+            SessionizeProcessor(gap_seconds=30.0),
+            output_category="sessions", clock=scribe.clock,
+            checkpoint_policy=CheckpointPolicy(every_n_events=1000),
+        )
+        task.pump()
+        task.checkpoint_now()  # watermark at 1000 closes the second bursts
+        records = [m.decode() for m in
+                   CategoryReader(scribe, "sessions").read_all()]
+        by_user: dict[str, list] = {}
+        for record in records:
+            by_user.setdefault(record["user"], []).append(record)
+        for user in ("u1", "u2"):
+            [first, second] = sorted(by_user[user],
+                                     key=lambda r: r["session_start"])
+            assert first["events"] == 3
+            assert first["duration"] == 10.0
+            assert second["events"] == 2

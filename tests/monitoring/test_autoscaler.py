@@ -267,6 +267,54 @@ class TestTopologyMode:
         assert scaler.sample() == []
         assert topology.num_shards == 1
 
+    def test_stale_deferred_split_is_discarded_once_lag_drains(
+            self, sharded, scribe, clock):
+        """Regression: a scale_up parked during a rebalance used to be
+        applied on the first free sample even when the backlog that
+        justified it had been fully drained in the meantime — splitting
+        an idle topology and immediately queueing the merge back."""
+        topology, scaler, metrics = sharded
+        self.feed(scribe, 1000)
+        scaler.sample()
+        clock.advance(30.0)
+
+        def hook(phase):
+            scaler.sample()  # the sustained-high sample lands mid-handoff
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(4)
+        topology.rebalance_fault_hook = None
+        assert metrics.snapshot()["autoscaler.deferred"] == 1
+        # The 4-shard topology drains the whole backlog before the next
+        # autoscaler tick: the parked split is now pointless.
+        topology.drain()
+        assert topology.lag_messages() == 0
+        assert scaler.sample() == []
+        assert topology.num_shards == 4
+        assert metrics.snapshot()["autoscaler.deferred_stale"] == 1
+
+    def test_stale_deferred_merge_is_discarded_once_traffic_returns(
+            self, sharded, scribe, clock):
+        topology, scaler, metrics = sharded
+        # Two idle samples, then the third (deciding) one lands mid-merge.
+        for _ in range(2):
+            clock.advance(30.0)
+            assert scaler.sample() == []
+
+        def hook(phase):
+            assert scaler.sample() == []
+
+        topology.rebalance_fault_hook = hook
+        topology.rebalance(4)  # operator-initiated reshape
+        topology.rebalance_fault_hook = None
+        assert metrics.snapshot()["autoscaler.deferred"] == 1
+        # Traffic comes back before the next sample: merging now would
+        # shrink a topology that is busy again.
+        self.feed(scribe, 50)
+        assert scaler.sample() == []
+        assert topology.num_shards == 4
+        assert metrics.snapshot()["autoscaler.deferred_stale"] == 1
+
 
 class TestRecommendationDoesNotConsumeCooldown:
     def test_scale_up_right_after_a_recommendation(self, world):

@@ -1,0 +1,325 @@
+"""The macro chaos campaign: faults versus the whole Figure 1 pipeline.
+
+The unit campaign (test_chaos_campaign) stresses one task; this one
+stresses the *composition*: Scribe in, a live-rebalancing sharded Stylus
+topology over four buckets, outputs flowing onward to a Laser view and
+a Scuba ingest tail. One seeded draw schedules process crashes, HDFS
+outages, and network partitions; on top of that the topology splits and
+merges on a timer, and the rebalance transfer window itself sometimes
+loses HDFS (the handoff falls back to fresh replay — the cross-layer
+path where credits, offsets, and state must all reset *together*).
+
+After the guaranteed-healed tail, the semantics lattice must hold at
+every layer it is entitled to:
+
+- **at-least-once**: no bucket lost an event (count >= written), and the
+  keyed Laser view *converges to complete* — duplicates collapse on the
+  key, which is the paper's idempotent-downstream story;
+- **at-most-once**: no double counts (count <= written), and the output
+  stream — emitted only after checkpoints — never carries more than one
+  copy, so the Scuba tail (itself at-most-once) stores at most TOTAL;
+- **exactly-once**: counts exact, and the transactionally committed
+  outputs contain every sequence number exactly once;
+- fault accounting: every injected ``StoreUnavailable`` was seen by a
+  retry layer, and every retry give-up surfaces as a visible degraded
+  event (skipped backup, deferred checkpoint, or a fresh-replay
+  adoption fallback).
+"""
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.semantics import SemanticsPolicy
+from repro.laser.service import LaserTable
+from repro.runtime.clock import SimClock
+from repro.runtime.cluster import Cluster
+from repro.runtime.failures import FailurePlan, Network
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.rng import make_rng
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.topology import ShardedTopology, stylus_worker_factory
+from repro.scribe.reader import CategoryReader
+from repro.scribe.store import ScribeStore
+from repro.scuba.ingest import ScubaIngester
+from repro.scuba.table import ScubaTable
+from repro.storage.backup import BackupEngine
+from repro.storage.hdfs import HdfsBlobStore
+from repro.stylus.checkpointing import (CheckpointPolicy, CrashInjector,
+                                        CrashPoint)
+from repro.stylus.processor import Output, StatefulProcessor
+
+TOTAL = 320
+HORIZON = 120.0
+NUM_BUCKETS = 4
+POLICY = RetryPolicy(max_attempts=3, base_delay=0.5, multiplier=2.0,
+                     max_delay=4.0, jitter=0.1)
+
+SEMANTICS = [SemanticsPolicy.at_least_once(), SemanticsPolicy.at_most_once(),
+             SemanticsPolicy.exactly_once()]
+
+
+class CountAndEmit(StatefulProcessor):
+    """Count per bucket and forward every event downstream."""
+
+    def initial_state(self) -> dict[str, int]:
+        return {"count": 0}
+
+    def process(self, event: Event, state: dict[str, int]) -> list[Output]:
+        state["count"] += 1
+        return [Output(event.to_record(), key=str(event["seq"]))]
+
+
+def build_world(seed, semantics):
+    clock = SimClock()
+    scheduler = Scheduler(clock)
+    metrics = MetricsRegistry()
+    network = Network()
+    cluster = Cluster()
+    for i in range(6):
+        cluster.add_machine(f"m{i}")
+    scribe = ScribeStore(clock=clock, metrics=metrics)
+    scribe.create_category("wide_in", NUM_BUCKETS)
+    scribe.create_category("wide_out", NUM_BUCKETS)
+    # A gate on the input so every rebalance also exercises the credit
+    # reconciliation path (generous: the producer must never block here).
+    scribe.enable_backpressure("wide_in", max_outstanding=10_000)
+    hdfs = HdfsBlobStore(clock=clock, metrics=metrics, name="hdfs",
+                         network=network, link=("app", "hdfs"))
+    engine = BackupEngine(hdfs, retry=POLICY, metrics=metrics)
+    # Crash inside the vulnerable window between the two checkpoint
+    # saves (shared across all tasks): this is where at-least-once can
+    # double-count state and at-most-once can lose outputs — clean
+    # between-pump crashes always replay exactly and would prove little.
+    injector = CrashInjector()
+    arm_rng = make_rng(seed, "macro-armed")
+    for _ in range(2):
+        injector.arm(CrashPoint.AFTER_FIRST_SAVE, arm_rng.randrange(1, 10))
+    topology = ShardedTopology(
+        "wide", cluster, scribe, "wide_in", 2,
+        stylus_worker_factory(
+            scribe, "wide_in", CountAndEmit, engine, state_prefix="wide",
+            semantics=semantics, output_category="wide_out",
+            checkpoint_policy=CheckpointPolicy(every_n_events=20),
+            clock=clock, metrics=metrics, retry_policy=POLICY,
+            crash_injector=injector),
+        metrics=metrics,
+    )
+    laser = LaserTable("wide_view", ["seq"], ["event_time"],
+                       clock=clock, metrics=metrics)
+    laser.tail_scribe(scribe, "wide_out")
+    scuba = ScubaIngester(scribe, "wide_out",
+                          ScubaTable("wide_scuba"), metrics=metrics)
+    return (clock, scheduler, metrics, network, cluster, scribe, hdfs,
+            topology, laser, scuba)
+
+
+def any_crashed(topology):
+    return any(
+        topology.worker(shard_name).task(bucket).crashed
+        for shard_name in topology.shard_names()
+        for bucket in topology.worker(shard_name).buckets())
+
+
+def restart_crashed_tasks(topology):
+    """Bring individually crashed tasks back up on running processes."""
+    for shard_name in topology.shard_names():
+        if not topology.process(shard_name).running:
+            continue
+        worker = topology.worker(shard_name)
+        for bucket in worker.buckets():
+            task = worker.task(bucket)
+            if task.crashed:
+                task.restart()
+
+
+def run_campaign(seed, semantics):
+    (clock, scheduler, metrics, network, cluster, scribe, hdfs,
+     topology, laser, scuba) = build_world(seed, semantics)
+
+    written = [0]
+
+    def feed():
+        for _ in range(10):
+            if written[0] >= TOTAL:
+                return
+            scribe.write_record(
+                "wide_in", {"event_time": clock.now(), "seq": written[0]},
+                key=str(written[0]))
+            written[0] += 1
+
+    scheduler.every(3.0, feed)
+    scheduler.every(2.5, lambda: topology.pump_all(60))
+    scheduler.every(5.0, lambda: restart_crashed_tasks(topology))
+    scheduler.every(4.0, lambda: (laser.pump(1000), scuba.pump(1000)))
+
+    # The seeded chaos draw: crashes for the two permanent shards, HDFS
+    # outages, and app<->HDFS partitions. Everything heals by HORIZON-10.
+    plan = FailurePlan.random_chaos(
+        HORIZON - 10.0, make_rng(seed, "macro-chaos"),
+        processes=("wide-s000", "wide-s001"),
+        stores=("hdfs",),
+        links=[("app", "hdfs")],
+        crash_rate=0.03, downtime=4.0,
+        outage_rate=0.05, mean_outage=5.0,
+        partition_rate=0.04, mean_partition=4.0)
+    plan.install(scheduler, cluster=cluster, stores={"hdfs": hdfs},
+                 network=network)
+
+    # Live reshaping while all of that is happening — and sometimes the
+    # transfer window itself loses HDFS, forcing fresh-replay adoption.
+    shape_rng = make_rng(seed, "macro-shape")
+
+    def hook(phase):
+        if phase == "transfer" and shape_rng.random() < 0.4:
+            hdfs.set_available(False)
+            scheduler.after(6.0, lambda: hdfs.set_available(True))
+
+    topology.rebalance_fault_hook = hook
+
+    def reshape():
+        target = shape_rng.choice((2, 3, 4))
+        if target != topology.num_shards:
+            topology.rebalance(target)
+
+    scheduler.every(15.0, reshape)
+
+    scheduler.run_until(HORIZON)
+
+    # Guaranteed-healed tail: heal defensively, then drain every layer.
+    network.heal_all()
+    hdfs.set_available(True)
+    for shard_name in topology.shard_names():
+        process = topology.process(shard_name)
+        if not process.running:
+            cluster.restart_process(shard_name)
+    restart_crashed_tasks(topology)
+    while True:
+        pumped = topology.pump_all(10_000)
+        restart_crashed_tasks(topology)
+        if pumped == 0 and topology.lag_messages() == 0:
+            topology.checkpoint_all()  # may trip a still-armed injector
+            if not any_crashed(topology):
+                break
+            restart_crashed_tasks(topology)
+    while laser.pump(10_000):
+        pass
+    while scuba.pump(10_000):
+        pass
+    assert written[0] == TOTAL
+    return metrics, scribe, topology, laser, scuba
+
+
+def state_count(topology):
+    total = 0
+    for shard_name in topology.shard_names():
+        worker = topology.worker(shard_name)
+        for bucket in worker.buckets():
+            state, _ = worker.task(bucket).state_backend.load()
+            if state is not None:
+                total += state["count"]
+    return total
+
+
+def committed_seqs(topology):
+    seqs = []
+    for shard_name in topology.shard_names():
+        worker = topology.worker(shard_name)
+        for bucket in worker.buckets():
+            backend = worker.task(bucket).state_backend
+            seqs.extend(r["seq"] for r in backend.committed_outputs())
+    return sorted(seqs)
+
+
+def output_messages(scribe):
+    return len(CategoryReader(scribe, "wide_out").read_all())
+
+
+def assert_accounting(metrics):
+    snapshot = metrics.snapshot()
+
+    def total(suffix):
+        return sum(value for name, value in snapshot.items()
+                   if name.endswith(suffix))
+
+    injected = total(".unavailable_errors")
+    failures = total(".retry.failures")
+    assert injected == failures, (
+        f"{injected} StoreUnavailable raised but only {failures} seen by "
+        "a retry layer: some failure path is silent")
+    give_ups = total(".retry.give_ups")
+    skipped = snapshot.get("backup.snapshot.skipped", 0)
+    deferred = total(".checkpoints_deferred")
+    dropped = total(".partials_dropped")
+    fallbacks = snapshot.get("topology.wide.adopt_fallbacks", 0)
+    # Each skipped backup, deferred checkpoint, and dropped partial IS a
+    # give-up; the only other give-up source is a failed restore, which
+    # surfaces as an adoption fallback (fallbacks also cover the
+    # no-retry BackupNotFound path, hence the upper bound).
+    assert skipped + deferred + dropped <= give_ups, (
+        f"{give_ups} give-ups cannot explain {skipped}+{deferred}+{dropped} "
+        "degraded events")
+    assert give_ups <= skipped + deferred + dropped + fallbacks, (
+        f"{give_ups} retry give-ups but only "
+        f"{skipped + deferred + dropped + fallbacks} degraded-mode events "
+        "counted: a give-up vanished without a visible fallback")
+
+
+class TestMacroChaosCampaign:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_lattice_holds_across_the_full_pipeline(self, seed):
+        for semantics in SEMANTICS:
+            metrics, scribe, topology, laser, scuba = run_campaign(
+                seed, semantics)
+            count = state_count(topology)
+            label = f"seed={seed} semantics={semantics.state.value}"
+            if semantics == SemanticsPolicy.at_least_once():
+                assert count >= TOTAL, f"{label}: lost events ({count})"
+                # Duplicates collapse on the Laser key: the view converges.
+                present = sum(1 for i in range(TOTAL)
+                              if laser.get(i) is not None)
+                assert present == TOTAL, (
+                    f"{label}: Laser view incomplete ({present}/{TOTAL})")
+                assert output_messages(scribe) >= TOTAL
+            elif semantics == SemanticsPolicy.at_most_once():
+                assert count <= TOTAL, f"{label}: doubled events ({count})"
+                published = output_messages(scribe)
+                assert published <= TOTAL, (
+                    f"{label}: at-most-once output duplicated ({published})")
+                assert scuba.table.row_count() <= published
+            else:
+                assert count == TOTAL, f"{label}: expected exact ({count})"
+                assert committed_seqs(topology) == list(range(TOTAL)), (
+                    f"{label}: committed outputs are not exactly-once")
+            assert_accounting(metrics)
+
+    def test_campaign_actually_stresses_the_composition(self):
+        """Meta-check: the schedules exercise the cross-layer machinery.
+        Rebalances fire while faults are live, some transfer window
+        loses HDFS and forces a fresh-replay adoption, at-least-once
+        replay produces downstream duplicates, and at-most-once crashes
+        lose pending outputs. If these stop happening the campaign has
+        gone soft."""
+        rebalances = 0.0
+        fallbacks = 0.0
+        injected = 0.0
+        alo_duplicates = 0
+        amo_losses = 0
+        for seed in range(10):
+            metrics, scribe, topology, _, _ = run_campaign(seed, SEMANTICS[0])
+            snapshot = metrics.snapshot()
+            rebalances += snapshot.get("topology.wide.rebalances", 0)
+            fallbacks += snapshot.get("topology.wide.adopt_fallbacks", 0)
+            injected += sum(v for n, v in snapshot.items()
+                            if n.endswith(".unavailable_errors"))
+            if output_messages(scribe) > TOTAL:
+                alo_duplicates += 1
+            _, scribe, topology, _, _ = run_campaign(seed, SEMANTICS[1])
+            if (state_count(topology) < TOTAL
+                    or output_messages(scribe) < TOTAL):
+                amo_losses += 1
+        assert rebalances > 10, "the topology barely reshaped"
+        assert fallbacks > 0, "no transfer window ever forced fresh replay"
+        assert injected > 20, "chaos plans barely injected anything"
+        assert alo_duplicates > 0, "replay never duplicated downstream"
+        assert amo_losses > 0, "no at-most-once crash ever dropped events"

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.costs import CostModel
+from repro.core.semantics import SemanticsPolicy
 from repro.errors import ConfigError, SimulationError
 from repro.puma.parser import parse
 from repro.puma.planner import plan
@@ -11,11 +12,12 @@ from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.topology import (ShardedTopology, puma_worker_factory,
                                     stylus_worker_factory)
+from repro.scribe.reader import CategoryReader
 from repro.storage.backup import BackupEngine
 from repro.storage.hbase import HBaseTable
 from repro.storage.hdfs import HdfsBlobStore
 from tests.conftest import write_events
-from tests.stylus.helpers import CountingProcessor
+from tests.stylus.helpers import CountingProcessor, ForwardingProcessor
 
 NUM_BUCKETS = 8
 
@@ -201,6 +203,61 @@ class TestRebalance:
         assert snapshot["topology.t.rebalances"] == 1
         assert snapshot["topology.t.buckets_moved"] == len(moved)
 
+    def test_handoff_reconciles_credits_for_trimmed_backlog(
+            self, cluster, scribe, clock):
+        # The wedge this guards against: credits are spent at write time;
+        # retention trims a backlog nobody read; the owner dies inside
+        # the transfer window with HDFS down, so the adopter falls back
+        # to a fresh replay that starts *past* the trimmed history. No
+        # future read grants those credits — without reconciliation at
+        # adopt time the producer blocks forever on empty buckets.
+        from repro.errors import Backpressure
+
+        scribe.create_category("events", NUM_BUCKETS,
+                               retention_seconds=30.0)
+        hdfs = HdfsBlobStore(clock=clock)
+        factory = stylus_worker_factory(
+            scribe, "events", CountingProcessor, BackupEngine(hdfs),
+            state_prefix="t", clock=clock,
+        )
+        topology = ShardedTopology("t", cluster, scribe, "events", 2, factory)
+        limit = 4
+        gate = scribe.enable_backpressure("events", max_outstanding=limit)
+        for bucket in range(NUM_BUCKETS):
+            for _ in range(limit):
+                scribe.write("events", b"x", bucket=bucket)
+            with pytest.raises(Backpressure):
+                scribe.write("events", b"x", bucket=bucket)
+
+        # The consumers never ran; retention trims the whole backlog.
+        clock.advance(120.0)
+        assert scribe.run_retention() == NUM_BUCKETS * limit
+        with pytest.raises(Backpressure):
+            scribe.write("events", b"x", bucket=0)
+
+        # HDFS dies, then the owner dies inside the transfer window: the
+        # adopters find no backup and fall back to a fresh replay.
+        hdfs.set_available(False)
+        topology.rebalance_fault_hook = (
+            lambda phase: cluster.crash_process("t-s000"))
+        moved = topology.rebalance(4)
+        topology.rebalance_fault_hook = None
+        assert moved
+
+        # Pre-fix, these writes raised Backpressure forever.
+        for bucket in moved:
+            scribe.write("events", b"x", bucket=bucket)
+            assert gate.outstanding(bucket) == 1
+
+        # Unmoved buckets reconcile on their readers' retention skip.
+        cluster.restart_process("t-s000")
+        topology.drain()
+        snapshot = scribe.metrics.snapshot()
+        assert snapshot["scribe.credits.reconciled"] == NUM_BUCKETS * limit
+        for bucket in range(NUM_BUCKETS):
+            assert gate.outstanding(bucket) == 0
+            scribe.write("events", b"x", bucket=bucket)
+
     def test_owner_killed_mid_transfer_loses_nothing(self, cluster, scribe):
         topology = make_topology(cluster, scribe, num_shards=2)
         write_events(scribe, "events", 120)
@@ -238,6 +295,30 @@ class TestModeledScaling:
             1200 * cost.cpu_per_event)
         assert single.modeled_elapsed() / quad.modeled_elapsed() > 2.0
 
+    def test_hot_shard_skew_is_visible_in_cost_gauges(self, cluster, scribe):
+        # A hot key drives every event onto one bucket: the makespan
+        # alone can't distinguish "cluster busy" from "one shard
+        # buried", so the per-shard cost gauges must expose the skew.
+        cost = CostModel()
+        metrics = MetricsRegistry()
+        topology = make_topology(cluster, scribe, num_shards=4, name="hot",
+                                 metrics=metrics, cost_model=cost)
+        for i in range(400):
+            scribe.write_record("events", {"event_time": float(i), "seq": i},
+                                bucket=0)
+        topology.drain()
+        costs = topology.shard_costs()
+        assert len(costs) == 4
+        assert max(costs.values()) == pytest.approx(topology.modeled_elapsed())
+        snapshot = metrics.snapshot()
+        assert snapshot["topology.hot.shard_cost_max"] == pytest.approx(
+            topology.modeled_elapsed())
+        # One shard did all the work: max / mean over 4 shards is 4.
+        assert snapshot["topology.hot.shard_cost_imbalance"] == pytest.approx(
+            4.0)
+        assert snapshot["topology.hot.shard_cost_p99"] == \
+            snapshot["topology.hot.shard_cost_max"]
+
 
 PUMA_SOURCE = """
 CREATE APPLICATION counts;
@@ -272,3 +353,77 @@ class TestPumaWorkers:
         worker = topology.worker("p-s000")
         [row] = worker.app.query("clicks_1min", window_start=0.0)
         assert row["n"] == 180
+
+
+class TestAdoptionSemantics:
+    """Regressions the macro chaos campaign flushed out of shard handoff."""
+
+    def make_emitting(self, cluster, scribe, semantics, metrics,
+                      num_shards=2, name="e"):
+        scribe.ensure_category("events", NUM_BUCKETS)
+        scribe.ensure_category("events_out", NUM_BUCKETS)
+        hdfs = HdfsBlobStore(clock=scribe.clock)
+        factory = stylus_worker_factory(
+            scribe, "events", ForwardingProcessor, BackupEngine(hdfs),
+            state_prefix=name, clock=scribe.clock, semantics=semantics,
+            output_category="events_out", metrics=metrics,
+        )
+        topology = ShardedTopology(name, cluster, scribe, "events",
+                                   num_shards, factory, metrics=metrics)
+        return topology, hdfs
+
+    def test_amo_fallback_skips_already_published_history(
+            self, cluster, scribe, metrics):
+        # An at-most-once task adopted via the no-backup fallback used to
+        # replay its bucket from the start and publish the whole history
+        # a second time — duplication, the one direction at-most-once
+        # must never err in. The fallback now resumes at the tail.
+        topology, hdfs = self.make_emitting(
+            cluster, scribe, SemanticsPolicy.at_most_once(), metrics)
+        write_events(scribe, "events", 80)
+        topology.drain()
+        topology.checkpoint_all()  # at-most-once publishes post-checkpoint
+        assert len(CategoryReader(scribe, "events_out").read_all()) == 80
+
+        hdfs.set_available(False)  # every adoption falls back to fresh
+        moved = topology.rebalance(4)
+        assert moved
+        hdfs.set_available(True)
+
+        for i in range(80, 120):
+            scribe.write_record(
+                "events", {"event_time": float(i), "seq": i}, key=str(i))
+        topology.drain()
+        topology.checkpoint_all()
+        assert len(CategoryReader(scribe, "events_out").read_all()) == 120
+        snapshot = metrics.snapshot()
+        assert snapshot["topology.e.adopt_fallbacks"] == len(moved)
+        assert snapshot["topology.e.messages_skipped"] > 0
+
+    def test_eo_committed_outputs_survive_adoption(
+            self, cluster, scribe, metrics):
+        # An adopted exactly-once task used to restart checkpoint
+        # numbering at zero, so its first commit overwrote the previous
+        # owner's ``out:000000000001`` row — committed outputs silently
+        # lost entries while state and offset stayed exact. The index
+        # now resumes from the durable rows.
+        topology, _ = self.make_emitting(
+            cluster, scribe, SemanticsPolicy.exactly_once(), metrics)
+        write_events(scribe, "events", 60)
+        topology.drain()
+        topology.checkpoint_all()
+        moved = topology.rebalance(4)  # HDFS up: the restore path
+        assert moved
+        for i in range(60, 120):
+            scribe.write_record(
+                "events", {"event_time": float(i), "seq": i}, key=str(i))
+        topology.drain()
+        topology.checkpoint_all()
+        seqs = sorted(
+            record["seq"]
+            for shard in topology.shard_names()
+            for bucket in topology.worker(shard).buckets()
+            for record in (topology.worker(shard).task(bucket)
+                           .state_backend.committed_outputs())
+        )
+        assert seqs == list(range(120))

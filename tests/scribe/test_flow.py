@@ -13,7 +13,8 @@ def make_gate(max_outstanding: int = 4) -> tuple[CreditGate, MetricsRegistry]:
     metrics = MetricsRegistry()
     gate = CreditGate("e", max_outstanding,
                       granted=metrics.counter("scribe.credits.granted"),
-                      blocked=metrics.counter("scribe.credits.blocked"))
+                      blocked=metrics.counter("scribe.credits.blocked"),
+                      reconciled=metrics.counter("scribe.credits.reconciled"))
     return gate, metrics
 
 
@@ -61,6 +62,37 @@ class TestCreditGate:
         gate.grant(0, 0)
         assert gate.outstanding(0) == 1
         assert metrics.snapshot().get("scribe.credits.granted", 0) == 0
+
+    def test_reconcile_frees_orphaned_credits(self):
+        # Retention trimmed two unread messages: no future read grants
+        # them, so reconcile must hand the credits back.
+        gate, metrics = make_gate(max_outstanding=3)
+        for _ in range(3):
+            gate.try_acquire(0)
+        assert gate.reconcile(0, 1) == 2
+        assert gate.outstanding(0) == 1
+        assert metrics.snapshot()["scribe.credits.reconciled"] == 2
+
+    def test_reconcile_restores_credits_after_a_rewind(self):
+        # An adopter resuming behind the old owner re-reads (and
+        # re-grants) history: reconcile raises outstanding back to the
+        # true tail so the limit is not quietly doubled.
+        gate, metrics = make_gate(max_outstanding=4)
+        gate.try_acquire(0)
+        assert gate.reconcile(0, 3) == -2
+        assert gate.outstanding(0) == 3
+        assert metrics.snapshot()["scribe.credits.reconciled"] == 2
+
+    def test_reconcile_in_agreement_is_a_no_op(self):
+        gate, metrics = make_gate()
+        gate.try_acquire(0)
+        assert gate.reconcile(0, 1) == 0
+        assert metrics.snapshot().get("scribe.credits.reconciled", 0) == 0
+
+    def test_reconcile_rejects_negative_unread(self):
+        gate, _ = make_gate()
+        with pytest.raises(ConfigError):
+            gate.reconcile(0, -1)
 
 
 class TestStoreBackpressure:
@@ -115,6 +147,29 @@ class TestStoreBackpressure:
         writer = ScribeWriter(scribe, "e")
         assert writer.try_write({"seq": 0}) == 0
         assert writer.try_write({"seq": 1}) is None
+
+    def test_retention_skip_unwedges_a_blocked_producer(self, scribe, clock):
+        # Credits are spent at write time; retention can trim messages no
+        # consumer ever read, so their credits would leak forever. The
+        # reader's skip-forward path must reconcile the gate or the
+        # producer stays blocked on an empty bucket.
+        scribe.create_category("e", 1, retention_seconds=10.0)
+        scribe.enable_backpressure("e", max_outstanding=2)
+        reader = ScribeReader(scribe, "e", 0)
+        scribe.write("e", b"a")
+        scribe.write("e", b"b")
+        with pytest.raises(Backpressure):
+            scribe.write("e", b"c")
+        clock.advance(60.0)
+        assert scribe.run_retention() == 2
+        # Still wedged: nothing will ever read the trimmed pair.
+        with pytest.raises(Backpressure):
+            scribe.write("e", b"c")
+        # The lagged reader skips forward past the trim — and frees them.
+        assert reader.read_batch(10) == []
+        assert reader.position == 2
+        assert scribe.metrics.snapshot()["scribe.credits.reconciled"] == 2
+        scribe.write("e", b"c")  # unblocked
 
     def test_fast_producer_depth_stays_bounded(self, scribe):
         # A producer 10x faster than its consumer must not grow the

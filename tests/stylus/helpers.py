@@ -26,6 +26,17 @@ class CountingProcessor(StatefulProcessor):
         return [Output({"event_time": now, "count": state["count"]})]
 
 
+class ForwardingProcessor(StatefulProcessor):
+    """Count per bucket and forward every event downstream."""
+
+    def initial_state(self):
+        return {"count": 0}
+
+    def process(self, event: Event, state) -> list[Output]:
+        state["count"] += 1
+        return [Output(event.to_record(), key=str(event["seq"]))]
+
+
 class EchoProcessor(StatelessProcessor):
     """Stateless pass-through that re-keys by a field."""
 

@@ -1,0 +1,170 @@
+"""Tests for the watermark-bounded stream-stream join processor."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.errors import ConfigError, ProcessingError
+from repro.scribe.reader import CategoryReader
+from repro.stylus.checkpointing import CheckpointPolicy
+from repro.stylus.engine import StylusTask
+from repro.stylus.join import StreamStreamJoinProcessor
+
+
+def make_join(**kwargs) -> StreamStreamJoinProcessor:
+    kwargs.setdefault("window_seconds", 10.0)
+    return StreamStreamJoinProcessor("impressions", "clicks", "ad_id",
+                                     **kwargs)
+
+
+def impression(t: float, ad: str, **fields) -> Event:
+    return Event(t, {"stream": "impressions", "ad_id": ad, **fields})
+
+
+def click(t: float, ad: str, **fields) -> Event:
+    return Event(t, {"stream": "clicks", "ad_id": ad, **fields})
+
+
+class TestMatching:
+    def test_click_joins_in_window_impression(self):
+        join = make_join()
+        state = join.initial_state()
+        assert join.process(impression(100.0, "a", user="u1"), state) == []
+        [out] = join.process(click(105.0, "a", user="u1"), state)
+        assert out.key == "a"
+        assert out.record["ad_id"] == "a"
+        assert out.record["event_time"] == 105.0
+        assert out.record["left_event_time"] == 100.0
+        assert out.record["right_event_time"] == 105.0
+        assert out.record["left_user"] == "u1"
+        assert out.record["right_user"] == "u1"
+
+    def test_arrival_order_does_not_matter(self):
+        # The click can arrive first: the join output is identical.
+        join = make_join()
+        state = join.initial_state()
+        assert join.process(click(105.0, "a"), state) == []
+        [out] = join.process(impression(100.0, "a"), state)
+        assert out.record["left_event_time"] == 100.0
+        assert out.record["right_event_time"] == 105.0
+
+    def test_out_of_window_pair_does_not_join(self):
+        join = make_join(window_seconds=10.0)
+        state = join.initial_state()
+        join.process(impression(100.0, "a"), state)
+        assert join.process(click(111.0, "a"), state) == []
+
+    def test_keys_are_independent(self):
+        join = make_join()
+        state = join.initial_state()
+        join.process(impression(100.0, "a"), state)
+        assert join.process(click(101.0, "b"), state) == []
+
+    def test_one_impression_matches_many_clicks(self):
+        join = make_join()
+        state = join.initial_state()
+        join.process(impression(100.0, "a"), state)
+        assert len(join.process(click(101.0, "a"), state)) == 1
+        assert len(join.process(click(102.0, "a"), state)) == 1
+
+    def test_unknown_stream_rejected(self):
+        join = make_join()
+        state = join.initial_state()
+        with pytest.raises(ProcessingError):
+            join.process(Event(1.0, {"stream": "views", "ad_id": "a"}), state)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            make_join(window_seconds=0.0)
+        with pytest.raises(ConfigError):
+            StreamStreamJoinProcessor("x", "x", "ad_id", window_seconds=1.0)
+
+
+class TestEviction:
+    def test_checkpoint_evicts_expired_entries(self):
+        join = make_join(window_seconds=10.0)
+        state = join.initial_state()
+        join.process(impression(100.0, "a"), state)
+        join.process(click(102.0, "b"), state)
+        join.process(impression(200.0, "c"), state)  # advances the watermark
+        assert join.buffered_entries(state) == 3
+        assert join.on_checkpoint(state, now=0.0) == []
+        # Only the entry newer than 200 - 10 survives.
+        assert join.buffered_entries(state) == 1
+        assert list(state["left"]) == ["c"]
+        assert state["right"] == {}
+
+    def test_unmatched_left_entries_are_emitted_on_eviction(self):
+        join = make_join(window_seconds=10.0, emit_unmatched_left=True)
+        state = join.initial_state()
+        join.process(impression(100.0, "a", user="u1"), state)
+        join.process(impression(101.0, "b"), state)
+        join.process(click(102.0, "b"), state)  # b matches, a never does
+        join.process(impression(300.0, "c"), state)
+        outputs = join.on_checkpoint(state, now=0.0)
+        [unmatched] = [out for out in outputs if out.record.get("unmatched")]
+        assert unmatched.record["ad_id"] == "a"
+        assert unmatched.record["user"] == "u1"
+        assert unmatched.record["event_time"] == 100.0
+
+    def test_empty_state_checkpoint_is_a_no_op(self):
+        join = make_join()
+        assert join.on_checkpoint(join.initial_state(), now=5.0) == []
+
+
+class TestEndToEnd:
+    def test_joins_flow_through_a_stylus_task(self, scribe):
+        scribe.create_category("ad_events", 1)
+        scribe.create_category("joined", 1)
+        for i in range(20):
+            scribe.write_record("ad_events", {
+                "event_time": float(i), "stream": "impressions",
+                "ad_id": f"ad{i}", "slot": i % 3,
+            }, key=f"ad{i}")
+            if i % 2 == 0:
+                scribe.write_record("ad_events", {
+                    "event_time": float(i) + 1.5, "stream": "clicks",
+                    "ad_id": f"ad{i}", "user": f"u{i}",
+                }, key=f"ad{i}")
+        task = StylusTask(
+            "join", scribe, "ad_events", 0,
+            StreamStreamJoinProcessor("impressions", "clicks", "ad_id",
+                                      window_seconds=5.0),
+            output_category="joined", clock=scribe.clock,
+            checkpoint_policy=CheckpointPolicy(every_n_events=100),
+        )
+        assert task.pump() == 30
+        joined = [m.decode() for m in
+                  CategoryReader(scribe, "joined").read_all()]
+        assert sorted(r["ad_id"] for r in joined) == sorted(
+            f"ad{i}" for i in range(0, 20, 2))
+        for record in joined:
+            assert record["right_event_time"] - \
+                record["left_event_time"] == pytest.approx(1.5)
+
+    def test_state_survives_checkpoint_and_restart(self, scribe):
+        scribe.create_category("ad_events", 1)
+        scribe.create_category("joined", 1)
+        scribe.write_record("ad_events", {
+            "event_time": 100.0, "stream": "impressions", "ad_id": "a",
+        }, key="a")
+        task = StylusTask(
+            "join", scribe, "ad_events", 0,
+            StreamStreamJoinProcessor("impressions", "clicks", "ad_id",
+                                      window_seconds=60.0),
+            output_category="joined", clock=scribe.clock,
+            checkpoint_policy=CheckpointPolicy(every_n_events=1000),
+        )
+        task.pump()
+        task.checkpoint_now()
+        task.crash()
+        task.restart()
+        # The buffered impression survived the crash: the late click
+        # still joins.
+        scribe.write_record("ad_events", {
+            "event_time": 130.0, "stream": "clicks", "ad_id": "a",
+        }, key="a")
+        task.pump()
+        joined = [m.decode() for m in
+                  CategoryReader(scribe, "joined").read_all()]
+        assert len(joined) == 1
+        assert joined[0]["left_event_time"] == 100.0

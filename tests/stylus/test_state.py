@@ -81,6 +81,13 @@ class TestBackendContract:
         backend.save_atomic_with_outputs({"c": 10}, 10, outputs, 1)  # replay
         assert backend.committed_outputs() == [{"count": 10}]
 
+    def test_last_checkpoint_index_tracks_commits(self, name, factory):
+        backend = factory()
+        assert backend.last_checkpoint_index() == 0
+        backend.save_atomic_with_outputs({"c": 1}, 1, [Output({"seq": 0})], 1)
+        backend.save_atomic_with_outputs({"c": 2}, 2, [Output({"seq": 1})], 2)
+        assert backend.last_checkpoint_index() == 2
+
 
 class TestLocalDbRecovery:
     def test_process_crash_recovery_replays_wal(self):
@@ -179,3 +186,30 @@ class TestRemoteDbBackend:
         _, offset = backend.load()
         assert offset == 17
         assert backend.committed_outputs() == [{"v": 1}]
+
+
+class TestCheckpointIndexSurvivesHandoff:
+    """The numbering must be derivable from durable data alone: a task
+    re-created on another machine (shard adoption, remote failover) that
+    restarted at index 0 would overwrite the committed output rows its
+    predecessor wrote — exactly-once output silently losing entries."""
+
+    def test_local_db_adopter_resumes_numbering(self, clock):
+        engine = BackupEngine(HdfsBlobStore(clock=clock))
+        backend = LocalDbStateBackend("task", {}, backup_engine=engine,
+                                      merge_operator=OPERATOR)
+        backend.save_atomic_with_outputs({"c": 1}, 1, [Output({"seq": 0})], 1)
+        backend.maybe_backup()
+        adopted = LocalDbStateBackend.adopt("task", {}, engine,
+                                            merge_operator=OPERATOR)
+        assert adopted.last_checkpoint_index() == 1
+        adopted.save_atomic_with_outputs({"c": 2}, 2, [Output({"seq": 1})], 2)
+        assert adopted.committed_outputs() == [{"seq": 0}, {"seq": 1}]
+
+    def test_remote_db_takeover_sees_predecessor_history(self):
+        db = ZippyDb(num_shards=3, merge_operator=OPERATOR, clock=SimClock())
+        first = RemoteDbStateBackend("task", db)
+        first.save_atomic_with_outputs({"c": 1}, 1, [Output({"seq": 0})], 1)
+        takeover = RemoteDbStateBackend("task", db)
+        assert takeover.last_checkpoint_index() == 1
+        assert takeover.committed_outputs() == [{"seq": 0}]
