@@ -67,6 +67,27 @@ class DashboardPanel:
         return cls(name, run, backend="puma")
 
     @classmethod
+    def from_query_stats(cls, name: str,
+                         query: ScubaQuery) -> "DashboardPanel":
+        """Plot what the query engine *spends* beside what it answers.
+
+        Surfaces the per-table cost counters a query charges as it
+        runs — ``rows_scanned``, ``rows_cached``, the partial-cache
+        ``cache.hits``/``cache.misses``, and the compiled engine's
+        ``plan_cache.hits``/``plan_cache.misses`` and
+        ``segments_pruned``/``rows_pruned`` — so an operator can see
+        whether a dashboard is being served by cached partials and
+        zone-map pruning or by raw scans.
+        """
+        def run(start: float, end: float) -> list[Row]:
+            prefix = f"scuba.{query.table.name}."
+            snapshot = query.metrics.find(prefix)
+            return [{"metric": key[len(prefix):], "value": value}
+                    for key, value in sorted(snapshot.items())]
+
+        return cls(name, run, backend="scuba_stats")
+
+    @classmethod
     def from_ingester(cls, name: str,
                       ingester: ScubaIngester) -> "DashboardPanel":
         """Plot ingestion health next to query cost.

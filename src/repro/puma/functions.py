@@ -18,10 +18,19 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from collections import Counter
 from typing import Any, Callable
 
 from repro.analysis.hll import HyperLogLog
+from repro.core.kernels import (  # noqa: F401  (re-exported: the kernels
+    COLUMNAR_KERNELS,             # lived here before they became the
+    AvgKernel,                    # shared Puma/Scuba lowering layer in
+    ColumnarKernel,               # repro.core.kernels)
+    CountKernel,
+    MaxKernel,
+    MinKernel,
+    SumKernel,
+    get_columnar_kernel,
+)
 from repro.errors import UnknownFunction
 
 
@@ -350,151 +359,9 @@ class ApproxPercentileAggregate(AggregateFunction):
         return state
 
 
-# -- columnar kernels --------------------------------------------------------
-#
-# Single-pass, column-at-a-time implementations of the hot aggregates,
-# used by Scuba's vectorized query engine. Each kernel folds one column
-# slice into *the same monoid states* its per-row AggregateFunction
-# builds (property-tested identical), so kernel output merges freely
-# with per-row states and with cached per-segment partials.
-#
-# Contract: ``fold(codes, values, n)`` where ``codes`` is a per-row
-# group-code sequence (``None`` means "one implicit group 0"), ``values``
-# is the per-row value sequence with ``None`` meaning SQL NULL (``None``
-# means "count(*)": every row counts 1), and ``n`` is the row count.
-# Returns ``{group_code: state}`` with an entry for every group that had
-# at least one row — even if all its values were NULL — matching the
-# row engine, which creates a state the first time it *sees* a group.
-
-
-class ColumnarKernel(ABC):
-    """A vectorized fold producing per-group monoid states."""
-
-    name: str = ""
-
-    @abstractmethod
-    def fold(self, codes, values, n: int) -> dict[int, Any]:
-        """Fold a column slice into ``{group_code: state}``."""
-
-
-def _seen_groups(codes, n: int) -> set[int]:
-    return set(codes) if codes is not None else ({0} if n else set())
-
-
-class CountKernel(ColumnarKernel):
-    name = "count"
-
-    def fold(self, codes, values, n: int) -> dict[int, Any]:
-        if values is None:  # count(*): every row counts
-            if codes is None:
-                return {0: n} if n else {}
-            return dict(Counter(codes))
-        if codes is None:
-            count = sum(1 for value in values if value is not None)
-            return {0: count} if n else {}
-        states = dict.fromkeys(_seen_groups(codes, n), 0)
-        for code, value in zip(codes, values):
-            if value is not None:
-                states[code] += 1
-        return states
-
-
-class SumKernel(ColumnarKernel):
-    name = "sum"
-
-    def fold(self, codes, values, n: int) -> dict[int, Any]:
-        if values is None:  # sum of the literal 1 == count(*)
-            return CountKernel().fold(codes, None, n)
-        if codes is None:
-            if not n:
-                return {}
-            return {0: sum(value for value in values if value is not None)}
-        states = dict.fromkeys(_seen_groups(codes, n), 0)
-        for code, value in zip(codes, values):
-            if value is not None:
-                states[code] += value
-        return states
-
-
-class AvgKernel(ColumnarKernel):
-    name = "avg"
-
-    def fold(self, codes, values, n: int) -> dict[int, Any]:
-        if values is None:
-            counts = CountKernel().fold(codes, None, n)
-            return {code: [float(count), count]
-                    for code, count in counts.items()}
-        if codes is None:
-            if not n:
-                return {}
-            present = [value for value in values if value is not None]
-            return {0: [float(sum(present)), len(present)]}
-        sums: dict[int, float] = dict.fromkeys(_seen_groups(codes, n), 0.0)
-        counts: dict[int, int] = dict.fromkeys(sums, 0)
-        for code, value in zip(codes, values):
-            if value is not None:
-                sums[code] += value
-                counts[code] += 1
-        return {code: [sums[code], counts[code]] for code in sums}
-
-
-class _ExtremeKernel(ColumnarKernel):
-    """Shared min/max fold; ``_wins(value, state)`` picks the direction."""
-
-    @staticmethod
-    @abstractmethod
-    def _wins(value: Any, state: Any) -> bool:
-        """True when ``value`` should replace ``state``."""
-
-    def fold(self, codes, values, n: int) -> dict[int, Any]:
-        wins = self._wins
-        if values is None:  # every value is the literal 1
-            return {code: 1 for code in _seen_groups(codes, n)}
-        if codes is None:
-            if not n:
-                return {}
-            state = None
-            for value in values:
-                if value is not None and (state is None or wins(value, state)):
-                    state = value
-            return {0: state}
-        states: dict[int, Any] = dict.fromkeys(_seen_groups(codes, n))
-        for code, value in zip(codes, values):
-            if value is not None:
-                state = states[code]
-                if state is None or wins(value, state):
-                    states[code] = value
-        return states
-
-
-class MinKernel(_ExtremeKernel):
-    name = "min"
-
-    @staticmethod
-    def _wins(value: Any, state: Any) -> bool:
-        return value < state
-
-
-class MaxKernel(_ExtremeKernel):
-    name = "max"
-
-    @staticmethod
-    def _wins(value: Any, state: Any) -> bool:
-        return value > state
-
-
-COLUMNAR_KERNELS: dict[str, ColumnarKernel] = {
-    kernel.name: kernel
-    for kernel in (CountKernel(), SumKernel(), AvgKernel(), MinKernel(),
-                   MaxKernel())
-}
-
-
-def get_columnar_kernel(name: str) -> ColumnarKernel | None:
-    """The vectorized kernel for ``name``, or None (caller falls back
-    to the per-row monoid update loop)."""
-    return COLUMNAR_KERNELS.get(name.lower())
-
+# Columnar kernels used to be defined here; they now live in
+# repro.core.kernels as the shared Puma/Scuba lowering layer and are
+# re-exported above so existing imports keep working.
 
 AGGREGATE_FUNCTIONS: dict[str, AggregateFunction] = {
     agg.name: agg

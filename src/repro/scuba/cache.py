@@ -33,18 +33,29 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any
 
+from repro.scuba.compiler import ScubaPlanCache
+
 Shape = tuple
 States = dict[tuple, Any]
 
 
 class ScubaQueryCache:
-    """Bounded LRU of per-segment partials and closed-bucket results."""
+    """Bounded LRU of per-segment partials and closed-bucket results.
+
+    Also owns the table's :class:`~repro.scuba.compiler.ScubaPlanCache`
+    (``plans``): plans share the shape identity the partials are keyed
+    by and are dropped together on :meth:`clear`, but they hold no
+    segment state, so ``drop_segment`` leaves them alone — and
+    ``__len__`` counts only result entries, so "caching disabled" checks
+    see an empty cache even after plans have been lowered.
+    """
 
     def __init__(self, max_entries: int = 4096) -> None:
         self.max_entries = max_entries
         self._run: OrderedDict[tuple, States] = OrderedDict()
         self._buckets: OrderedDict[tuple, tuple[frozenset[int], States]] = \
             OrderedDict()
+        self.plans = ScubaPlanCache()
 
     # -- run(): per-segment partial aggregates -------------------------------
 
@@ -93,6 +104,7 @@ class ScubaQueryCache:
     def clear(self) -> None:
         self._run.clear()
         self._buckets.clear()
+        self.plans.clear()
 
     def __len__(self) -> int:
         return len(self._run) + len(self._buckets)

@@ -28,6 +28,7 @@ segment is still live.
 from __future__ import annotations
 
 from array import array
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 Row = dict[str, Any]
@@ -41,13 +42,67 @@ MISSING = object()
 DICT_MAX_CARDINALITY = 4096
 
 
+@dataclass(frozen=True)
+class ColumnZone:
+    """Summary facts about one column of one sealed segment (zone map).
+
+    Everything here is *sound for pruning*: a claim may be weaker than
+    reality (a sliced DictColumn reports its parent's full dictionary as
+    ``domain``, a superset of the values actually present) but never
+    stronger — if the zone says no row can pass a filter, none can.
+
+    - ``min_value``/``max_value``: range of the numeric non-null values,
+      or ``None`` when the column holds non-numeric values (no sound
+      range claim is possible);
+    - ``has_missing``: whether any row reads as null (absent key or
+      literal ``None``);
+    - ``domain``: the distinct query-visible values (possibly a
+      superset), or ``None`` when unknown — only dictionary-encoded
+      columns are cheap enough to enumerate.
+    """
+
+    min_value: float | None
+    max_value: float | None
+    has_missing: bool
+    domain: tuple | None
+
+
+def _numeric_zone(values: Sequence[Any]) -> ColumnZone:
+    """Zone for raw values that may include ``MISSING``/``None``."""
+    lo = hi = None
+    has_missing = False
+    numeric = True
+    for value in values:
+        if value is MISSING or value is None:
+            has_missing = True
+        elif numeric and isinstance(value, (int, float)):
+            if lo is None or value < lo:
+                lo = value
+            if hi is None or value > hi:
+                hi = value
+        else:
+            numeric = False
+    if not numeric:
+        lo = hi = None
+    return ColumnZone(lo, hi, has_missing, None)
+
+
 class FloatColumn:
     """All rows present, all values ``float``: a bare ``array('d')``."""
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "_zone")
 
     def __init__(self, data: array) -> None:
         self.data = data
+        self._zone: ColumnZone | None = None
+
+    def zone(self) -> ColumnZone:
+        if self._zone is None:
+            data = self.data
+            self._zone = ColumnZone(min(data) if data else None,
+                                    max(data) if data else None,
+                                    False, None)
+        return self._zone
 
     def get(self, i: int) -> Any:
         return self.data[i]
@@ -79,7 +134,7 @@ class FloatColumn:
 class DictColumn:
     """Dictionary-encoded values; the dictionary keeps exact objects."""
 
-    __slots__ = ("_codes", "dictionary", "_decoded")
+    __slots__ = ("_codes", "dictionary", "_decoded", "_zone")
 
     def __init__(self, codes: array, dictionary: list[Any]) -> None:
         self._codes = codes
@@ -87,6 +142,17 @@ class DictColumn:
         # The query-facing view of the dictionary: MISSING reads as None.
         self._decoded = [None if value is MISSING else value
                          for value in dictionary]
+        self._zone: ColumnZone | None = None
+
+    def zone(self) -> ColumnZone:
+        # The dictionary may be a superset of the values present (sliced
+        # columns share their parent's dictionary), so the zone's claims
+        # are weaker than reality but still sound for pruning.
+        if self._zone is None:
+            base = _numeric_zone(self._decoded)
+            self._zone = ColumnZone(base.min_value, base.max_value,
+                                    base.has_missing, tuple(self._decoded))
+        return self._zone
 
     def get(self, i: int) -> Any:
         return self.dictionary[self._codes[i]]
@@ -112,10 +178,16 @@ class DictColumn:
 class ObjectColumn:
     """Fallback: a plain list of values (may contain ``MISSING``)."""
 
-    __slots__ = ("data",)
+    __slots__ = ("data", "_zone")
 
     def __init__(self, data: list[Any]) -> None:
         self.data = data
+        self._zone: ColumnZone | None = None
+
+    def zone(self) -> ColumnZone:
+        if self._zone is None:
+            self._zone = _numeric_zone(self.data)
+        return self._zone
 
     def get(self, i: int) -> Any:
         return self.data[i]
@@ -268,6 +340,12 @@ class Segment:
         if column is None:
             return [passes(None)] * (hi - lo)
         return column.mask(passes, lo, hi)
+
+    def zone(self, name: str) -> ColumnZone | None:
+        """The column's zone map, or ``None`` when the column is absent
+        from this segment (every row reads as null)."""
+        column = self.columns.get(name)
+        return None if column is None else column.zone()
 
     def sliced(self, lo: int, seg_id: int) -> "Segment":
         """A new segment holding rows ``[lo, length)`` (retention trim)."""

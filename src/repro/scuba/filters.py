@@ -1,0 +1,75 @@
+"""Declarative Scuba filter predicates.
+
+:class:`ColumnFilter` lives in its own module (rather than in
+``repro.scuba.query``, which re-exports it) so the compiled-plan layer
+in :mod:`repro.scuba.compiler` can lower filters without importing the
+query engine that in turn imports the compiler.
+
+Missing-value semantics are uniform across every engine and entry
+point: a null or absent value passes a filter **only** when the op is
+negative (``!=`` / ``not in``) — a row that doesn't carry the column
+cannot equal, exceed, or be a member of anything, but it is genuinely
+*not equal* to any operand. The same rule applies whether the column is
+missing from one row or absent from a whole segment, and in ``run()``
+and ``run_time_series()`` alike.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ScubaError
+
+_FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda value, operand: value in operand,
+    "not in": lambda value, operand: value not in operand,
+}
+
+#: Negative ops: the only ones a null/missing value passes.
+_MISSING_PASS_OPS = frozenset({"!=", "not in"})
+
+
+@dataclass(frozen=True)
+class ColumnFilter:
+    """A declarative predicate: ``column <op> operand``.
+
+    Rows where the column is null or missing pass only negative ops
+    (``!=`` / ``not in``); positive comparisons collapse SQL-style
+    three-valued logic to false, and so does a value that is not
+    comparable to the operand. Being plain data, filters hash into the
+    query-shape key, so filtered dashboard queries cache — and the
+    compiler can evaluate them once per dictionary entry or zone map
+    instead of once per row.
+    """
+
+    column: str
+    op: str
+    operand: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _FILTER_OPS:
+            raise ScubaError(
+                f"unknown filter op {self.op!r}; "
+                f"one of {sorted(_FILTER_OPS)}"
+            )
+
+    @property
+    def missing_passes(self) -> bool:
+        """Whether a null/absent value passes this filter."""
+        return self.op in _MISSING_PASS_OPS
+
+    def passes(self, value: Any) -> bool:
+        if value is None:
+            return self.op in _MISSING_PASS_OPS
+        try:
+            return bool(_FILTER_OPS[self.op](value, self.operand))
+        except TypeError:
+            return False

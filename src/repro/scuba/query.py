@@ -5,21 +5,30 @@ aggregation at query time by reading all of the raw event data"
 (Section 5.2). A :class:`ScubaQuery` is a time range, optional filters,
 optional group-by columns, and aggregations.
 
-Two execution engines share one semantics (property-tested identical):
+Three execution engines share one semantics (property-tested identical):
 
 - ``engine="rows"`` — the paper-faithful baseline: scan every raw row in
   range as a dict, one CPU unit per row examined. This is the currency
   the Section 5.2 dashboard-migration experiment compares against Puma's
   write-time cost.
-- ``engine="columnar"`` (default) — vectorized execution over the
+- ``engine="columnar"`` — interpreted vectorized execution over the
   table's sealed segments: group-by runs on dictionary codes, filters
   are evaluated once per dictionary entry and projected through the code
   arrays as selection masks, and count/sum/avg/min/max fold whole column
-  slices through the columnar kernels in :mod:`repro.puma.functions`.
-  Per-segment partial aggregates and closed time-series buckets are
-  monoid states, so repeated dashboard refreshes over ``shifted()``
-  windows reuse them through the table's
+  slices through the shared columnar kernels in
+  :mod:`repro.core.kernels`. Per-segment partial aggregates and closed
+  time-series buckets are monoid states, so repeated dashboard refreshes
+  over ``shifted()`` windows reuse them through the table's
   :class:`~repro.scuba.cache.ScubaQueryCache` instead of rescanning.
+- ``engine="compiled"`` (default) — the query *shape* is lowered once
+  into an immutable :class:`~repro.scuba.compiler.ScubaPlan` (cached per
+  table) whose fused per-segment programs skip the interpreter's
+  per-segment re-derivation, evaluate float filters as inline
+  comparators, and refute whole segments against zone maps before any
+  scan. Plans produce states identical to the interpreted engine, so
+  both engines share the same cached partials; queries whose shape
+  cannot be lowered (opaque ``where``, unhashable filter operands) fall
+  back to interpreted columnar execution transparently.
 
 Filters come in two shapes: declarative :class:`ColumnFilter` predicates
 (vectorizable, participate in the cache's query shape) and an opaque
@@ -32,9 +41,8 @@ limit of 7: it only makes sense to visualize up to 7 lines in a chart."
 
 from __future__ import annotations
 
-import operator
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from repro.errors import ScubaError
 from repro.puma.functions import (
@@ -43,6 +51,10 @@ from repro.puma.functions import (
     get_columnar_kernel,
 )
 from repro.runtime.metrics import MetricsRegistry
+from repro.scuba.compiler import ScubaPlan, generic_fold
+from repro.scuba.filters import ColumnFilter  # noqa: F401  (re-export —
+# ColumnFilter's historical import path; it moved to repro.scuba.filters
+# so the compiler can lower predicates without a circular import)
 from repro.scuba.table import Row, ScubaTable
 
 
@@ -53,47 +65,6 @@ class TimeSeriesPoint:
     bucket_start: float
     group: tuple
     value: Any
-
-
-_FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
-    "==": operator.eq,
-    "!=": operator.ne,
-    "<": operator.lt,
-    "<=": operator.le,
-    ">": operator.gt,
-    ">=": operator.ge,
-    "in": lambda value, operand: value in operand,
-}
-
-
-@dataclass(frozen=True)
-class ColumnFilter:
-    """A declarative predicate: ``column <op> operand``.
-
-    Rows where the column is null or missing never pass (SQL-style
-    three-valued logic collapsed to false), and neither do rows whose
-    value is not comparable to the operand. Being plain data, filters
-    hash into the query-shape key, so filtered dashboard queries cache.
-    """
-
-    column: str
-    op: str
-    operand: Any
-
-    def __post_init__(self) -> None:
-        if self.op not in _FILTER_OPS:
-            raise ScubaError(
-                f"unknown filter op {self.op!r}; "
-                f"one of {sorted(_FILTER_OPS)}"
-            )
-
-    def passes(self, value: Any) -> bool:
-        if value is None:
-            return False
-        try:
-            return bool(_FILTER_OPS[self.op](value, self.operand))
-        except TypeError:
-            return False
 
 
 @dataclass
@@ -111,7 +82,7 @@ class ScubaQuery:
     bucket_seconds: float | None = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     filters: tuple[ColumnFilter, ...] = ()
-    engine: str = "columnar"  # "columnar" | "rows"
+    engine: str = "compiled"  # "compiled" | "columnar" | "rows"
     use_cache: bool = True
 
     def shifted(self, delta: float) -> "ScubaQuery":
@@ -128,7 +99,7 @@ class ScubaQuery:
         if self.engine == "rows":
             states = self._run_rows(function)
         else:
-            states = self._run_columnar(function)
+            states = self._run_columnar(function, self._plan())
         results = [
             {**{c: g for c, g in zip(self.group_by, group)},
              "value": function.result(state)}
@@ -150,7 +121,7 @@ class ScubaQuery:
         if self.engine == "rows":
             states = self._run_rows_time_series(function)
         else:
-            states = self._run_columnar_time_series(function)
+            states = self._run_columnar_time_series(function, self._plan())
         return sorted(
             (TimeSeriesPoint(bucket, group, function.result(state))
              for (bucket, group), state in states.items()),
@@ -207,11 +178,13 @@ class ScubaQuery:
 
     # -- the vectorized columnar engine -------------------------------------------
 
-    def _cache_shape(self) -> tuple | None:
-        """Hashable identity of this query's fixed part, or None if the
-        query cannot participate in the cache (opaque ``where``,
-        unhashable filter operand, caching disabled)."""
-        if self.where is not None or not self.use_cache:
+    def _plan_shape(self) -> tuple | None:
+        """Hashable identity of this query's fixed part, or None if it
+        cannot be lowered to a plan (opaque ``where``, unhashable filter
+        operand). Independent of ``use_cache``: plans are pure functions
+        of the shape, so compiling with result-caching disabled is
+        still sound — and still fast."""
+        if self.where is not None:
             return None
         shape = (self.aggregation, self.value_column, self.group_by,
                  self.filters)
@@ -221,20 +194,54 @@ class ScubaQuery:
             return None
         return shape
 
-    def _run_columnar(self, function: AggregateFunction) -> dict[tuple, Any]:
+    def _cache_shape(self) -> tuple | None:
+        """The result-cache key: the plan shape, or None when caching
+        is disabled for this query."""
+        if not self.use_cache:
+            return None
+        return self._plan_shape()
+
+    def _plan(self) -> ScubaPlan | None:
+        """The compiled plan for this query, or None to fall back to
+        interpreted columnar execution."""
+        if self.engine != "compiled":
+            return None
+        shape = self._plan_shape()
+        if shape is None:
+            return None
+        plan, hit = self.table.query_cache.plans.get(shape)
+        prefix = f"scuba.{self.table.name}"
+        if hit:
+            self.metrics.counter(f"{prefix}.plan_cache.hits").increment()
+        else:
+            self.metrics.counter(f"{prefix}.plan_cache.misses").increment()
+        return plan
+
+    def _run_columnar(self, function: AggregateFunction,
+                      plan: ScubaPlan | None = None) -> dict[tuple, Any]:
         shape = self._cache_shape()
         cache = self.table.query_cache
         totals: dict[tuple, Any] = {}
         scanned = 0
         cached_rows = 0
         hits = misses = 0
+        segments_pruned = rows_pruned = 0
         for segment, lo, hi, full in self.table.segments_overlapping(
                 self.start, self.end):
+            if plan is not None and plan.prunes(segment):
+                # The zone maps prove no row of this segment passes the
+                # filters, so its partial is {}: nothing to merge, and
+                # nothing worth caching (replacement = fresh seg_id).
+                segments_pruned += 1
+                rows_pruned += hi - lo
+                continue
             if shape is not None and full:
                 partial = cache.get_run_partial(shape, segment.seg_id)
                 if partial is None:
-                    partial = self._segment_states(segment, 0,
-                                                   segment.length, function)
+                    partial = (plan.segment_states(segment, 0, segment.length)
+                               if plan is not None else
+                               self._segment_states(segment, 0,
+                                                    segment.length, function))
                     cache.put_run_partial(shape, segment.seg_id, partial)
                     scanned += segment.length
                     misses += 1
@@ -243,12 +250,15 @@ class ScubaQuery:
                     hits += 1
                 _merge_states(totals, partial, function)
             else:
-                partial = self._segment_states(segment, lo, hi, function)
+                partial = (plan.segment_states(segment, lo, hi)
+                           if plan is not None else
+                           self._segment_states(segment, lo, hi, function))
                 scanned += hi - lo
                 _merge_states(totals, partial, function)
         scanned += self._fold_tail(totals, function)
         self._charge(scanned, cached_rows=cached_rows, hits=hits,
-                     misses=misses)
+                     misses=misses, segments_pruned=segments_pruned,
+                     rows_pruned=rows_pruned)
         return totals
 
     def _fold_tail(self, totals: dict[tuple, Any],
@@ -302,11 +312,12 @@ class ScubaQuery:
         if kernel is not None:
             coded = kernel.fold(codes, values, n)
         else:
-            coded = _generic_fold(function, codes, values, n)
+            coded = generic_fold(function, codes, values, n)
         return {groups[code]: state for code, state in coded.items()}
 
     def _run_columnar_time_series(
-            self, function: AggregateFunction) -> dict[tuple, Any]:
+            self, function: AggregateFunction,
+            plan: ScubaPlan | None = None) -> dict[tuple, Any]:
         bucket_seconds = self.bucket_seconds
         shape = self._cache_shape()
         if shape is not None:
@@ -318,6 +329,7 @@ class ScubaQuery:
         scanned = 0
         cached_rows = 0
         hits = misses = 0
+        segments_pruned = rows_pruned = 0
 
         bucket = (self.start // bucket_seconds) * bucket_seconds
         while bucket < self.end:
@@ -344,10 +356,20 @@ class ScubaQuery:
             seg_ids = set()
             for segment, seg_lo, seg_hi, _ in self.table.segments_overlapping(
                     lo, hi):
-                partial = self._segment_states(segment, seg_lo, seg_hi,
-                                               function)
-                scanned += seg_hi - seg_lo
+                # A pruned segment still stamps the bucket with its
+                # seg_id: the cached "nothing from this segment" claim
+                # depends on its contents, and replacement (a deep
+                # insert that might add a passing row) must invalidate.
                 seg_ids.add(segment.seg_id)
+                if plan is not None and plan.prunes(segment):
+                    segments_pruned += 1
+                    rows_pruned += seg_hi - seg_lo
+                    continue
+                partial = (plan.segment_states(segment, seg_lo, seg_hi)
+                           if plan is not None else
+                           self._segment_states(segment, seg_lo, seg_hi,
+                                                function))
+                scanned += seg_hi - seg_lo
                 _merge_states(bucket_states, partial, function)
             scanned += self._fold_tail_bucket(bucket_states, function, lo, hi)
             if closed:
@@ -358,7 +380,8 @@ class ScubaQuery:
                 states[(bucket, group)] = state
             bucket = bucket_end
         self._charge(scanned, cached_rows=cached_rows, hits=hits,
-                     misses=misses)
+                     misses=misses, segments_pruned=segments_pruned,
+                     rows_pruned=rows_pruned)
         return states
 
     def _fold_tail_bucket(self, totals: dict[tuple, Any],
@@ -380,7 +403,8 @@ class ScubaQuery:
     # -- accounting ------------------------------------------------------------
 
     def _charge(self, scanned: int, cached_rows: int = 0, hits: int = 0,
-                misses: int = 0) -> None:
+                misses: int = 0, segments_pruned: int = 0,
+                rows_pruned: int = 0) -> None:
         prefix = f"scuba.{self.table.name}"
         self.metrics.counter(f"{prefix}.rows_scanned").increment(scanned)
         self.metrics.counter(f"{prefix}.queries").increment()
@@ -395,6 +419,12 @@ class ScubaQuery:
             # The signature dashboard-refresh pattern: part of the window
             # was served from cached partials, the rest scanned fresh.
             self.metrics.counter(f"{prefix}.cache.partial_reuse").increment()
+        if segments_pruned:
+            self.metrics.counter(f"{prefix}.segments_pruned").increment(
+                segments_pruned)
+        if rows_pruned:
+            self.metrics.counter(f"{prefix}.rows_pruned").increment(
+                rows_pruned)
 
 
 def _merge_states(totals: dict[tuple, Any], partial: dict[tuple, Any],
@@ -404,24 +434,6 @@ def _merge_states(totals: dict[tuple, Any], partial: dict[tuple, Any],
         existing = totals.get(group)
         totals[group] = (state if existing is None
                          else function.merge(existing, state))
-
-
-def _generic_fold(function: AggregateFunction, codes, values,
-                  n: int) -> dict[int, Any]:
-    """Per-row monoid fallback for aggregates without a columnar kernel
-    (topk, approx_distinct, stddev, ...) — still column-driven, so it
-    caches and merges like the kernel paths."""
-    states: dict[int, Any] = {}
-    if codes is None:
-        codes = [0] * n
-    if values is None:
-        values = [1] * n
-    for code, value in zip(codes, values):
-        state = states.get(code)
-        if state is None:
-            state = function.create()
-        states[code] = function.update(state, value)
-    return states
 
 
 # -- result ordering ----------------------------------------------------------

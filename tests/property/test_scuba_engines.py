@@ -1,13 +1,17 @@
-"""Property: Scuba's columnar and row-scan engines are interchangeable.
+"""Property: Scuba's three engines are interchangeable.
 
 Feeds identical randomized row streams — out-of-order times, Nones,
 missing keys, high- and low-cardinality groups, interleaved ``trim``
 calls — into a paper-faithful row table (``columnar=False``) and a
 columnar table with a tiny ``segment_rows`` (so every schedule exercises
 sealing, deep out-of-order segment rebuilds, and boundary-segment
-trims). Every aggregate then runs through both engines, for both
-``run()`` and ``run_time_series()``, twice on the columnar side so the
-second pass exercises the incremental cache.
+trims). Every aggregate then runs through all three engines — row-scan
+(the oracle), interpreted columnar, and compiled — for both ``run()``
+and ``run_time_series()``, twice per columnar engine so second passes
+exercise the incremental cache. Compiled and interpreted runs alternate
+order across seeds and share one table, so each engine also consumes
+partials the *other* engine cached — the state-identity contract that
+lets them share the query cache.
 
 Float results are compared with ``isclose``: merging per-segment monoid
 partials re-associates floating-point addition, which is allowed to
@@ -40,6 +44,13 @@ FILTER_CHOICES = [
     (ColumnFilter("page", "==", "p1"),),
     (ColumnFilter("status", "<", 500), ColumnFilter("ms", ">", 2.0)),
     (ColumnFilter("page", "in", ("p0", "p2")),),
+    # Negative ops: null/missing values pass these (and only these) —
+    # "user" is absent from most rows, "ms" mixes Nones and floats.
+    (ColumnFilter("user", "!=", "u3"),),
+    (ColumnFilter("ms", "not in", (0.5, 1.0, -2.0)),),
+    (ColumnFilter("ms", "!=", 2.0), ColumnFilter("status", "==", 200)),
+    (ColumnFilter("absent", "not in", ("x",)),),
+    (ColumnFilter("absent", "<", 5),),  # absent column: nothing passes
 ]
 
 
@@ -117,7 +128,7 @@ def _assert_points_match(expected, actual, context):
         assert _close(left.value, right.value), (context, left, right)
 
 
-def test_columnar_engine_matches_row_engine_exhaustively():
+def test_columnar_engines_match_row_engine_exhaustively():
     for seed in range(12):
         rng = random.Random(seed)
         row_table, col_table, clock = _build_tables(rng, 300)
@@ -126,7 +137,7 @@ def test_columnar_engine_matches_row_engine_exhaustively():
             col_table.rows_between(0.0, 1e9)
         lo = clock - 400.0 + rng.random() * 100.0
         hi = lo + 50.0 + rng.random() * 300.0
-        for aggregation in AGGREGATES:
+        for index, aggregation in enumerate(AGGREGATES):
             group_by = rng.choice(GROUP_CHOICES)
             filters = rng.choice(FILTER_CHOICES)
             value_column = rng.choice(["ms", "status", None])
@@ -135,32 +146,40 @@ def test_columnar_engine_matches_row_engine_exhaustively():
             context = (seed, aggregation, group_by, filters, value_column)
             expected = ScubaQuery(row_table, lo, hi, engine="rows",
                                   **common).run()
-            columnar = ScubaQuery(col_table, lo, hi, engine="columnar",
-                                  **common)
-            _assert_rows_match(expected, columnar.run(), context, group_by)
-            # Second run reuses cached per-segment partials.
-            _assert_rows_match(expected, columnar.run(), context + ("cache",),
-                               group_by)
+            # Alternate which columnar engine runs (and caches) first, so
+            # each also consumes partials the other cached.
+            engines = ["columnar", "compiled"]
+            if (seed + index) % 2:
+                engines.reverse()
+            for engine in engines:
+                arm = ScubaQuery(col_table, lo, hi, engine=engine, **common)
+                _assert_rows_match(expected, arm.run(),
+                                   context + (engine,), group_by)
+                # Second run reuses cached per-segment partials.
+                _assert_rows_match(expected, arm.run(),
+                                   context + (engine, "cache"), group_by)
 
             series_common = dict(common, bucket_seconds=30.0)
             expected_ts = ScubaQuery(row_table, lo, hi, engine="rows",
                                      **series_common).run_time_series()
-            columnar_ts = ScubaQuery(col_table, lo, hi, engine="columnar",
-                                     **series_common)
-            _assert_points_match(expected_ts, columnar_ts.run_time_series(),
-                                 context)
-            _assert_points_match(expected_ts, columnar_ts.run_time_series(),
-                                 context + ("cache",))
+            for engine in engines:
+                arm_ts = ScubaQuery(col_table, lo, hi, engine=engine,
+                                    **series_common)
+                _assert_points_match(expected_ts, arm_ts.run_time_series(),
+                                     context + (engine,))
+                _assert_points_match(expected_ts, arm_ts.run_time_series(),
+                                     context + (engine, "cache"))
 
 
 def test_cache_stays_correct_across_trim_and_append():
     """Cached partials must be precisely invalidated, never stale."""
     for seed in range(6):
         rng = random.Random(1000 + seed)
+        engine = ("columnar", "compiled")[seed % 2]
         row_table, col_table, clock = _build_tables(rng, 250)
         query = ScubaQuery(col_table, clock - 450.0, clock + 100.0,
                            aggregation="sum", value_column="ms",
-                           group_by=("page",), engine="columnar", limit=100)
+                           group_by=("page",), engine=engine, limit=100)
         query.run()  # populate the cache
         # Mutate: trim old rows, append new ones (some out-of-order).
         clock += 50.0
@@ -174,10 +193,10 @@ def test_cache_stays_correct_across_trim_and_append():
                               aggregation="sum", value_column="ms",
                               group_by=("page",), engine="rows",
                               limit=100).run()
-        _assert_rows_match(expected, query.run(), ("post-mutation", seed),
-                           ("page",))
-        _assert_rows_match(expected, query.run(), ("post-mutation-2", seed),
-                           ("page",))
+        _assert_rows_match(expected, query.run(),
+                           ("post-mutation", seed, engine), ("page",))
+        _assert_rows_match(expected, query.run(),
+                           ("post-mutation-2", seed, engine), ("page",))
 
 
 def test_columnar_kernels_match_per_row_updates():
