@@ -324,7 +324,7 @@ class ReplicatedLaserTable:
                                          *key_values)
             # Accounted below, not here: every tier-miss ends in exactly
             # one of failover_reads / stale_reads / unavailable_reads.
-            except StoreUnavailable as exc:  # lint: ignore[R004]
+            except StoreUnavailable as exc:  # lint: ignore[R004] counted below
                 last_error = exc
                 continue
             if position > 0:

@@ -9,14 +9,36 @@ R003    metric names are stable ``component.noun[.verb]`` literals
 R004    no bare/broad except; ``StoreUnavailable`` handlers must account
 R005    no unordered set iteration feeding deterministic outputs
 R006    no mutable default arguments
+P001    every ``lint: ignore`` pragma must suppress something and
+        carry a trailing rationale
 ======  ==============================================================
 
-Suppress a justified finding with a same-line pragma::
+Flow rules (``python -m repro.lint --flow``, :mod:`repro.lint.flow`) add
+an interprocedural effect-ordering pass over the delivery-semantics
+protocol (stylus/, swift/, puma/, scribe/, runtime/topology.py):
+
+======  ==============================================================
+R007    exactly-once output must not publish before the transactional
+        checkpoint commits
+R008    at-least-once saves state before acking offsets; at-most-once
+        advances offsets before side effects
+R009    credit counters stay paired (``*.granted`` needs ``*.blocked``
+        or ``*.reconciled``); degraded-mode handlers must count
+R010    restart paths derive checkpoint numbering and resume offsets
+        from durable state, never a literal 0
+======  ==============================================================
+
+Suppress a justified finding with a same-line pragma (the rationale
+after the bracket is required — P001 flags its absence)::
 
     except StoreUnavailable as exc:  # lint: ignore[R004] counted by caller
 
+Ambiguous effect sites the flow pass cannot classify are declared with
+``# lint: effect[...]`` annotations — see :mod:`repro.lint.flow`.
+
 Pre-existing findings live in a committed baseline (``lint-baseline.json``)
-so the checker gates *new* violations; ``--write-baseline`` regenerates it.
+so the checker gates *new* violations; ``--write-baseline`` regenerates
+it and ``--prune-baseline`` drops fingerprints that no longer fire.
 
 The dynamic half (``python -m repro.lint --sanitize``) runs the same
 seeded chaos campaign twice and fails on any divergence in metric
@@ -29,9 +51,11 @@ from repro.lint.engine import (
     FileContext,
     Finding,
     LintReport,
+    Pragma,
     Rule,
     diff_against_baseline,
     load_baseline,
+    prune_baseline,
     register,
     registered_rules,
     run_lint,
@@ -40,8 +64,8 @@ from repro.lint.engine import (
 from repro.lint.sanitizer import SanitizerReport, run_sanitizer
 
 __all__ = [
-    "BaselineDiff", "FileContext", "Finding", "LintReport", "Rule",
-    "diff_against_baseline", "load_baseline", "register",
-    "registered_rules", "run_lint", "write_baseline",
+    "BaselineDiff", "FileContext", "Finding", "LintReport", "Pragma",
+    "Rule", "diff_against_baseline", "load_baseline", "prune_baseline",
+    "register", "registered_rules", "run_lint", "write_baseline",
     "SanitizerReport", "run_sanitizer",
 ]

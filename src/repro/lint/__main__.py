@@ -12,8 +12,8 @@ import sys
 from pathlib import Path
 
 from repro.lint.engine import (diff_against_baseline, format_human,
-                               format_json, load_baseline, registered_rules,
-                               run_lint, write_baseline)
+                               format_json, load_baseline, prune_baseline,
+                               registered_rules, run_lint, write_baseline)
 from repro.lint.sanitizer import format_report, run_sanitizer
 
 
@@ -37,11 +37,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="repo root (default: nearest ancestor with "
                              "pyproject.toml)")
     parser.add_argument("--check", action="store_true",
-                        help="CI mode: same behaviour, spelled explicitly")
+                        help="CI mode; with --prune-baseline, fail on "
+                             "stale entries instead of rewriting")
+    parser.add_argument("--flow", action="store_true",
+                        help="include the interprocedural effect-ordering "
+                             "rules (R007-R010, repro.lint.flow)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable output")
     parser.add_argument("--select", default=None, metavar="R001,R003",
                         help="run only these rule ids")
+    parser.add_argument("--rules", dest="select", default=None,
+                        metavar="R007,R010",
+                        help="alias of --select, for CI job scoping")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop fingerprints the full rule set no "
+                             "longer produces from the baseline")
     parser.add_argument("--baseline", type=Path, default=None,
                         help="baseline file (default: <root>/"
                              "lint-baseline.json)")
@@ -71,18 +81,40 @@ def main(argv: list[str] | None = None) -> int:
 
     root = (args.root if args.root is not None
             else _find_root(Path.cwd().resolve()))
+    baseline_path = (args.baseline if args.baseline is not None
+                     else root / "lint-baseline.json")
+
+    if args.prune_baseline:
+        # Prune against the *full* rule set over the default paths —
+        # never a --select/--rules or path-narrowed run, which would
+        # drop fingerprints that are merely out of scope, not fixed.
+        report = run_lint(root, flow=True)
+        stale = prune_baseline(baseline_path, report, dry_run=args.check)
+        if args.check:
+            for entry in stale:
+                print(f"stale baseline entry: {entry['rule']} "
+                      f"{entry['path']}: {entry['snippet']}")
+            if stale:
+                print(f"reprolint: baseline has {len(stale)} stale "
+                      f"entr{'y' if len(stale) == 1 else 'ies'} — run "
+                      "--prune-baseline without --check to rewrite")
+                return 1
+            print("reprolint: baseline is minimal")
+            return 0
+        print(f"reprolint: pruned {len(stale)} stale fingerprint(s) from "
+              f"{baseline_path}")
+        return 0
+
     paths = [p if p.is_absolute() else root / p
              for p in args.paths] or None
     select = (None if args.select is None
               else [s.strip() for s in args.select.split(",") if s.strip()])
     try:
-        report = run_lint(root, paths=paths, select=select)
+        report = run_lint(root, paths=paths, select=select, flow=args.flow)
     except ValueError as exc:
         print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    baseline_path = (args.baseline if args.baseline is not None
-                     else root / "lint-baseline.json")
     if args.write_baseline:
         write_baseline(baseline_path, report)
         print(f"reprolint: wrote {len(report.findings)} finding(s) to "

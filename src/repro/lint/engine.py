@@ -10,8 +10,10 @@ every future PR:
 
 - :func:`run_lint` walks a tree, parses each file once, and hands a
   :class:`FileContext` to every registered rule;
-- ``# lint: ignore[R004]`` pragmas suppress findings on their own line
+- ``# lint: ignore[R004] why`` pragmas suppress findings on their own line
   (justified exceptions stay visible in the diff, not in reviewer memory);
+  the engine itself audits them (rule ``P001``): a pragma that suppresses
+  nothing, or one with no trailing rationale, is a finding;
 - a committed baseline file grandfathers pre-existing findings so the
   checker can gate *new* violations from day one (see :func:`diff_against_
   baseline`); fingerprints hash the line *text*, not the line *number*,
@@ -26,22 +28,26 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 __all__ = [
     "Finding", "FileContext", "Rule", "LintReport", "BaselineDiff",
-    "register", "registered_rules", "run_lint", "iter_python_files",
+    "Pragma", "register", "registered_rules", "run_lint",
+    "iter_python_files", "iter_comments",
     "load_baseline", "write_baseline", "diff_against_baseline",
-    "format_human", "format_json",
+    "prune_baseline", "format_human", "format_json",
 ]
 
-#: ``# lint: ignore[R001]`` or ``# lint: ignore[R001,R005]`` — suppresses
-#: findings of the named rules on the same source line.
-_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9_,\s]+)\]")
+#: A comment of the form ``lint: ignore[R001,R005] why`` suppresses
+#: findings of the named rules on the same source line; the text after
+#: the bracket is the (required) rationale.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9_,\s]+)\]\s*(.*)$")
 
 #: Directories never worth parsing.
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist"}
@@ -109,6 +115,9 @@ class Rule:
 
     rule_id: str = "R000"
     summary: str = ""
+    #: Flow rules (:mod:`repro.lint.flow`) cost an interprocedural pass
+    #: per file, so they only run under ``--flow`` or explicit --select.
+    flow: bool = False
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         return ()
@@ -129,8 +138,26 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
     return rule_cls
 
 
+@register
+class PragmaHygiene(Rule):
+    """Engine-driven rule: the engine emits the P001 findings itself.
+
+    Only the engine sees which pragmas actually suppressed something
+    across every rule, so this class exists to give the finding an id, a
+    summary for ``--list-rules``, and a handle for ``--select``. P001
+    findings are deliberately not themselves pragma-suppressible — a
+    pragma justifying another pragma is review noise — but they baseline
+    like any other finding.
+    """
+
+    rule_id = "P001"
+    summary = ("a lint: ignore pragma must suppress at least one finding "
+               "of an active rule and carry a trailing rationale")
+
+
 def registered_rules() -> dict[str, type[Rule]]:
     # Import for the registration side effect; cheap after the first call.
+    from repro.lint import flow as _flow  # noqa: F401
     from repro.lint import rules as _rules  # noqa: F401
     return dict(sorted(_REGISTRY.items()))
 
@@ -168,24 +195,92 @@ def iter_python_files(roots: Iterable[Path]) -> Iterator[Path]:
                 yield path
 
 
-def _parse_pragmas(source: str) -> dict[int, set[str]]:
-    """Line number -> set of rule ids suppressed on that line."""
-    pragmas: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",")}
-            pragmas[lineno] = {rule for rule in rules if rule}
+def iter_comments(source: str) -> Iterator[tuple[int, str]]:
+    """(lineno, text) for every real COMMENT token in ``source``.
+
+    Tokenizing — rather than regex-scanning raw lines — keeps
+    pragma-shaped text inside string literals and docstrings from
+    counting: the rule table in ``repro/lint/__init__.py`` *shows* a
+    pragma example without owning one.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The caller already records the file as a parse error; comments
+        # seen before the bad token still count.
+        return
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# lint: ignore[...]`` suppression comment."""
+
+    rules: frozenset[str]
+    rationale: str
+    snippet: str
+
+
+def _parse_pragmas(source: str) -> dict[int, Pragma]:
+    """Line number -> suppression pragma found on that line."""
+    pragmas: dict[int, Pragma] = {}
+    lines = source.splitlines()
+    for lineno, comment in iter_comments(source):
+        match = _PRAGMA_RE.search(comment)
+        if not match:
+            continue
+        rules = frozenset(part.strip() for part in match.group(1).split(",")
+                          if part.strip())
+        snippet = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+        pragmas[lineno] = Pragma(rules=rules,
+                                 rationale=match.group(2).strip(),
+                                 snippet=snippet)
     return pragmas
 
 
+def _pragma_hygiene(pragmas_by_path: dict[str, dict[int, Pragma]],
+                    used: set[tuple[str, int, str]],
+                    active_ids: set[str]) -> Iterator[Finding]:
+    """P001: every suppression must earn its keep, visibly.
+
+    A pragma rule id is "unused" only when that rule actually ran — a
+    ``--select R001`` invocation must not condemn an ``ignore[R004]``.
+    """
+    for path in sorted(pragmas_by_path):
+        for lineno in sorted(pragmas_by_path[path]):
+            pragma = pragmas_by_path[path][lineno]
+            for rule_id in sorted(pragma.rules):
+                if rule_id == "P001" or rule_id not in active_ids:
+                    continue
+                if (path, lineno, rule_id) in used:
+                    continue
+                yield Finding(
+                    rule="P001", path=path, line=lineno,
+                    message=(f"pragma suppresses nothing: no {rule_id} "
+                             "finding on this line — remove the stale "
+                             "ignore"),
+                    snippet=pragma.snippet)
+            if not pragma.rationale:
+                yield Finding(
+                    rule="P001", path=path, line=lineno,
+                    message=("pragma has no rationale: justify the "
+                             "suppression after the bracket, e.g. "
+                             "'# lint: ignore[R004] counted by caller'"),
+                    snippet=pragma.snippet)
+
+
 def run_lint(root: Path, paths: Iterable[Path] | None = None,
-             select: Iterable[str] | None = None) -> LintReport:
+             select: Iterable[str] | None = None,
+             flow: bool = False) -> LintReport:
     """Lint every python file under ``paths`` (relative to ``root``).
 
-    ``select`` restricts to a subset of rule ids. Findings on a line
-    carrying a matching ``# lint: ignore[...]`` pragma are dropped and
-    counted in ``report.suppressed``.
+    ``select`` restricts to a subset of rule ids. ``flow=True`` adds the
+    interprocedural effect-ordering rules (:mod:`repro.lint.flow`);
+    naming one of them in ``select`` enables it regardless. Findings on
+    a line carrying a matching ``# lint: ignore[...]`` pragma are
+    dropped and counted in ``report.suppressed``.
     """
     root = Path(root)
     if paths is None:
@@ -199,9 +294,15 @@ def run_lint(root: Path, paths: Iterable[Path] | None = None,
             raise ValueError(f"unknown rule ids: {sorted(unknown)}")
         rule_classes = {rule_id: cls for rule_id, cls in rule_classes.items()
                         if rule_id in wanted}
+    elif not flow:
+        rule_classes = {rule_id: cls for rule_id, cls in rule_classes.items()
+                        if not cls.flow}
     rules = [cls() for cls in rule_classes.values()]
+    active_ids = set(rule_classes)
 
     report = LintReport()
+    pragmas_by_path: dict[str, dict[int, Pragma]] = {}
+    used: set[tuple[str, int, str]] = set()
     for file_path in iter_python_files(paths):
         try:
             relpath = file_path.relative_to(root).as_posix()
@@ -216,14 +317,29 @@ def run_lint(root: Path, paths: Iterable[Path] | None = None,
         report.files_scanned += 1
         ctx = FileContext(relpath, source, tree)
         pragmas = _parse_pragmas(source)
+        if pragmas:
+            pragmas_by_path[relpath] = pragmas
         for rule in rules:
             for finding in rule.check_file(ctx):
-                if finding.rule in pragmas.get(finding.line, ()):
+                pragma = pragmas.get(finding.line)
+                if pragma is not None and finding.rule in pragma.rules:
                     report.suppressed += 1
+                    used.add((relpath, finding.line, finding.rule))
                 else:
                     report.findings.append(finding)
     for rule in rules:
-        report.findings.extend(rule.finalize())
+        # Cross-file findings honour pragmas too: the anchor line of a
+        # finalize finding may carry a justified ignore.
+        for finding in rule.finalize():
+            pragma = pragmas_by_path.get(finding.path, {}).get(finding.line)
+            if pragma is not None and finding.rule in pragma.rules:
+                report.suppressed += 1
+                used.add((finding.path, finding.line, finding.rule))
+            else:
+                report.findings.append(finding)
+    if "P001" in active_ids:
+        report.findings.extend(
+            _pragma_hygiene(pragmas_by_path, used, active_ids))
     report.findings.sort(key=Finding.sort_key)
     return report
 
@@ -267,6 +383,31 @@ class BaselineDiff:
     new: list[Finding] = field(default_factory=list)
     grandfathered: list[Finding] = field(default_factory=list)
     stale: list[dict] = field(default_factory=list)
+
+
+def prune_baseline(path: Path, report: LintReport,
+                   dry_run: bool = False) -> list[dict]:
+    """Drop baseline fingerprints the current run no longer produces.
+
+    Returns the stale entries (sorted by fingerprint); rewrites the file
+    unless ``dry_run`` or nothing is stale. The report must come from a
+    full run (default paths, every rule, ``flow=True``): pruning against
+    a ``--select`` or path-narrowed run would drop fingerprints that are
+    merely out of scope, not fixed.
+    """
+    baseline = load_baseline(path)
+    current = report.fingerprints()
+    stale = [entry for fingerprint, entry in sorted(baseline.items())
+             if fingerprint not in current]
+    if stale and not dry_run:
+        kept = [entry for entry in baseline.values()
+                if entry not in stale]
+        kept.sort(key=lambda entry: (entry["path"], entry["rule"],
+                                     entry["snippet"], entry["fingerprint"]))
+        payload = {"version": BASELINE_VERSION, "findings": kept}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    return stale
 
 
 def diff_against_baseline(report: LintReport,

@@ -63,7 +63,7 @@ Row = dict[str, Any]
 _EXECUTORS = ("compiled", "batch", "row")
 
 
-class PumaApp:
+class PumaApp:  # lint: effect[output=at_least_once]
     """One Puma app process, consuming an assigned set of buckets.
 
     Running several instances with disjoint ``buckets`` parallelizes the

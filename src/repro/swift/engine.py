@@ -37,7 +37,7 @@ class SwiftBatchClient(Protocol):
     def on_batch(self, messages: list[Message]) -> None: ...
 
 
-class SwiftApp:
+class SwiftApp:  # lint: effect[state=at_least_once, output=at_least_once]
     """One Swift consumer: a bucket tailer plus an offset checkpointer.
 
     ``checkpoint_every_messages`` / ``checkpoint_every_bytes``: whichever
@@ -105,7 +105,7 @@ class SwiftApp:
         client = self.client
         for message in batch:
             try:
-                client(message)
+                client(message)  # lint: effect[publish]
             except ProcessCrashed:
                 self.crashed = True
                 return delivered
@@ -142,7 +142,7 @@ class SwiftApp:
                         and since_bytes >= every_bytes)):
                 segment = batch[start:index + 1]
                 try:
-                    on_batch(segment)
+                    on_batch(segment)  # lint: effect[publish]
                 except ProcessCrashed:
                     self.crashed = True
                     return delivered
@@ -156,7 +156,7 @@ class SwiftApp:
         if start < len(batch):
             segment = batch[start:]
             try:
-                on_batch(segment)
+                on_batch(segment)  # lint: effect[publish]
             except ProcessCrashed:
                 self.crashed = True
                 return delivered
@@ -184,7 +184,7 @@ class SwiftApp:
         while boundary <= total:
             segment = batch[start:boundary]
             try:
-                on_batch(segment)
+                on_batch(segment)  # lint: effect[publish]
             except ProcessCrashed:
                 self.crashed = True
                 return delivered
@@ -195,7 +195,7 @@ class SwiftApp:
         if start < total:
             segment = batch[start:]
             try:
-                on_batch(segment)
+                on_batch(segment)  # lint: effect[publish]
             except ProcessCrashed:
                 self.crashed = True
                 return delivered

@@ -9,18 +9,19 @@ from repro.lint.engine import run_lint
 
 @pytest.fixture
 def lint(tmp_path):
-    """lint(source, filename=..., select=[...]) -> LintReport.
+    """lint(source, filename=..., select=[...], flow=...) -> LintReport.
 
     Writes the (dedented) snippet under ``tmp_path`` so per-rule path
-    exemptions (``repro/runtime/clock.py``, ``benchmarks/`` ...) can be
+    exemptions (``repro/runtime/clock.py``, ``benchmarks/`` ...) and the
+    flow pass's watched-module scoping (``src/repro/stylus/...``) can be
     exercised by choosing ``filename``.
     """
 
-    def _lint(source, filename="src/repro/mod.py", select=None):
+    def _lint(source, filename="src/repro/mod.py", select=None, flow=False):
         file = tmp_path / filename
         file.parent.mkdir(parents=True, exist_ok=True)
         file.write_text(textwrap.dedent(source), encoding="utf-8")
-        return run_lint(tmp_path, paths=[file], select=select)
+        return run_lint(tmp_path, paths=[file], select=select, flow=flow)
 
     return _lint
 

@@ -1,0 +1,23 @@
+# lint: effect[watch]
+"""Regression corpus: the PR 3 Swift restart-offset bug (expects R010).
+
+The chaos campaign of PR 3 found ``SwiftApp.restart`` re-seeking the
+reader to absolute offset 0 when no checkpoint existed, instead of the
+first *retained* offset — overstating lag and replaying trimmed history
+on an at-least-once consumer. The fixed tree resumes from the saved
+checkpoint or ``seek_to_start()``; this fixture preserves the broken
+shape so the flow checker must keep flagging it.
+"""
+
+
+class SwiftAppWithPr3Bug:  # lint: effect[state=at_least_once, output=at_least_once]
+
+    def __init__(self, reader, checkpoints):
+        self._reader = reader
+        self.checkpoints = checkpoints
+        self.crashed = False
+
+    def restart(self):
+        self.crashed = False
+        # BUG: ignores the saved checkpoint and retention trimming.
+        self._reader.seek(0)

@@ -1,0 +1,29 @@
+# lint: effect[watch]
+"""Regression corpus: the PR 6 read-ahead mid-batch checkpoint bug
+(expects R008).
+
+PR 6's compiled Puma path checkpointed the *reader's* read-ahead
+position instead of the last fully-processed offset, and did so before
+the state rows were flushed: under at-least-once semantics a crash
+between the offset ack and the state save lost input the offset had
+already acknowledged. The fixed tree tracks ``_next_offset`` explicitly
+and saves state first; this fixture preserves the broken order.
+"""
+
+from repro.core.semantics import StateSemantics
+
+
+class TaskWithPr6Bug:
+
+    def __init__(self, semantics, state_backend, reader):
+        self.semantics = semantics
+        self.state_backend = state_backend
+        self._reader = reader
+        self._state = {}
+
+    def _checkpoint(self):
+        if self.semantics.state == StateSemantics.AT_LEAST_ONCE:
+            # BUG: acks the reader's read-ahead position before the
+            # state save; a crash between the two loses acked input.
+            self.state_backend.save_offset(self._reader.position)
+            self.state_backend.save_state(self._state)

@@ -1,0 +1,27 @@
+# lint: effect[watch]
+"""Regression corpus: the PR 8 at-most-once adoption replay bug
+(expects R008).
+
+The macro chaos campaign of PR 8 caught bucket adoption replaying — and
+re-publishing — history the previous shard owner had already emitted
+under at-most-once output. The fixed ``StylusShardWorker.adopt_bucket``
+seals the offset at the bucket tail (advancing it *before* any side
+effect) and counts the skipped span; this fixture preserves the broken
+publish-without-offset-advance shape.
+"""
+
+from repro.core.semantics import OutputSemantics
+
+
+class ShardWorkerWithPr8ReplayBug:
+
+    def __init__(self, scribe, writer):
+        self.scribe = scribe
+        self._writer = writer
+
+    def adopt_bucket(self, bucket, task):
+        if task.semantics.output is OutputSemantics.AT_MOST_ONCE:
+            # BUG: replays and re-emits history the old owner already
+            # published instead of sealing the offset at the tail.
+            for record in self.scribe.replay(bucket):
+                self._writer.write(record)

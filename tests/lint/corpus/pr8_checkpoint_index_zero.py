@@ -1,0 +1,26 @@
+# lint: effect[watch]
+"""Regression corpus: the PR 8 checkpoint-numbering restart bug
+(expects R010).
+
+Also from PR 8's macro chaos campaign: an adopted exactly-once task
+restarted its transactional checkpoint numbering at index 0, overwriting
+the previous owner's committed output rows. The fixed tree derives the
+index from ``state_backend.last_checkpoint_index()`` (the durable
+``out:`` rows are the source of truth); this fixture preserves the
+literal-zero restart.
+"""
+
+
+class TaskWithPr8IndexBug:
+
+    def __init__(self, state_backend):
+        self.state_backend = state_backend
+        self.crashed = False
+
+    def restart(self):
+        state, offset = self.state_backend.load()
+        self._state = state
+        # BUG: restarts transactional checkpoint numbering at zero; an
+        # adopted task overwrites the previous owner's committed rows.
+        self._checkpoint_index = 0
+        self.crashed = False

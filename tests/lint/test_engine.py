@@ -4,8 +4,8 @@ import json
 import textwrap
 
 from repro.lint.__main__ import main as lint_main
-from repro.lint.engine import (diff_against_baseline, load_baseline, run_lint,
-                               write_baseline)
+from repro.lint.engine import (diff_against_baseline, load_baseline,
+                               prune_baseline, run_lint, write_baseline)
 
 DIRTY = """\
 import time
@@ -62,6 +62,81 @@ class TestPragmas:
         assert all(f.rule != "R001" for f in report.findings)
 
 
+class TestPragmaHygiene:
+    def p001(self, report):
+        return [f for f in report.findings if f.rule == "P001"]
+
+    def test_unused_pragma_is_flagged(self, tmp_path):
+        file = write(tmp_path, """\
+            def f(clock):
+                return clock.now()  # lint: ignore[R001] no wall clock here
+            """)
+        report = run_lint(tmp_path, paths=[file])
+        findings = self.p001(report)
+        assert len(findings) == 1
+        assert "suppresses nothing" in findings[0].message
+        assert "R001" in findings[0].message
+
+    def test_used_pragma_with_rationale_is_clean(self, tmp_path):
+        file = write(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[R001] test scaffolding
+            """)
+        report = run_lint(tmp_path, paths=[file])
+        assert self.p001(report) == []
+        assert report.suppressed == 1
+
+    def test_missing_rationale_is_flagged_even_when_used(self, tmp_path):
+        file = write(tmp_path, """\
+            import time
+
+            def stamp():
+                return time.time()  # lint: ignore[R001]
+            """)
+        report = run_lint(tmp_path, paths=[file])
+        findings = self.p001(report)
+        assert len(findings) == 1
+        assert "rationale" in findings[0].message
+
+    def test_inactive_rules_are_not_condemned(self, tmp_path):
+        # Under --select R001, an unused ignore[R004] must not be
+        # flagged: R004 never ran, so "unused" is unknowable.
+        file = write(tmp_path, """\
+            def f(x):
+                return x  # lint: ignore[R004] handled by caller
+            """)
+        report = run_lint(tmp_path, paths=[file],
+                          select=["R001", "P001"])
+        assert self.p001(report) == []
+
+    def test_pragma_in_docstring_is_not_a_pragma(self, tmp_path):
+        # The rule table in repro/lint/__init__.py shows a pragma
+        # example inside its docstring; tokenizing must not parse it.
+        file = write(tmp_path, '''\
+            """Example: suppress with  # lint: ignore[R004] reason."""
+
+            def f(clock):
+                return clock.now()
+            ''')
+        report = run_lint(tmp_path, paths=[file])
+        assert report.findings == []
+        assert report.suppressed == 0
+
+    def test_cross_file_finalize_findings_honour_pragmas(self, tmp_path):
+        # R003's near-duplicate detection is a finalize (cross-file)
+        # finding; a pragma on its anchor line must now suppress it.
+        file = write(tmp_path, """\
+            def f(metrics):
+                metrics.counter("scribe.read")
+                metrics.counter("scribe.reads")  # lint: ignore[R003] plural twin is real
+            """)
+        report = run_lint(tmp_path, paths=[file])
+        assert [f for f in report.findings if f.rule == "R003"] == []
+        assert report.suppressed == 1
+
+
 class TestBaseline:
     def test_round_trip_grandfathers_everything(self, tmp_path):
         file = write(tmp_path, DIRTY)
@@ -110,6 +185,52 @@ class TestBaseline:
         assert payload["findings"] == []
 
 
+class TestPruneBaseline:
+    def test_prune_drops_only_stale_fingerprints(self, tmp_path):
+        file = write(tmp_path, DIRTY + "\nx = time.monotonic()\n")
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, run_lint(tmp_path, paths=[file]))
+        assert len(load_baseline(baseline_path)) == 2
+        # Fix one of the two violations; its fingerprint goes stale.
+        write(tmp_path, DIRTY)
+        stale = prune_baseline(baseline_path,
+                               run_lint(tmp_path, paths=[file]))
+        assert len(stale) == 1
+        assert "monotonic" in stale[0]["snippet"]
+        kept = load_baseline(baseline_path)
+        assert len(kept) == 1
+        # The pruned file still grandfathers the remaining finding.
+        diff = diff_against_baseline(run_lint(tmp_path, paths=[file]), kept)
+        assert diff.new == []
+        assert diff.stale == []
+
+    def test_dry_run_reports_without_rewriting(self, tmp_path):
+        file = write(tmp_path, DIRTY)
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, run_lint(tmp_path, paths=[file]))
+        write(tmp_path, "def f(clock):\n    return clock.now()\n")
+        before = baseline_path.read_text()
+        stale = prune_baseline(baseline_path,
+                               run_lint(tmp_path, paths=[file]),
+                               dry_run=True)
+        assert len(stale) == 1
+        assert baseline_path.read_text() == before
+
+    def test_cli_check_fails_on_stale_then_prune_fixes(self, tmp_path,
+                                                       capsys):
+        (tmp_path / "pyproject.toml").write_text("[project]\n")
+        file = write(tmp_path, DIRTY)
+        assert lint_main(["--root", str(tmp_path), "--write-baseline"]) == 0
+        write(tmp_path, "def f(clock):\n    return clock.now()\n")
+        assert lint_main(["--root", str(tmp_path), "--prune-baseline",
+                          "--check"]) == 1
+        assert lint_main(["--root", str(tmp_path), "--prune-baseline"]) == 0
+        assert lint_main(["--root", str(tmp_path), "--prune-baseline",
+                          "--check"]) == 0
+        capsys.readouterr()
+        assert load_baseline(tmp_path / "lint-baseline.json") == {}
+
+
 class TestCli:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         write(tmp_path, "def f(clock):\n    return clock.now()\n")
@@ -150,3 +271,25 @@ class TestCli:
         code = lint_main(["--root", str(tmp_path), "--no-baseline"])
         capsys.readouterr()
         assert code == 2
+
+    def test_rules_flag_is_an_alias_of_select(self, tmp_path, capsys):
+        write(tmp_path, DIRTY)
+        code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                          "--rules", "R002", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0  # R001 violation is out of the scoped rule set
+        assert payload["new"] == []
+
+    def test_flow_flag_runs_the_flow_rules(self, tmp_path, capsys):
+        write(tmp_path, """\
+            class T:
+                def restart(self):
+                    self._checkpoint_index = 0
+            """, filename="src/repro/stylus/mod.py")
+        assert lint_main(["--root", str(tmp_path), "--no-baseline"]) == 0
+        capsys.readouterr()
+        code = lint_main(["--root", str(tmp_path), "--no-baseline",
+                          "--flow", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["new"][0]["rule"] == "R010"
